@@ -1,0 +1,796 @@
+//! CoMD-mini — §5.2: a classical molecular-dynamics proxy.
+//!
+//! Reproduces the communication and compute structure of the CoMD proxy app
+//! the paper evaluates: 3-D domain decomposition over link cells, velocity
+//! Verlet integration, per-axis atom migration + halo exchange with the six
+//! face neighbours (periodic boundaries), a short-range pair potential
+//! (Lennard-Jones standing in for EAM — same communication, same
+//! neighbour-loop shape, cheaper constants), and periodic energy
+//! all-reduces.
+//!
+//! Three configurations mirror the paper's three CoMD experiments:
+//! * [`Imbalance::None`] — Figure 5a (balanced weak scaling);
+//! * [`Imbalance::StaticSpheres`] — Figure 5b: atoms inside seeded spheres
+//!   are elided at initialization (the Pearce et al. recipe the paper
+//!   cites), so some ranks compute less and wait on their neighbours;
+//! * [`Imbalance::MovingSphere`] — Figure 5c: atoms inside a sphere that
+//!   sweeps across the domain are masked from force work, moving the
+//!   imbalance between ranks as the simulation progresses.
+//!
+//! The force sweep is exposed as a chunked task over owned cells (the paper
+//! extracted the `eamForce` loops into a Pure Task); chunks write disjoint
+//! per-cell force arrays, so no atomics are needed, and results are
+//! bit-identical with and without stealing.
+
+use pure_core::task::SharedSlice;
+use pure_core::{ChunkRange, Communicator, ReduceOp};
+
+use crate::{mix64, unit_f64};
+
+/// Hard cap on atoms per link cell (asserted; generous for the default
+/// density of ≤ 4 atoms/cell).
+pub const MAX_PER_CELL: usize = 24;
+
+/// f64 words per atom on the wire: position(3) + velocity(3) + id(1).
+const ATOM_WORDS: usize = 7;
+
+/// Imbalance injection modes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Imbalance {
+    /// Balanced (Figure 5a).
+    None,
+    /// Elide atoms inside `count` seeded spheres of `radius` (fraction of
+    /// the global box diagonal) at initialization (Figure 5b).
+    StaticSpheres {
+        /// Number of spheres.
+        count: usize,
+        /// Radius as a fraction of the shortest global box edge.
+        radius: f64,
+    },
+    /// Mask atoms inside a sphere that moves across the box (Figure 5c).
+    MovingSphere {
+        /// Radius as a fraction of the shortest global box edge.
+        radius: f64,
+        /// Box lengths traversed per 100 steps.
+        speed: f64,
+    },
+}
+
+/// CoMD-mini parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ComdParams {
+    /// Owned link cells per rank per dimension.
+    pub cells_per_rank: [usize; 3],
+    /// Atoms per cell at initialization (≤ 4).
+    pub atoms_per_cell: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Integration step (keep small; no thermostat).
+    pub dt: f64,
+    /// Energy all-reduce frequency (steps).
+    pub energy_every: usize,
+    /// Extra spin iterations per pair interaction (models the heavier EAM
+    /// kernel; this is what makes imbalance measurable).
+    pub extra_work: u32,
+    /// Imbalance mode.
+    pub imbalance: Imbalance,
+    /// Chunks for the force task.
+    pub chunks: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ComdParams {
+    fn default() -> Self {
+        Self {
+            cells_per_rank: [3, 3, 3],
+            atoms_per_cell: 2,
+            steps: 10,
+            dt: 1e-3,
+            energy_every: 5,
+            extra_work: 0,
+            imbalance: Imbalance::None,
+            chunks: 16,
+            seed: 1234,
+        }
+    }
+}
+
+/// One atom.
+#[derive(Clone, Copy, Debug)]
+struct Atom {
+    r: [f64; 3],
+    v: [f64; 3],
+    f: [f64; 3],
+    id: u64,
+}
+
+/// Near-cubic factorization of `n` into 3 factors (largest first on x).
+pub fn rank_grid(n: usize) -> [usize; 3] {
+    let mut best = [n, 1, 1];
+    let mut best_score = usize::MAX;
+    for a in 1..=n {
+        if n % a != 0 {
+            continue;
+        }
+        let m = n / a;
+        for b in 1..=m {
+            if m % b != 0 {
+                continue;
+            }
+            let c = m / b;
+            let dims = [a, b, c];
+            let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+            if score < best_score {
+                best_score = score;
+                best = dims;
+            }
+        }
+    }
+    best.sort_unstable_by(|x, y| y.cmp(x));
+    best
+}
+
+/// Result of a CoMD run (identical across runtimes and task modes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComdResult {
+    /// Global atom count at the end (must be conserved).
+    pub atoms: u64,
+    /// (potential, kinetic) energy trace from the periodic all-reduces.
+    pub energy_trace: Vec<(f64, f64)>,
+    /// Order-independent checksum over (id, position) pairs.
+    pub checksum: u64,
+    /// Per-rank pair interactions computed (imbalance diagnostic).
+    pub my_pairs: u64,
+}
+
+struct Domain {
+    /// Rank grid.
+    pg: [usize; 3],
+    /// My coordinate in the rank grid.
+    pc: [usize; 3],
+    /// Owned cells per dim.
+    lc: [usize; 3],
+    /// Global box length per dim (= cells, cell size 1.0).
+    gl: [f64; 3],
+    /// Cells incl. 1-cell halo shell per dim.
+    dims: [usize; 3],
+}
+
+impl Domain {
+    fn new(nranks: usize, rank: usize, lc: [usize; 3]) -> Self {
+        let pg = rank_grid(nranks);
+        let pc = [rank % pg[0], (rank / pg[0]) % pg[1], rank / (pg[0] * pg[1])];
+        let gl = [
+            (pg[0] * lc[0]) as f64,
+            (pg[1] * lc[1]) as f64,
+            (pg[2] * lc[2]) as f64,
+        ];
+        let dims = [lc[0] + 2, lc[1] + 2, lc[2] + 2];
+        Self {
+            pg,
+            pc,
+            lc,
+            gl,
+            dims,
+        }
+    }
+
+    fn rank_of(&self, c: [isize; 3]) -> usize {
+        let wrap = |v: isize, n: usize| ((v % n as isize + n as isize) % n as isize) as usize;
+        let x = wrap(c[0], self.pg[0]);
+        let y = wrap(c[1], self.pg[1]);
+        let z = wrap(c[2], self.pg[2]);
+        x + self.pg[0] * (y + self.pg[1] * z)
+    }
+
+    /// Neighbor rank along `axis` in direction `dir` (-1/+1), plus the
+    /// coordinate shift (for periodic wrap) the payload atoms need.
+    fn neighbor(&self, axis: usize, dir: isize) -> (usize, [f64; 3]) {
+        let mut c = [
+            self.pc[0] as isize,
+            self.pc[1] as isize,
+            self.pc[2] as isize,
+        ];
+        c[axis] += dir;
+        let mut shift = [0.0; 3];
+        if c[axis] < 0 {
+            shift[axis] = self.gl[axis]; // atoms sent across the low edge
+        } else if c[axis] >= self.pg[axis] as isize {
+            shift[axis] = -self.gl[axis];
+        }
+        (self.rank_of(c), shift)
+    }
+
+    /// My box origin in global coordinates.
+    fn origin(&self) -> [f64; 3] {
+        [
+            (self.pc[0] * self.lc[0]) as f64,
+            (self.pc[1] * self.lc[1]) as f64,
+            (self.pc[2] * self.lc[2]) as f64,
+        ]
+    }
+
+    fn cell_index(&self, c: [usize; 3]) -> usize {
+        c[0] + self.dims[0] * (c[1] + self.dims[1] * c[2])
+    }
+
+    fn n_cells(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Local cell coordinate (including the halo shell: 0..dims) of a global
+    /// position, or `None` if outside even the halo.
+    fn cell_of(&self, r: [f64; 3]) -> Option<[usize; 3]> {
+        let o = self.origin();
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            let rel = r[d] - o[d] + 1.0; // +1: halo offset
+            if rel < 0.0 || rel >= self.dims[d] as f64 {
+                return None;
+            }
+            c[d] = rel as usize;
+        }
+        Some(c)
+    }
+
+    fn is_owned(&self, c: [usize; 3]) -> bool {
+        (0..3).all(|d| c[d] >= 1 && c[d] <= self.lc[d])
+    }
+}
+
+/// Wrap a position into the global periodic box.
+fn wrap_pos(mut r: [f64; 3], gl: [f64; 3]) -> [f64; 3] {
+    for d in 0..3 {
+        if r[d] < 0.0 {
+            r[d] += gl[d];
+        } else if r[d] >= gl[d] {
+            r[d] -= gl[d];
+        }
+    }
+    r
+}
+
+/// Lennard-Jones force and energy with cutoff 1.0 (the cell size), shifted
+/// so the potential is zero at the cutoff. σ chosen so equilibrium distance
+/// is comfortably inside a cell.
+fn lj(dr: [f64; 3], extra_work: u32) -> Option<([f64; 3], f64)> {
+    const CUTOFF2: f64 = 1.0;
+    const SIGMA2: f64 = 0.16; // σ ≈ 0.4 cell widths
+    const EPS: f64 = 1e-4;
+    /// Softening floor: randomly-jittered initial positions can place atoms
+    /// arbitrarily close; the unsoftened 1/r¹⁴ singularity would eject them
+    /// across the halo shell in one step. (Real CoMD relaxes its lattice
+    /// instead; a softened core preserves the compute shape.)
+    const MIN_R2: f64 = 0.02;
+    let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+    if !(1e-12..CUTOFF2).contains(&r2) {
+        return None;
+    }
+    let r2 = r2.max(MIN_R2);
+    let s2 = SIGMA2 / r2;
+    let s6 = s2 * s2 * s2;
+    let mut fmag = 24.0 * EPS * (2.0 * s6 * s6 - s6) / r2;
+    // Extra spin models the heavier EAM kernel (embedding term lookups).
+    for _ in 0..extra_work {
+        fmag = std::hint::black_box(fmag * 1.000_000_000_1);
+    }
+    let pe = 4.0 * EPS * (s6 * s6 - s6);
+    Some(([fmag * dr[0], fmag * dr[1], fmag * dr[2]], pe))
+}
+
+/// Sphere center at `step` for the moving-sphere imbalance.
+fn sphere_center(step: usize, speed: f64, gl: [f64; 3], seed: u64) -> [f64; 3] {
+    let t = step as f64 * speed / 100.0;
+    [
+        (unit_f64(mix64(seed ^ 11)) + t).fract() * gl[0],
+        (unit_f64(mix64(seed ^ 22)) + t * 0.7).fract() * gl[1],
+        (unit_f64(mix64(seed ^ 33)) + t * 0.4).fract() * gl[2],
+    ]
+}
+
+/// Periodic (minimum-image) distance² between two points.
+fn min_image_dist2(a: [f64; 3], b: [f64; 3], gl: [f64; 3]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..3 {
+        let mut dx = (a[d] - b[d]).abs();
+        if dx > gl[d] * 0.5 {
+            dx = gl[d] - dx;
+        }
+        s += dx * dx;
+    }
+    s
+}
+
+/// Run CoMD-mini. `use_tasks` routes the force sweep through
+/// `Communicator::task_execute`.
+pub fn run_comd<C: Communicator>(comm: &C, p: &ComdParams, use_tasks: bool) -> ComdResult {
+    assert!(p.atoms_per_cell <= 4, "keep density sane");
+    let dom = Domain::new(comm.size(), comm.rank(), p.cells_per_rank);
+    let mut cells: Vec<Vec<Atom>> = vec![Vec::new(); dom.n_cells()];
+
+    // ---- Initialization: jittered lattice, optional sphere elision. ----
+    let min_edge = dom.gl.iter().cloned().fold(f64::INFINITY, f64::min);
+    let static_spheres: Vec<([f64; 3], f64)> = match p.imbalance {
+        Imbalance::StaticSpheres { count, radius } => (0..count)
+            .map(|k| {
+                let h = mix64(p.seed ^ 0x5EA ^ k as u64);
+                (
+                    [
+                        unit_f64(h) * dom.gl[0],
+                        unit_f64(mix64(h)) * dom.gl[1],
+                        unit_f64(mix64(mix64(h))) * dom.gl[2],
+                    ],
+                    radius * min_edge,
+                )
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    let o = dom.origin();
+    for cz in 1..=dom.lc[2] {
+        for cy in 1..=dom.lc[1] {
+            for cx in 1..=dom.lc[0] {
+                let base = [
+                    o[0] + (cx - 1) as f64,
+                    o[1] + (cy - 1) as f64,
+                    o[2] + (cz - 1) as f64,
+                ];
+                for a in 0..p.atoms_per_cell {
+                    let gid = {
+                        let gx = (dom.pc[0] * dom.lc[0] + cx - 1) as u64;
+                        let gy = (dom.pc[1] * dom.lc[1] + cy - 1) as u64;
+                        let gz = (dom.pc[2] * dom.lc[2] + cz - 1) as u64;
+                        mix64(((gx << 40) | (gy << 20) | gz) ^ ((a as u64) << 60) ^ p.seed)
+                    };
+                    let r = [
+                        base[0] + 0.15 + 0.7 * unit_f64(gid),
+                        base[1] + 0.15 + 0.7 * unit_f64(mix64(gid ^ 1)),
+                        base[2] + 0.15 + 0.7 * unit_f64(mix64(gid ^ 2)),
+                    ];
+                    if static_spheres
+                        .iter()
+                        .any(|&(c, rad)| min_image_dist2(r, c, dom.gl) < rad * rad)
+                    {
+                        continue; // elided (static imbalance)
+                    }
+                    let v = [
+                        0.02 * (unit_f64(mix64(gid ^ 3)) - 0.5),
+                        0.02 * (unit_f64(mix64(gid ^ 4)) - 0.5),
+                        0.02 * (unit_f64(mix64(gid ^ 5)) - 0.5),
+                    ];
+                    cells[dom.cell_index([cx, cy, cz])].push(Atom {
+                        r,
+                        v,
+                        f: [0.0; 3],
+                        id: gid,
+                    });
+                }
+            }
+        }
+    }
+
+    let owned_cells: Vec<usize> = {
+        let mut v = Vec::new();
+        for cz in 1..=dom.lc[2] {
+            for cy in 1..=dom.lc[1] {
+                for cx in 1..=dom.lc[0] {
+                    v.push(dom.cell_index([cx, cy, cz]));
+                }
+            }
+        }
+        v
+    };
+
+    let mut energy_trace = Vec::new();
+    let mut my_pairs_total = 0u64;
+
+    // Initial halo + forces so the first half-kick has something to use.
+    exchange(comm, &dom, &mut cells, true);
+    let (_pe0, pairs0) = compute_forces(comm, &dom, &mut cells, &owned_cells, p, use_tasks, 0);
+    my_pairs_total += pairs0;
+
+    for step in 0..p.steps {
+        // Half-kick + drift.
+        for &ci in &owned_cells {
+            for a in cells[ci].iter_mut() {
+                for d in 0..3 {
+                    a.v[d] += 0.5 * p.dt * a.f[d];
+                    a.r[d] += p.dt * a.v[d];
+                }
+                // No global wrap here: an atom crossing the global boundary
+                // lands in the halo shell and the migration exchange applies
+                // the periodic shift when it ships it to the far-side rank.
+            }
+        }
+        // Migrate strays + rebuild halo (positions travel with velocities so
+        // migrated atoms stay integrable).
+        exchange(comm, &dom, &mut cells, false);
+        exchange(comm, &dom, &mut cells, true);
+        // Forces at new positions.
+        let (pe, pairs) =
+            compute_forces(comm, &dom, &mut cells, &owned_cells, p, use_tasks, step + 1);
+        my_pairs_total += pairs;
+        // Second half-kick.
+        let mut ke = 0.0;
+        for &ci in &owned_cells {
+            for a in cells[ci].iter_mut() {
+                for d in 0..3 {
+                    a.v[d] += 0.5 * p.dt * a.f[d];
+                }
+                ke += 0.5 * (a.v[0] * a.v[0] + a.v[1] * a.v[1] + a.v[2] * a.v[2]);
+            }
+        }
+        if (step + 1) % p.energy_every == 0 {
+            let mut sums = [0.0f64; 2];
+            comm.allreduce(&[pe, ke], &mut sums, ReduceOp::Sum);
+            energy_trace.push((sums[0], sums[1]));
+        }
+    }
+
+    // Conservation + checksum.
+    let my_atoms: u64 = owned_cells.iter().map(|&c| cells[c].len() as u64).sum();
+    let atoms = comm.allreduce_one(my_atoms, ReduceOp::Sum);
+    let mut my_ck = 0u64;
+    for &ci in &owned_cells {
+        for a in &cells[ci] {
+            let mut h = a.id;
+            for d in 0..3 {
+                h = mix64(h ^ a.r[d].to_bits());
+            }
+            my_ck ^= h; // XOR: order-independent
+        }
+    }
+    // Combine rank checksums order-independently.
+    let checksum = comm.allreduce_one(my_ck, ReduceOp::Sum);
+    ComdResult {
+        atoms,
+        energy_trace,
+        checksum,
+        my_pairs: my_pairs_total,
+    }
+}
+
+/// Per-axis exchange with the two face neighbours.
+///
+/// `halo = false`: migration — atoms sitting in my halo shell are shipped to
+/// the neighbour (with periodic shift) and removed locally.
+/// `halo = true`: halo fill — boundary-cell atoms are *copied* to the
+/// neighbour's halo shell. Processing axes in order (including previously
+/// received halo planes in later sends) populates edges and corners, the
+/// standard 6-message scheme CoMD uses.
+fn exchange<C: Communicator>(comm: &C, dom: &Domain, cells: &mut [Vec<Atom>], halo: bool) {
+    // Clear the halo shell: before a halo fill it holds last step's copies;
+    // before migration those same stale copies must not be mistaken for
+    // migrants.
+    for cz in 0..dom.dims[2] {
+        for cy in 0..dom.dims[1] {
+            for cx in 0..dom.dims[0] {
+                let c = [cx, cy, cz];
+                if !dom.is_owned(c) {
+                    cells[dom.cell_index(c)].clear();
+                }
+            }
+        }
+    }
+    if !halo {
+        // Re-bucket drifted atoms: anything that left its cell moves to the
+        // cell containing its new position (possibly a halo cell, whence the
+        // per-axis exchange ships it to the neighbour).
+        let mut moved: Vec<Atom> = Vec::new();
+        for cz in 1..=dom.lc[2] {
+            for cy in 1..=dom.lc[1] {
+                for cx in 1..=dom.lc[0] {
+                    let here = [cx, cy, cz];
+                    let ci = dom.cell_index(here);
+                    let mut keep = Vec::with_capacity(cells[ci].len());
+                    for a in cells[ci].drain(..) {
+                        match dom.cell_of(a.r) {
+                            Some(c) if c == here => keep.push(a),
+                            _ => moved.push(a),
+                        }
+                    }
+                    cells[ci] = keep;
+                }
+            }
+        }
+        for a in moved {
+            let c = dom
+                .cell_of(a.r)
+                .expect("atom drifted beyond the halo shell in one step (dt too large)");
+            cells[dom.cell_index(c)].push(a);
+        }
+    }
+    for axis in 0..3 {
+        // Plane capacity: full cross-section including halo.
+        let cross: usize = (0..3).filter(|&d| d != axis).map(|d| dom.dims[d]).product();
+        let cap_atoms = cross * MAX_PER_CELL;
+        let buf_len = 1 + cap_atoms * ATOM_WORDS;
+        for dir in [-1isize, 1] {
+            let (nbr, shift) = dom.neighbor(axis, dir);
+            let mut send = vec![0.0f64; buf_len];
+            let mut n_send = 0usize;
+            // Source plane: the halo plane (migration) or the boundary plane
+            // (halo fill) facing `dir`.
+            let plane = if halo {
+                if dir < 0 {
+                    1
+                } else {
+                    dom.lc[axis]
+                }
+            } else if dir < 0 {
+                0
+            } else {
+                dom.lc[axis] + 1
+            };
+            for cz in 0..dom.dims[2] {
+                for cy in 0..dom.dims[1] {
+                    for cx in 0..dom.dims[0] {
+                        let c = [cx, cy, cz];
+                        if c[axis] != plane {
+                            continue;
+                        }
+                        let ci = dom.cell_index(c);
+                        let drain: Vec<Atom> = if halo {
+                            cells[ci].clone()
+                        } else {
+                            std::mem::take(&mut cells[ci])
+                        };
+                        for a in drain {
+                            assert!(n_send < cap_atoms, "face buffer overflow");
+                            let b = 1 + n_send * ATOM_WORDS;
+                            send[b] = a.r[0] + shift[0];
+                            send[b + 1] = a.r[1] + shift[1];
+                            send[b + 2] = a.r[2] + shift[2];
+                            send[b + 3] = a.v[0];
+                            send[b + 4] = a.v[1];
+                            send[b + 5] = a.v[2];
+                            send[b + 6] = f64::from_bits(a.id);
+                            n_send += 1;
+                        }
+                    }
+                }
+            }
+            send[0] = n_send as f64;
+            let tag =
+                (10 + axis * 2 + if dir < 0 { 0 } else { 1 }) as u32 + if halo { 100 } else { 0 };
+            let mut recv = vec![0.0f64; buf_len];
+            // Peer's opposite-direction message uses the same tag.
+            comm.sendrecv(&send, nbr, &mut recv, dom.neighbor(axis, -dir).0, tag);
+            let n_recv = recv[0] as usize;
+            for k in 0..n_recv {
+                let b = 1 + k * ATOM_WORDS;
+                let mut a = Atom {
+                    r: [recv[b], recv[b + 1], recv[b + 2]],
+                    v: [recv[b + 3], recv[b + 4], recv[b + 5]],
+                    f: [0.0; 3],
+                    id: recv[b + 6].to_bits(),
+                };
+                if !halo {
+                    // Migrated atoms now live in their owner's frame; fold
+                    // them into the periodic box (halo copies intentionally
+                    // keep out-of-box shifted coordinates).
+                    a.r = wrap_pos(a.r, dom.gl);
+                }
+                if let Some(c) = dom.cell_of(a.r) {
+                    let keep = if halo { !dom.is_owned(c) } else { true };
+                    if keep {
+                        cells[dom.cell_index(c)].push(a);
+                    }
+                } // else: outside even the halo — dropped (cannot happen for
+                  // sane dt; migration moves at most one cell per step)
+            }
+        }
+    }
+    if !halo {
+        // Migration may have landed atoms in our halo shell when they belong
+        // to a diagonal neighbour; successive axes have shipped them onward,
+        // so anything still in the halo after all three axes was already
+        // also delivered to its true owner — drop the halo copies.
+        for cz in 0..dom.dims[2] {
+            for cy in 0..dom.dims[1] {
+                for cx in 0..dom.dims[0] {
+                    let c = [cx, cy, cz];
+                    if !dom.is_owned(c) {
+                        cells[dom.cell_index(c)].clear();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compute forces + per-rank potential energy over owned cells; returns
+/// (my potential energy, pair interactions computed).
+fn compute_forces<C: Communicator>(
+    comm: &C,
+    dom: &Domain,
+    cells: &mut [Vec<Atom>],
+    owned_cells: &[usize],
+    p: &ComdParams,
+    use_tasks: bool,
+    step: usize,
+) -> (f64, u64) {
+    // Read-only position snapshot (owned + halo), so concurrent chunks can
+    // read any neighbour cell while writing only their own cells' forces.
+    let snapshot: Vec<Vec<([f64; 3], bool)>> = {
+        let moving = match p.imbalance {
+            Imbalance::MovingSphere { radius, speed } => {
+                let min_edge = dom.gl.iter().cloned().fold(f64::INFINITY, f64::min);
+                Some((
+                    sphere_center(step, speed, dom.gl, p.seed),
+                    radius * min_edge,
+                ))
+            }
+            _ => None,
+        };
+        cells
+            .iter()
+            .map(|cell| {
+                cell.iter()
+                    .map(|a| {
+                        let masked = moving
+                            .map(|(c, rad)| min_image_dist2(a.r, c, dom.gl) < rad * rad)
+                            .unwrap_or(false);
+                        (a.r, masked)
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    let mut forces: Vec<Vec<[f64; 3]>> = owned_cells
+        .iter()
+        .map(|&c| vec![[0.0; 3]; cells[c].len()])
+        .collect();
+    let mut pe_cell = vec![0.0f64; owned_cells.len()];
+    let mut pairs_cell = vec![0u64; owned_cells.len()];
+
+    {
+        let f_sh = SharedSlice::new(&mut forces);
+        let pe_sh = SharedSlice::new(&mut pe_cell);
+        let pairs_sh = SharedSlice::new(&mut pairs_cell);
+        let snap = &snapshot;
+        let kernel = |chunk: ChunkRange| {
+            let range = chunk.aligned::<Vec<[f64; 3]>>(owned_cells.len());
+            // All three outputs are chunked identically over owned-cell
+            // indices, so per-chunk borrows are disjoint across threads.
+            // SAFETY: ranges are derived from the same chunk partition that
+            // `chunk_aligned` would produce for `forces`.
+            let fs = unsafe { f_sh.slice_mut(range.clone()) };
+            let pes = unsafe { pe_sh.slice_mut(range.clone()) };
+            let prs = unsafe { pairs_sh.slice_mut(range.clone()) };
+            for (k, local) in range.clone().enumerate() {
+                let ci = owned_cells[local];
+                let cc = cell_coords(dom, ci);
+                let my_atoms = &snap[ci];
+                for (ai, &(ar, amask)) in my_atoms.iter().enumerate() {
+                    if amask {
+                        continue; // masked by the moving sphere
+                    }
+                    let mut f = [0.0; 3];
+                    let mut pe = 0.0;
+                    let mut pairs = 0u64;
+                    for dz in -1isize..=1 {
+                        for dy in -1isize..=1 {
+                            for dx in -1isize..=1 {
+                                let nc = [
+                                    (cc[0] as isize + dx) as usize,
+                                    (cc[1] as isize + dy) as usize,
+                                    (cc[2] as isize + dz) as usize,
+                                ];
+                                let ni = dom.cell_index(nc);
+                                for (bi, &(br, bmask)) in snap[ni].iter().enumerate() {
+                                    if bmask || (ni == ci && bi == ai) {
+                                        continue;
+                                    }
+                                    let dr = [ar[0] - br[0], ar[1] - br[1], ar[2] - br[2]];
+                                    if let Some((df, dpe)) = lj(dr, p.extra_work) {
+                                        f[0] += df[0];
+                                        f[1] += df[1];
+                                        f[2] += df[2];
+                                        pe += dpe;
+                                        pairs += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    fs[k][ai] = f;
+                    pes[k] += 0.5 * pe; // each pair counted from both sides
+                    prs[k] += pairs;
+                }
+            }
+        };
+        if use_tasks {
+            comm.task_execute(p.chunks, &kernel);
+        } else {
+            kernel(ChunkRange {
+                start: 0,
+                end: p.chunks,
+                total: p.chunks,
+            });
+        }
+    }
+
+    // Fold forces back into the atoms.
+    for (k, &ci) in owned_cells.iter().enumerate() {
+        for (ai, a) in cells[ci].iter_mut().enumerate() {
+            a.f = forces[k][ai];
+        }
+    }
+    (pe_cell.iter().sum(), pairs_cell.iter().sum())
+}
+
+fn cell_coords(dom: &Domain, ci: usize) -> [usize; 3] {
+    let x = ci % dom.dims[0];
+    let y = (ci / dom.dims[0]) % dom.dims[1];
+    let z = ci / (dom.dims[0] * dom.dims[1]);
+    [x, y, z]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_grid_is_near_cubic() {
+        assert_eq!(rank_grid(1), [1, 1, 1]);
+        assert_eq!(rank_grid(8), [2, 2, 2]);
+        assert_eq!(rank_grid(64), [4, 4, 4]);
+        let g6 = rank_grid(6);
+        assert_eq!(g6.iter().product::<usize>(), 6);
+        assert_eq!(g6, [3, 2, 1]);
+    }
+
+    #[test]
+    fn lj_repels_close_attracts_far() {
+        let (f_close, _) = lj([0.3, 0.0, 0.0], 0).unwrap();
+        assert!(f_close[0] > 0.0, "repulsive inside σ");
+        let (f_far, _) = lj([0.8, 0.0, 0.0], 0).unwrap();
+        assert!(f_far[0] < 0.0, "attractive outside the minimum");
+        assert!(lj([1.5, 0.0, 0.0], 0).is_none(), "cutoff respected");
+    }
+
+    #[test]
+    fn wrap_pos_stays_in_box() {
+        let gl = [4.0, 4.0, 4.0];
+        assert_eq!(
+            wrap_pos([-0.5, 1.0, 4.2], gl),
+            [3.5, 1.0, 0.20000000000000018]
+        );
+    }
+
+    #[test]
+    fn min_image_respects_periodicity() {
+        let gl = [10.0, 10.0, 10.0];
+        let d = min_image_dist2([0.5, 0.0, 0.0], [9.5, 0.0, 0.0], gl);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_cell_mapping_roundtrips() {
+        let dom = Domain::new(8, 3, [3, 3, 3]);
+        assert_eq!(dom.pg, [2, 2, 2]);
+        let o = dom.origin();
+        let c = dom.cell_of([o[0] + 0.5, o[1] + 1.5, o[2] + 2.5]).unwrap();
+        assert!(dom.is_owned(c));
+        assert_eq!(c, [1, 2, 3]);
+        // Just outside the low edge lands in the halo.
+        let h = dom.cell_of([o[0] - 0.5, o[1] + 0.5, o[2] + 0.5]);
+        if let Some(h) = h {
+            assert!(!dom.is_owned(h));
+        }
+    }
+
+    #[test]
+    fn neighbor_shift_only_on_wrap() {
+        let dom = Domain::new(8, 0, [2, 2, 2]); // rank 0 at corner (0,0,0)
+        let (nbr_lo, shift_lo) = dom.neighbor(0, -1);
+        assert_eq!(shift_lo[0], dom.gl[0], "low-edge send wraps");
+        let (nbr_hi, shift_hi) = dom.neighbor(0, 1);
+        assert_eq!(shift_hi[0], 0.0, "interior send does not shift");
+        assert_eq!(nbr_lo, nbr_hi, "2-wide grid: both x-neighbours coincide");
+    }
+}

@@ -1,0 +1,253 @@
+//! NAS DT ("data traffic") — §5.1.
+//!
+//! DT pumps arrays through a communication graph whose nodes do
+//! unpredictable amounts of work; the paper runs the SH ("shuffle") graph,
+//! which has "particularly unwieldy load imbalance". One rank plays one
+//! graph node, exactly as the original benchmark maps one MPI rank per node.
+//!
+//! Our SH graph: `width` source nodes in layer 0, `layers` layers total,
+//! node `i` of layer `l+1` fed by nodes `2i mod width` and `(2i+1) mod
+//! width` of layer `l` (a shuffle-exchange). Sources generate seeded random
+//! arrays; interior nodes combine their feeders element-wise and apply a
+//! heavy-tailed `random_work`; the last layer's results are checksummed with
+//! an all-reduce.
+//!
+//! Class sizes follow the paper's rank counts: A = 80 (16×5), B = 192
+//! (32×6), C = 448 (64×7), D = 1,024 (128×8).
+
+use pure_core::task::SharedSlice;
+use pure_core::{ChunkRange, Communicator, ReduceOp};
+
+use crate::{mix64, unit_f64};
+
+/// DT problem classes (paper Figure 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DtClass {
+    /// 16 × 5 = 80 ranks.
+    A,
+    /// 32 × 6 = 192 ranks.
+    B,
+    /// 64 × 7 = 448 ranks.
+    C,
+    /// 128 × 8 = 1,024 ranks.
+    D,
+    /// Tiny class for tests: 4 × 3 = 12 ranks.
+    Tiny,
+}
+
+impl DtClass {
+    /// (layer width, layer count).
+    pub fn shape(self) -> (usize, usize) {
+        match self {
+            DtClass::A => (16, 5),
+            DtClass::B => (32, 6),
+            DtClass::C => (64, 7),
+            DtClass::D => (128, 8),
+            DtClass::Tiny => (4, 3),
+        }
+    }
+
+    /// Total graph nodes = required ranks.
+    pub fn ranks(self) -> usize {
+        let (w, l) = self.shape();
+        w * l
+    }
+}
+
+/// Runtime parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DtParams {
+    /// Problem class.
+    pub class: DtClass,
+    /// Elements per payload array.
+    pub elems: usize,
+    /// Mean spin count per element of interior work.
+    pub mean_work: u32,
+    /// Pareto tail exponent for per-node work (smaller = heavier tail).
+    pub tail: f64,
+    /// Seed.
+    pub seed: u64,
+    /// Graph passes (the benchmark repeats the traffic pattern).
+    pub passes: usize,
+    /// Chunks for the task variant.
+    pub chunks: u32,
+}
+
+impl Default for DtParams {
+    fn default() -> Self {
+        Self {
+            class: DtClass::Tiny,
+            elems: 512,
+            mean_work: 100,
+            tail: 1.5,
+            seed: 7,
+            passes: 2,
+            chunks: 16,
+        }
+    }
+}
+
+fn feeders(i: usize, width: usize) -> (usize, usize) {
+    ((2 * i) % width, (2 * i + 1) % width)
+}
+
+/// Per-node heavy-tailed spin count (this is DT's load imbalance).
+fn node_spins(layer: usize, idx: usize, pass: usize, p: &DtParams) -> u32 {
+    let h = mix64(p.seed ^ ((layer as u64) << 40) ^ ((idx as u64) << 20) ^ pass as u64);
+    let u = unit_f64(h).max(1e-9);
+    (p.mean_work as f64 * u.powf(-1.0 / p.tail).min(100.0)) as u32
+}
+
+fn spin_transform(x: f64, spins: u32) -> f64 {
+    let mut y = x;
+    for _ in 0..spins {
+        y = std::hint::black_box(y * 0.999_999 + 1e-6);
+    }
+    y
+}
+
+/// Result of a DT run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DtResult {
+    /// Global checksum over the sink layer (identical on every rank;
+    /// integer so it is independent of reduction order).
+    pub checksum: u64,
+    /// Number of point-to-point messages this rank sent.
+    pub sent: usize,
+}
+
+/// Run DT SH. Requires `comm.size() == p.class.ranks()`.
+///
+/// `use_tasks` turns each node's element sweep into a chunked task (the
+/// paper added Pure Tasks to three sections of DT).
+pub fn run_dt<C: Communicator>(comm: &C, p: &DtParams, use_tasks: bool) -> DtResult {
+    let (width, layers) = p.class.shape();
+    assert_eq!(
+        comm.size(),
+        width * layers,
+        "DT needs one rank per graph node"
+    );
+    let me = comm.rank();
+    let my_layer = me / width;
+    let my_idx = me % width;
+    let rank_of = |layer: usize, idx: usize| layer * width + idx;
+
+    let mut sent = 0usize;
+    let mut sink_sum = 0.0f64;
+
+    for pass in 0..p.passes {
+        let mut data = vec![0.0f64; p.elems];
+        if my_layer == 0 {
+            // Source: generate a seeded random array, do source-side work.
+            for (i, x) in data.iter_mut().enumerate() {
+                *x = unit_f64(mix64(
+                    p.seed ^ ((my_idx as u64) << 32) ^ (pass as u64) << 52 ^ i as u64,
+                ));
+            }
+        } else {
+            // Interior/sink: receive from both feeders, combine. Both
+            // receives are posted before either is waited so large payloads
+            // cannot deadlock against the senders' successor ordering.
+            let (fa, fb) = feeders(my_idx, width);
+            let mut a = vec![0.0f64; p.elems];
+            let mut b = vec![0.0f64; p.elems];
+            {
+                use pure_core::CommRequest;
+                let ra = comm.irecv(&mut a, rank_of(my_layer - 1, fa), pass as u32);
+                let rb = comm.irecv(&mut b, rank_of(my_layer - 1, fb), pass as u32);
+                ra.wait();
+                rb.wait();
+            }
+            for i in 0..p.elems {
+                data[i] = 0.5 * (a[i] + b[i]);
+            }
+        }
+
+        // The node's compute: heavy-tailed per-node work over the array.
+        let spins = node_spins(my_layer, my_idx, pass, p);
+        if use_tasks {
+            let shared = SharedSlice::new(&mut data);
+            comm.task_execute(p.chunks, &|chunk: ChunkRange| {
+                for x in shared.chunk_aligned(&chunk) {
+                    *x = spin_transform(*x, spins);
+                }
+            });
+        } else {
+            for x in data.iter_mut() {
+                *x = spin_transform(*x, spins);
+            }
+        }
+
+        if my_layer + 1 < layers {
+            // Send to every successor in the next layer that I feed.
+            for succ in 0..width {
+                let (fa, fb) = feeders(succ, width);
+                if fa == my_idx || fb == my_idx {
+                    // A node feeding a successor twice sends twice (matching
+                    // the two recvs above).
+                    let times = (fa == my_idx) as usize + (fb == my_idx) as usize;
+                    for _ in 0..times {
+                        comm.send(&data, rank_of(my_layer + 1, succ), pass as u32);
+                        sent += 1;
+                    }
+                }
+            }
+        } else {
+            sink_sum = data.iter().sum::<f64>();
+        }
+    }
+
+    // Global verification checksum over sink outputs. Mixed to integers
+    // before the all-reduce so the result is independent of the reduction
+    // tree's floating-point summation order (Pure's flat combining and
+    // MPI's recursive doubling round differently).
+    let my_contrib = if my_layer == layers - 1 {
+        mix64(sink_sum.to_bits())
+    } else {
+        0u64
+    };
+    let checksum = comm.allreduce_one(my_contrib, ReduceOp::Sum);
+    DtResult { checksum, sent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_shapes_match_paper_rank_counts() {
+        assert_eq!(DtClass::A.ranks(), 80);
+        assert_eq!(DtClass::B.ranks(), 192);
+        assert_eq!(DtClass::C.ranks(), 448);
+        assert_eq!(DtClass::D.ranks(), 1024);
+    }
+
+    #[test]
+    fn feeders_cover_previous_layer() {
+        // Every node of layer l must feed at least one node of layer l+1
+        // (otherwise its send count would be zero and data would be lost).
+        for width in [4usize, 16, 32] {
+            let mut fed = vec![0usize; width];
+            for succ in 0..width {
+                let (a, b) = feeders(succ, width);
+                fed[a] += 1;
+                fed[b] += 1;
+            }
+            assert!(
+                fed.iter().all(|&c| c >= 1),
+                "width {width}: some node feeds nobody"
+            );
+            assert_eq!(fed.iter().sum::<usize>(), 2 * width);
+        }
+    }
+
+    #[test]
+    fn node_spins_heavy_tailed_but_bounded() {
+        let p = DtParams::default();
+        let spins: Vec<u32> = (0..64).map(|i| node_spins(1, i, 0, &p)).collect();
+        let max = *spins.iter().max().unwrap();
+        let min = *spins.iter().min().unwrap();
+        assert!(max > min, "work must vary across nodes");
+        assert!(max <= p.mean_work * 101, "tail is clamped");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests over the mini-apps' deterministic building blocks: domain
+//! decomposition, mesh partitioning and Morton ordering.
+
+use miniapps::comd::rank_grid;
+use miniapps::miniamr::{build_index, face_neighbors, leaf_set, owner_of, AmrParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `rank_grid(n)` always factorizes n into three ordered factors, and
+    /// the spread is minimal among factorizations (spot-check: no factor
+    /// exceeds n unless n is prime-ish by construction).
+    #[test]
+    fn rank_grid_factorizes(n in 1usize..512) {
+        let g = rank_grid(n);
+        prop_assert_eq!(g[0] * g[1] * g[2], n);
+        prop_assert!(g[0] >= g[1] && g[1] >= g[2], "descending order");
+    }
+
+    /// `owner_of` is a nondecreasing surjection onto 0..ranks with
+    /// near-equal block counts.
+    #[test]
+    fn owner_of_properties(n in 1usize..2000, ranks in 1usize..64) {
+        prop_assume!(n >= ranks);
+        let mut counts = vec![0usize; ranks];
+        let mut prev = 0usize;
+        for i in 0..n {
+            let o = owner_of(i, n, ranks);
+            prop_assert!(o < ranks);
+            prop_assert!(o >= prev);
+            prev = o;
+            counts[o] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced: {:?}", counts);
+    }
+
+    /// `leaf_set` is always a valid 2-level cover: each base block appears
+    /// as itself or as exactly 8 children, and every leaf has resolvable
+    /// face neighbours.
+    #[test]
+    fn leaf_set_is_valid_cover(step in 0usize..100, base in 2usize..6, seed in any::<u64>()) {
+        let p = AmrParams { base, seed, ..AmrParams::default() };
+        let leaves = leaf_set(step, &p);
+        let coarse = leaves.iter().filter(|l| l.level == 0).count();
+        let fine = leaves.iter().filter(|l| l.level == 1).count();
+        prop_assert_eq!(fine % 8, 0);
+        prop_assert_eq!(coarse + fine / 8, base.pow(3));
+        // Neighbour resolution never panics and returns 1 or 4 leaves.
+        let index = build_index(&leaves);
+        for &l in leaves.iter().take(80) {
+            for face in 0..6 {
+                let nbrs = face_neighbors(l, face, &p, &index);
+                prop_assert!(nbrs.len() == 1 || nbrs.len() == 4);
+            }
+        }
+    }
+
+    /// Stencil's random_work is a pure function (determinism backbone of
+    /// the cross-runtime tests).
+    #[test]
+    fn random_work_is_pure(x in -1.0e3f64..1.0e3, seed in any::<u64>()) {
+        use miniapps::stencil::{random_work, StencilParams};
+        let p = StencilParams { mean_work: 30, seed, ..Default::default() };
+        prop_assert_eq!(
+            random_work(x, &p).to_bits(),
+            random_work(x, &p).to_bits()
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Lock-based MPI-style channels: one mutex+condvar pair per channel, eager
+//! bounce buffers, rendezvous for large payloads, FIFO matching by post
+//! order. Every operation serializes through the channel lock — the honest
+//! cost the MPI process model imposes on intra-node traffic, and exactly
+//! what the lock-free PBQ/EnvelopeQueue in `pure-core` avoid.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Identifies a channel (unlike Pure's, the byte count is *not* part of the
+/// key — MPI matches on `(comm, src, dst, tag)` and the protocol is chosen
+/// per message).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MpiChannelKey {
+    /// Communicator id.
+    pub comm_id: u64,
+    /// Sender world rank.
+    pub src: u32,
+    /// Receiver world rank.
+    pub dst: u32,
+    /// Tag.
+    pub tag: u32,
+}
+
+/// One in-flight message entry.
+enum MsgEntry {
+    /// Eager: the payload was copied into a bounce buffer at send time.
+    Eager(Vec<u8>),
+    /// Rendezvous: the sender is blocked exposing its buffer; the receiver
+    /// copies directly from it.
+    Rdv { src: *const u8, len: usize },
+}
+
+// SAFETY: `Rdv.src` is only dereferenced by the delivering thread while the
+// sending thread is provably blocked in `send`/`wait` (it cannot return
+// before `consumed_sends` covers its sequence number).
+unsafe impl Send for MsgEntry {}
+
+struct PostedRecv {
+    ptr: *mut u8,
+    cap: usize,
+}
+
+// SAFETY: as `MsgEntry` — the receiver keeps the buffer alive and unaliased
+// until its completion sequence is reached.
+unsafe impl Send for PostedRecv {}
+
+#[derive(Default)]
+struct ChanState {
+    /// Messages not yet paired with a receive (send order).
+    msgs: VecDeque<MsgEntry>,
+    /// Receive buffers not yet paired with a message (post order).
+    posted: VecDeque<PostedRecv>,
+    /// Sends fully delivered (count). A rendezvous send with sequence `s`
+    /// may return once `consumed_sends >= s`.
+    consumed_sends: u64,
+    /// Total sends posted.
+    send_seq: u64,
+    /// Receives fully delivered (count).
+    completed_recvs: u64,
+    /// Total receives posted.
+    recv_seq: u64,
+    /// Recycled eager bounce buffers (MPICH keeps a cell pool per pair).
+    pool: Vec<Vec<u8>>,
+}
+
+impl ChanState {
+    /// The progress engine: pair queued messages with posted receives while
+    /// both exist. Runs under the channel lock on every state change.
+    fn deliver(&mut self) {
+        while !self.msgs.is_empty() && !self.posted.is_empty() {
+            let msg = self.msgs.pop_front().expect("nonempty");
+            let rcv = self.posted.pop_front().expect("nonempty");
+            match msg {
+                MsgEntry::Eager(buf) => {
+                    assert!(
+                        buf.len() <= rcv.cap,
+                        "mpi-baseline: {}B message into {}B buffer",
+                        buf.len(),
+                        rcv.cap
+                    );
+                    // Second copy of the eager protocol.
+                    // SAFETY: receiver buffer valid per post contract.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(buf.as_ptr(), rcv.ptr, buf.len());
+                    }
+                    self.pool.push(buf);
+                }
+                MsgEntry::Rdv { src, len } => {
+                    assert!(
+                        len <= rcv.cap,
+                        "mpi-baseline: {len}B rendezvous into {}B buffer",
+                        rcv.cap
+                    );
+                    // Single direct copy; the sender is parked in its wait.
+                    // SAFETY: sender buffer valid until consumed_sends
+                    // covers it; receiver buffer valid per post contract.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(src, rcv.ptr, len);
+                    }
+                }
+            }
+            self.consumed_sends += 1;
+            self.completed_recvs += 1;
+        }
+    }
+}
+
+/// A lock-based channel.
+pub struct MpiChannel {
+    state: Mutex<ChanState>,
+    cv: Condvar,
+}
+
+impl MpiChannel {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(ChanState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Post a send. Returns the send ticket (1-based sequence).
+    ///
+    /// Eager sends (`len <= eager_max`) copy and complete immediately;
+    /// rendezvous sends expose `ptr` and complete when
+    /// [`MpiChannel::send_done`] reports their ticket.
+    ///
+    /// # Safety
+    /// For rendezvous sends, `ptr..ptr+len` must stay valid and unmodified
+    /// until the ticket completes.
+    pub unsafe fn post_send(&self, ptr: *const u8, len: usize, eager_max: usize) -> u64 {
+        let mut st = self.state.lock();
+        st.send_seq += 1;
+        let ticket = st.send_seq;
+        if len <= eager_max {
+            let mut buf = st.pool.pop().unwrap_or_default();
+            buf.clear();
+            // First copy of the eager protocol (under the lock, like an MPI
+            // shared-memory cell write).
+            // SAFETY: ptr valid for len per contract.
+            buf.extend_from_slice(unsafe { std::slice::from_raw_parts(ptr, len) });
+            st.msgs.push_back(MsgEntry::Eager(buf));
+        } else {
+            st.msgs.push_back(MsgEntry::Rdv { src: ptr, len });
+        }
+        st.deliver();
+        self.cv.notify_all();
+        ticket
+    }
+
+    /// True once send `ticket` has fully completed (buffer reusable).
+    pub fn send_done(&self, ticket: u64, eager_max: usize, len: usize) -> bool {
+        if len <= eager_max {
+            return true; // eager: copied out at post time
+        }
+        self.state.lock().consumed_sends >= ticket
+    }
+
+    /// Block until send `ticket` completes.
+    pub fn wait_send(&self, ticket: u64, eager_max: usize, len: usize) {
+        if len <= eager_max {
+            return;
+        }
+        let mut st = self.state.lock();
+        while st.consumed_sends < ticket {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Bounded wait for send `ticket` (returns on completion or timeout, so
+    /// callers can poll an abort flag between waits).
+    pub fn wait_send_timeout(
+        &self,
+        ticket: u64,
+        eager_max: usize,
+        len: usize,
+        dur: std::time::Duration,
+    ) {
+        if len <= eager_max {
+            return;
+        }
+        let mut st = self.state.lock();
+        if st.consumed_sends < ticket {
+            let _ = self.cv.wait_for(&mut st, dur);
+        }
+    }
+
+    /// Bounded wait for recv `ticket`.
+    pub fn wait_recv_timeout(&self, ticket: u64, dur: std::time::Duration) {
+        let mut st = self.state.lock();
+        if st.completed_recvs < ticket {
+            let _ = self.cv.wait_for(&mut st, dur);
+        }
+    }
+
+    /// Post a receive buffer; returns the recv ticket (1-based).
+    ///
+    /// # Safety
+    /// `ptr..ptr+cap` must stay valid, unaliased and untouched until the
+    /// ticket completes (the delivering thread writes through it).
+    pub unsafe fn post_recv(&self, ptr: *mut u8, cap: usize) -> u64 {
+        let mut st = self.state.lock();
+        st.recv_seq += 1;
+        let ticket = st.recv_seq;
+        st.posted.push_back(PostedRecv { ptr, cap });
+        st.deliver();
+        self.cv.notify_all();
+        ticket
+    }
+
+    /// True once recv `ticket` has been delivered.
+    pub fn recv_done(&self, ticket: u64) -> bool {
+        self.state.lock().completed_recvs >= ticket
+    }
+
+    /// Block until recv `ticket` is delivered.
+    pub fn wait_recv(&self, ticket: u64) {
+        let mut st = self.state.lock();
+        while st.completed_recvs < ticket {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+/// The per-run channel table.
+pub struct MpiChannelTable {
+    map: parking_lot::RwLock<HashMap<MpiChannelKey, Arc<MpiChannel>>>,
+}
+
+impl MpiChannelTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self {
+            map: parking_lot::RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Fetch or create the channel for `key`.
+    pub fn get(&self, key: MpiChannelKey) -> Arc<MpiChannel> {
+        if let Some(ch) = self.map.read().get(&key) {
+            return Arc::clone(ch);
+        }
+        Arc::clone(
+            self.map
+                .write()
+                .entry(key)
+                .or_insert_with(|| Arc::new(MpiChannel::new())),
+        )
+    }
+}
+
+impl Default for MpiChannelTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    const EAGER: usize = 64;
+
+    #[test]
+    fn eager_send_completes_immediately() {
+        let ch = MpiChannel::new();
+        let data = [7u8; 16];
+        // SAFETY: eager — copied before post_send returns.
+        let t = unsafe { ch.post_send(data.as_ptr(), 16, EAGER) };
+        assert!(ch.send_done(t, EAGER, 16));
+        let mut out = [0u8; 16];
+        // SAFETY: out outlives the wait below.
+        let r = unsafe { ch.post_recv(out.as_mut_ptr(), 16) };
+        assert!(ch.recv_done(r));
+        assert_eq!(out, [7u8; 16]);
+    }
+
+    #[test]
+    fn rendezvous_blocks_until_receiver() {
+        let ch = Arc::new(MpiChannel::new());
+        let ch2 = Arc::clone(&ch);
+        let sender = thread::spawn(move || {
+            let data = vec![9u8; 1000];
+            // SAFETY: data outlives wait_send.
+            let t = unsafe { ch2.post_send(data.as_ptr(), 1000, EAGER) };
+            // (send_done may be true already if the receiver raced us.)
+            ch2.wait_send(t, EAGER, 1000);
+        });
+        thread::yield_now();
+        let mut out = vec![0u8; 1000];
+        // SAFETY: out outlives wait_recv.
+        let r = unsafe { ch.post_recv(out.as_mut_ptr(), 1000) };
+        ch.wait_recv(r);
+        assert!(out.iter().all(|&b| b == 9));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn fifo_matching_by_post_order() {
+        let ch = MpiChannel::new();
+        let a = [1u8];
+        let b = [2u8];
+        // SAFETY: eager sends copy immediately.
+        unsafe {
+            ch.post_send(a.as_ptr(), 1, EAGER);
+            ch.post_send(b.as_ptr(), 1, EAGER);
+        }
+        let mut x = [0u8];
+        let mut y = [0u8];
+        // SAFETY: buffers outlive the synchronous deliveries.
+        let (r1, r2) = unsafe {
+            (
+                ch.post_recv(x.as_mut_ptr(), 1),
+                ch.post_recv(y.as_mut_ptr(), 1),
+            )
+        };
+        assert!(ch.recv_done(r1) && ch.recv_done(r2));
+        assert_eq!((x[0], y[0]), (1, 2));
+    }
+
+    #[test]
+    fn pool_recycles_eager_buffers() {
+        let ch = MpiChannel::new();
+        let data = [3u8; 32];
+        let mut out = [0u8; 32];
+        for _ in 0..10 {
+            // SAFETY: synchronous pairs.
+            unsafe {
+                ch.post_send(data.as_ptr(), 32, EAGER);
+                ch.post_recv(out.as_mut_ptr(), 32);
+            }
+        }
+        assert!(ch.state.lock().pool.len() <= 10);
+        assert_eq!(out, [3u8; 32]);
+    }
+
+    #[test]
+    fn stress_interleaved_eager_and_rendezvous() {
+        let ch = Arc::new(MpiChannel::new());
+        let ch2 = Arc::clone(&ch);
+        const N: usize = 300;
+        let sender = thread::spawn(move || {
+            for i in 0..N {
+                let len = if i % 3 == 0 { 500 } else { 8 };
+                let data = vec![(i % 251) as u8; len];
+                // SAFETY: data outlives wait_send.
+                let t = unsafe { ch2.post_send(data.as_ptr(), len, EAGER) };
+                ch2.wait_send(t, EAGER, len);
+            }
+        });
+        for i in 0..N {
+            let len = if i % 3 == 0 { 500 } else { 8 };
+            let mut out = vec![0u8; len];
+            // SAFETY: out outlives wait_recv.
+            let r = unsafe { ch.post_recv(out.as_mut_ptr(), len) };
+            ch.wait_recv(r);
+            assert!(
+                out.iter().all(|&b| b == (i % 251) as u8),
+                "message {i} corrupted"
+            );
+        }
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn table_dedupes_by_key() {
+        let t = MpiChannelTable::new();
+        let k = MpiChannelKey {
+            comm_id: 0,
+            src: 0,
+            dst: 1,
+            tag: 3,
+        };
+        assert!(Arc::ptr_eq(&t.get(k), &t.get(k)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Baseline runtime bring-up: one thread per "process" rank, shared channel
+//! table, netsim across nodes — mirroring `pure_core::runtime` so the two
+//! runtimes differ only in their communication machinery.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::channel::MpiChannelTable;
+use crate::comm::{MpiComm, MpiCommMeta, RemoteRecvTable};
+use netsim::{Cluster, NetConfig, NodeEndpoint};
+
+/// Baseline configuration.
+#[derive(Clone, Debug)]
+pub struct MpiConfig {
+    /// Total ranks.
+    pub ranks: usize,
+    /// Ranks per simulated node (0 = all on one node).
+    pub ranks_per_node: usize,
+    /// Eager/rendezvous threshold in bytes (MPICH shm default order: 8 KiB).
+    pub eager_max: usize,
+    /// Simulated interconnect parameters.
+    pub net: NetConfig,
+}
+
+impl MpiConfig {
+    /// Defaults analogous to [`pure_core::Config::new`].
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            ranks,
+            ranks_per_node: 0,
+            eager_max: 8 * 1024,
+            net: NetConfig::default(),
+        }
+    }
+
+    /// Split the ranks over nodes of `rpn` ranks each.
+    pub fn with_ranks_per_node(mut self, rpn: usize) -> Self {
+        self.ranks_per_node = rpn;
+        self
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        rank.checked_div(self.ranks_per_node).unwrap_or(0)
+    }
+}
+
+/// Shared state of one baseline run.
+pub struct MpiShared {
+    /// Configuration.
+    pub cfg: MpiConfig,
+    /// rank → node.
+    pub rank_node: Vec<usize>,
+    /// rank → local index.
+    pub rank_local: Vec<usize>,
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Intra-node channels.
+    pub channels: MpiChannelTable,
+    /// Cross-node receive-ordering state.
+    pub remote: RemoteRecvTable,
+    /// Set when a rank panics; waiting loops bail out.
+    pub abort: AtomicBool,
+}
+
+impl MpiShared {
+    /// Abort check used by all waiting loops.
+    pub fn check_abort(&self) {
+        if self.abort.load(Ordering::Relaxed) {
+            panic!("mpi-baseline: a peer rank failed");
+        }
+    }
+}
+
+/// Per-rank state.
+pub struct MpiLocal {
+    /// World rank.
+    pub rank: usize,
+    /// Node id.
+    pub node: usize,
+    /// Local index within the node.
+    pub local_idx: usize,
+    /// Shared run state.
+    pub shared: Arc<MpiShared>,
+    /// This node's endpoint.
+    pub ep: NodeEndpoint,
+    /// Messages sent.
+    pub msgs_sent: Cell<u64>,
+    /// Bytes sent.
+    pub bytes_sent: Cell<u64>,
+}
+
+/// Per-rank application context.
+pub struct MpiCtx {
+    world: MpiComm,
+}
+
+impl MpiCtx {
+    /// World rank.
+    pub fn rank(&self) -> usize {
+        self.world.local().rank
+    }
+
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        self.world.local().shared.cfg.ranks
+    }
+
+    /// Node id.
+    pub fn node(&self) -> usize {
+        self.world.local().node
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> &MpiComm {
+        &self.world
+    }
+}
+
+/// Launch statistics.
+#[derive(Clone, Debug)]
+pub struct MpiReport {
+    /// (messages, bytes) per rank.
+    pub per_rank: Vec<(u64, u64)>,
+    /// Cross-node traffic (messages, bytes).
+    pub net_traffic: (u64, u64),
+    /// Wall-clock time of the SPMD region.
+    pub elapsed: Duration,
+}
+
+/// Run `f` as an SPMD program on the baseline runtime.
+pub fn mpi_launch<F>(cfg: MpiConfig, f: F) -> MpiReport
+where
+    F: Fn(&mut MpiCtx) + Sync,
+{
+    let (r, _) = mpi_launch_map(cfg, |ctx| f(ctx));
+    r
+}
+
+/// Like [`mpi_launch`], collecting per-rank results.
+pub fn mpi_launch_map<F, R>(cfg: MpiConfig, f: F) -> (MpiReport, Vec<R>)
+where
+    F: Fn(&mut MpiCtx) -> R + Sync,
+    R: Send,
+{
+    assert!(cfg.ranks > 0);
+    let rank_node: Vec<usize> = (0..cfg.ranks).map(|r| cfg.node_of(r)).collect();
+    let n_nodes = rank_node.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![0usize; n_nodes];
+    let rank_local: Vec<usize> = rank_node
+        .iter()
+        .map(|&n| {
+            let i = counts[n];
+            counts[n] += 1;
+            i
+        })
+        .collect();
+
+    let shared = Arc::new(MpiShared {
+        cluster: Cluster::new(n_nodes, cfg.net),
+        channels: MpiChannelTable::new(),
+        remote: RemoteRecvTable::new(),
+        abort: AtomicBool::new(false),
+        rank_node,
+        rank_local,
+        cfg,
+    });
+
+    let world_meta = Arc::new(MpiCommMeta::world(shared.cfg.ranks));
+    let panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..shared.cfg.ranks).map(|_| None).collect());
+    let stats: Mutex<Vec<(u64, u64)>> = Mutex::new(vec![(0, 0); shared.cfg.ranks]);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for rank in 0..shared.cfg.ranks {
+            let shared = Arc::clone(&shared);
+            let world_meta = Arc::clone(&world_meta);
+            let f = &f;
+            let panic_box = &panic_box;
+            let results = &results;
+            let stats = &stats;
+            scope.spawn(move || {
+                let node = shared.rank_node[rank];
+                let local = Rc::new(MpiLocal {
+                    rank,
+                    node,
+                    local_idx: shared.rank_local[rank],
+                    ep: shared.cluster.endpoint(node),
+                    msgs_sent: Cell::new(0),
+                    bytes_sent: Cell::new(0),
+                    shared: Arc::clone(&shared),
+                });
+                let world = MpiComm::from_meta(world_meta, Rc::clone(&local));
+                let mut ctx = MpiCtx { world };
+                match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                    Ok(v) => results.lock()[rank] = Some(v),
+                    Err(e) => {
+                        shared.abort.store(true, Ordering::Release);
+                        panic_box.lock().get_or_insert(e);
+                    }
+                }
+                stats.lock()[rank] = (local.msgs_sent.get(), local.bytes_sent.get());
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    if let Some(p) = panic_box.into_inner() {
+        std::panic::resume_unwind(p);
+    }
+    let report = MpiReport {
+        per_rank: stats.into_inner(),
+        net_traffic: shared.cluster.stats().snapshot(),
+        elapsed,
+    };
+    let results = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("rank produced no result despite no panic"))
+        .collect();
+    (report, results)
+}
+
+/// Deterministic world-rank seeded hash map storage for remote ordering —
+/// re-exported for `comm.rs`.
+pub(crate) type AnyMap<K, V> = Mutex<HashMap<K, V>>;

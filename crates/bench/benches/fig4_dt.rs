@@ -1,0 +1,77 @@
+//! **Figure 4** — NAS DT (SH graph) speedup over MPI for the paper's four
+//! problem classes, in three Pure configurations: messaging only, messaging
+//! plus Pure Tasks, and (class A only, where 24 cores per node are idle)
+//! messaging plus tasks plus helper threads.
+//!
+//! Paper result: messaging alone 11–25%; with tasks 1.7×–2.5×; helpers lift
+//! class A from 2.3× to 2.6×. See EXPERIMENTS.md for the measured values
+//! and the messaging-only discrepancy note.
+
+use cluster_sim::workloads::dt::{programs, DtWl};
+use cluster_sim::{Sim, SimConfig, SimRuntime};
+use miniapps::nasdt::DtClass;
+use pure_bench::{header, row, speedup};
+
+fn run(rt: SimRuntime, w: &DtWl, ranks_per_node: usize, helpers: usize) -> u64 {
+    let ranks = w.class.ranks();
+    let mut cfg = SimConfig::new(ranks, ranks_per_node, rt);
+    cfg.helpers_per_node = helpers;
+    Sim::new(cfg, programs(w)).run().makespan_ns
+}
+
+fn main() {
+    header(
+        "Figure 4 — DT: Pure speedup over MPI",
+        "class (ranks) | Pure no tasks | Pure + tasks | Pure + tasks + helpers",
+    );
+    // Paper §5.1: size A ran 40 ranks/node (24 spare cores → helpers);
+    // B and C 64 ranks/node; D 16 ranks/node.
+    let cases = [
+        (DtClass::A, 40usize, 24usize),
+        (DtClass::B, 64, 0),
+        (DtClass::C, 64, 0),
+        (DtClass::D, 16, 0),
+    ];
+    println!(
+        "{}",
+        row(
+            "class",
+            &[
+                "MPI (base)".into(),
+                "no tasks".into(),
+                "+tasks".into(),
+                "+helpers".into()
+            ]
+        )
+    );
+    for (class, rpn, helpers) in cases {
+        let w = DtWl {
+            class,
+            ..DtWl::default()
+        };
+        let mpi = run(SimRuntime::Mpi, &w, rpn, 0) as f64;
+        let msgs = run(SimRuntime::Pure { tasks: false }, &w, rpn, 0) as f64;
+        let tasks = run(SimRuntime::Pure { tasks: true }, &w, rpn, 0) as f64;
+        let help = if helpers > 0 {
+            run(SimRuntime::Pure { tasks: true }, &w, rpn, helpers) as f64
+        } else {
+            tasks
+        };
+        println!(
+            "{}",
+            row(
+                &format!("{:?} ({} ranks)", class, class.ranks()),
+                &[
+                    speedup(1.0),
+                    speedup(mpi / msgs),
+                    speedup(mpi / tasks),
+                    if helpers > 0 {
+                        speedup(mpi / help)
+                    } else {
+                        "-".into()
+                    },
+                ],
+            )
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! **Figure 6** — intra-node point-to-point message latency: Pure speedup
+//! over MPI for payloads 4 B – 16 MB at three rank placements (hyperthread
+//! siblings, shared L3, different NUMA nodes).
+//!
+//! Paper: speedups from a few percent to >17× — largest for small messages
+//! between hyperthread siblings; shrinking toward the copy bound (≈1–2×)
+//! for large messages.
+//!
+//! Part (a) evaluates the calibrated cost model (the machine-independent
+//! shape); part (b) measures the *real* runtimes' ping-pong latency on this
+//! machine (placements collapse to whatever cores exist here).
+
+use cluster_sim::{CostModel, MsgStack, Placement};
+use mpi_baseline::{mpi_launch, MpiConfig};
+use pure_bench::{header, row, speedup};
+use pure_core::prelude::*;
+use std::time::Instant;
+
+fn model_table() {
+    let c = CostModel::default();
+    header(
+        "Figure 6 (model) — Pure speedup over MPI, intra-node p2p",
+        "payload | hyperthread siblings | shared L3 | different NUMA",
+    );
+    println!(
+        "{}",
+        row(
+            "payload",
+            &["siblings".into(), "shared L3".into(), "cross NUMA".into()]
+        )
+    );
+    let sizes: Vec<usize> = (2..=24).map(|i| 1usize << i).collect();
+    for bytes in [4usize, 8, 16, 32, 64, 128, 256, 512]
+        .into_iter()
+        .chain(sizes.into_iter().filter(|&b| b >= 1024))
+    {
+        let cols: Vec<String> = [
+            Placement::HyperthreadSiblings,
+            Placement::SharedL3,
+            Placement::CrossNuma,
+        ]
+        .into_iter()
+        .map(|p| speedup(c.msg_ns(MsgStack::Mpi, p, bytes) / c.msg_ns(MsgStack::Pure, p, bytes)))
+        .collect();
+        println!("{}", row(&fmt_bytes(bytes), &cols));
+    }
+}
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{} MB", b >> 20)
+    } else if b >= 1024 {
+        format!("{} kB", b >> 10)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Real ping-pong between ranks 0↔1 on this machine; returns ns/message.
+fn real_pure(bytes: usize, iters: usize) -> f64 {
+    let mut cfg = Config::new(2);
+    cfg.spin_budget = 2; // 1-core host: yield immediately
+    let (_, times) = launch_map(cfg, move |ctx| {
+        let w = ctx.world();
+        let tx = vec![1u8; bytes];
+        let mut rx = vec![0u8; bytes];
+        w.barrier();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            if ctx.rank() == 0 {
+                w.send(&tx, 1, 0);
+                w.recv(&mut rx, 1, 1);
+            } else {
+                w.recv(&mut rx, 0, 0);
+                w.send(&tx, 0, 1);
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (2 * iters) as f64
+    });
+    times[0]
+}
+
+fn main() {
+    model_table();
+
+    header(
+        "Figure 6 (real) — ping-pong on this machine",
+        "one-way ns per message, Pure vs mpi-baseline (oversubscribed cores)",
+    );
+    println!(
+        "{}",
+        row(
+            "payload",
+            &["Pure".into(), "MPI baseline".into(), "speedup".into()]
+        )
+    );
+    for bytes in [8usize, 512, 8 * 1024, 256 * 1024] {
+        let iters = if bytes <= 8 * 1024 { 2000 } else { 200 };
+        let p = real_pure(bytes, iters);
+        let m = real_mpi_latency(bytes, iters);
+        println!(
+            "{}",
+            row(
+                &fmt_bytes(bytes),
+                &[format!("{p:.0} ns"), format!("{m:.0} ns"), speedup(m / p)]
+            )
+        );
+    }
+}
+
+/// Real baseline ping-pong (ns one-way).
+fn real_mpi_latency(bytes: usize, iters: usize) -> f64 {
+    use std::sync::Mutex;
+    let out = Mutex::new(0.0f64);
+    mpi_launch(MpiConfig::new(2), |ctx| {
+        let w = ctx.world();
+        let tx = vec![1u8; bytes];
+        let mut rx = vec![0u8; bytes];
+        w.barrier();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            if ctx.rank() == 0 {
+                w.send(&tx, 1, 0);
+                w.recv(&mut rx, 1, 1);
+            } else {
+                w.recv(&mut rx, 0, 0);
+                w.send(&tx, 0, 1);
+            }
+        }
+        if ctx.rank() == 0 {
+            *out.lock().unwrap() = t0.elapsed().as_nanos() as f64 / (2 * iters) as f64;
+        }
+    });
+    out.into_inner().unwrap()
+}

@@ -1,0 +1,166 @@
+//! **Figure 7** — collective end-to-end performance:
+//! * 7a: 8-byte all-reduce, 2 → 16,384 ranks, MPI vs MPI-DMAPP vs OpenMP
+//!   (single node only) vs Pure;
+//! * 7b: barrier, 2 → 64 ranks (single node), incl. OpenMP;
+//! * 7c: barrier, 2 → 65,536 ranks.
+//!
+//! Paper: Pure 8 B all-reduce beats MPI and DMAPP up to 16k cores (11% to
+//! >3.5×); Pure barrier 2.4×–5× over MPI and up to 8× over OpenMP.
+
+use cluster_sim::workloads::micro::collective_ns_per_op;
+use cluster_sim::{CollKind, CollStack, CostModel, SimRuntime};
+use pure_bench::{cell, header, row, speedup};
+
+const CORES_PER_NODE: usize = 64;
+const ITERS: usize = 40;
+
+fn omp_single_node(kind: CollKind, t: usize, bytes: usize) -> f64 {
+    // OpenMP exists only within one node; modeled directly from the cost
+    // model (its threads have no cross-node story).
+    CostModel::default().coll_ns(kind, CollStack::Omp, t, 1, bytes)
+}
+
+fn main() {
+    header(
+        "Figure 7a — 8 B all-reduce, 2 → 16,384 ranks (64/node)",
+        "virtual ns per op; OpenMP column only exists within one node",
+    );
+    println!(
+        "{}",
+        row(
+            "ranks",
+            &[
+                "MPI".into(),
+                "MPI DMAPP".into(),
+                "OpenMP".into(),
+                "Pure".into(),
+                "Pure vs MPI".into()
+            ]
+        )
+    );
+    let mut n = 2usize;
+    while n <= 16_384 {
+        let mpi = collective_ns_per_op(
+            SimRuntime::Mpi,
+            n,
+            CORES_PER_NODE,
+            ITERS,
+            8,
+            CollKind::Allreduce,
+        );
+        let dmapp = collective_ns_per_op(
+            SimRuntime::MpiDmapp,
+            n,
+            CORES_PER_NODE,
+            ITERS,
+            8,
+            CollKind::Allreduce,
+        );
+        let pure = collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            n,
+            CORES_PER_NODE,
+            ITERS,
+            8,
+            CollKind::Allreduce,
+        );
+        let omp = if n <= CORES_PER_NODE {
+            cell(omp_single_node(CollKind::Allreduce, n, 8))
+        } else {
+            "-".into()
+        };
+        println!(
+            "{}",
+            row(
+                &n.to_string(),
+                &[cell(mpi), cell(dmapp), omp, cell(pure), speedup(mpi / pure)]
+            )
+        );
+        n *= 2;
+    }
+
+    header(
+        "Figure 7b — barrier, 2 → 64 ranks (single node)",
+        "virtual ns per op",
+    );
+    println!(
+        "{}",
+        row(
+            "ranks",
+            &[
+                "MPI".into(),
+                "OpenMP".into(),
+                "Pure".into(),
+                "Pure vs MPI".into()
+            ]
+        )
+    );
+    let mut n = 2usize;
+    while n <= 64 {
+        let mpi = collective_ns_per_op(
+            SimRuntime::Mpi,
+            n,
+            CORES_PER_NODE,
+            ITERS,
+            0,
+            CollKind::Barrier,
+        );
+        let pure = collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            n,
+            CORES_PER_NODE,
+            ITERS,
+            0,
+            CollKind::Barrier,
+        );
+        let omp = omp_single_node(CollKind::Barrier, n, 0);
+        println!(
+            "{}",
+            row(
+                &n.to_string(),
+                &[cell(mpi), cell(omp), cell(pure), speedup(mpi / pure)]
+            )
+        );
+        n *= 2;
+    }
+
+    header(
+        "Figure 7c — barrier, 2 → 65,536 ranks (64/node)",
+        "virtual ns per op",
+    );
+    println!(
+        "{}",
+        row(
+            "ranks",
+            &["MPI".into(), "Pure".into(), "Pure vs MPI".into()]
+        )
+    );
+    let mut n = 2usize;
+    while n <= 65_536 {
+        let iters = if n > 8192 { 10 } else { ITERS };
+        let mpi = collective_ns_per_op(
+            SimRuntime::Mpi,
+            n,
+            CORES_PER_NODE,
+            iters,
+            0,
+            CollKind::Barrier,
+        );
+        let pure = collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            n,
+            CORES_PER_NODE,
+            iters,
+            0,
+            CollKind::Barrier,
+        );
+        println!(
+            "{}",
+            row(
+                &n.to_string(),
+                &[cell(mpi), cell(pure), speedup(mpi / pure)]
+            )
+        );
+        n *= 4;
+    }
+}

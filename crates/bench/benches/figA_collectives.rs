@@ -1,0 +1,62 @@
+//! **Appendix A** — additional collectives: broadcast and rooted reduce
+//! across payload sizes and scales, Pure vs MPI (the paper's appendix shows
+//! Pure's collectives win "for all collectives and sizes", unlike DMAPP
+//! which only accelerates 8 B payloads).
+
+use cluster_sim::workloads::micro::collective_ns_per_op;
+use cluster_sim::{CollKind, SimRuntime};
+use pure_bench::{cell, header, row, speedup};
+
+const CORES_PER_NODE: usize = 64;
+const ITERS: usize = 30;
+
+fn table(kind: CollKind, title: &str) {
+    header(title, "virtual ns per op; Pure speedup over MPI");
+    println!(
+        "{}",
+        row(
+            "ranks / payload",
+            &[
+                "8 B".into(),
+                "512 B".into(),
+                "4 kB".into(),
+                "64 kB".into(),
+                "1 MB".into()
+            ]
+        )
+    );
+    for ranks in [8usize, 64, 512, 4096] {
+        let cols: Vec<String> = [8u32, 512, 4096, 65_536, 1 << 20]
+            .into_iter()
+            .map(|bytes| {
+                let mpi = collective_ns_per_op(
+                    SimRuntime::Mpi,
+                    ranks,
+                    CORES_PER_NODE,
+                    ITERS,
+                    bytes,
+                    kind,
+                );
+                let pure = collective_ns_per_op(
+                    SimRuntime::Pure { tasks: false },
+                    ranks,
+                    CORES_PER_NODE,
+                    ITERS,
+                    bytes,
+                    kind,
+                );
+                format!("{} ({})", cell(pure), speedup(mpi / pure))
+            })
+            .collect();
+        println!("{}", row(&ranks.to_string(), &cols));
+    }
+}
+
+fn main() {
+    table(CollKind::Bcast, "Appendix A — broadcast");
+    table(CollKind::Reduce, "Appendix A — reduce (to rank 0)");
+    table(
+        CollKind::Allreduce,
+        "Appendix A — all-reduce (payload sweep)",
+    );
+}

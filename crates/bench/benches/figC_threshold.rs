@@ -1,0 +1,101 @@
+//! **Appendix C** — buffered (PBQ) vs rendezvous (EnvelopeQueue) threshold:
+//! where does the two-copy scheme stop paying? The paper's appendix sweeps
+//! the mode-switch threshold; here we sweep payload size under each *forced*
+//! protocol on the real runtime (by configuring `small_msg_max` to 0 or ∞)
+//! and in the cost model, and report the crossover.
+
+use cluster_sim::{CostModel, MsgStack, Placement};
+use pure_bench::{header, row};
+use pure_core::prelude::*;
+use std::time::Instant;
+
+/// Real-runtime one-way latency with a forced protocol.
+fn forced(bytes: usize, iters: usize, force_rendezvous: bool) -> f64 {
+    let mut cfg = Config::new(2);
+    cfg.spin_budget = 2; // 1-core host: yield immediately
+    cfg.small_msg_max = if force_rendezvous { 0 } else { usize::MAX / 2 };
+    let (_, times) = launch_map(cfg, move |ctx| {
+        let w = ctx.world();
+        let tx = vec![7u8; bytes];
+        let mut rx = vec![0u8; bytes];
+        w.barrier();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            if ctx.rank() == 0 {
+                w.send(&tx, 1, 0);
+                w.recv(&mut rx, 1, 1);
+            } else {
+                w.recv(&mut rx, 0, 0);
+                w.send(&tx, 0, 1);
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (2 * iters) as f64
+    });
+    times[0]
+}
+
+fn main() {
+    header(
+        "Appendix C (model) — buffered vs rendezvous cost",
+        "cost-model ns; the crossover motivates the 8 KiB default threshold",
+    );
+    println!(
+        "{}",
+        row(
+            "payload",
+            &[
+                "buffered (2-copy)".into(),
+                "rendezvous (1-copy)".into(),
+                "winner".into()
+            ]
+        )
+    );
+    let c = CostModel::default();
+    // Force each protocol by toggling the model threshold.
+    let mut buffered_model = c.clone();
+    buffered_model.small_threshold = usize::MAX;
+    let mut rdv_model = c.clone();
+    rdv_model.small_threshold = 0;
+    for shift in [6usize, 8, 10, 12, 13, 14, 16, 18, 20] {
+        let bytes = 1usize << shift;
+        let b = buffered_model.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes);
+        let r = rdv_model.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes);
+        println!(
+            "{}",
+            row(
+                &format!("{bytes} B"),
+                &[
+                    format!("{b:.0} ns"),
+                    format!("{r:.0} ns"),
+                    (if b < r { "buffered" } else { "rendezvous" }).into(),
+                ]
+            )
+        );
+    }
+
+    header(
+        "Appendix C (real) — forced-protocol ping-pong on this machine",
+        "one-way ns per message (oversubscribed cores: magnitudes are noisy, \
+         the trend is the point)",
+    );
+    println!(
+        "{}",
+        row(
+            "payload",
+            &["buffered (2-copy)".into(), "rendezvous (1-copy)".into()]
+        )
+    );
+    for shift in [6usize, 10, 13, 16, 20] {
+        let bytes = 1usize << shift;
+        let iters = if bytes <= 1 << 13 { 1000 } else { 100 };
+        let b = forced(bytes, iters, false);
+        let r = forced(bytes, iters, true);
+        println!(
+            "{}",
+            row(
+                &format!("{bytes} B"),
+                &[format!("{b:.0} ns"), format!("{r:.0} ns")]
+            )
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! **§2 example** — the 1-D random-work stencil, 32 ranks on one node.
+//! Paper: "the Pure version ... achieved a 10% speedup over the MPI version
+//! from Pure's faster messaging, and achieved over 200% speedup from using
+//! Pure Tasks."
+//!
+//! Two parts: (a) the DES reproduction at the paper's per-node scale;
+//! (b) a real-runtime run of the actual `miniapps::stencil` code on this
+//! machine (correctness + live steal counters, whatever the core count).
+
+use cluster_sim::workloads::stencil::{programs, StencilWl};
+use cluster_sim::{Sim, SimConfig, SimRuntime};
+use miniapps::stencil::{rand_stencil, StencilParams};
+use pure_bench::{cell, header, row, speedup};
+use pure_core::prelude::*;
+
+fn main() {
+    header(
+        "§2 example — rand-stencil, 32 ranks, one node",
+        "End-to-end virtual time and speedup over MPI (DES)",
+    );
+    let w = StencilWl::default();
+    let mk = |rt| Sim::new(SimConfig::new(w.ranks, w.ranks, rt), programs(&w)).run();
+    let mpi = mk(SimRuntime::Mpi);
+    let msgs = mk(SimRuntime::Pure { tasks: false });
+    let tasks = mk(SimRuntime::Pure { tasks: true });
+    println!(
+        "{}",
+        row(
+            "variant",
+            &["runtime".into(), "speedup".into(), "chunks stolen".into()]
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "MPI",
+            &[cell(mpi.makespan_ns as f64), speedup(1.0), "0".into()]
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "Pure, no tasks",
+            &[
+                cell(msgs.makespan_ns as f64),
+                speedup(mpi.makespan_ns as f64 / msgs.makespan_ns as f64),
+                "0".into(),
+            ]
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "Pure, with tasks",
+            &[
+                cell(tasks.makespan_ns as f64),
+                speedup(mpi.makespan_ns as f64 / tasks.makespan_ns as f64),
+                tasks.chunks_stolen.to_string(),
+            ]
+        )
+    );
+
+    header(
+        "rand-stencil on the real Pure runtime (this machine)",
+        "Same source, real threads; checks live stealing and identical results",
+    );
+    let p = StencilParams {
+        arr_sz: 2048,
+        iters: 5,
+        mean_work: 60,
+        ..Default::default()
+    };
+    let mut cfg = Config::new(4);
+    cfg.spin_budget = 16;
+    let (report_nt, sums_nt) = launch_map(cfg, |ctx| {
+        miniapps::stencil::checksum(&rand_stencil(ctx.world(), &p, false))
+    });
+    let mut cfg = Config::new(4);
+    cfg.spin_budget = 16;
+    let (report_t, sums_t) = launch_map(cfg, |ctx| {
+        miniapps::stencil::checksum(&rand_stencil(ctx.world(), &p, true))
+    });
+    assert_eq!(
+        sums_nt, sums_t,
+        "task and no-task runs must agree bit-for-bit"
+    );
+    println!(
+        "{}",
+        row(
+            "real run (4 ranks)",
+            &[
+                format!("no-tasks {:?}", report_nt.elapsed),
+                format!("tasks {:?}", report_t.elapsed),
+                format!("steals {}", report_t.total_steals()),
+            ]
+        )
+    );
+}

@@ -1,0 +1,53 @@
+//! Diagnostic probe for the AMPI load-balancer model: prints MPI vs AMPI
+//! (several overdecomposition/SMP variants) makespans and migration counts
+//! on the Figure 5c workload at one node. Used to calibrate the GreedyLB
+//! model; kept as a handy sanity CLI:
+//!
+//! ```sh
+//! cargo run --release -p pure-bench --bin ampi_probe
+//! ```
+
+use cluster_sim::workloads::comd::{programs, ComdWl, ImbalanceWl};
+use cluster_sim::{Sim, SimConfig, SimRuntime};
+
+fn main() {
+    let ranks = 64;
+    let w = ComdWl {
+        ranks,
+        steps: 40,
+        imbalance: ImbalanceWl::MovingSphere {
+            count: 6,
+            radius: 0.33,
+            speed: 3.0,
+        },
+        ..ComdWl::default()
+    };
+    let mpi = Sim::new(SimConfig::new(ranks, 64, SimRuntime::Mpi), programs(&w)).run();
+    println!("MPI     makespan {} ms", mpi.makespan_ns / 1_000_000);
+    for (vpc, smp) in [(1usize, false), (2, false), (2, true), (4, true)] {
+        let vranks = ranks * vpc;
+        let wv = ComdWl {
+            ranks: vranks,
+            force_ns: w.force_ns / vpc as f64,
+            integrate_ns: w.integrate_ns / vpc as f64,
+            ..w
+        };
+        let r = Sim::new(
+            SimConfig::new(
+                vranks,
+                64,
+                SimRuntime::Ampi {
+                    vranks_per_core: vpc,
+                    smp,
+                },
+            ),
+            programs(&wv),
+        )
+        .run();
+        println!(
+            "AMPI vpc={vpc} smp={smp}: makespan {} ms, migrations {}",
+            r.makespan_ns / 1_000_000,
+            r.migrations
+        );
+    }
+}

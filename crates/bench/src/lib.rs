@@ -1,0 +1,40 @@
+//! # pure-bench — benchmark harnesses
+//!
+//! One bench target per paper table/figure (see DESIGN.md's per-experiment
+//! index) plus Criterion microbenchmarks of the real runtimes. Run all of
+//! them with `cargo bench --workspace`; each figure harness prints the
+//! series the paper plots.
+
+/// Format one table row: a label column plus numeric columns.
+pub fn row(label: &str, cols: &[String]) -> String {
+    let mut s = format!("{label:>24} |");
+    for c in cols {
+        s.push_str(&format!(" {c:>14} |"));
+    }
+    s
+}
+
+/// Format a numeric cell.
+pub fn cell(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} µs", v / 1e3)
+    } else {
+        format!("{v:.0} ns")
+    }
+}
+
+/// Format a speedup cell.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}×")
+}
+
+/// Print a figure header.
+pub fn header(title: &str, caption: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("{caption}");
+}

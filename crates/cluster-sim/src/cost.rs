@@ -1,0 +1,425 @@
+//! The cost model: what each runtime's primitive operations cost on the
+//! simulated machine.
+//!
+//! Parameters are chosen to be *structurally* derived, not curve-fit: a Pure
+//! short message is two memcpys plus two cacheline handoffs through a
+//! lock-free ring; an MPI short message additionally pays a lock acquire /
+//! release and queue bookkeeping on both sides (and, for two ranks
+//! timesharing one core, wake-up scheduling); rendezvous adds a handshake;
+//! cross-node messages pay the α–β interconnect. Collectives compose these
+//! per their algorithms (SPTD flat-combining vs p2p trees). Absolute numbers
+//! are Haswell-plausible magnitudes documented in EXPERIMENTS.md; the
+//! figures' *shapes* come from the structure.
+
+/// Where two communicating ranks sit relative to each other (paper Fig. 6
+/// placements).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Two hardware threads of one core (shared L1/L2).
+    HyperthreadSiblings,
+    /// Same socket, shared L3.
+    SharedL3,
+    /// Different NUMA nodes of one box.
+    CrossNuma,
+    /// Different nodes (interconnect).
+    CrossNode,
+}
+
+/// The tunable machine/runtime constants (all times in nanoseconds, rates
+/// in picoseconds per byte: 1000 ps/B = 1 GB/s⁻¹... i.e. 1 ns per byte).
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    // -- memory system --
+    /// Cacheline handoff latency between hyperthread siblings.
+    pub line_sibling_ns: f64,
+    /// Cacheline handoff through the shared L3.
+    pub line_l3_ns: f64,
+    /// Cacheline handoff across NUMA.
+    pub line_numa_ns: f64,
+    /// Streaming copy cost (ps/byte) — ~20 GB/s effective.
+    pub copy_ps_per_byte: f64,
+
+    // -- Pure messaging (lock-free PBQ / rendezvous) --
+    /// Fixed PBQ bookkeeping per message (head/tail updates, slot math).
+    pub pure_msg_base_ns: f64,
+    /// Rendezvous envelope bookkeeping.
+    pub pure_rdv_base_ns: f64,
+
+    // -- MPI messaging (lock-based shared-memory queues) --
+    /// Lock acquire+release + queue management per message per side.
+    pub mpi_lock_ns: f64,
+    /// Fixed per-message overhead of the MPI stack (matching, headers).
+    pub mpi_msg_base_ns: f64,
+    /// Extra cost when both ranks timeshare one core (processes cannot spin
+    /// productively; they bounce through the scheduler).
+    pub mpi_sibling_penalty_ns: f64,
+    /// Rendezvous handshake (RTS/CTS round trip through the queues).
+    pub mpi_rdv_handshake_ns: f64,
+    /// XPMEM attach/detach per large-message operation (mapping the peer
+    /// process's pages; threads need no such mapping — a core advantage the
+    /// paper claims for thread-based ranks).
+    pub mpi_xpmem_attach_ns: f64,
+
+    /// Eager/rendezvous and PBQ/envelope threshold (bytes).
+    pub small_threshold: usize,
+
+    // -- interconnect --
+    /// Per-message network latency.
+    pub net_alpha_ns: f64,
+    /// Network per-byte cost (ps/B); 100 ps/B = 10 GB/s.
+    pub net_beta_ps_per_byte: f64,
+    /// NIC injection occupancy (ps/B): the per-node port is faster than one
+    /// flow's effective bandwidth (pipelining across the fabric), so
+    /// concurrent senders only partially serialize.
+    pub nic_ps_per_byte: f64,
+
+    // -- collectives --
+    /// Reduction arithmetic (ps/byte) once data is local.
+    pub reduce_ps_per_byte: f64,
+    /// DMAPP hardware-offload per-hop latency (8-byte payloads only).
+    pub dmapp_hop_ns: f64,
+    /// OpenMP barrier per tree level.
+    pub omp_level_ns: f64,
+    /// OpenMP parallel-region fork/join overhead.
+    pub omp_fork_join_ns: f64,
+
+    /// Leader's per-member SPTD sequence scan (arrivals are parallel
+    /// stores; the leader polls cached lines).
+    pub sptd_scan_ns_per_member: f64,
+
+    // -- tasks --
+    /// Publishing a task in `active_tasks` (a release store + fence).
+    pub task_publish_ns: f64,
+    /// A thief's probe + claim CAS + cache misses (paper: "a handful of
+    /// assembly instructions and 1-3 cache misses").
+    pub steal_overhead_ns: f64,
+
+    // -- AMPI --
+    /// User-level context switch between virtual ranks.
+    pub ampi_ctx_switch_ns: f64,
+    /// Extra per-message overhead of the Charm++ scheduler.
+    pub ampi_msg_extra_ns: f64,
+    /// Migrating one virtual rank within a node (SMP mode).
+    pub ampi_migrate_local_ns: f64,
+    /// Migrating one virtual rank across nodes (non-SMP / cross-node).
+    pub ampi_migrate_remote_ns: f64,
+    /// Load-balancer invocation period (ns of virtual time).
+    pub ampi_lb_period_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            line_sibling_ns: 15.0,
+            line_l3_ns: 45.0,
+            line_numa_ns: 110.0,
+            copy_ps_per_byte: 50.0, // 20 GB/s
+            pure_msg_base_ns: 40.0,
+            pure_rdv_base_ns: 90.0,
+            mpi_lock_ns: 120.0,
+            mpi_msg_base_ns: 250.0,
+            mpi_sibling_penalty_ns: 700.0,
+            mpi_rdv_handshake_ns: 1200.0,
+            mpi_xpmem_attach_ns: 1200.0,
+            small_threshold: 8 * 1024,
+            net_alpha_ns: 1300.0,
+            net_beta_ps_per_byte: 100.0, // 10 GB/s
+            nic_ps_per_byte: 50.0,       // 20 GB/s injection
+            reduce_ps_per_byte: 60.0,
+            dmapp_hop_ns: 450.0,
+            omp_level_ns: 200.0,
+            omp_fork_join_ns: 1500.0,
+            sptd_scan_ns_per_member: 8.0,
+            task_publish_ns: 60.0,
+            steal_overhead_ns: 120.0,
+            ampi_ctx_switch_ns: 350.0,
+            ampi_msg_extra_ns: 300.0,
+            ampi_migrate_local_ns: 15_000.0,
+            ampi_migrate_remote_ns: 120_000.0,
+            ampi_lb_period_ns: 4_000_000.0,
+        }
+    }
+}
+
+/// Which messaging stack a simulated rank uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgStack {
+    /// Pure's lock-free channels.
+    Pure,
+    /// The lock-based MPI channels.
+    Mpi,
+    /// MPI plus Charm++ scheduler overhead (AMPI).
+    Ampi,
+}
+
+impl CostModel {
+    fn line_ns(&self, p: Placement) -> f64 {
+        match p {
+            Placement::HyperthreadSiblings => self.line_sibling_ns,
+            Placement::SharedL3 => self.line_l3_ns,
+            Placement::CrossNuma => self.line_numa_ns,
+            Placement::CrossNode => self.line_l3_ns, // staging buffer locality
+        }
+    }
+
+    /// End-to-end latency of one message of `bytes` between ranks at
+    /// `placement`, on `stack`.
+    pub fn msg_ns(&self, stack: MsgStack, placement: Placement, bytes: usize) -> f64 {
+        if placement == Placement::CrossNode {
+            // Both runtimes ride the interconnect; MPI pays its stack costs,
+            // Pure pays a thin shim plus the same network.
+            let net = self.net_alpha_ns + bytes as f64 * self.net_beta_ps_per_byte / 1000.0;
+            let stack_oh = match stack {
+                MsgStack::Pure => self.pure_msg_base_ns,
+                MsgStack::Mpi => self.mpi_msg_base_ns,
+                MsgStack::Ampi => self.mpi_msg_base_ns + self.ampi_msg_extra_ns,
+            };
+            return net + stack_oh;
+        }
+        let line = self.line_ns(placement);
+        let copy = |n: usize| n as f64 * self.copy_ps_per_byte / 1000.0;
+        match stack {
+            MsgStack::Pure => {
+                if bytes <= self.small_threshold {
+                    // Two copies + producer/consumer line handoffs.
+                    self.pure_msg_base_ns + 2.0 * copy(bytes) + 2.0 * line
+                } else {
+                    // Single copy after envelope exchange (two line handoffs
+                    // for the envelope, one for completion).
+                    self.pure_rdv_base_ns + copy(bytes) + 3.0 * line
+                }
+            }
+            MsgStack::Mpi | MsgStack::Ampi => {
+                let extra = if stack == MsgStack::Ampi {
+                    self.ampi_msg_extra_ns
+                } else {
+                    0.0
+                };
+                let sibling = if placement == Placement::HyperthreadSiblings {
+                    // Two processes on one hardware thread pair can't spin
+                    // usefully; they pay scheduler round-trips.
+                    self.mpi_sibling_penalty_ns
+                } else {
+                    0.0
+                };
+                if bytes <= self.small_threshold {
+                    // Two copies through the bounce cell, lock both sides.
+                    self.mpi_msg_base_ns
+                        + 2.0 * self.mpi_lock_ns
+                        + 2.0 * copy(bytes)
+                        + 2.0 * line
+                        + sibling
+                        + extra
+                } else {
+                    // Handshake + XPMEM attach + single copy, locks both
+                    // sides.
+                    self.mpi_rdv_handshake_ns
+                        + self.mpi_xpmem_attach_ns
+                        + 2.0 * self.mpi_lock_ns
+                        + copy(bytes)
+                        + 2.0 * line
+                        + sibling
+                        + extra
+                }
+            }
+        }
+    }
+
+    /// Collective completion cost charged after the last member arrives.
+    /// `t` = ranks per node, `n` = nodes, `bytes` = payload.
+    pub fn coll_ns(
+        &self,
+        kind: CollKind,
+        stack: CollStack,
+        t: usize,
+        n: usize,
+        bytes: usize,
+    ) -> f64 {
+        let t = t.max(1);
+        let n = n.max(1);
+        let log2 = |x: usize| (x.max(1) as f64).log2().ceil();
+        let net_msg = self.net_alpha_ns + bytes as f64 * self.net_beta_ps_per_byte / 1000.0;
+        let reduce = |b: usize| b as f64 * self.reduce_ps_per_byte / 1000.0;
+        match stack {
+            CollStack::Pure => {
+                // SPTD arrivals are parallel release stores; the leader
+                // scans the per-member sequence words (mostly cache hits)
+                // plus a couple of real line transfers, then releases.
+                let arrive = t as f64 * self.sptd_scan_ns_per_member + 2.0 * self.line_l3_ns;
+                let release = self.line_l3_ns;
+                let compute = match kind {
+                    CollKind::Barrier => 0.0,
+                    CollKind::Bcast => bytes as f64 * self.copy_ps_per_byte / 1000.0,
+                    CollKind::Allreduce | CollKind::Reduce => {
+                        if bytes <= 2048 {
+                            // Leader flat-combines all t inputs.
+                            t as f64 * reduce(bytes)
+                        } else {
+                            // Partitioned Reducer: t threads, each reduces t
+                            // strips of bytes/t.
+                            t as f64 * reduce(bytes / t) + 2.0 * self.line_l3_ns
+                            // done-seq + scratch_ready
+                        }
+                    }
+                };
+                // Pure's leaders call MPI's collectives across nodes, so
+                // they inherit the best available implementation there —
+                // including DMAPP offload for 8-byte payloads.
+                let hop = if bytes <= 8 {
+                    net_msg.min(self.dmapp_hop_ns)
+                } else {
+                    net_msg
+                };
+                let internode = if n > 1 { log2(n) * hop } else { 0.0 };
+                arrive + compute + internode + release
+            }
+            CollStack::Mpi => {
+                // p2p composition over all ranks: log2(t) intra rounds +
+                // log2(n) inter rounds, each a full message (+ reduction
+                // where applicable).
+                let intra_round = self.msg_ns(MsgStack::Mpi, Placement::SharedL3, bytes.max(8));
+                let per_round_reduce = match kind {
+                    CollKind::Allreduce | CollKind::Reduce => reduce(bytes),
+                    _ => 0.0,
+                };
+                log2(t) * (intra_round + per_round_reduce) + log2(n) * (net_msg + per_round_reduce)
+            }
+            CollStack::MpiDmapp => {
+                // Hardware-offload collectives (8 B payloads only): skips
+                // the software tree across nodes; intra-node still software.
+                let intra = log2(t) * self.msg_ns(MsgStack::Mpi, Placement::SharedL3, 8);
+                intra + log2(n) * self.dmapp_hop_ns
+            }
+            CollStack::Omp => {
+                // Single-node tree barrier/reduction among t threads.
+                let compute = match kind {
+                    CollKind::Allreduce | CollKind::Reduce => log2(t) * reduce(bytes),
+                    _ => 0.0,
+                };
+                log2(t) * self.omp_level_ns + compute
+            }
+        }
+    }
+}
+
+/// Collective operation kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollKind {
+    /// Barrier.
+    Barrier,
+    /// All-reduce.
+    Allreduce,
+    /// Rooted reduce.
+    Reduce,
+    /// Broadcast.
+    Bcast,
+}
+
+/// Which collective implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollStack {
+    /// Pure's SPTD / Partitioned Reducer + leader tree.
+    Pure,
+    /// MPI p2p composition.
+    Mpi,
+    /// Cray DMAPP offload (8 B).
+    MpiDmapp,
+    /// OpenMP intra-node primitives.
+    Omp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_beats_mpi_for_small_intra_node_messages() {
+        let c = CostModel::default();
+        for p in [
+            Placement::HyperthreadSiblings,
+            Placement::SharedL3,
+            Placement::CrossNuma,
+        ] {
+            let pure = c.msg_ns(MsgStack::Pure, p, 64);
+            let mpi = c.msg_ns(MsgStack::Mpi, p, 64);
+            assert!(pure < mpi, "{p:?}: pure {pure} !< mpi {mpi}");
+        }
+    }
+
+    #[test]
+    fn sibling_small_message_speedup_is_large() {
+        // Paper Fig. 6: ~17× peak speedup for small messages between
+        // hyperthread siblings.
+        let c = CostModel::default();
+        let ratio = c.msg_ns(MsgStack::Mpi, Placement::HyperthreadSiblings, 8)
+            / c.msg_ns(MsgStack::Pure, Placement::HyperthreadSiblings, 8);
+        assert!(ratio > 8.0 && ratio < 40.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn large_message_speedup_shrinks_toward_copy_bound() {
+        let c = CostModel::default();
+        let ratio = c.msg_ns(MsgStack::Mpi, Placement::SharedL3, 16 << 20)
+            / c.msg_ns(MsgStack::Pure, Placement::SharedL3, 16 << 20);
+        assert!(
+            ratio > 0.9 && ratio < 2.5,
+            "large-message ratio {ratio} out of band"
+        );
+    }
+
+    #[test]
+    fn cross_node_is_network_dominated_for_both() {
+        let c = CostModel::default();
+        let pure = c.msg_ns(MsgStack::Pure, Placement::CrossNode, 8);
+        let mpi = c.msg_ns(MsgStack::Mpi, Placement::CrossNode, 8);
+        assert!(pure > c.net_alpha_ns && mpi > c.net_alpha_ns);
+        assert!(mpi / pure < 1.5, "network must dominate the gap");
+    }
+
+    #[test]
+    fn latency_is_monotonic_in_size() {
+        let c = CostModel::default();
+        for stack in [MsgStack::Pure, MsgStack::Mpi] {
+            let mut prev = 0.0;
+            for bytes in [8usize, 64, 1024, 8192, 9000, 1 << 20] {
+                let v = c.msg_ns(stack, Placement::SharedL3, bytes);
+                // Threshold crossings may step, but only upward overall.
+                assert!(v >= prev * 0.5, "{stack:?} non-monotone at {bytes}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn pure_collectives_beat_mpi_intra_node() {
+        let c = CostModel::default();
+        for t in [2usize, 8, 32, 64] {
+            let p = c.coll_ns(CollKind::Barrier, CollStack::Pure, t, 1, 0);
+            let m = c.coll_ns(CollKind::Barrier, CollStack::Mpi, t, 1, 0);
+            assert!(p < m, "t={t}: pure barrier {p} !< mpi {m}");
+        }
+    }
+
+    #[test]
+    fn dmapp_beats_software_tree_at_scale_for_8b() {
+        let c = CostModel::default();
+        let d = c.coll_ns(CollKind::Allreduce, CollStack::MpiDmapp, 64, 256, 8);
+        let m = c.coll_ns(CollKind::Allreduce, CollStack::Mpi, 64, 256, 8);
+        assert!(d < m);
+    }
+
+    #[test]
+    fn large_allreduce_uses_partitioned_path() {
+        let c = CostModel::default();
+        // With many threads, the partitioned reducer beats what the leader
+        // flat-combining formula would give for the same size.
+        let t = 64;
+        let big = 1 << 20;
+        let flat = t as f64 * (big as f64 * c.reduce_ps_per_byte / 1000.0);
+        let modeled = c.coll_ns(CollKind::Allreduce, CollStack::Pure, t, 1, big);
+        assert!(
+            modeled < flat,
+            "partitioned path must parallelize the reduction"
+        );
+    }
+}

@@ -1,0 +1,1508 @@
+//! The discrete-event engine: rank state machines over virtual time.
+//!
+//! Each simulated rank executes its [`RankProgram`] op by op. Compute and
+//! task chunks occupy the rank's core; sends are asynchronous with modeled
+//! latency; receives and collectives block — and *blocked Pure ranks steal
+//! chunks of co-resident active tasks*, which is the mechanism the paper's
+//! application speedups come from. The engine also models MPI+OpenMP
+//! (pre-transformed workloads + fork/join costs) and AMPI (virtual ranks
+//! cooperatively multiplexed on cores with periodic measured-load
+//! migration).
+//!
+//! Determinism: the event queue orders by (time, insertion sequence), so a
+//! given configuration always produces the same timeline.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::cost::{CollKind, CollStack, CostModel, MsgStack, Placement};
+use crate::program::{GroupId, Op, RankProgram};
+
+/// Which runtime the cluster is running.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimRuntime {
+    /// Pure: lock-free messaging/collectives; optionally stealable tasks.
+    Pure {
+        /// Execute `Task` ops as stealable chunked tasks.
+        tasks: bool,
+    },
+    /// MPI-everywhere: lock-based messaging, p2p-tree collectives, serial
+    /// tasks.
+    Mpi,
+    /// MPI with DMAPP-offloaded 8-byte collectives.
+    MpiDmapp,
+    /// MPI+OpenMP hybrid: `Task` ops fork/join across `threads` local
+    /// threads (the workload generator must already have reduced the rank
+    /// count accordingly).
+    MpiOmp {
+        /// OpenMP threads per process rank.
+        threads: usize,
+    },
+    /// AMPI: this simulation's ranks are *virtual* ranks, multiplexed
+    /// cooperatively over cores with periodic load-balancing migration.
+    Ampi {
+        /// Virtual ranks per core.
+        vranks_per_core: usize,
+        /// SMP mode: cheap intra-node migration (plus a dedicated comm
+        /// thread, which the bench configures as extra hardware, per §5.2.2).
+        smp: bool,
+    },
+}
+
+impl SimRuntime {
+    fn msg_stack(self) -> MsgStack {
+        match self {
+            SimRuntime::Pure { .. } => MsgStack::Pure,
+            SimRuntime::Ampi { .. } => MsgStack::Ampi,
+            _ => MsgStack::Mpi,
+        }
+    }
+
+    fn coll_stack(self, bytes: u32) -> CollStack {
+        match self {
+            SimRuntime::Pure { .. } => CollStack::Pure,
+            SimRuntime::MpiDmapp if bytes <= 8 => CollStack::MpiDmapp,
+            _ => CollStack::Mpi,
+        }
+    }
+
+    fn steals(self) -> bool {
+        matches!(self, SimRuntime::Pure { tasks: true })
+    }
+}
+
+/// Simulation configuration.
+pub struct SimConfig {
+    /// Program ranks (for AMPI: virtual ranks).
+    pub ranks: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Runtime model.
+    pub runtime: SimRuntime,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Extra collective groups (group 0 = world is implicit). Entries are
+    /// member rank lists.
+    pub extra_groups: Vec<Vec<u32>>,
+    /// Pure helper threads per node (steal-only, on spare cores).
+    pub helpers_per_node: usize,
+}
+
+impl SimConfig {
+    /// A cluster of `ranks` ranks, `cores_per_node` per node.
+    pub fn new(ranks: usize, cores_per_node: usize, runtime: SimRuntime) -> Self {
+        Self {
+            ranks,
+            cores_per_node: cores_per_node.max(1),
+            runtime,
+            cost: CostModel::default(),
+            extra_groups: Vec::new(),
+            helpers_per_node: 0,
+        }
+    }
+}
+
+/// What a rank was doing during a traced interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegKind {
+    /// Serial compute (or an MPI+OpenMP parallel region).
+    Compute,
+    /// A chunk of the rank's own task.
+    OwnChunk,
+    /// A chunk stolen from another rank's task.
+    StolenChunk,
+}
+
+/// One busy interval of one rank (gaps are blocked/idle time).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSegment {
+    /// Rank.
+    pub rank: u32,
+    /// Interval start (virtual ns).
+    pub start_ns: u64,
+    /// Interval end.
+    pub end_ns: u64,
+    /// What ran.
+    pub kind: SegKind,
+}
+
+/// Render traced segments as an ASCII Gantt chart (one row per rank,
+/// `width` columns): `#` compute, `o` own chunks, `s` stolen chunks,
+/// `.` blocked/idle. The Figure 1 timeline, textual.
+pub fn render_timeline(segments: &[TraceSegment], ranks: usize, width: usize) -> String {
+    let end = segments.iter().map(|s| s.end_ns).max().unwrap_or(1).max(1);
+    let mut rows = vec![vec![b'.'; width]; ranks];
+    for seg in segments {
+        let a = (seg.start_ns as u128 * width as u128 / end as u128) as usize;
+        let b = ((seg.end_ns as u128 * width as u128).div_ceil(end as u128) as usize).min(width);
+        let ch = match seg.kind {
+            SegKind::Compute => b'#',
+            SegKind::OwnChunk => b'o',
+            SegKind::StolenChunk => b's',
+        };
+        for c in rows[seg.rank as usize][a..b].iter_mut() {
+            *c = ch;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.into_iter().enumerate() {
+        out.push_str(&format!(
+            "rank {r:>4} |{}|
+",
+            String::from_utf8(row).unwrap()
+        ));
+    }
+    out
+}
+
+/// Simulation outcome.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Virtual time at which the last rank finished.
+    pub makespan_ns: u64,
+    /// Chunks executed by thieves (Pure).
+    pub chunks_stolen: u64,
+    /// Chunks executed by helper threads.
+    pub helper_chunks: u64,
+    /// Total point-to-point messages.
+    pub messages: u64,
+    /// AMPI vrank migrations performed.
+    pub migrations: u64,
+    /// Total rank-busy nanoseconds (compute + chunks, all ranks).
+    pub busy_ns: u64,
+}
+
+impl SimResult {
+    /// Mean core utilization over the makespan: busy time divided by
+    /// (makespan × cores). The headroom Pure's stealing recovers shows up
+    /// directly here.
+    pub fn utilization(&self, cores: usize) -> f64 {
+        if self.makespan_ns == 0 || cores == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (self.makespan_ns as f64 * cores as f64)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockReason {
+    Recv { src: u32 },
+    Coll { group: GroupId, round: u64 },
+    TaskJoin { task: u64 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RState {
+    /// About to run (Wake scheduled) or waiting for its core.
+    Ready,
+    /// Occupying its core until a scheduled event.
+    Busy,
+    /// Blocked; idle (steal pool member if Pure).
+    Blocked(BlockReason),
+    /// Blocked but currently executing a stolen chunk.
+    StealBusy(BlockReason),
+    /// Task owner running one of its own chunks.
+    OwnerBusy { task: u64 },
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Rank continues its program.
+    Wake(u32),
+    /// Message from src arrives at dst (carrying the receiver-side CPU cost).
+    MsgArrive { src: u32, dst: u32, recv_cpu: u64 },
+    /// A chunk execution ends (owner or thief or helper).
+    ChunkEnd { rank: u32, task: u64 },
+    /// Helper finished a chunk of `task` on `node`.
+    HelperChunkEnd { node: u32, task: u64 },
+    /// Collective completes; release members.
+    CollEnd { group: GroupId, round: u64 },
+    /// AMPI load-balancer tick.
+    LbTick,
+}
+
+struct TaskRun {
+    owner: u32,
+    node: u32,
+    remaining: VecDeque<u64>,
+    outstanding: u32,
+}
+
+struct CollState {
+    arrived: usize,
+    last_arrival: u64,
+}
+
+struct RankSim {
+    program: Box<dyn RankProgram>,
+    node: u32,
+    core: u32,
+    state: RState,
+    group_round: Vec<u64>,
+    /// Busy ns since the last AMPI LB tick.
+    busy_since_lb: u64,
+    /// An unblock arrived while mid-chunk.
+    pending_unblock: bool,
+}
+
+struct CoreSim {
+    current: Option<u32>,
+    queue: VecDeque<u32>,
+}
+
+struct NodeSim {
+    /// Ranks blocked & idle (candidates for stealing / unblocking).
+    steal_pool: Vec<u32>,
+    /// Active task ids on this node.
+    tasks: Vec<u64>,
+    /// Free helper slots.
+    helpers_free: u32,
+    /// Virtual time until which this node's NIC is busy injecting — one
+    /// shared injection port per node, so concurrent cross-node senders
+    /// serialize (the paper's Endpoints discussion: NIC utilization vs
+    /// threads per process).
+    nic_free_at: u64,
+}
+
+/// The engine.
+pub struct Sim {
+    cfg: SimConfig,
+    now: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<(u64, u64, u64)>>, // (time, seq, event idx)
+    event_store: Vec<Option<Event>>,
+    ranks: Vec<RankSim>,
+    cores: Vec<CoreSim>,
+    nodes: Vec<NodeSim>,
+    tasks: HashMap<u64, TaskRun>,
+    next_task_id: u64,
+    colls: HashMap<(GroupId, u64), CollState>,
+    groups: Vec<Vec<u32>>,
+    /// (src,dst) → receive-side CPU overhead (ns) of each arrived-but-
+    /// unconsumed message, FIFO.
+    mailbox: HashMap<(u32, u32), VecDeque<u64>>,
+    done: usize,
+    stats: SimResult,
+    /// Busy-interval trace (None unless tracing was requested).
+    trace: Option<Vec<TraceSegment>>,
+}
+
+impl Sim {
+    /// Build a simulation; `programs[r]` is rank r's instruction stream.
+    pub fn new(cfg: SimConfig, programs: Vec<Box<dyn RankProgram>>) -> Self {
+        assert_eq!(programs.len(), cfg.ranks, "one program per rank");
+        let (n_cores, rank_core): (usize, Vec<u32>) = match cfg.runtime {
+            SimRuntime::Ampi {
+                vranks_per_core, ..
+            } => {
+                let v = vranks_per_core.max(1);
+                let cores = cfg.ranks.div_ceil(v);
+                (cores, (0..cfg.ranks).map(|r| (r / v) as u32).collect())
+            }
+            _ => (cfg.ranks, (0..cfg.ranks as u32).collect()),
+        };
+        let n_nodes = n_cores.div_ceil(cfg.cores_per_node);
+        let mut groups = vec![(0..cfg.ranks as u32).collect::<Vec<u32>>()];
+        groups.extend(cfg.extra_groups.iter().cloned());
+        let n_groups = groups.len();
+
+        let ranks: Vec<RankSim> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(r, program)| RankSim {
+                program,
+                node: (rank_core[r] as usize / cfg.cores_per_node) as u32,
+                core: rank_core[r],
+                state: RState::Ready,
+                group_round: vec![0; n_groups],
+                busy_since_lb: 0,
+                pending_unblock: false,
+            })
+            .collect();
+
+        let mut sim = Self {
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            event_store: Vec::new(),
+            cores: (0..n_cores)
+                .map(|_| CoreSim {
+                    current: None,
+                    queue: VecDeque::new(),
+                })
+                .collect(),
+            nodes: (0..n_nodes)
+                .map(|_| NodeSim {
+                    steal_pool: Vec::new(),
+                    tasks: Vec::new(),
+                    helpers_free: cfg.helpers_per_node as u32,
+                    nic_free_at: 0,
+                })
+                .collect(),
+            tasks: HashMap::new(),
+            next_task_id: 1,
+            colls: HashMap::new(),
+            groups,
+            mailbox: HashMap::new(),
+            done: 0,
+            trace: None,
+            stats: SimResult {
+                makespan_ns: 0,
+                chunks_stolen: 0,
+                helper_chunks: 0,
+                messages: 0,
+                migrations: 0,
+                busy_ns: 0,
+            },
+            ranks,
+            cfg,
+        };
+        for r in 0..sim.ranks.len() as u32 {
+            sim.push(0, Event::Wake(r));
+        }
+        if matches!(sim.cfg.runtime, SimRuntime::Ampi { .. }) {
+            let p = sim.cfg.cost.ampi_lb_period_ns as u64;
+            sim.push(p, Event::LbTick);
+        }
+        sim
+    }
+
+    fn push(&mut self, at: u64, ev: Event) {
+        let idx = self.event_store.len() as u64;
+        self.event_store.push(Some(ev));
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, idx)));
+    }
+
+    fn placement(&self, a: u32, b: u32) -> Placement {
+        let (ra, rb) = (&self.ranks[a as usize], &self.ranks[b as usize]);
+        if ra.node != rb.node {
+            Placement::CrossNode
+        } else if ra.core == rb.core || (ra.core ^ 1) == rb.core {
+            // Adjacent core ids model hyperthread siblings.
+            Placement::HyperthreadSiblings
+        } else {
+            // Two NUMA domains per node (Cori's dual-socket Haswell).
+            let half = (self.cfg.cores_per_node / 2).max(1) as u32;
+            let la = ra.core % self.cfg.cores_per_node as u32;
+            let lb = rb.core % self.cfg.cores_per_node as u32;
+            if (la < half) == (lb < half) {
+                Placement::SharedL3
+            } else {
+                Placement::CrossNuma
+            }
+        }
+    }
+
+    /// Ranks per node and node count for a group (collective cost inputs).
+    fn group_shape(&self, g: GroupId) -> (usize, usize) {
+        let members = &self.groups[g as usize];
+        let mut per_node: HashMap<u32, usize> = HashMap::new();
+        for &m in members {
+            *per_node.entry(self.ranks[m as usize].node).or_default() += 1;
+        }
+        let t = per_node.values().copied().max().unwrap_or(1);
+        (t, per_node.len())
+    }
+
+    /// Like [`Sim::run`], also recording every rank's busy intervals.
+    pub fn run_traced(mut self) -> (SimResult, Vec<TraceSegment>) {
+        self.trace = Some(Vec::new());
+        let (res, trace) = self.run_inner();
+        (res, trace.unwrap_or_default())
+    }
+
+    /// Run to completion; panics on deadlock (event queue drained while
+    /// ranks remain unfinished).
+    pub fn run(self) -> SimResult {
+        self.run_inner().0
+    }
+
+    fn run_inner(mut self) -> (SimResult, Option<Vec<TraceSegment>>) {
+        while let Some(Reverse((t, _, idx))) = self.events.pop() {
+            self.now = t;
+            let ev = self.event_store[idx as usize]
+                .take()
+                .expect("event fired once");
+            self.handle(ev);
+            if self.done == self.ranks.len() {
+                self.stats.makespan_ns = self.now;
+                return (self.stats, self.trace);
+            }
+        }
+        let stuck: Vec<usize> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state != RState::Done)
+            .map(|(i, _)| i)
+            .take(8)
+            .collect();
+        panic!(
+            "cluster-sim deadlock at t={} ns: {}/{} ranks unfinished, e.g. {:?} in states {:?}",
+            self.now,
+            self.ranks.len() - self.done,
+            self.ranks.len(),
+            stuck,
+            stuck
+                .iter()
+                .map(|&i| self.ranks[i].state)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Wake(r) => self.step_rank(r),
+            Event::MsgArrive { src, dst, recv_cpu } => {
+                self.mailbox
+                    .entry((src, dst))
+                    .or_default()
+                    .push_back(recv_cpu);
+                self.maybe_unblock(dst, BlockReason::Recv { src });
+            }
+            Event::ChunkEnd { rank, task } => self.chunk_end(rank, task),
+            Event::HelperChunkEnd { node, task } => {
+                self.stats.helper_chunks += 1;
+                self.finish_chunk_accounting(task);
+                // Helper immediately tries for more work.
+                if !self.helper_take(node, task) {
+                    self.nodes[node as usize].helpers_free += 1;
+                    self.helper_scan(node);
+                }
+            }
+            Event::CollEnd { group, round } => {
+                let members = self.groups[group as usize].clone();
+                for m in members {
+                    self.maybe_unblock(m, BlockReason::Coll { group, round });
+                }
+                self.colls.remove(&(group, round));
+            }
+            Event::LbTick => self.lb_tick(),
+        }
+    }
+
+    /// Rank is runnable: acquire its core and execute ops until it blocks,
+    /// occupies the core, or finishes.
+    fn step_rank(&mut self, r: u32) {
+        // Core acquisition (only contended under AMPI).
+        let core = self.ranks[r as usize].core as usize;
+        match self.cores[core].current {
+            None => self.cores[core].current = Some(r),
+            Some(cur) if cur == r => {}
+            Some(_) => {
+                if !self.cores[core].queue.contains(&r) {
+                    self.cores[core].queue.push_back(r);
+                }
+                self.ranks[r as usize].state = RState::Ready;
+                return;
+            }
+        }
+
+        loop {
+            let op = self.ranks[r as usize].program.next_op();
+            match op {
+                Op::Compute(ns) => {
+                    self.busy(r, ns);
+                    return;
+                }
+                Op::Task { chunks } => {
+                    self.start_task(r, chunks);
+                    return;
+                }
+                Op::Send { dst, bytes } => {
+                    self.stats.messages += 1;
+                    let stack = self.cfg.runtime.msg_stack();
+                    let intra = self.placement(r, dst) != Placement::CrossNode;
+                    let mut lat =
+                        self.cfg
+                            .cost
+                            .msg_ns(stack, self.placement(r, dst), bytes as usize);
+                    if !intra {
+                        // Serialize through the sending node's NIC: queueing
+                        // delay plus wire occupancy for this payload (one
+                        // shared injection port per node - cf. the paper's
+                        // Endpoints discussion of NIC utilization vs threads
+                        // per process).
+                        let node = self.ranks[r as usize].node as usize;
+                        let wire_ns =
+                            (bytes as f64 * self.cfg.cost.net_beta_ps_per_byte / 1000.0) as u64;
+                        let start = self.nodes[node].nic_free_at.max(self.now);
+                        self.nodes[node].nic_free_at = start + wire_ns;
+                        lat += (start - self.now) as f64;
+                    }
+                    // CPU split of the end-to-end cost: for intra-node
+                    // messages the sender does its copy (~40%) and the
+                    // receiver its copy + matching (~40%); cross-node, the
+                    // NIC moves the data and each side pays a stack shim.
+                    let (send_cpu, recv_cpu) = if intra {
+                        ((0.4 * lat) as u64, (0.4 * lat) as u64)
+                    } else {
+                        let shim = self.cfg.cost.mpi_msg_base_ns as u64;
+                        (shim, shim)
+                    };
+                    self.push(
+                        self.now + lat as u64,
+                        Event::MsgArrive {
+                            src: r,
+                            dst,
+                            recv_cpu,
+                        },
+                    );
+                    if send_cpu > 0 {
+                        self.busy(r, send_cpu);
+                        return;
+                    }
+                }
+                Op::Recv { src } => {
+                    if let Some(q) = self.mailbox.get_mut(&(src, r)) {
+                        if let Some(oh) = q.pop_front() {
+                            // Matched instantly; pay the receive-side CPU.
+                            if oh > 0 {
+                                self.busy(r, oh);
+                                return;
+                            }
+                            continue;
+                        }
+                    }
+                    self.block(r, BlockReason::Recv { src });
+                    return;
+                }
+                Op::Allreduce { bytes, group } => {
+                    self.join_coll(r, group, CollKind::Allreduce, bytes);
+                    return;
+                }
+                Op::Reduce { bytes, group } => {
+                    self.join_coll(r, group, CollKind::Reduce, bytes);
+                    return;
+                }
+                Op::Bcast { bytes, group } => {
+                    self.join_coll(r, group, CollKind::Bcast, bytes);
+                    return;
+                }
+                Op::Barrier { group } => {
+                    self.join_coll(r, group, CollKind::Barrier, 0);
+                    return;
+                }
+                Op::Done => {
+                    self.ranks[r as usize].state = RState::Done;
+                    self.done += 1;
+                    self.release_core(r);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Append a trace segment (no-op unless tracing).
+    fn record(&mut self, rank: u32, dur: u64, kind: SegKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceSegment {
+                rank,
+                start_ns: self.now,
+                end_ns: self.now + dur,
+                kind,
+            });
+        }
+    }
+
+    /// Occupy the core for `ns`, then continue the program.
+    fn busy(&mut self, r: u32, ns: u64) {
+        self.record(r, ns, SegKind::Compute);
+        self.ranks[r as usize].state = RState::Busy;
+        self.ranks[r as usize].busy_since_lb += ns;
+        self.stats.busy_ns += ns;
+        // Reuse Wake: after the busy period the rank continues; the core
+        // stays held (current == r) through the event.
+        self.push(self.now + ns, Event::Wake(r));
+    }
+
+    fn release_core(&mut self, r: u32) {
+        let core = self.ranks[r as usize].core as usize;
+        if self.cores[core].current == Some(r) {
+            self.cores[core].current = None;
+            if let Some(next) = self.cores[core].queue.pop_front() {
+                let ctx = match self.cfg.runtime {
+                    SimRuntime::Ampi { .. } => self.cfg.cost.ampi_ctx_switch_ns as u64,
+                    _ => 0,
+                };
+                self.push(self.now + ctx, Event::Wake(next));
+            }
+        }
+    }
+
+    /// Rank blocks for `reason`: release the core, enter the steal pool,
+    /// and (Pure) immediately try to grab a chunk.
+    fn block(&mut self, r: u32, reason: BlockReason) {
+        self.ranks[r as usize].state = RState::Blocked(reason);
+        self.ranks[r as usize].pending_unblock = false;
+        self.release_core(r);
+        if self.cfg.runtime.steals() {
+            if self.try_steal(r, reason) {
+                return;
+            }
+            let node = self.ranks[r as usize].node as usize;
+            self.nodes[node].steal_pool.push(r);
+        }
+    }
+
+    /// Attempt to claim one chunk from any active task on `r`'s node
+    /// (random-victim order approximated by rotation).
+    fn try_steal(&mut self, r: u32, reason: BlockReason) -> bool {
+        let node = self.ranks[r as usize].node as usize;
+        let task_ids: Vec<u64> = self.nodes[node].tasks.clone();
+        for tid in task_ids {
+            if let Some(task) = self.tasks.get_mut(&tid) {
+                if task.owner == r {
+                    continue;
+                }
+                if let Some(chunk) = task.remaining.pop_front() {
+                    task.outstanding += 1;
+                    self.stats.chunks_stolen += 1;
+                    self.stats.busy_ns += chunk;
+                    self.record(
+                        r,
+                        self.cfg.cost.steal_overhead_ns as u64 + chunk,
+                        SegKind::StolenChunk,
+                    );
+                    self.ranks[r as usize].state = RState::StealBusy(reason);
+                    let dur = self.cfg.cost.steal_overhead_ns as u64 + chunk;
+                    self.push(self.now + dur, Event::ChunkEnd { rank: r, task: tid });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// A blocking condition for `r` may have resolved.
+    fn maybe_unblock(&mut self, r: u32, what: BlockReason) {
+        let st = self.ranks[r as usize].state;
+        match st {
+            RState::Blocked(reason) if reason == what => {
+                let mut delay = 0u64;
+                if let BlockReason::Recv { src } = reason {
+                    // Consume the message now; its receive-side CPU cost
+                    // delays the resume.
+                    delay = self
+                        .mailbox
+                        .get_mut(&(src, r))
+                        .and_then(|q| q.pop_front())
+                        .expect("message present");
+                }
+                self.remove_from_pool(r);
+                self.ranks[r as usize].state = RState::Ready;
+                self.push(self.now + delay, Event::Wake(r));
+            }
+            RState::StealBusy(reason) if reason == what => {
+                // Finish the chunk first (paper: thieves check their
+                // blocking event between chunks).
+                self.ranks[r as usize].pending_unblock = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn remove_from_pool(&mut self, r: u32) {
+        let node = self.ranks[r as usize].node as usize;
+        if let Some(pos) = self.nodes[node].steal_pool.iter().position(|&x| x == r) {
+            self.nodes[node].steal_pool.swap_remove(pos);
+        }
+    }
+
+    /// Start a `Task` op on rank r per the runtime's semantics.
+    fn start_task(&mut self, r: u32, chunks: Vec<u64>) {
+        let total: u64 = chunks.iter().sum();
+        match self.cfg.runtime {
+            SimRuntime::Pure { tasks: true } => {
+                let node = self.ranks[r as usize].node;
+                let tid = self.next_task_id;
+                self.next_task_id += 1;
+                let mut run = TaskRun {
+                    owner: r,
+                    node,
+                    remaining: chunks.into(),
+                    outstanding: 0,
+                };
+                // Owner takes the first chunk.
+                let publish = self.cfg.cost.task_publish_ns as u64;
+                if let Some(first) = run.remaining.pop_front() {
+                    run.outstanding += 1;
+                    self.record(r, publish + first, SegKind::OwnChunk);
+                    self.ranks[r as usize].state = RState::OwnerBusy { task: tid };
+                    self.ranks[r as usize].busy_since_lb += first;
+                    self.stats.busy_ns += first;
+                    self.push(
+                        self.now + publish + first,
+                        Event::ChunkEnd { rank: r, task: tid },
+                    );
+                } else {
+                    // Zero-chunk task: nothing to do.
+                    self.push(self.now + publish, Event::Wake(r));
+                }
+                self.tasks.insert(tid, run);
+                self.nodes[node as usize].tasks.push(tid);
+                // Offer chunks to already-blocked ranks and helpers.
+                self.offer_chunks(node as usize, tid);
+            }
+            SimRuntime::MpiOmp { threads } => {
+                let k = threads.max(1) as u64;
+                let dur = total / k + self.cfg.cost.omp_fork_join_ns as u64;
+                self.busy(r, dur);
+            }
+            _ => {
+                // Serial execution by the owner.
+                self.busy(r, total);
+            }
+        }
+    }
+
+    /// Hand chunks of `tid` to blocked ranks / helpers on `node`.
+    fn offer_chunks(&mut self, node: usize, tid: u64) {
+        if !self.cfg.runtime.steals() {
+            return;
+        }
+        // Blocked ranks first (they are "first-class" stealers)...
+        let pool: Vec<u32> = self.nodes[node].steal_pool.clone();
+        for r in pool {
+            let reason = match self.ranks[r as usize].state {
+                RState::Blocked(reason) => reason,
+                _ => continue,
+            };
+            let Some(task) = self.tasks.get_mut(&tid) else {
+                return;
+            };
+            if task.owner == r || task.remaining.is_empty() {
+                break;
+            }
+            let chunk = task.remaining.pop_front().expect("nonempty");
+            task.outstanding += 1;
+            self.stats.chunks_stolen += 1;
+            self.stats.busy_ns += chunk;
+            self.record(
+                r,
+                self.cfg.cost.steal_overhead_ns as u64 + chunk,
+                SegKind::StolenChunk,
+            );
+            self.remove_from_pool(r);
+            self.ranks[r as usize].state = RState::StealBusy(reason);
+            let dur = self.cfg.cost.steal_overhead_ns as u64 + chunk;
+            self.push(self.now + dur, Event::ChunkEnd { rank: r, task: tid });
+        }
+        // ...then helper threads.
+        while self.nodes[node].helpers_free > 0 && self.helper_take(node as u32, tid) {
+            self.nodes[node].helpers_free -= 1;
+        }
+    }
+
+    /// Helper grabs one chunk of `tid`; true on success.
+    fn helper_take(&mut self, node: u32, tid: u64) -> bool {
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return false;
+        };
+        let Some(chunk) = task.remaining.pop_front() else {
+            return false;
+        };
+        task.outstanding += 1;
+        self.stats.busy_ns += chunk;
+        let dur = self.cfg.cost.steal_overhead_ns as u64 + chunk;
+        self.push(self.now + dur, Event::HelperChunkEnd { node, task: tid });
+        true
+    }
+
+    /// Free helpers look for any open task on the node.
+    fn helper_scan(&mut self, node: u32) {
+        let task_ids: Vec<u64> = self.nodes[node as usize].tasks.clone();
+        for tid in task_ids {
+            while self.nodes[node as usize].helpers_free > 0 && self.helper_take(node, tid) {
+                self.nodes[node as usize].helpers_free -= 1;
+            }
+        }
+    }
+
+    /// Account one finished chunk; completes the task when all chunks done.
+    fn finish_chunk_accounting(&mut self, tid: u64) {
+        let Some(task) = self.tasks.get_mut(&tid) else {
+            return;
+        };
+        task.outstanding -= 1;
+        if task.outstanding == 0 && task.remaining.is_empty() {
+            let owner = task.owner;
+            let node = task.node as usize;
+            self.tasks.remove(&tid);
+            self.nodes[node].tasks.retain(|&t| t != tid);
+            // If the owner is parked waiting for thieves, resume it.
+            self.maybe_unblock(owner, BlockReason::TaskJoin { task: tid });
+        }
+    }
+
+    fn chunk_end(&mut self, r: u32, tid: u64) {
+        let state = self.ranks[r as usize].state;
+        self.finish_chunk_accounting(tid);
+        match state {
+            RState::OwnerBusy { .. } => {
+                // Take the next chunk, or wait for outstanding thieves.
+                if let Some(task) = self.tasks.get_mut(&tid) {
+                    if let Some(chunk) = task.remaining.pop_front() {
+                        task.outstanding += 1;
+                        self.record(r, chunk, SegKind::OwnChunk);
+                        self.ranks[r as usize].busy_since_lb += chunk;
+                        self.stats.busy_ns += chunk;
+                        self.push(self.now + chunk, Event::ChunkEnd { rank: r, task: tid });
+                        return;
+                    }
+                    // Chunks all claimed but thieves still running: the
+                    // owner blocks on task completion (and may steal other
+                    // tasks meanwhile).
+                    self.block(r, BlockReason::TaskJoin { task: tid });
+                    return;
+                }
+                // Task fully complete: continue the program.
+                self.ranks[r as usize].state = RState::Ready;
+                self.push(self.now, Event::Wake(r));
+            }
+            RState::StealBusy(reason) => {
+                // Re-check the blocking condition, steal again, or idle.
+                if self.ranks[r as usize].pending_unblock || self.block_resolved(r, reason) {
+                    self.ranks[r as usize].pending_unblock = false;
+                    let mut delay = 0u64;
+                    if let BlockReason::Recv { src } = reason {
+                        delay = self
+                            .mailbox
+                            .get_mut(&(src, r))
+                            .and_then(|q| q.pop_front())
+                            .expect("message present");
+                    }
+                    self.ranks[r as usize].state = RState::Ready;
+                    self.push(self.now + delay, Event::Wake(r));
+                    return;
+                }
+                self.ranks[r as usize].state = RState::Blocked(reason);
+                if self.try_steal(r, reason) {
+                    return;
+                }
+                let node = self.ranks[r as usize].node as usize;
+                self.nodes[node].steal_pool.push(r);
+            }
+            _ => unreachable!("ChunkEnd for rank in state {state:?}"),
+        }
+    }
+
+    /// Check a block condition without consuming anything.
+    fn block_resolved(&self, r: u32, reason: BlockReason) -> bool {
+        match reason {
+            BlockReason::Recv { src } => self
+                .mailbox
+                .get(&(src, r))
+                .map(|q| !q.is_empty())
+                .unwrap_or(false),
+            BlockReason::Coll { group, round } => {
+                !self.colls.contains_key(&(group, round))
+                    && self.ranks[r as usize].group_round[group as usize] >= round
+            }
+            BlockReason::TaskJoin { task } => !self.tasks.contains_key(&task),
+        }
+    }
+
+    fn join_coll(&mut self, r: u32, group: GroupId, kind: CollKind, bytes: u32) {
+        let g = group as usize;
+        assert!(g < self.groups.len(), "undefined collective group {group}");
+        let round = self.ranks[r as usize].group_round[g] + 1;
+        self.ranks[r as usize].group_round[g] = round;
+        let members = self.groups[g].len();
+        let entry = self.colls.entry((group, round)).or_insert(CollState {
+            arrived: 0,
+            last_arrival: 0,
+        });
+        entry.arrived += 1;
+        entry.last_arrival = self.now;
+        let complete = entry.arrived == members;
+        if complete {
+            let (t, n) = self.group_shape(group);
+            let stack = self.cfg.runtime.coll_stack(bytes);
+            let cost = self.cfg.cost.coll_ns(kind, stack, t, n, bytes as usize) as u64;
+            self.push(self.now + cost, Event::CollEnd { group, round });
+        }
+        self.block(r, BlockReason::Coll { group, round });
+    }
+
+    /// AMPI load balancing, modeled on Charm++'s measurement-based
+    /// GreedyLB: at each tick, re-map the *movable* virtual ranks (those not
+    /// mid-compute) onto cores longest-processing-time-first, respecting the
+    /// original vranks-per-core capacity. Moved vranks pay the migration
+    /// cost (cheap intra-node in SMP mode, expensive otherwise).
+    fn lb_tick(&mut self) {
+        let SimRuntime::Ampi {
+            vranks_per_core,
+            smp,
+        } = self.cfg.runtime
+        else {
+            return;
+        };
+        let n_cores = self.cores.len();
+        let cap = vranks_per_core.max(1) as u32;
+        let mut load = vec![0u64; n_cores];
+        let mut count = vec![0u32; n_cores];
+        // Unmovable vranks (executing right now) anchor their cores.
+        let mut movable: Vec<usize> = Vec::new();
+        for (i, r) in self.ranks.iter().enumerate() {
+            if r.state == RState::Done {
+                continue;
+            }
+            let movable_now = matches!(r.state, RState::Ready | RState::Blocked(_))
+                && self.cores[r.core as usize].current != Some(i as u32);
+            if movable_now {
+                movable.push(i);
+            } else {
+                load[r.core as usize] += r.busy_since_lb;
+                count[r.core as usize] += 1;
+            }
+        }
+        // Longest processing time first onto the least-loaded core with
+        // remaining capacity.
+        movable.sort_by_key(|&i| std::cmp::Reverse(self.ranks[i].busy_since_lb));
+        for v in movable {
+            let old = self.ranks[v].core as usize;
+            let target = (0..n_cores)
+                .filter(|&c| count[c] < cap)
+                .min_by_key(|&c| (load[c], c != old))
+                .unwrap_or(old);
+            load[target] += self.ranks[v].busy_since_lb;
+            count[target] += 1;
+            if target != old {
+                let vr = v as u32;
+                self.cores[old].queue.retain(|&q| q != vr);
+                let same_node = old / self.cfg.cores_per_node == target / self.cfg.cores_per_node;
+                let cost = if smp && same_node {
+                    self.cfg.cost.ampi_migrate_local_ns as u64
+                } else {
+                    self.cfg.cost.ampi_migrate_remote_ns as u64
+                };
+                self.ranks[v].core = target as u32;
+                self.ranks[v].node = (target / self.cfg.cores_per_node) as u32;
+                self.stats.migrations += 1;
+                if self.ranks[v].state == RState::Ready {
+                    self.push(self.now + cost, Event::Wake(vr));
+                }
+            }
+        }
+        for r in self.ranks.iter_mut() {
+            r.busy_since_lb = 0;
+        }
+        if self.done < self.ranks.len() {
+            let p = self.cfg.cost.ampi_lb_period_ns as u64;
+            self.push(self.now + p, Event::LbTick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::VecProgram;
+
+    fn progs(ops: Vec<Vec<Op>>) -> Vec<Box<dyn RankProgram>> {
+        ops.into_iter()
+            .map(|o| Box::new(VecProgram::new(o)) as Box<dyn RankProgram>)
+            .collect()
+    }
+
+    #[test]
+    fn single_rank_compute_makespan() {
+        let cfg = SimConfig::new(1, 1, SimRuntime::Mpi);
+        let res = Sim::new(cfg, progs(vec![vec![Op::Compute(1000)]])).run();
+        assert_eq!(res.makespan_ns, 1000);
+    }
+
+    #[test]
+    fn send_recv_orders_time() {
+        let cfg = SimConfig::new(2, 2, SimRuntime::Mpi);
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![Op::Compute(5_000), Op::Send { dst: 1, bytes: 8 }],
+                vec![Op::Recv { src: 0 }, Op::Compute(1_000)],
+            ]),
+        )
+        .run();
+        // Receiver waits for the sender: ≥ 5000 + latency + 1000.
+        assert!(res.makespan_ns > 6_000, "makespan {}", res.makespan_ns);
+        assert_eq!(res.messages, 1);
+    }
+
+    #[test]
+    fn recv_after_arrival_is_instant() {
+        let cfg = SimConfig::new(2, 2, SimRuntime::Mpi);
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![Op::Send { dst: 1, bytes: 8 }],
+                vec![Op::Compute(1_000_000), Op::Recv { src: 0 }],
+            ]),
+        )
+        .run();
+        assert!(res.makespan_ns < 1_100_000);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let cfg = SimConfig::new(4, 4, SimRuntime::Pure { tasks: false });
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![Op::Compute(10_000), Op::Barrier { group: 0 }],
+                vec![Op::Barrier { group: 0 }, Op::Compute(500)],
+                vec![Op::Barrier { group: 0 }],
+                vec![Op::Barrier { group: 0 }],
+            ]),
+        )
+        .run();
+        assert!(res.makespan_ns >= 10_500, "makespan {}", res.makespan_ns);
+    }
+
+    #[test]
+    fn pure_steals_shrink_imbalanced_makespan() {
+        // Rank 0: big chunked task. Rank 1: blocks on a recv that rank 0
+        // satisfies only after the task. With stealing the task halves.
+        let chunks = vec![100_000u64; 8];
+        let mk = |tasks: bool| {
+            let cfg = SimConfig::new(
+                2,
+                2,
+                if tasks {
+                    SimRuntime::Pure { tasks: true }
+                } else {
+                    SimRuntime::Pure { tasks: false }
+                },
+            );
+            Sim::new(
+                cfg,
+                progs(vec![
+                    vec![
+                        Op::Task {
+                            chunks: chunks.clone(),
+                        },
+                        Op::Send { dst: 1, bytes: 8 },
+                    ],
+                    vec![Op::Recv { src: 0 }],
+                ]),
+            )
+            .run()
+        };
+        let without = mk(false);
+        let with = mk(true);
+        assert_eq!(without.chunks_stolen, 0);
+        assert!(with.chunks_stolen > 0, "thief must steal");
+        assert!(
+            (with.makespan_ns as f64) < 0.7 * without.makespan_ns as f64,
+            "stealing {} !<< serial {}",
+            with.makespan_ns,
+            without.makespan_ns
+        );
+    }
+
+    #[test]
+    fn mpi_does_not_steal() {
+        let cfg = SimConfig::new(2, 2, SimRuntime::Mpi);
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![
+                    Op::Task {
+                        chunks: vec![1000; 4],
+                    },
+                    Op::Send { dst: 1, bytes: 8 },
+                ],
+                vec![Op::Recv { src: 0 }],
+            ]),
+        )
+        .run();
+        assert_eq!(res.chunks_stolen, 0);
+    }
+
+    #[test]
+    fn helpers_execute_chunks() {
+        let mut cfg = SimConfig::new(1, 2, SimRuntime::Pure { tasks: true });
+        cfg.helpers_per_node = 1;
+        let res = Sim::new(
+            cfg,
+            progs(vec![vec![Op::Task {
+                chunks: vec![50_000; 8],
+            }]]),
+        )
+        .run();
+        assert!(res.helper_chunks > 0, "helper must pick up chunks");
+        assert!(res.makespan_ns < 8 * 50_000);
+    }
+
+    #[test]
+    fn omp_divides_task_time() {
+        let mk = |rt| {
+            let cfg = SimConfig::new(1, 4, rt);
+            Sim::new(
+                cfg,
+                progs(vec![vec![Op::Task {
+                    chunks: vec![100_000; 8],
+                }]]),
+            )
+            .run()
+        };
+        let serial = mk(SimRuntime::Mpi);
+        let omp = mk(SimRuntime::MpiOmp { threads: 4 });
+        assert!(omp.makespan_ns < serial.makespan_ns / 2);
+    }
+
+    #[test]
+    fn extra_groups_reduce_independently() {
+        let mut cfg = SimConfig::new(4, 4, SimRuntime::Pure { tasks: false });
+        cfg.extra_groups = vec![vec![0, 1], vec![2, 3]];
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![Op::Allreduce { bytes: 8, group: 1 }],
+                vec![Op::Allreduce { bytes: 8, group: 1 }],
+                vec![Op::Allreduce { bytes: 8, group: 2 }],
+                vec![Op::Allreduce { bytes: 8, group: 2 }],
+            ]),
+        )
+        .run();
+        assert!(res.makespan_ns > 0);
+    }
+
+    #[test]
+    fn ampi_overdecomposition_overlaps_blocking() {
+        // Two vranks per core: while vrank 0 waits for a message, vrank 1
+        // computes on the same core.
+        let cfg = SimConfig::new(
+            4,
+            2,
+            SimRuntime::Ampi {
+                vranks_per_core: 2,
+                smp: true,
+            },
+        );
+        // vranks 0,1 on core 0; 2,3 on core 1.
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![Op::Recv { src: 2 }, Op::Compute(1_000)],
+                vec![Op::Compute(400_000)],
+                vec![Op::Compute(200_000), Op::Send { dst: 0, bytes: 8 }],
+                vec![Op::Compute(1_000)],
+            ]),
+        )
+        .run();
+        // Core 0 total compute ≈ 401k; core 1 ≈ 201k + send. If blocking
+        // wasted the core, makespan would exceed 600k.
+        assert!(res.makespan_ns < 600_000, "makespan {}", res.makespan_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unmatched_recv_is_reported_as_deadlock() {
+        let cfg = SimConfig::new(1, 1, SimRuntime::Mpi);
+        let _ = Sim::new(cfg, progs(vec![vec![Op::Recv { src: 0 }]])).run();
+    }
+
+    #[test]
+    fn determinism_same_config_same_makespan() {
+        let mk = || {
+            let cfg = SimConfig::new(4, 4, SimRuntime::Pure { tasks: true });
+            Sim::new(
+                cfg,
+                progs(vec![
+                    vec![
+                        Op::Task {
+                            chunks: vec![7_000; 6],
+                        },
+                        Op::Barrier { group: 0 },
+                    ],
+                    vec![Op::Compute(3_000), Op::Barrier { group: 0 }],
+                    vec![Op::Barrier { group: 0 }],
+                    vec![Op::Compute(9_000), Op::Barrier { group: 0 }],
+                ]),
+            )
+            .run()
+            .makespan_ns
+        };
+        assert_eq!(mk(), mk());
+    }
+}
+
+#[cfg(test)]
+mod util_tests {
+    use super::*;
+    use crate::program::{Op, RankProgram, VecProgram};
+
+    fn progs(ops: Vec<Vec<Op>>) -> Vec<Box<dyn RankProgram>> {
+        ops.into_iter()
+            .map(|o| Box::new(VecProgram::new(o)) as Box<dyn RankProgram>)
+            .collect()
+    }
+
+    #[test]
+    fn utilization_counts_compute_and_stolen_chunks() {
+        let cfg = SimConfig::new(2, 2, SimRuntime::Pure { tasks: true });
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![
+                    Op::Task {
+                        chunks: vec![50_000; 8],
+                    },
+                    Op::Send { dst: 1, bytes: 8 },
+                ],
+                vec![Op::Recv { src: 0 }],
+            ]),
+        )
+        .run();
+        // All 8 chunks count as busy whether owned or stolen.
+        assert!(res.busy_ns >= 8 * 50_000, "busy {}", res.busy_ns);
+        let u = res.utilization(2);
+        assert!(u > 0.3 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn stealing_raises_utilization_on_imbalanced_work() {
+        let mk = |tasks: bool| {
+            let cfg = SimConfig::new(2, 2, SimRuntime::Pure { tasks });
+            Sim::new(
+                cfg,
+                progs(vec![
+                    vec![
+                        Op::Task {
+                            chunks: vec![100_000; 8],
+                        },
+                        Op::Send { dst: 1, bytes: 8 },
+                    ],
+                    vec![Op::Recv { src: 0 }],
+                ]),
+            )
+            .run()
+        };
+        let without = mk(false);
+        let with = mk(true);
+        assert!(
+            with.utilization(2) > without.utilization(2) * 1.3,
+            "stealing must lift utilization: {} vs {}",
+            with.utilization(2),
+            without.utilization(2)
+        );
+    }
+
+    #[test]
+    fn ampi_greedy_lb_beats_no_overdecomposition_on_skewed_load() {
+        // Half the vranks carry 3× the work; with 4 vranks per core GreedyLB
+        // can mix heavy and light vranks on each core.
+        let mk = |vpc: usize| {
+            let vranks = 16 * vpc;
+            let mut ops = Vec::new();
+            for v in 0..vranks {
+                let heavy = v < vranks / 2;
+                let per_step = if heavy { 3_000_000 } else { 1_000_000 } / vpc as u64;
+                let mut prog = Vec::new();
+                for _ in 0..12 {
+                    prog.push(Op::Compute(per_step));
+                    prog.push(Op::Allreduce { bytes: 8, group: 0 });
+                }
+                ops.push(prog);
+            }
+            let cfg = SimConfig::new(
+                vranks,
+                16,
+                SimRuntime::Ampi {
+                    vranks_per_core: vpc,
+                    smp: true,
+                },
+            );
+            Sim::new(cfg, progs(ops)).run()
+        };
+        let flat = mk(1);
+        let over = mk(4);
+        assert!(over.migrations > 0, "LB must act");
+        assert!(
+            (over.makespan_ns as f64) < 0.85 * flat.makespan_ns as f64,
+            "overdecomposition must help: {} vs {}",
+            over.makespan_ns,
+            flat.makespan_ns
+        );
+    }
+}
+
+#[cfg(test)]
+mod nic_tests {
+    use super::*;
+    use crate::program::{Op, RankProgram, VecProgram};
+
+    fn progs(ops: Vec<Vec<Op>>) -> Vec<Box<dyn RankProgram>> {
+        ops.into_iter()
+            .map(|o| Box::new(VecProgram::new(o)) as Box<dyn RankProgram>)
+            .collect()
+    }
+
+    /// Many ranks on one node blasting large cross-node messages serialize
+    /// through the shared NIC: the receiver's completion time must scale
+    /// with the *sum* of wire times, not just one latency.
+    #[test]
+    fn nic_injection_serializes_cross_node_sends() {
+        // 4 senders on node 0 each send 1 MB to a rank on node 1.
+        let bytes = 1 << 20;
+        let mut ops = vec![
+            vec![Op::Send { dst: 4, bytes }],
+            vec![Op::Send { dst: 4, bytes }],
+            vec![Op::Send { dst: 4, bytes }],
+            vec![Op::Send { dst: 4, bytes }],
+        ];
+        ops.push(vec![
+            Op::Recv { src: 0 },
+            Op::Recv { src: 1 },
+            Op::Recv { src: 2 },
+            Op::Recv { src: 3 },
+        ]);
+        let cfg = SimConfig::new(5, 4, SimRuntime::Mpi);
+        let wire = (bytes as f64 * cfg.cost.nic_ps_per_byte / 1000.0) as u64;
+        let res = Sim::new(cfg, progs(ops)).run();
+        assert!(
+            res.makespan_ns >= 4 * wire,
+            "NIC must serialize: makespan {} < 4×wire {}",
+            res.makespan_ns,
+            4 * wire
+        );
+    }
+
+    /// Intra-node traffic is unaffected by NIC state.
+    #[test]
+    fn intra_node_sends_skip_the_nic() {
+        let cfg = SimConfig::new(2, 2, SimRuntime::Pure { tasks: false });
+        let res = Sim::new(
+            cfg,
+            progs(vec![
+                vec![Op::Send {
+                    dst: 1,
+                    bytes: 1 << 20,
+                }],
+                vec![Op::Recv { src: 0 }],
+            ]),
+        )
+        .run();
+        // One intra-node MB: ~50 µs of copy, far below one wire time.
+        assert!(
+            res.makespan_ns < 400_000,
+            "intra makespan {}",
+            res.makespan_ns
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::program::{Op, RankProgram, VecProgram};
+
+    fn progs(ops: Vec<Vec<Op>>) -> Vec<Box<dyn RankProgram>> {
+        ops.into_iter()
+            .map(|o| Box::new(VecProgram::new(o)) as Box<dyn RankProgram>)
+            .collect()
+    }
+
+    fn traced() -> (SimResult, Vec<TraceSegment>) {
+        let cfg = SimConfig::new(2, 2, SimRuntime::Pure { tasks: true });
+        Sim::new(
+            cfg,
+            progs(vec![
+                vec![
+                    Op::Task {
+                        chunks: vec![80_000; 6],
+                    },
+                    Op::Send { dst: 1, bytes: 8 },
+                ],
+                vec![Op::Compute(10_000), Op::Recv { src: 0 }],
+            ]),
+        )
+        .run_traced()
+    }
+
+    #[test]
+    fn trace_contains_all_three_segment_kinds() {
+        let (_, segs) = traced();
+        assert!(segs.iter().any(|s| s.kind == SegKind::Compute));
+        assert!(segs.iter().any(|s| s.kind == SegKind::OwnChunk));
+        assert!(segs.iter().any(|s| s.kind == SegKind::StolenChunk));
+    }
+
+    #[test]
+    fn per_rank_segments_do_not_overlap() {
+        let (_, mut segs) = traced();
+        segs.sort_by_key(|s| (s.rank, s.start_ns));
+        for w in segs.windows(2) {
+            if w[0].rank == w[1].rank {
+                assert!(
+                    w[0].end_ns <= w[1].start_ns,
+                    "rank {} overlaps: {:?} then {:?}",
+                    w[0].rank,
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_busy_matches_stats() {
+        let (res, segs) = traced();
+        let traced_busy: u64 = segs
+            .iter()
+            .map(|s| {
+                let d = s.end_ns - s.start_ns;
+                // Steal segments include the claim overhead which stats do
+                // not count as "busy work"; subtract it back out.
+                if s.kind == SegKind::StolenChunk {
+                    d - u64::from(s.kind == SegKind::StolenChunk) * 120
+                } else {
+                    d
+                }
+            })
+            .sum();
+        // Owner's first chunk includes the publish cost (60 ns each task).
+        assert!(
+            traced_busy >= res.busy_ns && traced_busy <= res.busy_ns + 10_000,
+            "traced {traced_busy} vs stats {}",
+            res.busy_ns
+        );
+    }
+
+    #[test]
+    fn timeline_renders_expected_shape() {
+        let (_, segs) = traced();
+        let art = render_timeline(&segs, 2, 60);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('o'), "owner chunks visible:\n{art}");
+        assert!(art.contains('s'), "stolen chunks visible:\n{art}");
+        assert!(art.lines().next().unwrap().starts_with("rank    0 |"));
+    }
+
+    #[test]
+    fn untraced_run_is_equivalent() {
+        let cfg = SimConfig::new(2, 2, SimRuntime::Pure { tasks: true });
+        let plain = Sim::new(
+            cfg,
+            progs(vec![
+                vec![
+                    Op::Task {
+                        chunks: vec![80_000; 6],
+                    },
+                    Op::Send { dst: 1, bytes: 8 },
+                ],
+                vec![Op::Compute(10_000), Op::Recv { src: 0 }],
+            ]),
+        )
+        .run();
+        let (traced, _) = traced();
+        assert_eq!(
+            plain.makespan_ns, traced.makespan_ns,
+            "tracing must not perturb"
+        );
+    }
+}

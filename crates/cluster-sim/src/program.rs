@@ -1,0 +1,112 @@
+//! The simulated rank program: the operation language rank state machines
+//! execute, and the lazy per-rank generators workloads implement.
+
+/// Collective group identifier (0 = world; workloads may define more, e.g.
+/// miniAMR's octant communicators).
+pub type GroupId = u32;
+
+/// One operation of a simulated rank's program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Serial computation for the given nanoseconds.
+    Compute(u64),
+    /// A Pure Task: chunks with the given durations. On the Pure runtime
+    /// blocked co-resident ranks steal chunks; elsewhere the owner runs them
+    /// back to back. (MPI+OpenMP workloads pre-divide these at generation
+    /// time instead.)
+    Task {
+        /// Per-chunk durations (ns).
+        chunks: Vec<u64>,
+    },
+    /// Asynchronous send (returns immediately; costs the sender a small
+    /// overhead, delivered after the modeled latency).
+    Send {
+        /// Destination rank.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// Blocking receive of the next unconsumed message from `src`.
+    Recv {
+        /// Source rank.
+        src: u32,
+    },
+    /// All-reduce over a group.
+    Allreduce {
+        /// Payload bytes.
+        bytes: u32,
+        /// Group (0 = world).
+        group: GroupId,
+    },
+    /// Rooted reduce over a group.
+    Reduce {
+        /// Payload bytes.
+        bytes: u32,
+        /// Group.
+        group: GroupId,
+    },
+    /// Broadcast over a group.
+    Bcast {
+        /// Payload bytes.
+        bytes: u32,
+        /// Group.
+        group: GroupId,
+    },
+    /// Barrier over a group.
+    Barrier {
+        /// Group.
+        group: GroupId,
+    },
+    /// Program finished.
+    Done,
+}
+
+/// A lazy per-rank instruction stream.
+pub trait RankProgram: Send {
+    /// Produce the rank's next operation. Must eventually return
+    /// [`Op::Done`] and keep returning it thereafter.
+    fn next_op(&mut self) -> Op;
+}
+
+/// A program from a pre-built op list (small workloads / tests).
+pub struct VecProgram {
+    ops: std::vec::IntoIter<Op>,
+}
+
+impl VecProgram {
+    /// Wrap an op list.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Self {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl RankProgram for VecProgram {
+    fn next_op(&mut self) -> Op {
+        self.ops.next().unwrap_or(Op::Done)
+    }
+}
+
+/// A program from a closure-based generator.
+pub struct FnProgram<F: FnMut() -> Op + Send>(pub F);
+
+impl<F: FnMut() -> Op + Send> RankProgram for FnProgram<F> {
+    fn next_op(&mut self) -> Op {
+        (self.0)()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_program_yields_then_done() {
+        let mut p = VecProgram::new(vec![Op::Compute(5), Op::Barrier { group: 0 }]);
+        assert_eq!(p.next_op(), Op::Compute(5));
+        assert_eq!(p.next_op(), Op::Barrier { group: 0 });
+        assert_eq!(p.next_op(), Op::Done);
+        assert_eq!(p.next_op(), Op::Done);
+    }
+}

@@ -1,0 +1,288 @@
+//! The CoMD workload (Figures 5a–5c): weak-scaled molecular dynamics with
+//! per-step 6-way halo exchange, an energy all-reduce, and the three
+//! imbalance modes. Per-rank force work derives from the same geometric
+//! decomposition as `miniapps::comd` (`rank_grid`), with sphere
+//! overlap computed against each rank's sub-box.
+
+use miniapps::comd::rank_grid;
+
+use crate::program::{FnProgram, Op, RankProgram};
+use crate::workloads::{mix64, unit};
+
+/// Imbalance modes (mirrors `miniapps::comd::Imbalance`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ImbalanceWl {
+    /// Balanced (Figure 5a).
+    None,
+    /// Static spheres of elided atoms (Figure 5b).
+    StaticSpheres {
+        /// Sphere count.
+        count: usize,
+        /// Radius as a fraction of the box edge.
+        radius: f64,
+    },
+    /// Moving masked spheres (Figure 5c).
+    MovingSphere {
+        /// Number of spheres (scale with node count to keep per-node
+        /// imbalance structure constant under weak scaling).
+        count: usize,
+        /// Radius fraction.
+        radius: f64,
+        /// Box edges traversed per 100 steps.
+        speed: f64,
+    },
+}
+
+/// CoMD workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ComdWl {
+    /// Ranks (weak scaling: work per rank constant).
+    pub ranks: usize,
+    /// Timesteps (paper: 150).
+    pub steps: usize,
+    /// Balanced force-computation ns per rank per step.
+    pub force_ns: f64,
+    /// Integration (non-force) ns per rank per step.
+    pub integrate_ns: f64,
+    /// Halo face payload bytes.
+    pub face_bytes: u32,
+    /// Chunks per force task.
+    pub chunks: u32,
+    /// Imbalance mode.
+    pub imbalance: ImbalanceWl,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ComdWl {
+    fn default() -> Self {
+        Self {
+            ranks: 64,
+            steps: 30,
+            force_ns: 3_000_000.0,
+            integrate_ns: 300_000.0,
+            face_bytes: 48 * 1024,
+            chunks: 27,
+            imbalance: ImbalanceWl::None,
+            seed: 5,
+        }
+    }
+}
+
+/// Fraction of rank `r`'s sub-box NOT covered by elision/mask spheres at
+/// `step` — its share of the balanced force work. Estimated by a fixed
+/// 4×4×4 deterministic sample of the rank's box.
+pub fn work_fraction(w: &ComdWl, rank: usize, step: usize) -> f64 {
+    let spheres: Vec<([f64; 3], f64)> = match w.imbalance {
+        ImbalanceWl::None => return 1.0,
+        ImbalanceWl::StaticSpheres { count, radius } => (0..count)
+            .map(|k| {
+                let h = mix64(w.seed ^ 0x5EA ^ k as u64);
+                ([unit(h), unit(mix64(h)), unit(mix64(mix64(h)))], radius)
+            })
+            .collect(),
+        ImbalanceWl::MovingSphere {
+            count,
+            radius,
+            speed,
+        } => {
+            let t = step as f64 * speed / 100.0;
+            (0..count)
+                .map(|k| {
+                    let h = mix64(w.seed ^ 0xD1_5EA ^ k as u64);
+                    let dir = 0.3 + 0.7 * unit(mix64(h ^ 1));
+                    (
+                        [
+                            (unit(h) + t * dir).fract(),
+                            (unit(mix64(h)) + t * 0.7 * dir).fract(),
+                            (unit(mix64(mix64(h))) + t * 0.4 * dir).fract(),
+                        ],
+                        radius,
+                    )
+                })
+                .collect()
+        }
+    };
+    let pg = rank_grid(w.ranks);
+    let pc = [rank % pg[0], (rank / pg[0]) % pg[1], rank / (pg[0] * pg[1])];
+    let mut inside = 0usize;
+    const S: usize = 4;
+    for sz in 0..S {
+        for sy in 0..S {
+            for sx in 0..S {
+                let p = [
+                    (pc[0] as f64 + (sx as f64 + 0.5) / S as f64) / pg[0] as f64,
+                    (pc[1] as f64 + (sy as f64 + 0.5) / S as f64) / pg[1] as f64,
+                    (pc[2] as f64 + (sz as f64 + 0.5) / S as f64) / pg[2] as f64,
+                ];
+                let masked = spheres.iter().any(|&(c, rad)| {
+                    let mut d2 = 0.0;
+                    for d in 0..3 {
+                        let mut dx = (p[d] - c[d]).abs();
+                        if dx > 0.5 {
+                            dx = 1.0 - dx;
+                        }
+                        d2 += dx * dx;
+                    }
+                    d2 < rad * rad
+                });
+                if masked {
+                    inside += 1;
+                }
+            }
+        }
+    }
+    1.0 - inside as f64 / (S * S * S) as f64
+}
+
+/// The 6 face-neighbour ranks of `rank` (periodic 3-D decomposition).
+pub fn neighbors(ranks: usize, rank: usize) -> [u32; 6] {
+    let pg = rank_grid(ranks);
+    let pc = [
+        (rank % pg[0]) as isize,
+        ((rank / pg[0]) % pg[1]) as isize,
+        (rank / (pg[0] * pg[1])) as isize,
+    ];
+    let mut out = [0u32; 6];
+    for axis in 0..3 {
+        for (k, dir) in [-1isize, 1].into_iter().enumerate() {
+            let mut c = pc;
+            c[axis] = (c[axis] + dir).rem_euclid(pg[axis] as isize);
+            out[axis * 2 + k] = (c[0] + pg[0] as isize * (c[1] + pg[1] as isize * c[2])) as u32;
+        }
+    }
+    out
+}
+
+/// Build per-rank programs. (For the MPI+OpenMP variant, run these under
+/// `SimRuntime::MpiOmp` with proportionally fewer, fatter ranks — see the
+/// Figure 5a bench.)
+pub fn programs(w: &ComdWl) -> Vec<Box<dyn RankProgram>> {
+    (0..w.ranks)
+        .map(|rank| {
+            let w = *w;
+            let nbrs = neighbors(w.ranks, rank);
+            let mut step = 0usize;
+            let mut phase = 0usize;
+            Box::new(FnProgram(move || {
+                if step >= w.steps {
+                    return Op::Done;
+                }
+                // Per step: integrate; 6×(send+recv) halo; force task;
+                // energy allreduce.
+                let op = match phase {
+                    0 => Op::Compute(w.integrate_ns as u64),
+                    p @ 1..=6 => Op::Send {
+                        dst: nbrs[p - 1],
+                        bytes: w.face_bytes,
+                    },
+                    p @ 7..=12 => Op::Recv { src: nbrs[p - 7] },
+                    13 => {
+                        let frac = work_fraction(&w, rank, step);
+                        let total = (w.force_ns * frac) as u64;
+                        let per = (total / w.chunks as u64).max(1);
+                        Op::Task {
+                            chunks: vec![per; w.chunks as usize],
+                        }
+                    }
+                    _ => {
+                        step += 1;
+                        phase = 0;
+                        return Op::Allreduce {
+                            bytes: 16,
+                            group: 0,
+                        };
+                    }
+                };
+                phase += 1;
+                op
+            })) as Box<dyn RankProgram>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sim, SimConfig, SimRuntime};
+
+    #[test]
+    fn work_fraction_is_one_when_balanced() {
+        let w = ComdWl::default();
+        assert_eq!(work_fraction(&w, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn spheres_reduce_some_ranks_work() {
+        let w = ComdWl {
+            ranks: 64,
+            imbalance: ImbalanceWl::StaticSpheres {
+                count: 3,
+                radius: 0.25,
+            },
+            ..Default::default()
+        };
+        let fracs: Vec<f64> = (0..64).map(|r| work_fraction(&w, r, 0)).collect();
+        assert!(fracs.iter().any(|&f| f < 0.999), "some rank must lose work");
+        assert!(
+            fracs.iter().any(|&f| f > 0.999),
+            "some rank must keep its work"
+        );
+    }
+
+    #[test]
+    fn moving_sphere_shifts_over_time() {
+        let w = ComdWl {
+            ranks: 64,
+            imbalance: ImbalanceWl::MovingSphere {
+                count: 2,
+                radius: 0.3,
+                speed: 50.0,
+            },
+            ..Default::default()
+        };
+        let early: Vec<f64> = (0..64).map(|r| work_fraction(&w, r, 0)).collect();
+        let late: Vec<f64> = (0..64).map(|r| work_fraction(&w, r, 33)).collect();
+        assert_ne!(early, late, "mask must move");
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let n = 64;
+        for r in 0..n {
+            for (f, &nb) in neighbors(n, r).iter().enumerate() {
+                let back = f ^ 1; // opposite face
+                assert_eq!(
+                    neighbors(n, nb as usize)[back],
+                    r as u32,
+                    "rank {r} face {f} neighbour {nb} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imbalanced_comd_pure_tasks_beat_mpi() {
+        let w = ComdWl {
+            ranks: 8,
+            steps: 4,
+            imbalance: ImbalanceWl::StaticSpheres {
+                count: 2,
+                radius: 0.35,
+            },
+            ..Default::default()
+        };
+        let mpi = Sim::new(SimConfig::new(8, 8, SimRuntime::Mpi), programs(&w)).run();
+        let pure = Sim::new(
+            SimConfig::new(8, 8, SimRuntime::Pure { tasks: true }),
+            programs(&w),
+        )
+        .run();
+        let speedup = mpi.makespan_ns as f64 / pure.makespan_ns as f64;
+        assert!(
+            speedup > 1.2,
+            "imbalanced CoMD speedup {speedup:.2} too small"
+        );
+        assert!(pure.chunks_stolen > 0);
+    }
+}

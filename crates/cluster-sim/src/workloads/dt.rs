@@ -1,0 +1,149 @@
+//! The NAS DT SH workload (Figure 4): the shuffle graph from
+//! `miniapps::nasdt` with heavy-tailed per-node work. Communication
+//! bottlenecks arise because downstream layers block on their feeders while
+//! upstream nodes with fat work draws are still computing — exactly the idle
+//! time Pure Tasks soak up.
+
+use miniapps::nasdt::DtClass;
+
+use crate::program::{Op, RankProgram, VecProgram};
+use crate::workloads::{mix64, pareto};
+
+/// DT workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DtWl {
+    /// Problem class (sets width × layers = ranks).
+    pub class: DtClass,
+    /// Payload bytes per graph edge.
+    pub bytes: u32,
+    /// Mean per-node work in ns.
+    pub mean_node_ns: f64,
+    /// Pareto tail.
+    pub tail: f64,
+    /// Chunks per node's work sweep.
+    pub chunks: u32,
+    /// Fraction of each node's work inside the (stealable) task; the rest
+    /// is serial rank-private code (the paper annotated three sections, not
+    /// the whole benchmark).
+    pub task_fraction: f64,
+    /// Graph passes.
+    pub passes: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DtWl {
+    fn default() -> Self {
+        // DT is a *data traffic* benchmark: communication is a large share
+        // of the runtime (160 KiB edges against ~30 µs mean node work), and
+        // the heavy Pareto tail makes downstream layers block on fat
+        // upstream draws — both Pure effects (cheaper messaging CPU, chunk
+        // stealing during blocks) bite.
+        Self {
+            class: DtClass::A,
+            bytes: 16 * 1024,
+            mean_node_ns: 30_000.0,
+            tail: 1.35,
+            chunks: 16,
+            passes: 20,
+            task_fraction: 0.8,
+            seed: 17,
+        }
+    }
+}
+
+fn feeders(i: usize, width: usize) -> (usize, usize) {
+    ((2 * i) % width, (2 * i + 1) % width)
+}
+
+/// Build the per-rank (graph-node) programs.
+pub fn programs(w: &DtWl) -> Vec<Box<dyn RankProgram>> {
+    let (width, layers) = w.class.shape();
+    let ranks = width * layers;
+    let rank_of = |layer: usize, idx: usize| (layer * width + idx) as u32;
+    (0..ranks)
+        .map(|me| {
+            let layer = me / width;
+            let idx = me % width;
+            let mut ops = Vec::new();
+            for pass in 0..w.passes {
+                if layer > 0 {
+                    let (fa, fb) = feeders(idx, width);
+                    ops.push(Op::Recv {
+                        src: rank_of(layer - 1, fa),
+                    });
+                    ops.push(Op::Recv {
+                        src: rank_of(layer - 1, fb),
+                    });
+                }
+                // Heavy-tailed node work, chunked for stealing.
+                let h = mix64(w.seed ^ ((layer as u64) << 40) ^ ((idx as u64) << 20) ^ pass as u64);
+                let node_ns = pareto(w.mean_node_ns, w.tail, h);
+                let serial = (node_ns * (1.0 - w.task_fraction)) as u64;
+                if serial > 0 {
+                    ops.push(Op::Compute(serial));
+                }
+                let per_chunk = (node_ns * w.task_fraction / w.chunks as f64) as u64;
+                ops.push(Op::Task {
+                    chunks: vec![per_chunk.max(1); w.chunks as usize],
+                });
+                if layer + 1 < layers {
+                    for succ in 0..width {
+                        let (fa, fb) = feeders(succ, width);
+                        if fa == idx || fb == idx {
+                            ops.push(Op::Send {
+                                dst: rank_of(layer + 1, succ),
+                                bytes: w.bytes,
+                            });
+                        }
+                    }
+                }
+            }
+            // Final verification all-reduce.
+            ops.push(Op::Allreduce { bytes: 8, group: 0 });
+            Box::new(VecProgram::new(ops)) as Box<dyn RankProgram>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sim, SimConfig, SimRuntime};
+
+    fn run(rt: SimRuntime, w: &DtWl, cores_per_node: usize, helpers: usize) -> u64 {
+        let (width, layers) = w.class.shape();
+        let mut cfg = SimConfig::new(width * layers, cores_per_node, rt);
+        cfg.helpers_per_node = helpers;
+        Sim::new(cfg, programs(w)).run().makespan_ns
+    }
+
+    #[test]
+    fn dt_pure_tasks_reproduce_figure4_shape() {
+        // Class A, 40 ranks per node (paper §5.1).
+        let w = DtWl {
+            passes: 2,
+            ..Default::default()
+        };
+        let mpi = run(SimRuntime::Mpi, &w, 40, 0) as f64;
+        let msgs = run(SimRuntime::Pure { tasks: false }, &w, 40, 0) as f64;
+        let tasks = run(SimRuntime::Pure { tasks: true }, &w, 40, 0) as f64;
+        let helpers = run(SimRuntime::Pure { tasks: true }, &w, 40, 24) as f64;
+        // Messaging-only must strictly help; our model's gain here is a few
+        // percent, smaller than the paper's 11-25% because we credit the
+        // MPI baseline with an idealized single-copy XPMEM path (see the
+        // discrepancy note in EXPERIMENTS.md). The ordering - msgs < tasks,
+        // helpers no worse - is the Figure 4 shape.
+        assert!(
+            mpi / msgs > 1.0,
+            "messaging alone must not lose: {}",
+            mpi / msgs
+        );
+        assert!(
+            mpi / tasks > 1.5,
+            "tasks speedup {:.2} too small",
+            mpi / tasks
+        );
+        assert!(helpers <= tasks * 1.001, "helpers must not hurt");
+    }
+}

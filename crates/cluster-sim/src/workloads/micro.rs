@@ -1,0 +1,91 @@
+//! Microbenchmark workloads: collective scaling loops (Figures 7a–7c and
+//! Appendix A) — every rank repeats one collective; the reported metric is
+//! virtual time per operation.
+
+use crate::cost::CollKind;
+use crate::engine::{Sim, SimConfig, SimRuntime};
+use crate::program::{Op, RankProgram, VecProgram};
+
+/// Build programs where every rank performs `iters` repetitions of one
+/// collective of `bytes` payload.
+pub fn collective_loop(
+    ranks: usize,
+    iters: usize,
+    bytes: u32,
+    kind: CollKind,
+) -> Vec<Box<dyn RankProgram>> {
+    (0..ranks)
+        .map(|_| {
+            let ops: Vec<Op> = (0..iters)
+                .map(|_| match kind {
+                    CollKind::Barrier => Op::Barrier { group: 0 },
+                    CollKind::Allreduce => Op::Allreduce { bytes, group: 0 },
+                    CollKind::Reduce => Op::Reduce { bytes, group: 0 },
+                    CollKind::Bcast => Op::Bcast { bytes, group: 0 },
+                })
+                .collect();
+            Box::new(VecProgram::new(ops)) as Box<dyn RankProgram>
+        })
+        .collect()
+}
+
+/// Simulated nanoseconds per collective operation.
+pub fn collective_ns_per_op(
+    runtime: SimRuntime,
+    ranks: usize,
+    cores_per_node: usize,
+    iters: usize,
+    bytes: u32,
+    kind: CollKind,
+) -> f64 {
+    let cfg = SimConfig::new(ranks, cores_per_node, runtime);
+    let res = Sim::new(cfg, collective_loop(ranks, iters, bytes, kind)).run();
+    res.makespan_ns as f64 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_allreduce_beats_mpi_on_one_node() {
+        let p = collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            64,
+            64,
+            10,
+            8,
+            CollKind::Allreduce,
+        );
+        let m = collective_ns_per_op(SimRuntime::Mpi, 64, 64, 10, 8, CollKind::Allreduce);
+        assert!(p < m, "pure {p} !< mpi {m}");
+    }
+
+    #[test]
+    fn barrier_cost_grows_with_scale() {
+        let small = collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            64,
+            64,
+            5,
+            0,
+            CollKind::Barrier,
+        );
+        let large = collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            1024,
+            64,
+            5,
+            0,
+            CollKind::Barrier,
+        );
+        assert!(large > small);
+    }
+
+    #[test]
+    fn dmapp_helps_8b_allreduce_at_scale() {
+        let m = collective_ns_per_op(SimRuntime::Mpi, 1024, 64, 5, 8, CollKind::Allreduce);
+        let d = collective_ns_per_op(SimRuntime::MpiDmapp, 1024, 64, 5, 8, CollKind::Allreduce);
+        assert!(d < m, "dmapp {d} !< mpi {m}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload generators: per-rank [`crate::program::RankProgram`]s that
+//! reproduce each benchmark's communication pattern, compute intensity and
+//! imbalance structure at paper scale.
+
+pub mod comd;
+pub mod dt;
+pub mod micro;
+pub mod miniamr;
+pub mod stencil;
+
+/// Deterministic mixer shared by the generators (same as `miniapps`).
+pub(crate) fn mix64(x: u64) -> u64 {
+    miniapps::mix64(x)
+}
+
+/// Uniform f64 in [0,1).
+pub(crate) fn unit(h: u64) -> f64 {
+    miniapps::unit_f64(h)
+}
+
+/// A clamped Pareto draw around `mean` with tail exponent `tail`
+/// (heavy-tailed per-unit work: the imbalance driver in DT and stencil).
+pub(crate) fn pareto(mean: f64, tail: f64, h: u64) -> f64 {
+    let u = unit(h).max(1e-9);
+    mean * u.powf(-1.0 / tail).min(60.0)
+}

@@ -1,0 +1,136 @@
+//! The §2 rand-stencil workload: per iteration, a heavy-tailed chunked work
+//! sweep followed by an 8-byte boundary exchange with both neighbours. The
+//! paper reports ~10% from Pure messaging alone and >200% with Pure Tasks on
+//! one 32-rank node; the `fig_stencil` bench regenerates that comparison.
+
+use crate::program::{FnProgram, Op, RankProgram};
+use crate::workloads::{mix64, pareto};
+
+/// Stencil workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StencilWl {
+    /// Ranks.
+    pub ranks: usize,
+    /// Iterations.
+    pub iters: usize,
+    /// Mean per-chunk work (ns).
+    pub mean_chunk_ns: f64,
+    /// Pareto tail (smaller = heavier imbalance).
+    pub tail: f64,
+    /// Chunks per task.
+    pub chunks: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for StencilWl {
+    fn default() -> Self {
+        Self {
+            ranks: 32,
+            iters: 20,
+            mean_chunk_ns: 40_000.0,
+            tail: 1.6,
+            chunks: 32,
+            seed: 3,
+        }
+    }
+}
+
+/// Build the per-rank programs.
+pub fn programs(w: &StencilWl) -> Vec<Box<dyn RankProgram>> {
+    (0..w.ranks)
+        .map(|rank| {
+            let w = *w;
+            let mut iter = 0usize;
+            let mut phase = 0u8;
+            Box::new(FnProgram(move || {
+                if iter >= w.iters {
+                    return Op::Done;
+                }
+                let left = rank.checked_sub(1);
+                let right = if rank + 1 < w.ranks {
+                    Some(rank + 1)
+                } else {
+                    None
+                };
+                let op = match phase {
+                    // One chunked random_work sweep. The imbalance is
+                    // rank-level (this iteration's draw scales the whole
+                    // sweep), like the paper's example where some ranks'
+                    // elements are simply more expensive; chunks add mild
+                    // extra variation.
+                    0 => {
+                        let hr = mix64(w.seed ^ ((rank as u64) << 40) ^ (iter as u64 + 1));
+                        let factor = pareto(1.0, w.tail, hr);
+                        Op::Task {
+                            chunks: (0..w.chunks)
+                                .map(|c| {
+                                    let h = mix64(hr ^ ((c as u64) << 8) ^ 0xC0C0);
+                                    (factor * pareto(w.mean_chunk_ns, 4.0, h)) as u64
+                                })
+                                .collect(),
+                        }
+                    }
+                    // ...then the §2 boundary exchange.
+                    1 => match left {
+                        Some(l) => Op::Send {
+                            dst: l as u32,
+                            bytes: 8,
+                        },
+                        None => Op::Compute(0),
+                    },
+                    2 => match left {
+                        Some(l) => Op::Recv { src: l as u32 },
+                        None => Op::Compute(0),
+                    },
+                    3 => match right {
+                        Some(r) => Op::Send {
+                            dst: r as u32,
+                            bytes: 8,
+                        },
+                        None => Op::Compute(0),
+                    },
+                    _ => {
+                        let op = match right {
+                            Some(r) => Op::Recv { src: r as u32 },
+                            None => Op::Compute(0),
+                        };
+                        iter += 1;
+                        phase = 0;
+                        return op;
+                    }
+                };
+                phase += 1;
+                op
+            })) as Box<dyn RankProgram>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sim, SimConfig, SimRuntime};
+
+    fn run(rt: SimRuntime, w: &StencilWl) -> crate::engine::SimResult {
+        Sim::new(SimConfig::new(w.ranks, w.ranks, rt), programs(w)).run()
+    }
+
+    #[test]
+    fn tasks_give_large_speedup_under_imbalance() {
+        let w = StencilWl {
+            ranks: 8,
+            iters: 6,
+            ..Default::default()
+        };
+        let mpi = run(SimRuntime::Mpi, &w).makespan_ns as f64;
+        let pure_msgs = run(SimRuntime::Pure { tasks: false }, &w).makespan_ns as f64;
+        let pure_tasks = run(SimRuntime::Pure { tasks: true }, &w).makespan_ns as f64;
+        assert!(pure_msgs <= mpi, "messaging-only Pure must not lose");
+        assert!(
+            mpi / pure_tasks > 1.5,
+            "paper reports >2x with tasks; got {:.2}",
+            mpi / pure_tasks
+        );
+    }
+}

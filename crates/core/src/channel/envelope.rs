@@ -1,0 +1,258 @@
+//! The **EnvelopeQueue** — §4.1.2, single-copy rendezvous for large
+//! intra-node messages.
+//!
+//! The receiver posts its receive-call arguments (destination pointer and
+//! capacity) into a lock-free fixed-size circular buffer of *envelopes*; the
+//! sender waits for the envelope, copies the payload **directly into the
+//! receiver's buffer** (the single copy), records the transferred byte count
+//! and signals completion. Like the PBQ this is strictly SPSC per channel.
+//!
+//! Slot life-cycle: `FREE` →(receiver posts)→ `POSTED` →(sender fills)→
+//! `FILLED` →(receiver consumes)→ `FREE`. Each transition is published with
+//! a release store and observed with an acquire load, so the pointer,
+//! capacity and payload writes are all well-ordered.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Slot is empty and may be posted by the receiver.
+const FREE: u8 = 0;
+/// Receiver has posted (ptr, cap); sender may fill.
+const POSTED: u8 = 1;
+/// Sender has copied the payload; receiver may consume.
+const FILLED: u8 = 2;
+
+/// One rendezvous envelope. `ptr`/`cap`/`len` are plain fields protected by
+/// the `state` acquire/release protocol.
+struct Envelope {
+    state: AtomicU8,
+    ptr: std::cell::Cell<*mut u8>,
+    cap: std::cell::Cell<usize>,
+    len: std::cell::Cell<usize>,
+}
+
+// SAFETY: field access follows the FREE/POSTED/FILLED ownership protocol;
+// at any instant exactly one side may touch the plain fields.
+unsafe impl Send for Envelope {}
+unsafe impl Sync for Envelope {}
+
+/// Lock-free SPSC rendezvous queue (see module docs).
+pub struct EnvelopeQueue {
+    slots: Box<[CachePadded<Envelope>]>,
+    /// Next slot the receiver will post (receiver-thread only; atomic for
+    /// container Sync-ness, accessed Relaxed).
+    post_pos: CachePadded<AtomicUsize>,
+    /// Next slot the sender will fill (sender-thread only).
+    fill_pos: CachePadded<AtomicUsize>,
+}
+
+impl EnvelopeQueue {
+    /// A queue admitting up to `n_slots` outstanding posted receives.
+    pub fn new(n_slots: usize) -> Self {
+        let n = n_slots.max(1).next_power_of_two();
+        let slots = (0..n)
+            .map(|_| {
+                CachePadded::new(Envelope {
+                    state: AtomicU8::new(FREE),
+                    ptr: std::cell::Cell::new(std::ptr::null_mut()),
+                    cap: std::cell::Cell::new(0),
+                    len: std::cell::Cell::new(0),
+                })
+            })
+            .collect();
+        Self {
+            slots,
+            post_pos: CachePadded::new(AtomicUsize::new(0)),
+            fill_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of envelope slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot(&self, pos: usize) -> &Envelope {
+        &self.slots[pos & (self.slots.len() - 1)]
+    }
+
+    /// Receiver side: try to post a receive buffer. Returns the *ticket*
+    /// (monotone sequence number) on success, or `None` if all envelopes are
+    /// in flight.
+    ///
+    /// # Safety
+    /// `ptr..ptr+cap` must stay valid and unaliased until
+    /// [`EnvelopeQueue::try_consume`] returns this ticket's length — the
+    /// sender will write through `ptr` from another thread. Must only be
+    /// called by the receiver thread.
+    #[inline]
+    pub unsafe fn try_post(&self, ptr: *mut u8, cap: usize) -> Option<u64> {
+        let pos = self.post_pos.load(Ordering::Relaxed);
+        let s = self.slot(pos);
+        if s.state.load(Ordering::Acquire) != FREE {
+            return None; // all slots in flight
+        }
+        s.ptr.set(ptr);
+        s.cap.set(cap);
+        s.state.store(POSTED, Ordering::Release);
+        self.post_pos.store(pos + 1, Ordering::Relaxed);
+        Some(pos as u64)
+    }
+
+    /// Sender side: try to fulfil the oldest posted-but-unfilled envelope by
+    /// copying `payload` into the receiver's buffer. Returns `true` when the
+    /// copy happened (rendezvous complete from the sender's perspective).
+    ///
+    /// Must only be called by the sender thread.
+    #[inline]
+    pub fn try_fill(&self, payload: &[u8]) -> bool {
+        let pos = self.fill_pos.load(Ordering::Relaxed);
+        let s = self.slot(pos);
+        if s.state.load(Ordering::Acquire) != POSTED {
+            return false; // receiver has not arrived yet
+        }
+        let cap = s.cap.get();
+        assert!(
+            payload.len() <= cap,
+            "rendezvous send of {} bytes into a {} byte receive buffer",
+            payload.len(),
+            cap
+        );
+        // SAFETY: the acquire load of POSTED synchronized with the receiver's
+        // release store, making ptr/cap visible; the receiver guarantees the
+        // buffer stays valid and unaliased until it consumes FILLED.
+        unsafe {
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), s.ptr.get(), payload.len());
+        }
+        s.len.set(payload.len());
+        s.state.store(FILLED, Ordering::Release);
+        self.fill_pos.store(pos + 1, Ordering::Relaxed);
+        true
+    }
+
+    /// Receiver side: check whether the envelope with ticket `t` has been
+    /// filled; if so, recycle the slot and return the payload length.
+    ///
+    /// Tickets **must be consumed in issue order** (the runtime's pending
+    /// queues guarantee this).
+    ///
+    /// Must only be called by the receiver thread.
+    #[inline]
+    pub fn try_consume(&self, ticket: u64) -> Option<usize> {
+        let s = self.slot(ticket as usize);
+        if s.state.load(Ordering::Acquire) != FILLED {
+            return None;
+        }
+        let len = s.len.get();
+        s.state.store(FREE, Ordering::Release);
+        Some(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn rendezvous_roundtrip() {
+        let q = EnvelopeQueue::new(4);
+        let mut buf = vec![0u8; 16];
+        // SAFETY: buf outlives the exchange; consumed below.
+        let t = unsafe { q.try_post(buf.as_mut_ptr(), buf.len()) }.unwrap();
+        assert!(q.try_fill(b"0123456789"));
+        assert_eq!(q.try_consume(t), Some(10));
+        assert_eq!(&buf[..10], b"0123456789");
+    }
+
+    #[test]
+    fn fill_before_post_fails() {
+        let q = EnvelopeQueue::new(2);
+        assert!(!q.try_fill(b"data"), "sender must wait for the receiver");
+    }
+
+    #[test]
+    fn consume_before_fill_returns_none() {
+        let q = EnvelopeQueue::new(2);
+        let mut buf = [0u8; 4];
+        // SAFETY: buf outlives the exchange.
+        let t = unsafe { q.try_post(buf.as_mut_ptr(), 4) }.unwrap();
+        assert_eq!(q.try_consume(t), None);
+    }
+
+    #[test]
+    fn slots_exhaust_and_recycle() {
+        let q = EnvelopeQueue::new(2);
+        let mut b0 = [0u8; 1];
+        let mut b1 = [0u8; 1];
+        let mut b2 = [0u8; 1];
+        // SAFETY: buffers outlive their exchanges.
+        let t0 = unsafe { q.try_post(b0.as_mut_ptr(), 1) }.unwrap();
+        let _t1 = unsafe { q.try_post(b1.as_mut_ptr(), 1) }.unwrap();
+        assert!(
+            unsafe { q.try_post(b2.as_mut_ptr(), 1) }.is_none(),
+            "queue full"
+        );
+        assert!(q.try_fill(&[7]));
+        assert_eq!(q.try_consume(t0), Some(1));
+        assert_eq!(b0, [7]);
+        assert!(
+            unsafe { q.try_post(b2.as_mut_ptr(), 1) }.is_some(),
+            "slot recycled"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous send")]
+    fn overflow_fill_panics() {
+        let q = EnvelopeQueue::new(1);
+        let mut buf = [0u8; 2];
+        // SAFETY: buf outlives the exchange.
+        unsafe { q.try_post(buf.as_mut_ptr(), 2) }.unwrap();
+        let _ = q.try_fill(&[0u8; 3]);
+    }
+
+    /// Cross-thread: a stream of large-ish messages, each copied exactly once
+    /// into the receiver's final buffer.
+    #[test]
+    fn spsc_stream() {
+        const N: usize = 2_000;
+        const LEN: usize = 1 << 12;
+        let q = Arc::new(EnvelopeQueue::new(4));
+        let qs = Arc::clone(&q);
+        let sender = thread::spawn(move || {
+            let mut payload = vec![0u8; LEN];
+            for i in 0..N {
+                payload.fill((i % 251) as u8);
+                while !qs.try_fill(&payload) {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut buf = vec![0u8; LEN];
+        for i in 0..N {
+            // SAFETY: buf is only touched again after try_consume succeeds.
+            let t = loop {
+                if let Some(t) = unsafe { q.try_post(buf.as_mut_ptr(), LEN) } {
+                    break t;
+                }
+                thread::yield_now();
+            };
+            loop {
+                if let Some(len) = q.try_consume(t) {
+                    assert_eq!(len, LEN);
+                    break;
+                }
+                thread::yield_now();
+            }
+            assert!(
+                buf.iter().all(|&b| b == (i % 251) as u8),
+                "payload {i} corrupted"
+            );
+        }
+        sender.join().unwrap();
+    }
+}

@@ -1,0 +1,603 @@
+//! Channels and the Channel Manager (§4.1).
+//!
+//! Every point-to-point message in Pure travels over a *persistent channel*
+//! selected by the message arguments: `(communicator, sender world rank,
+//! receiver world rank, tag, message bytes)`. Including the byte count in the
+//! key makes protocol selection (PBQ vs rendezvous) consistent on both sides
+//! and lets the PBQ size its slots exactly. Channels are created on demand
+//! and cached per rank, exactly as the paper's Channel Manager does.
+//!
+//! Three channel kinds implement the three §4.1 strategies:
+//! * [`SmallChannel`] — intra-node, ≤ `small_msg_max` bytes: lock-free PBQ,
+//!   two copies;
+//! * [`LargeChannel`] — intra-node, larger: lock-free rendezvous, one copy;
+//! * [`RemoteChannel`] — inter-node: the netsim transport (standing in for
+//!   MPI), with thread ids encoded in the wire tag.
+//!
+//! Each side of a channel owns an ordered in-flight queue so that
+//! non-blocking operations complete in post order (MPI's matching rule) even
+//! when `wait` is called out of order.
+
+pub mod envelope;
+pub mod pbq;
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::util::side::SideCell;
+use envelope::EnvelopeQueue;
+use netsim::{NodeEndpoint, WireTag};
+use pbq::PureBufferQueue;
+
+/// Identifies a persistent channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ChannelKey {
+    /// Communicator id (world == 0).
+    pub comm_id: u64,
+    /// Sender world rank.
+    pub src: u32,
+    /// Receiver world rank.
+    pub dst: u32,
+    /// Application tag.
+    pub tag: u32,
+    /// Message payload size in bytes (count × element size).
+    pub bytes: u64,
+}
+
+/// One side's ordered in-flight bookkeeping.
+struct InFlight<P> {
+    /// Sequence number the next posted operation receives.
+    next_seq: u64,
+    /// Sequence number up to which operations have completed (exclusive).
+    completed: u64,
+    /// Posted-but-incomplete operations, oldest first.
+    pending: VecDeque<P>,
+}
+
+impl<P> Default for InFlight<P> {
+    fn default() -> Self {
+        Self {
+            next_seq: 0,
+            completed: 0,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+struct PendingSend {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the pointers are plain addresses; all dereferences happen on the
+// owning side's thread under the `post_send`/`post_recv` validity contracts.
+unsafe impl Send for PendingSend {}
+
+struct PendingRecv {
+    ptr: *mut u8,
+    cap: usize,
+    /// For rendezvous: the envelope ticket once the post has been pushed into
+    /// the queue (posting can be deferred when all envelopes are in flight).
+    ticket: Option<u64>,
+}
+
+// SAFETY: as for `PendingSend`.
+unsafe impl Send for PendingRecv {}
+
+/// Intra-node short-message channel (PBQ, two-copy buffered mode).
+pub struct SmallChannel {
+    pbq: PureBufferQueue,
+    send: SideCell<InFlight<PendingSend>>,
+    recv: SideCell<InFlight<PendingRecv>>,
+}
+
+/// Intra-node large-message channel (rendezvous, single-copy).
+pub struct LargeChannel {
+    env: EnvelopeQueue,
+    send: SideCell<InFlight<PendingSend>>,
+    recv: SideCell<InFlight<PendingRecv>>,
+}
+
+/// Inter-node channel over the simulated interconnect.
+pub struct RemoteChannel {
+    /// Receiver-side endpoint (sender uses its own rank-local endpoint).
+    src_node: usize,
+    dst_node: usize,
+    wire: WireTag,
+    recv: SideCell<InFlight<PendingRecv>>,
+}
+
+/// A persistent channel of one of the three kinds.
+pub enum Channel {
+    /// PBQ-backed short-message channel.
+    Small(SmallChannel),
+    /// Rendezvous large-message channel.
+    Large(LargeChannel),
+    /// Cross-node channel.
+    Remote(RemoteChannel),
+}
+
+impl Channel {
+    /// Post a send of `len` bytes at `ptr`, returning its sequence number.
+    /// The bytes are flushed opportunistically; completion is polled with
+    /// [`Channel::try_flush_sends`].
+    ///
+    /// # Safety
+    /// Caller must be the channel's sender thread, and `ptr..ptr+len` must
+    /// remain valid and unmodified until the returned sequence completes.
+    pub unsafe fn post_send(&self, ep: &NodeEndpoint, ptr: *const u8, len: usize) -> u64 {
+        match self {
+            Channel::Small(c) => {
+                // SAFETY: sender-side cell, caller is the sender thread.
+                let seq = unsafe {
+                    c.send.with(|s| {
+                        let q = s.next_seq;
+                        s.next_seq += 1;
+                        s.pending.push_back(PendingSend { ptr, len });
+                        q
+                    })
+                };
+                self.try_flush_sends(ep, seq + 1);
+                seq
+            }
+            Channel::Large(c) => {
+                // SAFETY: as above.
+                let seq = unsafe {
+                    c.send.with(|s| {
+                        let q = s.next_seq;
+                        s.next_seq += 1;
+                        s.pending.push_back(PendingSend { ptr, len });
+                        q
+                    })
+                };
+                self.try_flush_sends(ep, seq + 1);
+                seq
+            }
+            Channel::Remote(c) => {
+                // The transport buffers internally; a remote send completes
+                // immediately (like an MPI eager send over the NIC).
+                // SAFETY: ptr/len valid per caller contract; read-only here.
+                let payload = unsafe { std::slice::from_raw_parts(ptr, len) };
+                ep.send(c.dst_node, c.wire, payload);
+                0
+            }
+        }
+    }
+
+    /// Try to flush posted sends so that all sequences `< upto` are complete.
+    /// Returns `true` when that is the case.
+    ///
+    /// Must be called from the sender thread.
+    pub fn try_flush_sends(&self, _ep: &NodeEndpoint, upto: u64) -> bool {
+        match self {
+            // SAFETY (both arms): sender-side cell, sender thread per contract.
+            Channel::Small(c) => unsafe {
+                c.send.with(|s| {
+                    while s.completed < upto {
+                        let Some(front) = s.pending.front() else {
+                            break;
+                        };
+                        // SAFETY: pending pointers valid per post_send contract.
+                        let payload = std::slice::from_raw_parts(front.ptr, front.len);
+                        if !c.pbq.try_send(payload) {
+                            return false;
+                        }
+                        s.pending.pop_front();
+                        s.completed += 1;
+                    }
+                    s.completed >= upto
+                })
+            },
+            Channel::Large(c) => unsafe {
+                c.send.with(|s| {
+                    while s.completed < upto {
+                        let Some(front) = s.pending.front() else {
+                            break;
+                        };
+                        // SAFETY: pending pointers valid per post_send contract.
+                        let payload = std::slice::from_raw_parts(front.ptr, front.len);
+                        if !c.env.try_fill(payload) {
+                            return false;
+                        }
+                        s.pending.pop_front();
+                        s.completed += 1;
+                    }
+                    s.completed >= upto
+                })
+            },
+            Channel::Remote(_) => true,
+        }
+    }
+
+    /// Flush as many pending sends as currently possible (any amount).
+    /// Returns `true` when no pending sends remain.
+    ///
+    /// Must be called from the sender thread.
+    pub fn try_flush_all_sends(&self, ep: &NodeEndpoint) -> bool {
+        let _ = self.try_flush_sends(ep, u64::MAX);
+        !self.has_pending_sends()
+    }
+
+    /// True when posted sends are still waiting for queue space / a
+    /// rendezvous partner. (Sender thread only.)
+    pub fn has_pending_sends(&self) -> bool {
+        match self {
+            // SAFETY: sender-side cells, called from the sender thread per
+            // the method contract.
+            Channel::Small(c) => unsafe { c.send.with(|s| !s.pending.is_empty()) },
+            Channel::Large(c) => unsafe { c.send.with(|s| !s.pending.is_empty()) },
+            Channel::Remote(_) => false,
+        }
+    }
+
+    /// Post a receive into `ptr..ptr+cap`, returning its sequence number.
+    ///
+    /// # Safety
+    /// Caller must be the channel's receiver thread; the buffer must remain
+    /// valid, unaliased and untouched until the returned sequence completes
+    /// (another thread may write through `ptr`).
+    pub unsafe fn post_recv(&self, ptr: *mut u8, cap: usize) -> u64 {
+        let post = |cell: &SideCell<InFlight<PendingRecv>>| {
+            // SAFETY: receiver-side cell, caller is the receiver thread.
+            unsafe {
+                cell.with(|s| {
+                    let q = s.next_seq;
+                    s.next_seq += 1;
+                    s.pending.push_back(PendingRecv {
+                        ptr,
+                        cap,
+                        ticket: None,
+                    });
+                    q
+                })
+            }
+        };
+        match self {
+            Channel::Small(c) => post(&c.recv),
+            Channel::Remote(c) => post(&c.recv),
+            Channel::Large(c) => {
+                let seq = post(&c.recv);
+                // Eagerly expose the buffer to the sender (true rendezvous).
+                // SAFETY: receiver-side cell on the receiver thread.
+                unsafe {
+                    c.recv.with(|s| {
+                        post_envelopes(&c.env, s);
+                    })
+                };
+                seq
+            }
+        }
+    }
+
+    /// Try to complete posted receives so that all sequences `< upto` are
+    /// complete (payload delivered into the posted buffers, in post order).
+    /// Returns `true` when that is the case.
+    ///
+    /// Must be called from the receiver thread.
+    pub fn try_complete_recvs(&self, ep: &NodeEndpoint, upto: u64) -> bool {
+        match self {
+            // SAFETY (all arms): receiver-side cell, receiver thread.
+            Channel::Small(c) => unsafe {
+                c.recv.with(|s| {
+                    while s.completed < upto {
+                        let Some(front) = s.pending.front() else {
+                            break;
+                        };
+                        // SAFETY: posted buffer valid per post_recv contract.
+                        let out = std::slice::from_raw_parts_mut(front.ptr, front.cap);
+                        if c.pbq.try_recv(out).is_none() {
+                            return false;
+                        }
+                        s.pending.pop_front();
+                        s.completed += 1;
+                    }
+                    s.completed >= upto
+                })
+            },
+            Channel::Large(c) => unsafe {
+                c.recv.with(|s| {
+                    post_envelopes(&c.env, s);
+                    while s.completed < upto {
+                        let Some(front) = s.pending.front() else {
+                            break;
+                        };
+                        let Some(t) = front.ticket else { return false };
+                        if c.env.try_consume(t).is_none() {
+                            return false;
+                        }
+                        s.pending.pop_front();
+                        s.completed += 1;
+                        post_envelopes(&c.env, s);
+                    }
+                    s.completed >= upto
+                })
+            },
+            Channel::Remote(c) => unsafe {
+                c.recv.with(|s| {
+                    while s.completed < upto {
+                        let Some(front) = s.pending.front() else {
+                            break;
+                        };
+                        let Some(payload) = ep.try_recv(c.src_node, c.wire) else {
+                            return false;
+                        };
+                        assert!(
+                            payload.len() <= front.cap,
+                            "remote message of {} bytes into {} byte buffer",
+                            payload.len(),
+                            front.cap
+                        );
+                        // SAFETY: posted buffer valid per post_recv contract.
+                        std::ptr::copy_nonoverlapping(payload.as_ptr(), front.ptr, payload.len());
+                        s.pending.pop_front();
+                        s.completed += 1;
+                    }
+                    s.completed >= upto
+                })
+            },
+        }
+    }
+}
+
+/// Push as many pending receive buffers as possible into the envelope queue,
+/// in order. (Receiver-side helper; called with the recv `InFlight` borrowed.)
+fn post_envelopes(env: &EnvelopeQueue, s: &mut InFlight<PendingRecv>) {
+    for p in s.pending.iter_mut() {
+        if p.ticket.is_some() {
+            continue;
+        }
+        // SAFETY: buffer validity per `Channel::post_recv` contract.
+        match unsafe { env.try_post(p.ptr, p.cap) } {
+            Some(t) => p.ticket = Some(t),
+            None => break, // keep order: later posts must wait too
+        }
+    }
+}
+
+/// Where the runtime decides which channel kind a key needs.
+pub struct ChannelFactoryCfg {
+    /// PBQ threshold in bytes (paper default 8 KiB).
+    pub small_msg_max: usize,
+    /// Slots per PBQ.
+    pub pbq_slots: usize,
+    /// Envelope slots per rendezvous channel.
+    pub env_slots: usize,
+}
+
+/// The global (per run) channel table: maps keys to live channels.
+pub struct ChannelTable {
+    map: RwLock<HashMap<ChannelKey, Arc<Channel>>>,
+}
+
+impl ChannelTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Fetch the channel for `key`, creating it on demand.
+    ///
+    /// `src_node`/`dst_node` are the nodes of the endpoint ranks;
+    /// `src_local`/`dst_local` their within-node thread indices.
+    pub fn get_or_create(
+        &self,
+        key: ChannelKey,
+        cfg: &ChannelFactoryCfg,
+        src_node: usize,
+        dst_node: usize,
+        src_local: usize,
+        dst_local: usize,
+    ) -> Arc<Channel> {
+        if let Some(ch) = self.map.read().get(&key) {
+            return Arc::clone(ch);
+        }
+        let mut w = self.map.write();
+        Arc::clone(w.entry(key).or_insert_with(|| {
+            Arc::new(if src_node != dst_node {
+                Channel::Remote(RemoteChannel {
+                    src_node,
+                    dst_node,
+                    wire: WireTag::p2p(src_local, dst_local, key.tag),
+                    recv: SideCell::new(InFlight::default()),
+                })
+            } else if key.bytes <= cfg.small_msg_max as u64 {
+                Channel::Small(SmallChannel {
+                    pbq: PureBufferQueue::new(cfg.pbq_slots, key.bytes as usize),
+                    send: SideCell::new(InFlight::default()),
+                    recv: SideCell::new(InFlight::default()),
+                })
+            } else {
+                Channel::Large(LargeChannel {
+                    env: EnvelopeQueue::new(cfg.env_slots),
+                    send: SideCell::new(InFlight::default()),
+                    recv: SideCell::new(InFlight::default()),
+                })
+            })
+        }))
+    }
+
+    /// Number of live channels (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no channel has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+impl Default for ChannelTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Cluster, NetConfig};
+
+    fn test_cfg() -> ChannelFactoryCfg {
+        ChannelFactoryCfg {
+            small_msg_max: 64,
+            pbq_slots: 4,
+            env_slots: 4,
+        }
+    }
+
+    fn key(bytes: u64) -> ChannelKey {
+        ChannelKey {
+            comm_id: 0,
+            src: 0,
+            dst: 1,
+            tag: 5,
+            bytes,
+        }
+    }
+
+    fn ep() -> NodeEndpoint {
+        Cluster::new(1, NetConfig::default()).endpoint(0)
+    }
+
+    #[test]
+    fn factory_selects_protocol_by_size_and_placement() {
+        let t = ChannelTable::new();
+        let cfg = test_cfg();
+        let small = t.get_or_create(key(64), &cfg, 0, 0, 0, 1);
+        assert!(matches!(&*small, Channel::Small(_)));
+        let large = t.get_or_create(key(65), &cfg, 0, 0, 0, 1);
+        assert!(matches!(&*large, Channel::Large(_)));
+        let remote = t.get_or_create(key(4), &cfg, 0, 1, 0, 0);
+        assert!(matches!(&*remote, Channel::Remote(_)));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn table_returns_same_channel_for_same_key() {
+        let t = ChannelTable::new();
+        let cfg = test_cfg();
+        let a = t.get_or_create(key(8), &cfg, 0, 0, 0, 1);
+        let b = t.get_or_create(key(8), &cfg, 0, 0, 0, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn small_channel_send_recv_in_order() {
+        let t = ChannelTable::new();
+        let cfg = test_cfg();
+        let ch = t.get_or_create(key(4), &cfg, 0, 0, 0, 1);
+        let ep = ep();
+        let a = 11u32.to_le_bytes();
+        let b = 22u32.to_le_bytes();
+        // SAFETY: buffers outlive the flush below (single-threaded test).
+        unsafe {
+            ch.post_send(&ep, a.as_ptr(), 4);
+            ch.post_send(&ep, b.as_ptr(), 4);
+        }
+        assert!(ch.try_flush_sends(&ep, 2));
+        let mut ra = [0u8; 4];
+        let mut rb = [0u8; 4];
+        // SAFETY: buffers outlive completion.
+        let (s1, s2) = unsafe {
+            (
+                ch.post_recv(ra.as_mut_ptr(), 4),
+                ch.post_recv(rb.as_mut_ptr(), 4),
+            )
+        };
+        // Waiting for the *second* must deliver the first in order too.
+        assert!(ch.try_complete_recvs(&ep, s2 + 1));
+        assert!(ch.try_complete_recvs(&ep, s1 + 1));
+        assert_eq!(u32::from_le_bytes(ra), 11);
+        assert_eq!(u32::from_le_bytes(rb), 22);
+    }
+
+    #[test]
+    fn large_channel_rendezvous_single_copy() {
+        let t = ChannelTable::new();
+        let cfg = test_cfg();
+        let ch = t.get_or_create(key(128), &cfg, 0, 0, 0, 1);
+        let ep = ep();
+        let payload = vec![0xabu8; 128];
+        let mut out = vec![0u8; 128];
+        // Receiver first (rendezvous): post buffer, then sender fills.
+        // SAFETY: buffers outlive completion (single-threaded test).
+        let r = unsafe { ch.post_recv(out.as_mut_ptr(), 128) };
+        assert!(!ch.try_complete_recvs(&ep, r + 1), "nothing sent yet");
+        // SAFETY: payload outlives flush.
+        unsafe { ch.post_send(&ep, payload.as_ptr(), 128) };
+        assert!(ch.try_flush_sends(&ep, 1));
+        assert!(ch.try_complete_recvs(&ep, r + 1));
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn large_channel_sender_first_defers() {
+        let t = ChannelTable::new();
+        let cfg = test_cfg();
+        let ch = t.get_or_create(key(100), &cfg, 0, 0, 0, 1);
+        let ep = ep();
+        let payload = vec![7u8; 100];
+        // SAFETY: payload outlives the flush attempts below.
+        unsafe { ch.post_send(&ep, payload.as_ptr(), 100) };
+        assert!(
+            !ch.try_flush_sends(&ep, 1),
+            "no receiver posted: rendezvous waits"
+        );
+        let mut out = vec![0u8; 100];
+        // SAFETY: out outlives completion.
+        let r = unsafe { ch.post_recv(out.as_mut_ptr(), 100) };
+        assert!(
+            ch.try_flush_sends(&ep, 1),
+            "receiver arrived: copy proceeds"
+        );
+        assert!(ch.try_complete_recvs(&ep, r + 1));
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn remote_channel_end_to_end() {
+        let cluster = Cluster::new(2, NetConfig::default());
+        let ep0 = cluster.endpoint(0);
+        let ep1 = cluster.endpoint(1);
+        let t = ChannelTable::new();
+        let cfg = test_cfg();
+        let ch = t.get_or_create(key(4), &cfg, 0, 1, 0, 0);
+        let data = 99u32.to_le_bytes();
+        // SAFETY: remote sends complete immediately (transport copies).
+        unsafe { ch.post_send(&ep0, data.as_ptr(), 4) };
+        let mut out = [0u8; 4];
+        // SAFETY: out outlives completion.
+        let r = unsafe { ch.post_recv(out.as_mut_ptr(), 4) };
+        assert!(ch.try_complete_recvs(&ep1, r + 1));
+        assert_eq!(u32::from_le_bytes(out), 99);
+    }
+
+    #[test]
+    fn pbq_backpressure_defers_send_completion() {
+        let t = ChannelTable::new();
+        let cfg = test_cfg(); // 4 PBQ slots
+        let ch = t.get_or_create(key(4), &cfg, 0, 0, 0, 1);
+        let ep = ep();
+        let data = [1u8, 2, 3, 4];
+        // 4 sends fill the queue; the 5th must stay pending.
+        for _ in 0..5 {
+            // SAFETY: data outlives the flush calls in this test.
+            unsafe { ch.post_send(&ep, data.as_ptr(), 4) };
+        }
+        assert!(ch.try_flush_sends(&ep, 4));
+        assert!(!ch.try_flush_sends(&ep, 5), "queue full: 5th send pending");
+        let mut out = [0u8; 4];
+        // SAFETY: out used synchronously below.
+        let r = unsafe { ch.post_recv(out.as_mut_ptr(), 4) };
+        assert!(ch.try_complete_recvs(&ep, r + 1));
+        assert!(
+            ch.try_flush_sends(&ep, 5),
+            "slot freed: pending send flushes"
+        );
+    }
+}

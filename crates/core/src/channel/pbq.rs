@@ -1,0 +1,277 @@
+//! The **PureBufferQueue (PBQ)** — §4.1.1.
+//!
+//! A lock-free single-producer/single-consumer circular buffer of fixed-size
+//! message slots used for *short* intra-node messages. The protocol is the
+//! paper's two-copy buffered scheme: the sender copies the payload into a
+//! slot, the receiver copies it out. The head and tail indices use
+//! acquire/release ordering; every slot starts on a cacheline boundary so the
+//! writing sender and reading receiver never false-share; the whole payload
+//! area is one contiguous allocation (§4.1.1: "a single contiguous buffer
+//! that stores all message slots ... simple pointer arithmetic to align each
+//! slot to cacheline boundaries").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::util::cache::{AlignedBytes, CACHE_LINE};
+
+/// Slot header: the actual byte length of the message in the slot.
+/// Synchronized by the head/tail acquire-release protocol, so a plain
+/// (non-atomic) field accessed through raw pointers is sound.
+const HEADER_BYTES: usize = std::mem::size_of::<usize>();
+
+/// A lock-free SPSC bounded queue of byte messages with cacheline-aligned
+/// slots.
+///
+/// Exactly one thread may send and exactly one thread may receive; the
+/// channel manager enforces this (channels are keyed by sender and receiver
+/// rank).
+pub struct PureBufferQueue {
+    /// Contiguous 64B-aligned storage for all slots.
+    storage: AlignedBytes,
+    /// Slot stride in cachelines.
+    stride_lines: usize,
+    /// Max payload bytes per slot.
+    capacity: usize,
+    /// Number of slots (power of two).
+    n_slots: usize,
+    /// Producer position (monotonically increasing; slot = tail % n_slots).
+    tail: CachePadded<AtomicUsize>,
+    /// Consumer position.
+    head: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the raw storage is only accessed under the SPSC protocol: the
+// producer writes a slot strictly before publishing it with a release store
+// of `tail`, and the consumer reads it after an acquire load; symmetrically
+// for recycling via `head`.
+unsafe impl Send for PureBufferQueue {}
+unsafe impl Sync for PureBufferQueue {}
+
+impl PureBufferQueue {
+    /// Create a queue of `n_slots` slots (rounded up to a power of two), each
+    /// holding up to `max_payload` bytes.
+    pub fn new(n_slots: usize, max_payload: usize) -> Self {
+        let n_slots = n_slots.max(1).next_power_of_two();
+        let stride_lines = (HEADER_BYTES + max_payload).div_ceil(CACHE_LINE).max(1);
+        let storage = AlignedBytes::new(n_slots * stride_lines * CACHE_LINE);
+        Self {
+            storage,
+            stride_lines,
+            capacity: max_payload,
+            n_slots,
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            head: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Max payload bytes a slot can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.n_slots
+    }
+
+    #[inline]
+    fn slot_ptr(&self, pos: usize) -> *mut u8 {
+        // In-bounds by construction: line < n_slots * stride_lines.
+        self.storage
+            .line_ptr((pos % self.n_slots) * self.stride_lines)
+    }
+
+    /// Attempt to enqueue `payload`. Returns `false` when the queue is full.
+    ///
+    /// Must only be called from the producer thread.
+    #[inline]
+    pub fn try_send(&self, payload: &[u8]) -> bool {
+        assert!(
+            payload.len() <= self.capacity,
+            "PBQ payload exceeds slot capacity"
+        );
+        let tail = self.tail.load(Ordering::Relaxed); // sole writer of tail
+        if tail.wrapping_sub(self.head.load(Ordering::Acquire)) == self.n_slots {
+            return false; // full
+        }
+        let p = self.slot_ptr(tail);
+        // SAFETY: slot `tail % n` is owned by the producer until the release
+        // store below; the consumer will not read it before that store, and
+        // has finished with it (head advanced past the previous lap).
+        unsafe {
+            (p as *mut usize).write(payload.len());
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), p.add(HEADER_BYTES), payload.len());
+        }
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Attempt to dequeue into `out`; returns the message length, or `None`
+    /// when the queue is empty. `out` must be at least as large as the
+    /// incoming message.
+    ///
+    /// Must only be called from the consumer thread.
+    #[inline]
+    pub fn try_recv(&self, out: &mut [u8]) -> Option<usize> {
+        self.try_recv_with(|bytes| {
+            out[..bytes.len()].copy_from_slice(bytes);
+        })
+    }
+
+    /// Attempt to dequeue, handing the payload bytes to `f` (the second copy
+    /// of the two-copy scheme happens inside `f`). Returns the message length.
+    ///
+    /// Must only be called from the consumer thread.
+    #[inline]
+    pub fn try_recv_with(&self, f: impl FnOnce(&[u8])) -> Option<usize> {
+        let head = self.head.load(Ordering::Relaxed); // sole writer of head
+        if self.tail.load(Ordering::Acquire) == head {
+            return None; // empty
+        }
+        let p = self.slot_ptr(head);
+        // SAFETY: the acquire load of `tail` synchronized with the producer's
+        // release store, so the slot contents (header + payload) are visible
+        // and stable; the producer will not reuse the slot until `head`
+        // advances.
+        let len = unsafe {
+            let len = (p as *const usize).read();
+            debug_assert!(len <= self.capacity);
+            f(std::slice::from_raw_parts(p.add(HEADER_BYTES), len));
+            len
+        };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(len)
+    }
+
+    /// True when a message is waiting (consumer-side probe).
+    #[inline]
+    pub fn has_message(&self) -> bool {
+        self.tail.load(Ordering::Acquire) != self.head.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let q = PureBufferQueue::new(4, 64);
+        assert!(q.try_send(b"abc"));
+        let mut out = [0u8; 64];
+        assert_eq!(q.try_recv(&mut out), Some(3));
+        assert_eq!(&out[..3], b"abc");
+        assert_eq!(q.try_recv(&mut out), None);
+    }
+
+    #[test]
+    fn fills_up_then_drains_fifo() {
+        let q = PureBufferQueue::new(4, 8);
+        for i in 0..4u8 {
+            assert!(q.try_send(&[i; 8]));
+        }
+        assert!(!q.try_send(&[9; 8]), "queue must report full");
+        let mut out = [0u8; 8];
+        for i in 0..4u8 {
+            assert_eq!(q.try_recv(&mut out), Some(8));
+            assert_eq!(out, [i; 8]);
+        }
+        assert!(q.try_send(&[9; 8]), "space reclaimed after drain");
+    }
+
+    #[test]
+    fn zero_length_messages_work() {
+        let q = PureBufferQueue::new(2, 16);
+        assert!(q.try_send(&[]));
+        let mut out = [0u8; 16];
+        assert_eq!(q.try_recv(&mut out), Some(0));
+    }
+
+    #[test]
+    fn slot_count_rounds_to_power_of_two() {
+        let q = PureBufferQueue::new(3, 8);
+        assert_eq!(q.slots(), 4);
+        let q = PureBufferQueue::new(0, 8);
+        assert_eq!(q.slots(), 1);
+    }
+
+    #[test]
+    fn slots_are_cacheline_aligned() {
+        let q = PureBufferQueue::new(4, 100);
+        for pos in 0..4 {
+            assert_eq!(q.slot_ptr(pos) as usize % CACHE_LINE, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot capacity")]
+    fn oversize_send_panics() {
+        let q = PureBufferQueue::new(2, 8);
+        let _ = q.try_send(&[0u8; 9]);
+    }
+
+    /// Cross-thread stress: many messages, single producer, single consumer,
+    /// contents and order must be exact.
+    #[test]
+    fn spsc_stress_preserves_order_and_content() {
+        let q = Arc::new(PureBufferQueue::new(8, 32));
+        let qp = Arc::clone(&q);
+        const N: u32 = 20_000;
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let msg = i.to_le_bytes();
+                while !qp.try_send(&msg) {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut out = [0u8; 32];
+        for i in 0..N {
+            loop {
+                if let Some(len) = q.try_recv(&mut out) {
+                    assert_eq!(len, 4);
+                    assert_eq!(u32::from_le_bytes(out[..4].try_into().unwrap()), i);
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    /// Messages of varying lengths through a small queue.
+    #[test]
+    fn variable_length_stress() {
+        let q = Arc::new(PureBufferQueue::new(2, 256));
+        let qp = Arc::clone(&q);
+        const N: usize = 4_000;
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let len = (i * 37) % 257 % 256;
+                let msg: Vec<u8> = (0..len).map(|j| ((i + j) % 251) as u8).collect();
+                while !qp.try_send(&msg) {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut out = [0u8; 256];
+        for i in 0..N {
+            let expect_len = (i * 37) % 257 % 256;
+            loop {
+                if let Some(len) = q.try_recv(&mut out) {
+                    assert_eq!(len, expect_len);
+                    for (j, &b) in out[..len].iter().enumerate() {
+                        assert_eq!(b, ((i + j) % 251) as u8);
+                    }
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,391 @@
+//! The gather family — `gather`, `allgather`, `scatter` — and inclusive
+//! `scan`: extensions beyond the paper's four collectives (§3.1 lists
+//! reduce/all-reduce/barrier/broadcast), built from the same SPTD round
+//! protocol and shared GrowBuf machinery, with node leaders moving
+//! concatenated per-node blocks across the interconnect.
+//!
+//! Layout convention: the node-shared broadcast buffer holds the *full*
+//! `size() × block` array; member `i`'s block lives at byte offset
+//! `i × block_bytes`. Within a node every member writes/reads only its own
+//! region (disjoint by construction), so the concurrent writes need no
+//! locks — the same argument as the Partitioned Reducer's.
+
+use std::sync::atomic::Ordering;
+
+use crate::comm::PureComm;
+use crate::datatype::{PureDatatype, ReduceOp, Reducible};
+
+/// Internode phase tags for this family (distinct from the 0–40 range used
+/// by the reduction/broadcast/barrier algorithms).
+const PH_GATHER: u32 = 48;
+const PH_SCATTER: u32 = 49;
+const PH_ALLGATHER: u32 = 50;
+const PH_SCAN: u32 = 51;
+
+impl PureComm {
+    /// Gather equal-size blocks to `root` (like `MPI_Gather`): rank `i`'s
+    /// `send` lands at `recv[i*len .. (i+1)*len]` on the root. `recv` is
+    /// only used on the root (`None` elsewhere).
+    pub fn gather<T: PureDatatype>(&self, send: &[T], recv: Option<&mut [T]>, root: usize) {
+        assert!(root < self.size(), "gather root out of range");
+        if self.my_comm_rank == root {
+            let r = recv.as_deref().expect("root must supply a receive buffer");
+            assert_eq!(
+                r.len(),
+                send.len() * self.size(),
+                "gather buffer length mismatch"
+            );
+        }
+        let root_node = self.meta.node_idx_of[root] as usize;
+        self.block_exchange(send, Some(root_node));
+        if self.my_comm_rank == root {
+            let out = recv.expect("checked above");
+            let total = std::mem::size_of_val(out);
+            // SAFETY: leader_seq for this round was observed inside
+            // block_exchange; the buffer holds the full gathered array.
+            let full = unsafe {
+                self.area
+                    .bcast_buf
+                    .as_slice::<T>(total / std::mem::size_of::<T>())
+            };
+            out.copy_from_slice(full);
+        }
+    }
+
+    /// All-gather equal-size blocks (like `MPI_Allgather`): every rank gets
+    /// the concatenation of all ranks' `send` blocks in comm-rank order.
+    pub fn allgather<T: PureDatatype>(&self, send: &[T], recv: &mut [T]) {
+        assert_eq!(
+            recv.len(),
+            send.len() * self.size(),
+            "allgather buffer length mismatch"
+        );
+        self.block_exchange(send, None);
+        // SAFETY: leader_seq observed inside block_exchange.
+        let full = unsafe { self.area.bcast_buf.as_slice::<T>(recv.len()) };
+        recv.copy_from_slice(full);
+    }
+
+    /// Shared machinery: members deposit their blocks in the node buffer at
+    /// comm-rank offsets; leaders exchange per-node block lists.
+    /// `gather_to`: `Some(root_node)` = blocks flow to one node (gather);
+    /// `None` = every node broadcasts its blocks (allgather).
+    fn block_exchange<T: PureDatatype>(&self, send: &[T], gather_to: Option<usize>) {
+        self.bump_collective_stat();
+        let r = self.next_round();
+        let block = std::mem::size_of_val(send);
+        let total = block * self.size();
+        self.arrive_nothing(r);
+
+        // Leader sizes the buffer once everyone from the previous round is
+        // provably out (all arrived at r).
+        if self.is_leader() {
+            self.wait_all_arrivals(r);
+            // SAFETY: all members arrived ⇒ no reader of the previous round.
+            unsafe { self.area.bcast_buf.ensure(total.max(1)) };
+            self.area.bcast_seq.store(r, Ordering::Release);
+        } else {
+            self.wait_bcast_seq(r);
+        }
+
+        // Deposit my block at my comm-rank offset (disjoint writes).
+        if block > 0 {
+            // SAFETY: disjoint region per member; buffer sized above.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    send.as_ptr().cast::<u8>(),
+                    self.area.bcast_buf.ptr().add(self.my_comm_rank * block),
+                    block,
+                );
+            }
+        }
+        self.area.sptd[self.my_group_pos].set_done(r);
+
+        if self.is_leader() {
+            for j in 0..self.group_len() {
+                let d = &self.area.sptd[j];
+                self.local.ssw_until(|| (d.done() >= r).then_some(()));
+            }
+            if self.multi_node() {
+                let g = self.leader_group();
+                let my_pos = self.my_node_idx;
+                match gather_to {
+                    Some(root_pos) => {
+                        if my_pos == root_pos {
+                            for pos in 0..self.meta.nodes.len() {
+                                if pos == my_pos {
+                                    continue;
+                                }
+                                let payload = g.recv_bytes(pos, PH_GATHER);
+                                // SAFETY: exclusive window (members wait on
+                                // leader_seq); writes go to remote members'
+                                // disjoint offsets.
+                                unsafe { self.scatter_blocks_into_buf(pos, block, &payload) };
+                            }
+                        } else {
+                            let payload = self.collect_node_blocks(my_pos, block);
+                            g.send_bytes(root_pos, PH_GATHER, &payload);
+                        }
+                    }
+                    None => {
+                        // Every node broadcasts its block list in node order
+                        // (binomial tree per node; FIFO channels keep the
+                        // sequential rounds matched).
+                        for pos in 0..self.meta.nodes.len() {
+                            let mut payload = if pos == my_pos {
+                                self.collect_node_blocks(pos, block)
+                            } else {
+                                vec![0u8; block * self.meta.groups[pos].len()]
+                            };
+                            g.bcast_phase(pos, &mut payload, PH_ALLGATHER);
+                            if pos != my_pos {
+                                // SAFETY: as above.
+                                unsafe { self.scatter_blocks_into_buf(pos, block, &payload) };
+                            }
+                        }
+                    }
+                }
+            }
+            self.area.publish_leader(r);
+        }
+        self.wait_leader_seq(r);
+    }
+
+    /// Concatenate this node's members' blocks (group order) out of the
+    /// shared buffer.
+    fn collect_node_blocks(&self, node_pos: usize, block: usize) -> Vec<u8> {
+        let group = &self.meta.groups[node_pos];
+        let mut out = Vec::with_capacity(group.len() * block);
+        for &cr in group {
+            // SAFETY: members' deposits for this round are complete (done
+            // backedges observed by the caller).
+            let src = unsafe {
+                std::slice::from_raw_parts(
+                    self.area.bcast_buf.ptr().add(cr as usize * block),
+                    block,
+                )
+            };
+            out.extend_from_slice(src);
+        }
+        out
+    }
+
+    /// Write a remote node's concatenated block list into the shared buffer
+    /// at its members' comm-rank offsets.
+    ///
+    /// # Safety
+    /// Caller must hold the round's exclusive leader window.
+    unsafe fn scatter_blocks_into_buf(&self, node_pos: usize, block: usize, payload: &[u8]) {
+        let group = &self.meta.groups[node_pos];
+        assert_eq!(
+            payload.len(),
+            group.len() * block,
+            "block list size mismatch"
+        );
+        for (k, &cr) in group.iter().enumerate() {
+            // SAFETY: per the function contract; regions are disjoint.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    payload.as_ptr().add(k * block),
+                    self.area.bcast_buf.ptr().add(cr as usize * block),
+                    block,
+                );
+            }
+        }
+    }
+
+    /// Scatter equal-size blocks from `root` (like `MPI_Scatter`): rank `i`
+    /// receives `send[i*len .. (i+1)*len]`. `send` is only used on the root.
+    pub fn scatter<T: PureDatatype>(&self, send: Option<&[T]>, recv: &mut [T], root: usize) {
+        assert!(root < self.size(), "scatter root out of range");
+        self.bump_collective_stat();
+        let r = self.next_round();
+        let block = std::mem::size_of_val(recv);
+        let total = block * self.size();
+        if self.my_comm_rank == root {
+            let s = send.expect("root must supply the send buffer");
+            assert_eq!(
+                s.len(),
+                recv.len() * self.size(),
+                "scatter buffer length mismatch"
+            );
+        }
+        self.arrive_nothing(r);
+
+        let root_node = self.meta.node_idx_of[root] as usize;
+        let on_root_node = self.my_node_idx == root_node;
+
+        if self.my_comm_rank == root {
+            self.wait_all_arrivals(r);
+            // SAFETY: all arrived ⇒ previous readers done.
+            unsafe {
+                self.area.bcast_buf.ensure(total.max(1));
+                if total > 0 {
+                    std::ptr::copy_nonoverlapping(
+                        send.expect("checked").as_ptr().cast::<u8>(),
+                        self.area.bcast_buf.ptr(),
+                        total,
+                    );
+                }
+            }
+            self.area.bcast_seq.store(r, Ordering::Release);
+        }
+
+        if self.is_leader() && self.multi_node() {
+            let g = self.leader_group();
+            if on_root_node {
+                self.wait_bcast_seq(r);
+                for pos in 0..self.meta.nodes.len() {
+                    if pos == self.my_node_idx {
+                        continue;
+                    }
+                    let payload = self.collect_node_blocks(pos, block);
+                    g.send_bytes(pos, PH_SCATTER, &payload);
+                }
+            } else {
+                let payload = g.recv_bytes(root_node, PH_SCATTER);
+                self.wait_all_arrivals(r);
+                // SAFETY: all local members arrived ⇒ previous readers done.
+                unsafe {
+                    self.area.bcast_buf.ensure(total.max(1));
+                    self.scatter_blocks_into_buf(self.my_node_idx, block, &payload);
+                }
+                self.area.bcast_seq.store(r, Ordering::Release);
+            }
+        }
+
+        self.wait_bcast_seq(r);
+        if block > 0 {
+            // SAFETY: published for this round; my region is stable.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.area.bcast_buf.ptr().add(self.my_comm_rank * block),
+                    recv.as_mut_ptr().cast::<u8>(),
+                    block,
+                );
+            }
+        }
+        // Backedge so the *next* writer can safely reuse the buffer: readers
+        // signal consumption via their next arrival; nothing more needed
+        // (invariant 2 of the round protocol).
+    }
+
+    /// In-place all-reduce (the `MPI_IN_PLACE` convenience): `buf` holds
+    /// this rank's contribution on entry and the full reduction on exit.
+    pub fn allreduce_in_place<T: Reducible>(&self, buf: &mut [T], op: ReduceOp) {
+        let input = buf.to_vec();
+        self.allreduce(&input, buf, op);
+    }
+
+    /// All-to-all equal blocks (like `MPI_Alltoall`): rank `i` sends
+    /// `send[j*len..]` to rank `j` and receives rank `j`'s `send[i*len..]`
+    /// at `recv[j*len..]`. Implemented as a scatter from every rank through
+    /// the shared-buffer machinery — one round per source rank.
+    pub fn alltoall<T: PureDatatype>(&self, send: &[T], recv: &mut [T]) {
+        let p = self.size();
+        assert_eq!(send.len(), recv.len(), "alltoall buffer length mismatch");
+        assert_eq!(
+            send.len() % p.max(1),
+            0,
+            "alltoall buffer not divisible by size"
+        );
+        let block = send.len() / p;
+        for src in 0..p {
+            let dst_slice = &mut recv[src * block..(src + 1) * block];
+            if self.my_comm_rank == src {
+                self.scatter(Some(send), dst_slice, src);
+            } else {
+                self.scatter(None, dst_slice, src);
+            }
+        }
+    }
+
+    /// Inclusive prefix reduction (like `MPI_Scan`): rank `i`'s output is
+    /// `input_0 op input_1 op … op input_i`.
+    pub fn scan<T: Reducible>(&self, input: &[T], output: &mut [T], op: ReduceOp) {
+        assert_eq!(input.len(), output.len(), "scan buffer length mismatch");
+        self.bump_collective_stat();
+        let r = self.next_round();
+        let len = input.len();
+        let block = std::mem::size_of_val(input);
+        let total = block * self.size();
+        // Publish a pointer to my input (stable for the round).
+        self.arrive_ptr(r, input.as_ptr().cast(), len);
+
+        if self.is_leader() {
+            self.wait_all_arrivals(r);
+            // SAFETY: all arrived ⇒ previous readers done.
+            unsafe { self.area.bcast_buf.ensure(total.max(1)) };
+            // Sequential prefix over this node's members, in group (comm
+            // rank) order, written to each member's offset.
+            let mut acc = vec![T::identity(op); len];
+            for (j, &cr) in self.meta.groups[self.my_node_idx].iter().enumerate() {
+                // SAFETY: arrival observed; pointer valid for the round.
+                let (p, l) = unsafe { self.area.sptd[j].payload_as_ptr() };
+                debug_assert_eq!(l, len);
+                let inp = unsafe { std::slice::from_raw_parts(p.cast::<T>(), len) };
+                T::reduce_assign(op, &mut acc, inp);
+                // SAFETY: exclusive leader window; disjoint member region.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        acc.as_ptr().cast::<u8>(),
+                        self.area.bcast_buf.ptr().add(cr as usize * block),
+                        block,
+                    );
+                }
+            }
+            // Cross-node: every leader broadcasts its node total (in node
+            // order); each leader folds the totals of earlier nodes into its
+            // members' prefixes.
+            if self.multi_node() {
+                let g = self.leader_group();
+                let mut offset = vec![T::identity(op); len];
+                for pos in 0..self.meta.nodes.len() {
+                    let mut tot = if pos == self.my_node_idx {
+                        acc.clone()
+                    } else {
+                        vec![T::identity(op); len]
+                    };
+                    g.bcast_phase(pos, &mut tot, PH_SCAN);
+                    if pos == self.my_node_idx {
+                        break; // only earlier nodes contribute to my offset
+                    }
+                    T::reduce_assign(op, &mut offset, &tot);
+                }
+                // Remaining nodes still expect my broadcast participation:
+                // finish the sequence.
+                for pos in (self.my_node_idx + 1)..self.meta.nodes.len() {
+                    let mut tot = vec![T::identity(op); len];
+                    g.bcast_phase(pos, &mut tot, PH_SCAN);
+                }
+                // Fold the earlier-node offset into every member's prefix.
+                for &cr in &self.meta.groups[self.my_node_idx] {
+                    // SAFETY: exclusive leader window.
+                    let slice = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            self.area
+                                .bcast_buf
+                                .ptr()
+                                .add(cr as usize * block)
+                                .cast::<T>(),
+                            len,
+                        )
+                    };
+                    let mut folded = offset.clone();
+                    T::reduce_assign(op, &mut folded, slice);
+                    slice.copy_from_slice(&folded);
+                }
+            }
+            self.area.publish_leader(r);
+        }
+        self.wait_leader_seq(r);
+        // SAFETY: published; my region stable until everyone re-arrives.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.area.bcast_buf.ptr().add(self.my_comm_rank * block),
+                output.as_mut_ptr().cast::<u8>(),
+                block,
+            );
+        }
+    }
+}

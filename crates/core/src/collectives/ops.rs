@@ -1,0 +1,394 @@
+//! The collective algorithms (§4.2): leader flat-combining on small data,
+//! the all-thread Partitioned Reducer on large data, broadcast, barrier and
+//! reduce — all composed from the SPTD protocol within nodes and the
+//! [`crate::internode`] leader algorithms across nodes.
+//!
+//! ## Round protocol
+//!
+//! Every collective call on a communicator consumes one *round* `r` from the
+//! comm's local counter (all members call collectives in the same order, so
+//! the counters agree — MPI's ordering requirement). The invariants:
+//!
+//! 1. every member signals **arrival** at round `r` (its SPTD sequence, or
+//!    the shared counter in the ablation mode) after writing any payload;
+//! 2. a member only mutates *shared* state of round `r` (scratch, broadcast
+//!    buffer) after observing **all** arrivals at `r` — since arrival at `r`
+//!    implies a member finished round `r-1`, this is the flow control that
+//!    lets buffers be reused round after round with no extra fences;
+//! 3. results are published with a release store of the round into
+//!    `leader_seq` / `bcast_seq` / per-member `done` and observed with
+//!    acquire loads.
+
+use crate::collectives::ArrivalMode;
+use crate::comm::PureComm;
+use crate::datatype::{as_bytes, PureDatatype, ReduceOp, Reducible};
+use crate::util::cache::aligned_chunk_range;
+
+/// What a member deposits in its dropbox when it arrives.
+enum Arrive<'a> {
+    Nothing,
+    Bytes(&'a [u8]),
+    Ptr(*const u8, usize),
+}
+
+impl PureComm {
+    pub(crate) fn bump_collective_stat(&self) {
+        self.local.collectives.set(self.local.collectives.get() + 1);
+    }
+
+    pub(crate) fn multi_node(&self) -> bool {
+        self.meta.nodes.len() > 1
+    }
+
+    /// Arrival without payload (for the gather/scatter/scan family).
+    pub(crate) fn arrive_nothing(&self, r: u64) {
+        self.arrive(r, Arrive::Nothing);
+    }
+
+    /// Arrival publishing a pointer payload.
+    pub(crate) fn arrive_ptr(&self, r: u64, ptr: *const u8, len: usize) {
+        self.arrive(r, Arrive::Ptr(ptr, len));
+    }
+
+    /// Invariant 1: deposit payload (if any) and signal arrival at `r`.
+    fn arrive(&self, r: u64, payload: Arrive<'_>) {
+        let me = &self.area.sptd[self.my_group_pos];
+        // SAFETY: we are this dropbox's owner, and all readers of the
+        // previous round have finished (invariant 2 held last round).
+        unsafe {
+            match payload {
+                Arrive::Nothing => {}
+                Arrive::Bytes(b) => me.write_bytes(b),
+                Arrive::Ptr(p, l) => me.write_ptr(p, l),
+            }
+        }
+        match self.local.shared.cfg.arrival {
+            ArrivalMode::Sptd => me.publish_seq(r),
+            ArrivalMode::SharedCounter => {
+                self.area
+                    .arrivals
+                    .fetch_add(1, std::sync::atomic::Ordering::Release);
+            }
+        }
+    }
+
+    /// Invariant 2: wait until every group member has arrived at `r`.
+    pub(crate) fn wait_all_arrivals(&self, r: u64) {
+        let g = self.group_len();
+        match self.local.shared.cfg.arrival {
+            ArrivalMode::Sptd => {
+                for j in 0..g {
+                    if j == self.my_group_pos {
+                        continue;
+                    }
+                    let d = &self.area.sptd[j];
+                    self.local.ssw_until(|| (d.seq() >= r).then_some(()));
+                }
+            }
+            ArrivalMode::SharedCounter => {
+                let target = g as u64 * r;
+                self.local.ssw_until(|| {
+                    (self
+                        .area
+                        .arrivals
+                        .load(std::sync::atomic::Ordering::Acquire)
+                        >= target)
+                        .then_some(())
+                });
+            }
+        }
+    }
+
+    pub(crate) fn wait_leader_seq(&self, r: u64) {
+        self.local
+            .ssw_until(|| (self.area.leader_seq() >= r).then_some(()));
+    }
+
+    /// Barrier (§4.2; evaluated in Figure 7b/7c).
+    pub fn barrier(&self) {
+        self.bump_collective_stat();
+        let r = self.next_round();
+        self.arrive(r, Arrive::Nothing);
+        if self.is_leader() {
+            self.wait_all_arrivals(r);
+            if self.multi_node() {
+                self.leader_group().barrier();
+            }
+            self.area.publish_leader(r);
+        } else {
+            self.wait_leader_seq(r);
+        }
+    }
+
+    /// All-reduce (§4.2.1 small / §4.2.2 large; evaluated in Figure 7a):
+    /// element-wise `op` over every member's `input`, full result in every
+    /// member's `output`.
+    pub fn allreduce<T: Reducible>(&self, input: &[T], output: &mut [T], op: ReduceOp) {
+        assert_eq!(
+            input.len(),
+            output.len(),
+            "allreduce buffer length mismatch"
+        );
+        self.bump_collective_stat();
+        let r = self.next_round();
+        let bytes = std::mem::size_of_val(input);
+        if bytes <= self.local.shared.cfg.small_coll_max {
+            self.reduce_small(r, input, op, None);
+        } else {
+            self.reduce_large(r, input, op, None);
+        }
+        // Result fan-out: leader published `leader_seq = r` with the final
+        // value in scratch.
+        self.wait_leader_seq(r);
+        // SAFETY: observed leader_seq >= r; scratch holds round r's result
+        // and is not mutated until all members arrive at a later round.
+        output.copy_from_slice(unsafe { self.area.scratch.as_slice::<T>(input.len()) });
+    }
+
+    /// Reduce to `root` (comm rank). `output` is only written on the root;
+    /// pass `None` elsewhere.
+    pub fn reduce<T: Reducible>(
+        &self,
+        input: &[T],
+        output: Option<&mut [T]>,
+        root: usize,
+        op: ReduceOp,
+    ) {
+        assert!(root < self.size(), "reduce root out of range");
+        self.bump_collective_stat();
+        if self.my_comm_rank == root {
+            let out = output
+                .as_deref()
+                .expect("root must supply an output buffer");
+            assert_eq!(input.len(), out.len(), "reduce buffer length mismatch");
+        }
+        let r = self.next_round();
+        let bytes = std::mem::size_of_val(input);
+        let root_node = self.meta.node_idx_of[root] as usize;
+        if bytes <= self.local.shared.cfg.small_coll_max {
+            self.reduce_small(r, input, op, Some(root_node));
+        } else {
+            self.reduce_large(r, input, op, Some(root_node));
+        }
+        // Everyone waits for its node leader's publication — not just the
+        // root. This is what keeps dropbox payloads and published pointers
+        // stable for the whole round: a member that raced ahead could
+        // otherwise overwrite its dropbox (at its next `arrive`) while the
+        // leader or a peer is still reading this round's contents.
+        self.wait_leader_seq(r);
+        if self.my_comm_rank == root {
+            let out = output.expect("checked above");
+            // SAFETY: observed leader_seq >= r on the root's node.
+            out.copy_from_slice(unsafe { self.area.scratch.as_slice::<T>(input.len()) });
+        }
+    }
+
+    /// Intra-node flat-combining reduction (§4.2.1) + cross-node phase.
+    /// `reduce_root_node`: `None` for all-reduce (leaders run cross-node
+    /// all-reduce, every leader publishes), `Some(node_idx)` for rooted
+    /// reduce (leaders reduce towards that node; only it publishes).
+    fn reduce_small<T: Reducible>(
+        &self,
+        r: u64,
+        input: &[T],
+        op: ReduceOp,
+        reduce_root_node: Option<usize>,
+    ) {
+        if self.is_leader() {
+            self.arrive(r, Arrive::Nothing);
+            self.wait_all_arrivals(r);
+            let g = self.group_len();
+            // SAFETY: all members arrived at r ⇒ none is still reading the
+            // previous round's scratch (invariant 2).
+            let acc: &mut [T] = unsafe {
+                self.area.scratch.ensure(std::mem::size_of_val(input));
+                self.area.scratch.as_mut_slice::<T>(input.len())
+            };
+            acc.copy_from_slice(input);
+            for j in 0..g {
+                if j == self.my_group_pos {
+                    continue;
+                }
+                // SAFETY: arrival observed; payload stable for the round.
+                let b = unsafe { self.area.sptd[j].payload(std::mem::size_of_val(input)) };
+                reduce_bytes_into(acc, b, op);
+            }
+            self.cross_node_phase(acc, op, reduce_root_node);
+            self.area.publish_leader(r);
+        } else {
+            self.arrive(r, Arrive::Bytes(as_bytes(input)));
+        }
+    }
+
+    /// The Partitioned Reducer (§4.2.2, Figure 3): every member publishes a
+    /// pointer to its input, all members concurrently reduce disjoint
+    /// cacheline-aligned chunks of the output.
+    fn reduce_large<T: Reducible>(
+        &self,
+        r: u64,
+        input: &[T],
+        op: ReduceOp,
+        reduce_root_node: Option<usize>,
+    ) {
+        let g = self.group_len();
+        let len = input.len();
+        self.arrive(r, Arrive::Ptr(input.as_ptr().cast(), len));
+        if self.is_leader() {
+            self.wait_all_arrivals(r);
+            // SAFETY: all arrived ⇒ no reader of the previous scratch.
+            unsafe { self.area.scratch.ensure(std::mem::size_of_val(input)) };
+            self.area
+                .scratch_ready
+                .store(r, std::sync::atomic::Ordering::Release);
+        } else {
+            self.wait_all_arrivals(r);
+            self.local.ssw_until(|| {
+                (self
+                    .area
+                    .scratch_ready
+                    .load(std::sync::atomic::Ordering::Acquire)
+                    >= r)
+                    .then_some(())
+            });
+        }
+
+        // Gather everyone's input pointers (stable for the round).
+        let inputs: Vec<&[T]> = (0..g)
+            .map(|j| {
+                // SAFETY: arrival of j observed; the pointed-to input outlives
+                // the round (its owner is blocked in this collective until
+                // after all `done` backedges).
+                let (p, l) = unsafe { self.area.sptd[j].payload_as_ptr() };
+                debug_assert_eq!(l, len);
+                unsafe { std::slice::from_raw_parts(p.cast::<T>(), len) }
+            })
+            .collect();
+
+        // My cacheline-aligned chunk of the output.
+        let range = aligned_chunk_range::<T>(
+            len,
+            self.my_group_pos as u32,
+            self.my_group_pos as u32 + 1,
+            g as u32,
+        );
+        if !range.is_empty() {
+            // SAFETY: members' ranges are pairwise disjoint by construction;
+            // scratch_ready >= r observed.
+            let out = unsafe { self.area.scratch.as_mut_range::<T>(range.clone()) };
+            out.copy_from_slice(&inputs[0][range.clone()]);
+            for inp in &inputs[1..] {
+                T::reduce_assign(op, out, &inp[range.clone()]);
+            }
+        }
+        self.area.sptd[self.my_group_pos].set_done(r);
+
+        if self.is_leader() {
+            for j in 0..g {
+                let d = &self.area.sptd[j];
+                self.local.ssw_until(|| (d.done() >= r).then_some(()));
+            }
+            // SAFETY: all chunk writers finished (done backedges observed).
+            let acc = unsafe { self.area.scratch.as_mut_slice::<T>(len) };
+            self.cross_node_phase(acc, op, reduce_root_node);
+            self.area.publish_leader(r);
+        }
+    }
+
+    /// Leaders' cross-node phase for reductions.
+    fn cross_node_phase<T: Reducible>(
+        &self,
+        acc: &mut [T],
+        op: ReduceOp,
+        reduce_root_node: Option<usize>,
+    ) {
+        if !self.multi_node() {
+            return;
+        }
+        match reduce_root_node {
+            None => self.leader_group().allreduce(acc, op),
+            Some(root_node) => self.leader_group().reduce(root_node, acc, op),
+        }
+    }
+
+    /// Broadcast from comm rank `root` (§4.2, Appendix A).
+    pub fn bcast<T: PureDatatype>(&self, data: &mut [T], root: usize) {
+        assert!(root < self.size(), "bcast root out of range");
+        self.bump_collective_stat();
+        let r = self.next_round();
+        self.arrive(r, Arrive::Nothing);
+
+        let bytes = std::mem::size_of_val(data);
+        let root_node = self.meta.node_idx_of[root] as usize;
+        let on_root_node = self.my_node_idx == root_node;
+        let i_am_root = self.my_comm_rank == root;
+
+        if i_am_root {
+            // Writer on the root's node.
+            self.wait_all_arrivals(r);
+            // SAFETY: all members arrived ⇒ previous bcast readers done.
+            unsafe {
+                self.area.bcast_buf.ensure(bytes);
+                self.area
+                    .bcast_buf
+                    .as_mut_slice::<T>(data.len())
+                    .copy_from_slice(data);
+            }
+            self.area
+                .bcast_seq
+                .store(r, std::sync::atomic::Ordering::Release);
+        }
+
+        if self.is_leader() && self.multi_node() {
+            if on_root_node && !i_am_root {
+                // Fetch the payload before forwarding it across nodes.
+                self.wait_bcast_seq(r);
+                // SAFETY: bcast_seq >= r observed.
+                data.copy_from_slice(unsafe { self.area.bcast_buf.as_slice::<T>(data.len()) });
+            }
+            self.leader_group().bcast(root_node, data);
+            if !on_root_node {
+                // Writer on a non-root node.
+                self.wait_all_arrivals(r);
+                // SAFETY: all members arrived ⇒ previous readers done.
+                unsafe {
+                    self.area.bcast_buf.ensure(bytes);
+                    self.area
+                        .bcast_buf
+                        .as_mut_slice::<T>(data.len())
+                        .copy_from_slice(data);
+                }
+                self.area
+                    .bcast_seq
+                    .store(r, std::sync::atomic::Ordering::Release);
+            }
+        }
+
+        let already_have_payload = i_am_root || (self.is_leader() && self.multi_node());
+        if !already_have_payload {
+            self.wait_bcast_seq(r);
+            // SAFETY: bcast_seq >= r observed; buffer stable until all
+            // members arrive at a later round.
+            data.copy_from_slice(unsafe { self.area.bcast_buf.as_slice::<T>(data.len()) });
+        }
+    }
+
+    pub(crate) fn wait_bcast_seq(&self, r: u64) {
+        self.local.ssw_until(|| {
+            (self
+                .area
+                .bcast_seq
+                .load(std::sync::atomic::Ordering::Acquire)
+                >= r)
+                .then_some(())
+        });
+    }
+}
+
+/// Reduce raw dropbox bytes (a `[T]` payload) into `acc`.
+fn reduce_bytes_into<T: Reducible>(acc: &mut [T], payload: &[u8], op: ReduceOp) {
+    debug_assert_eq!(payload.len(), std::mem::size_of_val(acc));
+    // Dropbox payloads are 64-byte aligned, so a typed view is legal.
+    // SAFETY: payload length matches and alignment is 64 ≥ align_of::<T>().
+    let typed = unsafe { std::slice::from_raw_parts(payload.as_ptr().cast::<T>(), acc.len()) };
+    T::reduce_assign(op, acc, typed);
+}

@@ -1,0 +1,297 @@
+//! Communicators (§3.1): MPI-equivalent groups with `pure_comm_split`.
+//!
+//! A [`PureComm`] is a per-rank handle onto a communicator: immutable
+//! metadata (the member list and its node decomposition, identical on every
+//! member) plus the node-shared collective area and this rank's positions.
+//! The world communicator is built at launch; every other communicator comes
+//! from [`PureComm::split`], which is itself implemented with Pure messaging
+//! and collectives (gather the `(color, key)` pairs, broadcast the table,
+//! compute the partition deterministically everywhere).
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::collectives::CollArea;
+use crate::internode::{LeaderGroup, LeaderInfo};
+use crate::runtime::{RankLocal, Shared, Tag, INTERNAL_TAG_BASE};
+
+/// 64-bit mixer (splitmix64 finalizer) for communicator ids and tag bases.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Immutable, globally consistent communicator metadata.
+pub(crate) struct CommMeta {
+    /// Communicator id (world = 0).
+    pub id: u64,
+    /// World rank of each member, indexed by comm rank.
+    pub members: Vec<u32>,
+    /// Participating nodes (ascending node id) with their leader's local
+    /// thread index.
+    pub nodes: Vec<LeaderInfo>,
+    /// Per entry of `nodes`: the comm ranks resident there, ascending.
+    pub groups: Vec<Vec<u32>>,
+    /// comm rank → index into `nodes`.
+    pub node_idx_of: Vec<u32>,
+    /// Base of this comm's cross-node collective tag namespace.
+    pub tag_base: u32,
+}
+
+impl CommMeta {
+    /// Metadata for `PURE_COMM_WORLD`.
+    pub fn world(shared: &Shared) -> Self {
+        Self::from_members(0, (0..shared.cfg.ranks as u32).collect(), shared)
+    }
+
+    /// Compute the node decomposition of an arbitrary member list.
+    pub fn from_members(id: u64, members: Vec<u32>, shared: &Shared) -> Self {
+        assert!(
+            !members.is_empty(),
+            "a communicator needs at least one member"
+        );
+        let mut node_ids: Vec<usize> = members
+            .iter()
+            .map(|&w| shared.rank_node[w as usize])
+            .collect();
+        node_ids.sort_unstable();
+        node_ids.dedup();
+        let nodes: Vec<LeaderInfo> = node_ids
+            .iter()
+            .map(|&n| {
+                // Leader = member with the lowest comm rank on that node.
+                let leader_world = members
+                    .iter()
+                    .find(|&&w| shared.rank_node[w as usize] == n)
+                    .expect("node has a member");
+                LeaderInfo {
+                    node: n,
+                    leader_local: shared.rank_local[*leader_world as usize],
+                }
+            })
+            .collect();
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        let mut node_idx_of = vec![0u32; members.len()];
+        for (cr, &w) in members.iter().enumerate() {
+            let n = shared.rank_node[w as usize];
+            let ni = node_ids.binary_search(&n).expect("node present");
+            groups[ni].push(cr as u32);
+            node_idx_of[cr] = ni as u32;
+        }
+        // 24-bit hashed tag namespace with 8 phase bits. Distinct live comms
+        // collide with probability ~2⁻²⁴ per pair; acceptable for a research
+        // runtime (documented in DESIGN.md).
+        let tag_base = ((mix64(id) >> 16) as u32) & 0x00FF_FF00;
+        Self {
+            id,
+            members,
+            nodes,
+            groups,
+            node_idx_of,
+            tag_base,
+        }
+    }
+}
+
+/// A communicator handle for one rank. Not `Send`/`Clone`: each rank owns
+/// its handles, mirroring how MPI communicators are used.
+pub struct PureComm {
+    pub(crate) meta: Arc<CommMeta>,
+    pub(crate) area: Arc<CollArea>,
+    pub(crate) local: Rc<RankLocal>,
+    pub(crate) my_comm_rank: usize,
+    pub(crate) my_node_idx: usize,
+    pub(crate) my_group_pos: usize,
+    /// Collective round counter (locally tracked; consistent because
+    /// collectives are called in the same order by every member).
+    pub(crate) rounds: Cell<u64>,
+    /// Number of `split` calls made on this comm (epoch for child comm ids).
+    pub(crate) splits: Cell<u64>,
+}
+
+impl PureComm {
+    pub(crate) fn from_meta(meta: Arc<CommMeta>, local: Rc<RankLocal>) -> Self {
+        let my_world = local.rank as u32;
+        let my_comm_rank = meta
+            .members
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("rank is a member of the communicator");
+        let my_node_idx = meta.node_idx_of[my_comm_rank] as usize;
+        let group = &meta.groups[my_node_idx];
+        let my_group_pos = group
+            .iter()
+            .position(|&cr| cr == my_comm_rank as u32)
+            .expect("rank in its node group");
+        let area = local.shared.area(local.node, meta.id, group.len());
+        Self {
+            meta,
+            area,
+            local,
+            my_comm_rank,
+            my_node_idx,
+            my_group_pos,
+            rounds: Cell::new(0),
+            splits: Cell::new(0),
+        }
+    }
+
+    /// This rank's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_comm_rank
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.meta.members.len()
+    }
+
+    /// World rank of comm rank `r`.
+    pub fn world_rank(&self, r: usize) -> usize {
+        self.meta.members[r] as usize
+    }
+
+    /// True when this rank leads its node group (group position 0).
+    pub(crate) fn is_leader(&self) -> bool {
+        self.my_group_pos == 0
+    }
+
+    /// Size of this rank's node group.
+    pub(crate) fn group_len(&self) -> usize {
+        self.meta.groups[self.my_node_idx].len()
+    }
+
+    /// Allocate the next collective round number (> 0).
+    pub(crate) fn next_round(&self) -> u64 {
+        let r = self.rounds.get() + 1;
+        self.rounds.set(r);
+        r
+    }
+
+    /// The cross-node leader view (only meaningful on leaders).
+    pub(crate) fn leader_group(&self) -> LeaderGroup<'_> {
+        LeaderGroup {
+            ep: &self.local.ep,
+            nodes: &self.meta.nodes,
+            my_pos: self.my_node_idx,
+            tag_base: self.meta.tag_base,
+            sched: &self.local.sched,
+            steal: &self.local.steal,
+        }
+    }
+
+    /// Split this communicator like `MPI_Comm_split` / `pure_comm_split`:
+    /// members with equal `color` form a new communicator, ordered by
+    /// `(key, parent rank)`. A negative color opts out (returns `None`).
+    ///
+    /// Collective: every member must call it (in the same order relative to
+    /// other collectives on this comm).
+    pub fn split(&self, color: i64, key: i64) -> Option<PureComm> {
+        let epoch = self.splits.get();
+        self.splits.set(epoch + 1);
+        let p = self.size();
+        let itag: Tag =
+            INTERNAL_TAG_BASE | ((mix64(self.meta.id ^ (epoch << 1) ^ 1) as u32) & 0x7FFF_FFFF);
+
+        // Gather every member's (color, key) to comm rank 0, then broadcast
+        // the full table; each member computes the partition locally.
+        let mut table = vec![0i64; 2 * p];
+        if self.my_comm_rank == 0 {
+            table[0] = color;
+            table[1] = key;
+            for r in 1..p {
+                let mut pair = [0i64; 2];
+                self.recv_with_tag(&mut pair, r, itag);
+                table[2 * r] = pair[0];
+                table[2 * r + 1] = pair[1];
+            }
+        } else {
+            self.send_with_tag(&[color, key], 0, itag);
+        }
+        self.bcast(&mut table, 0);
+
+        if color < 0 {
+            return None;
+        }
+        let mut group: Vec<usize> = (0..p).filter(|&r| table[2 * r] == color).collect();
+        group.sort_by_key(|&r| (table[2 * r + 1], r));
+        let members: Vec<u32> = group.iter().map(|&cr| self.meta.members[cr]).collect();
+        let new_id = mix64(self.meta.id ^ mix64(epoch ^ 0xC0FFEE) ^ (color as u64));
+        let meta = CommMeta::from_members(new_id, members, &self.local.shared);
+        Some(PureComm::from_meta(Arc::new(meta), Rc::clone(&self.local)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_spreads_and_is_stable() {
+        assert_eq!(mix64(42), mix64(42));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn comm_meta_world_decomposition_via_launch() {
+        // Exercise CommMeta through the public API: node groups and leader
+        // placement must match the topology.
+        let mut cfg = crate::runtime::Config::new(6).with_ranks_per_node(2);
+        cfg.spin_budget = 8;
+        crate::runtime::launch(cfg, |ctx| {
+            let w = ctx.world();
+            assert_eq!(w.meta.nodes.len(), 3);
+            assert_eq!(w.meta.groups.len(), 3);
+            for (ni, g) in w.meta.groups.iter().enumerate() {
+                assert_eq!(g.len(), 2, "node {ni} group size");
+                // Ascending comm ranks, contiguous for SMP placement.
+                assert_eq!(g[0] as usize, ni * 2);
+                assert_eq!(g[1] as usize, ni * 2 + 1);
+            }
+            // Leader of my node group = first member.
+            assert_eq!(w.is_leader(), ctx.rank() % 2 == 0);
+            assert_eq!(w.group_len(), 2);
+            assert_eq!(w.world_rank(ctx.rank()), ctx.rank());
+        });
+    }
+
+    #[test]
+    fn split_child_meta_is_consistent() {
+        let mut cfg = crate::runtime::Config::new(4).with_ranks_per_node(2);
+        cfg.spin_budget = 8;
+        crate::runtime::launch(cfg, |ctx| {
+            let w = ctx.world();
+            // Odd/even split across two nodes: each child spans both nodes.
+            let sub = w.split((ctx.rank() % 2) as i64, ctx.rank() as i64).unwrap();
+            assert_eq!(sub.meta.nodes.len(), 2);
+            assert_eq!(sub.group_len(), 1);
+            assert!(sub.is_leader(), "singleton groups are their own leaders");
+            assert_ne!(sub.meta.id, 0, "child id must differ from world");
+            assert_ne!(sub.meta.tag_base, w.meta.tag_base);
+        });
+    }
+
+    #[test]
+    fn repeated_splits_get_distinct_ids() {
+        let mut cfg = crate::runtime::Config::new(2);
+        cfg.spin_budget = 8;
+        crate::runtime::launch(cfg, |ctx| {
+            let w = ctx.world();
+            let a = w.split(0, 0).unwrap();
+            let b = w.split(0, 0).unwrap();
+            assert_ne!(a.meta.id, b.meta.id, "same args, different epochs");
+            // Both remain fully operational.
+            let mut out = [0u32];
+            a.allreduce(&[1u32], &mut out, crate::datatype::ReduceOp::Sum);
+            assert_eq!(out[0], 2);
+            b.allreduce(&[2u32], &mut out, crate::datatype::ReduceOp::Sum);
+            assert_eq!(out[0], 4);
+        });
+    }
+}

@@ -1,0 +1,281 @@
+//! Message datatypes and reduction operators.
+//!
+//! Pure (like MPI) moves typed arrays. The runtime moves raw bytes
+//! internally; [`PureDatatype`] marks the plain-old-data types for which the
+//! byte reinterpretation is sound, and [`Reducible`] adds the element-wise
+//! reduction kernels used by `reduce`/`allreduce`. The kernels are written as
+//! straight element loops over slices so the compiler can vectorize them —
+//! the paper leans on cacheline-aligned buffers precisely to get vectorized
+//! reductions (§4.2.1).
+
+/// Plain-old-data element types that can cross rank boundaries as raw bytes.
+///
+/// # Safety
+/// Implementors must be inhabited `Copy` types for which **every** bit
+/// pattern of `size_of::<Self>()` bytes is a valid value and which contain no
+/// padding, pointers, or lifetimes. All primitive integer and float types
+/// qualify.
+pub unsafe trait PureDatatype: Copy + Send + Sync + 'static {
+    /// MPI-style name, used in diagnostics.
+    const NAME: &'static str;
+}
+
+macro_rules! impl_datatype {
+    ($($t:ty => $n:expr),* $(,)?) => {$(
+        // SAFETY: primitive scalar; no padding; all bit patterns valid.
+        unsafe impl PureDatatype for $t { const NAME: &'static str = $n; }
+    )*};
+}
+
+impl_datatype! {
+    u8 => "PURE_UINT8", i8 => "PURE_INT8",
+    u16 => "PURE_UINT16", i16 => "PURE_INT16",
+    u32 => "PURE_UINT32", i32 => "PURE_INT32",
+    u64 => "PURE_UINT64", i64 => "PURE_INT64",
+    usize => "PURE_USIZE", isize => "PURE_ISIZE",
+    f32 => "PURE_FLOAT", f64 => "PURE_DOUBLE",
+}
+
+/// View a POD slice as raw bytes.
+pub fn as_bytes<T: PureDatatype>(s: &[T]) -> &[u8] {
+    // SAFETY: T is POD (no padding), so its memory is fully initialized.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast(), std::mem::size_of_val(s)) }
+}
+
+/// View a POD slice as mutable raw bytes.
+pub fn as_bytes_mut<T: PureDatatype>(s: &mut [T]) -> &mut [u8] {
+    // SAFETY: T is POD; every byte pattern written back is a valid T.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast(), std::mem::size_of_val(s)) }
+}
+
+/// Reinterpret raw bytes as a POD slice. Panics if the length is not a
+/// multiple of `size_of::<T>()` or the pointer is misaligned for `T`.
+pub fn from_bytes<T: PureDatatype>(b: &[u8]) -> &[T] {
+    let sz = std::mem::size_of::<T>();
+    assert_eq!(
+        b.len() % sz,
+        0,
+        "byte length not a multiple of element size"
+    );
+    assert_eq!(
+        b.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "misaligned byte buffer"
+    );
+    // SAFETY: length and alignment checked; T is POD.
+    unsafe { std::slice::from_raw_parts(b.as_ptr().cast(), b.len() / sz) }
+}
+
+/// The reduction operators Pure's collectives support.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise bitwise AND (integers; for floats this is a logical
+    /// AND on "non-zero").
+    BitAnd,
+    /// Element-wise bitwise OR (integers; logical OR for floats).
+    BitOr,
+}
+
+/// Element types usable in `reduce`/`allreduce`.
+pub trait Reducible: PureDatatype + PartialOrd {
+    /// The identity element of `op` (`0` for sum, `1` for product, ±∞/extremes
+    /// for min/max).
+    fn identity(op: ReduceOp) -> Self;
+
+    /// `acc[i] = acc[i] op input[i]` for all i. Slices must be equal length.
+    fn reduce_assign(op: ReduceOp, acc: &mut [Self], input: &[Self]) {
+        assert_eq!(acc.len(), input.len(), "reduction length mismatch");
+        match op {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(input) {
+                    *a = Self::add(*a, *b);
+                }
+            }
+            ReduceOp::Prod => {
+                for (a, b) in acc.iter_mut().zip(input) {
+                    *a = Self::mul(*a, *b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(input) {
+                    if *b < *a {
+                        *a = *b;
+                    }
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(input) {
+                    if *b > *a {
+                        *a = *b;
+                    }
+                }
+            }
+            ReduceOp::BitAnd => {
+                for (a, b) in acc.iter_mut().zip(input) {
+                    *a = Self::bit_and(*a, *b);
+                }
+            }
+            ReduceOp::BitOr => {
+                for (a, b) in acc.iter_mut().zip(input) {
+                    *a = Self::bit_or(*a, *b);
+                }
+            }
+        }
+    }
+
+    /// Scalar addition (wrapping for integers, IEEE for floats).
+    fn add(a: Self, b: Self) -> Self;
+    /// Scalar multiplication (wrapping for integers, IEEE for floats).
+    fn mul(a: Self, b: Self) -> Self;
+    /// Bitwise AND (logical for floats).
+    fn bit_and(a: Self, b: Self) -> Self;
+    /// Bitwise OR (logical for floats).
+    fn bit_or(a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0,
+                    ReduceOp::Prod => 1,
+                    ReduceOp::Min => <$t>::MAX,
+                    ReduceOp::Max => <$t>::MIN,
+                    ReduceOp::BitAnd => !0,
+                    ReduceOp::BitOr => 0,
+                }
+            }
+            fn add(a: Self, b: Self) -> Self { a.wrapping_add(b) }
+            fn mul(a: Self, b: Self) -> Self { a.wrapping_mul(b) }
+            fn bit_and(a: Self, b: Self) -> Self { a & b }
+            fn bit_or(a: Self, b: Self) -> Self { a | b }
+        }
+    )*};
+}
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0.0,
+                    ReduceOp::Prod => 1.0,
+                    ReduceOp::Min => <$t>::INFINITY,
+                    ReduceOp::Max => <$t>::NEG_INFINITY,
+                    ReduceOp::BitAnd => 1.0,
+                    ReduceOp::BitOr => 0.0,
+                }
+            }
+            fn add(a: Self, b: Self) -> Self { a + b }
+            fn mul(a: Self, b: Self) -> Self { a * b }
+            fn bit_and(a: Self, b: Self) -> Self {
+                if a != 0.0 && b != 0.0 { 1.0 } else { 0.0 }
+            }
+            fn bit_or(a: Self, b: Self) -> Self {
+                if a != 0.0 || b != 0.0 { 1.0 } else { 0.0 }
+            }
+        }
+    )*};
+}
+
+impl_reducible_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+impl_reducible_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_views_roundtrip() {
+        let xs: [f64; 3] = [1.5, -2.25, 3.0];
+        let b = as_bytes(&xs);
+        assert_eq!(b.len(), 24);
+        let ys: &[f64] = from_bytes(b);
+        assert_eq!(ys, &xs);
+    }
+
+    #[test]
+    fn bytes_mut_writes_through() {
+        let mut xs = [0u32; 2];
+        as_bytes_mut(&mut xs).copy_from_slice(&[1, 0, 0, 0, 2, 0, 0, 0]);
+        assert_eq!(xs, [1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of element size")]
+    fn from_bytes_rejects_ragged() {
+        let b = [0u8; 7];
+        let _: &[u32] = from_bytes(&b);
+    }
+
+    #[test]
+    fn reduce_kernels() {
+        let mut acc = vec![1.0f64, 2.0, 3.0];
+        f64::reduce_assign(ReduceOp::Sum, &mut acc, &[10.0, 20.0, 30.0]);
+        assert_eq!(acc, vec![11.0, 22.0, 33.0]);
+        f64::reduce_assign(ReduceOp::Max, &mut acc, &[100.0, 0.0, 100.0]);
+        assert_eq!(acc, vec![100.0, 22.0, 100.0]);
+        f64::reduce_assign(ReduceOp::Min, &mut acc, &[0.0, 50.0, 0.0]);
+        assert_eq!(acc, vec![0.0, 22.0, 0.0]);
+        let mut p = vec![2i32, 3];
+        i32::reduce_assign(ReduceOp::Prod, &mut p, &[4, 5]);
+        assert_eq!(p, vec![8, 15]);
+    }
+
+    #[test]
+    fn bitwise_ops_reduce() {
+        let mut acc = vec![0b1100u32, 0b1010];
+        u32::reduce_assign(ReduceOp::BitAnd, &mut acc, &[0b1010, 0b1010]);
+        assert_eq!(acc, vec![0b1000, 0b1010]);
+        u32::reduce_assign(ReduceOp::BitOr, &mut acc, &[0b0001, 0b0100]);
+        assert_eq!(acc, vec![0b1001, 0b1110]);
+        let mut f = vec![1.0f64, 0.0];
+        f64::reduce_assign(ReduceOp::BitAnd, &mut f, &[1.0, 1.0]);
+        assert_eq!(f, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn identities_are_identities() {
+        for op in [
+            ReduceOp::Sum,
+            ReduceOp::Prod,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::BitAnd,
+            ReduceOp::BitOr,
+        ] {
+            let mut acc = vec![i64::identity(op); 4];
+            let input = vec![-7i64, 0, 3, 42];
+            i64::reduce_assign(op, &mut acc, &input);
+            assert_eq!(acc, input, "identity failed for {op:?}");
+        }
+        // Floats: the arithmetic ops preserve values; the logical ops map
+        // into {0, 1} by design, so the identity law applies to the
+        // *logical* interpretation only.
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max] {
+            let mut facc = vec![f32::identity(op); 3];
+            let finput = vec![-1.5f32, 0.0, 2.5];
+            f32::reduce_assign(op, &mut facc, &finput);
+            assert_eq!(facc, finput, "float identity failed for {op:?}");
+        }
+        let mut l = vec![f32::identity(ReduceOp::BitAnd); 3];
+        f32::reduce_assign(ReduceOp::BitAnd, &mut l, &[-1.5, 0.0, 2.5]);
+        assert_eq!(l, vec![1.0, 0.0, 1.0], "logical AND truth-values");
+    }
+
+    #[test]
+    fn integer_sum_wraps() {
+        let mut acc = vec![u8::MAX];
+        u8::reduce_assign(ReduceOp::Sum, &mut acc, &[1]);
+        assert_eq!(acc, vec![0]);
+    }
+}

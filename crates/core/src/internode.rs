@@ -1,0 +1,351 @@
+//! Cross-node collective phases (§4.2): what Pure does with MPI between
+//! nodes, we do with `netsim` between simulated nodes. Only node-group
+//! *leaders* participate; while they wait for network messages they run the
+//! SSW-Loop like any other rank (so a leader blocked in a cross-node
+//! reduction still steals task chunks).
+//!
+//! Algorithms are the textbook MPICH ones: recursive doubling for
+//! all-reduce (with the non-power-of-two fold-in pre/post phases), binomial
+//! trees for broadcast and reduce, and the dissemination algorithm for
+//! barrier.
+
+use std::cell::RefCell;
+
+use netsim::{NodeEndpoint, WireTag};
+
+use crate::datatype::{as_bytes, as_bytes_mut, PureDatatype, ReduceOp, Reducible};
+use crate::task::scheduler::{NodeScheduler, StealCtx};
+use crate::task::ssw::ssw_until;
+
+/// A participating node of a communicator: its netsim node id and the
+/// within-node thread index of its leader (needed for wire-tag routing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderInfo {
+    /// Simulated node id.
+    pub node: usize,
+    /// Leader's local thread index on that node.
+    pub leader_local: usize,
+}
+
+/// A leader's view of the cross-node phase of one communicator.
+pub struct LeaderGroup<'a> {
+    /// This node's endpoint.
+    pub ep: &'a NodeEndpoint,
+    /// All member nodes, in a globally agreed order.
+    pub nodes: &'a [LeaderInfo],
+    /// Index of this node in `nodes`.
+    pub my_pos: usize,
+    /// Communicator-unique tag namespace base.
+    pub tag_base: u32,
+    /// Scheduler + steal context so waits run the SSW-Loop.
+    pub sched: &'a NodeScheduler,
+    /// This thread's steal context.
+    pub steal: &'a RefCell<StealCtx>,
+}
+
+impl LeaderGroup<'_> {
+    fn send_t<T: PureDatatype>(&self, dst_pos: usize, phase: u32, data: &[T]) {
+        let dst = self.nodes[dst_pos];
+        let me = self.nodes[self.my_pos];
+        let tag = WireTag::collective(me.leader_local, dst.leader_local, self.tag_base + phase);
+        self.ep.send(dst.node, tag, as_bytes(data));
+    }
+
+    fn recv_t<T: PureDatatype>(&self, src_pos: usize, phase: u32, out: &mut [T]) {
+        let src = self.nodes[src_pos];
+        let me = self.nodes[self.my_pos];
+        let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
+        let payload = ssw_until(self.sched, self.steal, || self.ep.try_recv(src.node, tag));
+        let ob = as_bytes_mut(out);
+        assert_eq!(
+            payload.len(),
+            ob.len(),
+            "cross-node collective size mismatch"
+        );
+        ob.copy_from_slice(&payload);
+    }
+
+    /// Raw byte send to another leader on dedicated `phase` (for the
+    /// gather/scatter family, which moves variable-size concatenated
+    /// blocks).
+    pub fn send_bytes(&self, dst_pos: usize, phase: u32, data: &[u8]) {
+        self.send_t(dst_pos, phase, data);
+    }
+
+    /// Raw byte receive from another leader (SSW-waits).
+    pub fn recv_bytes(&self, src_pos: usize, phase: u32) -> Vec<u8> {
+        let src = self.nodes[src_pos];
+        let me = self.nodes[self.my_pos];
+        let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
+        ssw_until(self.sched, self.steal, || self.ep.try_recv(src.node, tag))
+    }
+
+    /// All-reduce `data` across the member nodes (recursive doubling).
+    /// Every leader ends with the full reduction in `data`.
+    pub fn allreduce<T: Reducible>(&self, data: &mut [T], op: ReduceOp) {
+        let p = self.nodes.len();
+        if p <= 1 {
+            return;
+        }
+        let mut tmp = vec![T::identity(op); data.len()];
+        let pof2 = prev_power_of_two(p);
+        let rem = p - pof2;
+        let me = self.my_pos;
+
+        // Fold the `rem` excess nodes into their even partners.
+        let newrank = if me < 2 * rem {
+            if me % 2 == 1 {
+                self.send_t(me - 1, 0, data);
+                usize::MAX // sits out the main phase
+            } else {
+                self.recv_t(me + 1, 0, &mut tmp);
+                T::reduce_assign(op, data, &tmp);
+                me / 2
+            }
+        } else {
+            me - rem
+        };
+
+        if newrank != usize::MAX {
+            let mut mask = 1usize;
+            let mut phase = 1u32;
+            while mask < pof2 {
+                let partner_new = newrank ^ mask;
+                let partner = if partner_new < rem {
+                    partner_new * 2
+                } else {
+                    partner_new + rem
+                };
+                self.send_t(partner, phase, data);
+                self.recv_t(partner, phase, &mut tmp);
+                T::reduce_assign(op, data, &tmp);
+                mask <<= 1;
+                phase += 1;
+            }
+        }
+
+        // Ship results back to the folded-in odd nodes.
+        if me < 2 * rem {
+            if me % 2 == 1 {
+                self.recv_t(me - 1, 31, data);
+            } else {
+                self.send_t(me + 1, 31, data);
+            }
+        }
+    }
+
+    /// Broadcast `data` from the node at position `root_pos` (binomial tree).
+    pub fn bcast<T: PureDatatype>(&self, root_pos: usize, data: &mut [T]) {
+        self.bcast_phase(root_pos, data, 32);
+    }
+
+    /// Broadcast on a caller-chosen phase tag (the gather/scan family runs
+    /// sequences of broadcasts that must not alias the reduction phases).
+    pub fn bcast_phase<T: PureDatatype>(&self, root_pos: usize, data: &mut [T], phase: u32) {
+        let p = self.nodes.len();
+        if p <= 1 {
+            return;
+        }
+        let rel = (self.my_pos + p - root_pos) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let src = (self.my_pos + p - mask) % p;
+                self.recv_t(src, phase, data);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < p {
+                let dst = (self.my_pos + mask) % p;
+                self.send_t(dst, phase, data);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Reduce `data` to the node at position `root_pos` (binomial tree;
+    /// operators are commutative). Non-root leaders' `data` is clobbered.
+    pub fn reduce<T: Reducible>(&self, root_pos: usize, data: &mut [T], op: ReduceOp) {
+        let p = self.nodes.len();
+        if p <= 1 {
+            return;
+        }
+        let rel = (self.my_pos + p - root_pos) % p;
+        let mut tmp = vec![T::identity(op); data.len()];
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask == 0 {
+                let src_rel = rel | mask;
+                if src_rel < p {
+                    let src = (src_rel + root_pos) % p;
+                    self.recv_t(src, 33, &mut tmp);
+                    T::reduce_assign(op, data, &tmp);
+                }
+            } else {
+                let dst_rel = rel & !mask;
+                let dst = (dst_rel + root_pos) % p;
+                self.send_t(dst, 33, data);
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Barrier across the member nodes (dissemination algorithm).
+    pub fn barrier(&self) {
+        let p = self.nodes.len();
+        if p <= 1 {
+            return;
+        }
+        let mut k = 1usize;
+        let mut phase = 40u32;
+        while k < p {
+            let to = (self.my_pos + k) % p;
+            let from = (self.my_pos + p - k) % p;
+            self.send_t::<u8>(to, phase, &[1]);
+            let mut token = [0u8; 1];
+            self.recv_t(from, phase, &mut token);
+            k <<= 1;
+            phase += 1;
+        }
+    }
+}
+
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::scheduler::{ChunkMode, StealPolicy};
+    use netsim::{Cluster, NetConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn prev_pow2() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(5), 4);
+        assert_eq!(prev_power_of_two(8), 8);
+        assert_eq!(prev_power_of_two(63), 32);
+    }
+
+    /// Drive an n-node leader collective with one OS thread per node.
+    fn run_leaders<R: Send + 'static>(
+        n: usize,
+        f: impl Fn(LeaderGroup<'_>) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let cluster = Cluster::new(n, NetConfig::default());
+        let nodes: Arc<Vec<LeaderInfo>> = Arc::new(
+            (0..n)
+                .map(|i| LeaderInfo {
+                    node: i,
+                    leader_local: 0,
+                })
+                .collect(),
+        );
+        let f = Arc::new(f);
+        let mut handles = Vec::new();
+        for pos in 0..n {
+            let ep = cluster.endpoint(pos);
+            let nodes = Arc::clone(&nodes);
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                let sched =
+                    NodeScheduler::new(1, 1, StealPolicy::Random, ChunkMode::SingleChunk, 4);
+                let steal = RefCell::new(StealCtx::new(0, pos as u64 + 1));
+                f(LeaderGroup {
+                    ep: &ep,
+                    nodes: &nodes,
+                    my_pos: pos,
+                    tag_base: 1000,
+                    sched: &sched,
+                    steal: &steal,
+                })
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn check_allreduce(n: usize) {
+        let results = run_leaders(n, move |g| {
+            let mut data = vec![(g.my_pos + 1) as f64, (g.my_pos as f64) * 10.0];
+            g.allreduce(&mut data, ReduceOp::Sum);
+            data
+        });
+        let exp0: f64 = (1..=n).map(|x| x as f64).sum();
+        let exp1: f64 = (0..n).map(|x| (x as f64) * 10.0).sum();
+        for r in results {
+            assert_eq!(r, vec![exp0, exp1], "allreduce wrong for n={n}");
+        }
+    }
+
+    #[test]
+    fn allreduce_various_node_counts() {
+        for n in [1, 2, 3, 4, 5, 7, 8] {
+            check_allreduce(n);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let results = run_leaders(5, move |g| {
+            let mut lo = vec![g.my_pos as i64];
+            let mut hi = vec![g.my_pos as i64];
+            g.allreduce(&mut lo, ReduceOp::Min);
+            g.allreduce(&mut hi, ReduceOp::Max);
+            (lo[0], hi[0])
+        });
+        for (lo, hi) in results {
+            assert_eq!((lo, hi), (0, 4));
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..4 {
+            let results = run_leaders(4, move |g| {
+                let mut data = if g.my_pos == root {
+                    vec![7u32, 8, 9]
+                } else {
+                    vec![0u32, 0, 0]
+                };
+                g.bcast(root, &mut data);
+                data
+            });
+            for r in results {
+                assert_eq!(r, vec![7, 8, 9], "bcast wrong for root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_lands_at_root_only() {
+        for root in [0usize, 2] {
+            let results = run_leaders(6, move |g| {
+                let mut data = vec![1u64 << g.my_pos];
+                g.reduce(root, &mut data, ReduceOp::Sum);
+                data[0]
+            });
+            assert_eq!(results[root], 0b111111, "root sum wrong for root={root}");
+        }
+    }
+
+    #[test]
+    fn barrier_completes_for_odd_counts() {
+        for n in [2usize, 3, 5, 8] {
+            let results = run_leaders(n, |g| {
+                g.barrier();
+                g.barrier();
+                true
+            });
+            assert!(results.into_iter().all(|x| x));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Point-to-point messaging (§4.1): `pure_send_msg` / `pure_recv_msg` and
+//! their non-blocking variants, on top of the channel layer.
+//!
+//! Semantics follow MPI: blocking send returns once the buffer is reusable
+//! (copied into the PBQ, or copied into the receiver's buffer for
+//! rendezvous); messages between a given sender/receiver pair with a given
+//! tag arrive in send order; non-blocking operations complete in post order
+//! and must be waited on ([`Request`] waits on drop, so forgetting a wait
+//! cannot corrupt a buffer).
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::channel::{Channel, ChannelKey};
+use crate::comm::PureComm;
+use crate::datatype::PureDatatype;
+use crate::runtime::{RankLocal, Tag, INTERNAL_TAG_BASE};
+
+impl PureComm {
+    fn key_for(&self, src: usize, dst: usize, tag: Tag, bytes: usize) -> ChannelKey {
+        assert!(
+            src < self.size() && dst < self.size(),
+            "peer rank out of range"
+        );
+        ChannelKey {
+            comm_id: self.meta.id,
+            src: self.meta.members[src],
+            dst: self.meta.members[dst],
+            tag,
+            bytes: bytes as u64,
+        }
+    }
+
+    /// Blocking send of `buf` to comm rank `dst` (`pure_send_msg`). Returns
+    /// once `buf` is reusable. The matching receive must use the same
+    /// element count.
+    pub fn send<T: PureDatatype>(&self, buf: &[T], dst: usize, tag: Tag) {
+        assert!(
+            tag < INTERNAL_TAG_BASE,
+            "tags with the top bit set are reserved"
+        );
+        self.send_with_tag(buf, dst, tag);
+    }
+
+    pub(crate) fn send_with_tag<T: PureDatatype>(&self, buf: &[T], dst: usize, tag: Tag) {
+        let bytes = std::mem::size_of_val(buf);
+        let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
+        let ch = self.local.channel(key);
+        // SAFETY: we are the sender thread for this channel (the key names
+        // us); buf stays valid for the duration of this blocking call.
+        let seq = unsafe { ch.post_send(&self.local.ep, buf.as_ptr().cast(), bytes) };
+        self.local
+            .ssw_until(|| ch.try_flush_sends(&self.local.ep, seq + 1).then_some(()));
+        self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
+        self.local
+            .bytes_sent
+            .set(self.local.bytes_sent.get() + bytes as u64);
+    }
+
+    /// Blocking receive from comm rank `src` (`pure_recv_msg`).
+    pub fn recv<T: PureDatatype>(&self, buf: &mut [T], src: usize, tag: Tag) {
+        assert!(
+            tag < INTERNAL_TAG_BASE,
+            "tags with the top bit set are reserved"
+        );
+        self.recv_with_tag(buf, src, tag);
+    }
+
+    pub(crate) fn recv_with_tag<T: PureDatatype>(&self, buf: &mut [T], src: usize, tag: Tag) {
+        let bytes = std::mem::size_of_val(buf);
+        let key = self.key_for(src, self.my_comm_rank, tag, bytes);
+        let ch = self.local.channel(key);
+        // SAFETY: we are the receiver thread; buf stays valid and untouched
+        // until completion below.
+        let seq = unsafe { ch.post_recv(buf.as_mut_ptr().cast(), bytes) };
+        self.local
+            .ssw_until(|| ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(()));
+        self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+    }
+
+    /// Non-blocking send. The buffer is borrowed until the request completes.
+    pub fn isend<'a, T: PureDatatype>(&'a self, buf: &'a [T], dst: usize, tag: Tag) -> Request<'a> {
+        assert!(
+            tag < INTERNAL_TAG_BASE,
+            "tags with the top bit set are reserved"
+        );
+        let bytes = std::mem::size_of_val(buf);
+        let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
+        let ch = self.local.channel(key);
+        // SAFETY: sender thread; Request's borrow keeps buf alive & frozen
+        // until completion (wait or drop).
+        let seq = unsafe { ch.post_send(&self.local.ep, buf.as_ptr().cast(), bytes) };
+        if !ch.try_flush_sends(&self.local.ep, seq + 1) {
+            // Not yet through the queue: let the SSW-Loop progress it even
+            // while this rank blocks elsewhere.
+            self.local.note_pending_send(&ch);
+        }
+        self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
+        self.local
+            .bytes_sent
+            .set(self.local.bytes_sent.get() + bytes as u64);
+        Request {
+            ch,
+            local: Rc::clone(&self.local),
+            upto: seq + 1,
+            kind: ReqKind::Send,
+            done: false,
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Non-blocking receive. The buffer is mutably borrowed until the
+    /// request completes; the payload appears in it after `wait`.
+    pub fn irecv<'a, T: PureDatatype>(
+        &'a self,
+        buf: &'a mut [T],
+        src: usize,
+        tag: Tag,
+    ) -> Request<'a> {
+        assert!(
+            tag < INTERNAL_TAG_BASE,
+            "tags with the top bit set are reserved"
+        );
+        let bytes = std::mem::size_of_val(buf);
+        let key = self.key_for(src, self.my_comm_rank, tag, bytes);
+        let ch = self.local.channel(key);
+        // SAFETY: receiver thread; Request's exclusive borrow keeps buf
+        // alive and unaliased until completion.
+        let seq = unsafe { ch.post_recv(buf.as_mut_ptr().cast(), bytes) };
+        self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+        Request {
+            ch,
+            local: Rc::clone(&self.local),
+            upto: seq + 1,
+            kind: ReqKind::Recv,
+            done: false,
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Combined send+receive (the halo-exchange workhorse): posts both,
+    /// completes both, deadlock-free regardless of peer ordering.
+    pub fn sendrecv<T: PureDatatype>(
+        &self,
+        send_buf: &[T],
+        dst: usize,
+        recv_buf: &mut [T],
+        src: usize,
+        tag: Tag,
+    ) {
+        let rx = self.irecv(recv_buf, src, tag);
+        let tx = self.isend(send_buf, dst, tag);
+        rx.wait();
+        tx.wait();
+    }
+}
+
+enum ReqKind {
+    Send,
+    Recv,
+}
+
+/// An in-flight non-blocking operation. Completes on [`Request::wait`] (or
+/// on drop, which blocks — a dropped request is an application bug in MPI;
+/// here it is merely a blocking no-op).
+pub struct Request<'a> {
+    ch: Arc<Channel>,
+    local: Rc<RankLocal>,
+    upto: u64,
+    kind: ReqKind,
+    done: bool,
+    _borrow: PhantomData<&'a mut ()>,
+}
+
+impl Request<'_> {
+    fn poll(&self) -> bool {
+        match self.kind {
+            ReqKind::Send => self.ch.try_flush_sends(&self.local.ep, self.upto),
+            ReqKind::Recv => self.ch.try_complete_recvs(&self.local.ep, self.upto),
+        }
+    }
+
+    /// Non-blocking completion check (like `MPI_Test`).
+    pub fn test(&mut self) -> bool {
+        if !self.done {
+            self.done = self.poll();
+        }
+        self.done
+    }
+
+    /// Block (SSW-Loop) until the operation completes.
+    pub fn wait(mut self) {
+        self.wait_inner();
+    }
+
+    fn wait_inner(&mut self) {
+        if self.done {
+            return;
+        }
+        if std::thread::panicking() {
+            // Completing from a Drop during unwinding (typically after a
+            // peer-abort panic): best-effort bounded polling — a second
+            // panic here would abort the process. The run is already fatal.
+            for _ in 0..1000 {
+                if self.poll() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            self.done = true;
+            return;
+        }
+        let ch = Arc::clone(&self.ch);
+        let local = Rc::clone(&self.local);
+        let kind_send = matches!(self.kind, ReqKind::Send);
+        local.ssw_until(|| {
+            let ok = if kind_send {
+                ch.try_flush_sends(&local.ep, self.upto)
+            } else {
+                ch.try_complete_recvs(&local.ep, self.upto)
+            };
+            ok.then_some(())
+        });
+        self.done = true;
+    }
+}
+
+impl Drop for Request<'_> {
+    fn drop(&mut self) {
+        self.wait_inner();
+    }
+}
+
+/// Wait for every request (like `MPI_Waitall`).
+pub fn wait_all<'a>(reqs: impl IntoIterator<Item = Request<'a>>) {
+    for r in reqs {
+        r.wait();
+    }
+}

@@ -1,0 +1,582 @@
+//! The Pure runtime (§4): configuration, rank/thread bring-up, shared state,
+//! and the per-rank context handed to application code.
+//!
+//! A Pure application is an SPMD function `Fn(&mut RankCtx)`. [`launch`]
+//! spawns one OS thread per rank (ranks **are** threads — the paper's core
+//! design decision), wires up the simulated multi-node topology, runs the
+//! function on every rank, and returns aggregate statistics. On a real
+//! cluster the paper pins threads to cores and spins; this port runs
+//! wherever the OS puts it and backs its spin loops with a yield after a
+//! configurable budget so oversubscribed runs stay live.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::channel::{Channel, ChannelFactoryCfg, ChannelKey, ChannelTable};
+use crate::collectives::{ArrivalMode, CollArea};
+use crate::comm::{CommMeta, PureComm};
+use crate::task::scheduler::{ChunkMode, NodeScheduler, StealCtx, StealPolicy};
+use crate::task::{thunk_for, ChunkRange};
+use netsim::{Cluster, NetConfig, NodeEndpoint};
+
+/// Application-level message tag. Tags with the top bit set are reserved for
+/// the runtime (communicator construction).
+pub type Tag = u32;
+
+/// First runtime-internal tag; user tags must be below this.
+pub(crate) const INTERNAL_TAG_BASE: Tag = 0x8000_0000;
+
+/// Runtime configuration — the knobs the paper exposes through its Makefile
+/// (threshold sizes, processes per node, helper threads, scheduler modes)
+/// plus this port's additions (simulated network, spin budget).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Total ranks (fixed for the program's lifetime, like MPI).
+    pub ranks: usize,
+    /// Ranks per simulated node; 0 means "all ranks on one node".
+    pub ranks_per_node: usize,
+    /// Explicit rank→node map (CrayPAT-style reordering); overrides
+    /// `ranks_per_node` when set.
+    pub rank_map: Option<Vec<usize>>,
+    /// PBQ/rendezvous threshold in bytes (paper default: 8 KiB).
+    pub small_msg_max: usize,
+    /// Flat-combining/partitioned-reducer threshold in bytes (paper: 2 KiB).
+    pub small_coll_max: usize,
+    /// Message slots per PBQ.
+    pub pbq_slots: usize,
+    /// Envelope slots per rendezvous channel.
+    pub env_slots: usize,
+    /// SSW-Loop spins before yielding the core.
+    pub spin_budget: u32,
+    /// Chunk claim sizing.
+    pub chunk_mode: ChunkMode,
+    /// Steal victim selection.
+    pub steal_policy: StealPolicy,
+    /// Dedicated helper (steal-only) threads per node (§5.1, DT size A).
+    pub helpers_per_node: usize,
+    /// NUMA domains per node (victim-preference for NUMA-aware stealing).
+    pub numa_domains_per_node: usize,
+    /// Collective arrival signalling (SPTD vs shared counter ablation).
+    pub arrival: ArrivalMode,
+    /// Simulated interconnect parameters.
+    pub net: NetConfig,
+    /// Base seed for the steal RNGs.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Defaults matching the paper's configuration, all ranks on one node.
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            ranks,
+            ranks_per_node: 0,
+            rank_map: None,
+            small_msg_max: 8 * 1024,
+            small_coll_max: 2 * 1024,
+            pbq_slots: 8,
+            env_slots: 8,
+            spin_budget: 64,
+            chunk_mode: ChunkMode::SingleChunk,
+            steal_policy: StealPolicy::Random,
+            helpers_per_node: 0,
+            numa_domains_per_node: 1,
+            arrival: ArrivalMode::Sptd,
+            net: NetConfig::default(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Split the ranks over nodes of `rpn` ranks each.
+    pub fn with_ranks_per_node(mut self, rpn: usize) -> Self {
+        self.ranks_per_node = rpn;
+        self
+    }
+
+    /// Set the interconnect model.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        if let Some(map) = &self.rank_map {
+            map[rank]
+        } else {
+            rank.checked_div(self.ranks_per_node).unwrap_or(0)
+        }
+    }
+}
+
+/// Per-rank statistics reported by [`launch`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RankStats {
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Point-to-point payload bytes sent.
+    pub bytes_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_recvd: u64,
+    /// Collective operations entered.
+    pub collectives: u64,
+    /// Successful steal attempts.
+    pub steals: u64,
+    /// Chunks executed as a thief.
+    pub chunks_stolen: u64,
+    /// Chunks executed as the owning rank.
+    pub chunks_owned: u64,
+}
+
+/// What [`launch`] returns.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// Per-rank statistics, indexed by rank.
+    pub per_rank: Vec<RankStats>,
+    /// Cross-node (messages, bytes) on the simulated interconnect.
+    pub net_traffic: (u64, u64),
+    /// Wall-clock time of the SPMD region.
+    pub elapsed: Duration,
+}
+
+impl LaunchReport {
+    /// Total steals across ranks.
+    pub fn total_steals(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.steals).sum()
+    }
+
+    /// Total chunks executed by thieves.
+    pub fn total_chunks_stolen(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.chunks_stolen).sum()
+    }
+}
+
+/// Global state shared by all ranks of one launch.
+pub(crate) struct Shared {
+    pub cfg: Config,
+    /// Launch epoch for `wtime`.
+    pub birth: Instant,
+    /// rank → node.
+    pub rank_node: Vec<usize>,
+    /// rank → local thread index within its node.
+    pub rank_local: Vec<usize>,
+    pub cluster: Cluster,
+    pub channels: ChannelTable,
+    pub chan_cfg: ChannelFactoryCfg,
+    pub scheds: Vec<Arc<NodeScheduler>>,
+    /// Per-node registry of communicator collective areas (keyed by comm id).
+    pub areas: Vec<Mutex<HashMap<u64, Arc<CollArea>>>>,
+}
+
+impl Shared {
+    /// Fetch or create the collective area of comm `id` on `node` for a node
+    /// group of `members` threads.
+    pub fn area(&self, node: usize, id: u64, members: usize) -> Arc<CollArea> {
+        let mut reg = self.areas[node].lock();
+        let a = reg
+            .entry(id)
+            .or_insert_with(|| Arc::new(CollArea::new(members, self.cfg.small_coll_max)));
+        assert_eq!(
+            a.members(),
+            members,
+            "inconsistent node group for comm {id}"
+        );
+        Arc::clone(a)
+    }
+}
+
+/// Per-rank runtime state (thread-local by construction; not `Send`).
+pub(crate) struct RankLocal {
+    pub rank: usize,
+    pub node: usize,
+    pub local_idx: usize,
+    pub shared: Arc<Shared>,
+    pub sched: Arc<NodeScheduler>,
+    pub ep: NodeEndpoint,
+    pub steal: RefCell<StealCtx>,
+    pub chan_cache: RefCell<HashMap<ChannelKey, Arc<Channel>>>,
+    /// Channels with sends this rank posted but could not yet flush; the
+    /// SSW-Loop drains them (an MPI-style progress engine: a rank blocked
+    /// receiving still completes its own outgoing traffic).
+    pub pending_sends: RefCell<Vec<Arc<Channel>>>,
+    pub msgs_sent: Cell<u64>,
+    pub bytes_sent: Cell<u64>,
+    pub msgs_recvd: Cell<u64>,
+    pub collectives: Cell<u64>,
+}
+
+impl RankLocal {
+    /// Channel lookup with a rank-local cache in front of the global table
+    /// (the paper's persistent-channel reuse).
+    pub fn channel(&self, key: ChannelKey) -> Arc<Channel> {
+        if let Some(ch) = self.chan_cache.borrow().get(&key) {
+            return Arc::clone(ch);
+        }
+        let s = &self.shared;
+        let (sn, dn) = (s.rank_node[key.src as usize], s.rank_node[key.dst as usize]);
+        let (sl, dl) = (
+            s.rank_local[key.src as usize],
+            s.rank_local[key.dst as usize],
+        );
+        let ch = s.channels.get_or_create(key, &s.chan_cfg, sn, dn, sl, dl);
+        self.chan_cache.borrow_mut().insert(key, Arc::clone(&ch));
+        ch
+    }
+
+    /// Remember a channel with unfinished sends for background progress.
+    pub fn note_pending_send(&self, ch: &Arc<Channel>) {
+        let mut v = self.pending_sends.borrow_mut();
+        if !v.iter().any(|c| Arc::ptr_eq(c, ch)) {
+            v.push(Arc::clone(ch));
+        }
+    }
+
+    /// Flush every registered pending send as far as possible.
+    pub fn progress_sends(&self) {
+        let mut v = self.pending_sends.borrow_mut();
+        if v.is_empty() {
+            return;
+        }
+        let ep = &self.ep;
+        v.retain(|ch| !ch.try_flush_all_sends(ep));
+    }
+
+    /// Run the SSW-Loop until `poll` yields a value, progressing this
+    /// rank's pending sends on every iteration.
+    pub fn ssw_until<T>(&self, mut poll: impl FnMut() -> Option<T>) -> T {
+        crate::task::ssw::ssw_until(&self.sched, &self.steal, || {
+            self.progress_sends();
+            poll()
+        })
+    }
+
+    fn stats(&self) -> RankStats {
+        let s = self.steal.borrow();
+        RankStats {
+            msgs_sent: self.msgs_sent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            msgs_recvd: self.msgs_recvd.get(),
+            collectives: self.collectives.get(),
+            steals: s.steals,
+            chunks_stolen: s.chunks_stolen,
+            chunks_owned: s.chunks_owned,
+        }
+    }
+}
+
+/// The per-rank application context: rank identity, world communicator,
+/// messaging, collectives and Pure Tasks. Mirrors what `pure.h` exposes.
+pub struct RankCtx {
+    pub(crate) local: Rc<RankLocal>,
+    world: PureComm,
+}
+
+impl RankCtx {
+    /// This rank's id in the flat world namespace.
+    pub fn rank(&self) -> usize {
+        self.local.rank
+    }
+
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        self.local.shared.cfg.ranks
+    }
+
+    /// The simulated node this rank lives on.
+    pub fn node(&self) -> usize {
+        self.local.node
+    }
+
+    /// This rank's thread index within its node.
+    pub fn local_index(&self) -> usize {
+        self.local.local_idx
+    }
+
+    /// The world communicator (`PURE_COMM_WORLD`).
+    pub fn world(&self) -> &PureComm {
+        &self.world
+    }
+
+    // --- Flat-API conveniences (the paper's C API is a flat function set
+    // over PURE_COMM_WORLD; these delegates mirror that shape). ---
+
+    /// `pure_send_msg(..., PURE_COMM_WORLD)`.
+    pub fn send<T: crate::datatype::PureDatatype>(&self, buf: &[T], dst: usize, tag: Tag) {
+        self.world.send(buf, dst, tag)
+    }
+
+    /// `pure_recv_msg(..., PURE_COMM_WORLD)`.
+    pub fn recv<T: crate::datatype::PureDatatype>(&self, buf: &mut [T], src: usize, tag: Tag) {
+        self.world.recv(buf, src, tag)
+    }
+
+    /// World barrier.
+    pub fn barrier(&self) {
+        self.world.barrier()
+    }
+
+    /// World all-reduce.
+    pub fn allreduce<T: crate::datatype::Reducible>(
+        &self,
+        input: &[T],
+        output: &mut [T],
+        op: crate::datatype::ReduceOp,
+    ) {
+        self.world.allreduce(input, output, op)
+    }
+
+    /// World broadcast.
+    pub fn bcast<T: crate::datatype::PureDatatype>(&self, data: &mut [T], root: usize) {
+        self.world.bcast(data, root)
+    }
+
+    /// `pure_comm_split` on the world communicator.
+    pub fn comm_split(&self, color: i64, key: i64) -> Option<PureComm> {
+        self.world.split(color, key)
+    }
+
+    /// `pure_wtime`: seconds since the launch started (monotonic; same
+    /// epoch on every rank of this launch).
+    pub fn wtime(&self) -> f64 {
+        self.local.shared.birth.elapsed().as_secs_f64()
+    }
+
+    /// Execute a chunked task: split into `chunks` chunks, run them all
+    /// (possibly concurrently with thieves), return when done. See
+    /// [`crate::task::PureTask`] for the define-once API.
+    pub fn execute_task(&self, chunks: u32, f: impl Fn(ChunkRange) + Sync) {
+        let g = move |r: ChunkRange, _e: Option<&()>| f(r);
+        self.execute_task_generic(chunks, &g, None::<&()>);
+    }
+
+    /// Execute a chunked task with per-execution arguments (§3.2's
+    /// `per_exe_args`).
+    pub fn execute_task_with<E: Sync>(
+        &self,
+        chunks: u32,
+        f: impl Fn(ChunkRange, Option<&E>) + Sync,
+        extra: &E,
+    ) {
+        self.execute_task_generic(chunks, &f, Some(extra));
+    }
+
+    /// Monomorphic fast path used by both public entry points.
+    fn execute_task_generic<F, E>(&self, chunks: u32, f: &F, extra: Option<&E>)
+    where
+        F: Fn(ChunkRange, Option<&E>) + Sync,
+        E: Sync,
+    {
+        let call = thunk_for::<F, E>(f);
+        let data = f as *const F as *const ();
+        let extra_ptr = extra.map_or(std::ptr::null(), |e| e as *const E as *const ());
+        let mut steal = self.local.steal.borrow_mut();
+        // SAFETY: `f` and `extra` outlive this call, and `execute_raw` does
+        // not return until every chunk has executed; concurrent chunk
+        // invocations get disjoint ranges by construction.
+        unsafe {
+            self.local
+                .sched
+                .execute_raw(&mut steal, chunks, call, data, extra_ptr);
+        }
+    }
+
+    /// Dyn-dispatch variant backing [`crate::task::PureTask::execute`].
+    pub(crate) fn execute_task_ref<E: Sync>(
+        &self,
+        chunks: u32,
+        f: &(dyn Fn(ChunkRange, Option<&E>) + Sync),
+        extra: Option<&E>,
+    ) {
+        // Indirect through a stack copy of the wide reference so the thunk
+        // can reconstruct the trait object from a thin pointer.
+        let wide: &(dyn Fn(ChunkRange, Option<&E>) + Sync) = f;
+        let g = move |r: ChunkRange, e: Option<&E>| wide(r, e);
+        self.execute_task_generic(chunks, &g, extra);
+    }
+}
+
+/// Run `f` as an SPMD program on `cfg.ranks` rank threads.
+///
+/// Panics in any rank abort the whole launch (the other ranks' SSW loops
+/// notice and unwind) and the first panic is re-raised here.
+pub fn launch<F>(cfg: Config, f: F) -> LaunchReport
+where
+    F: Fn(&mut RankCtx) + Sync,
+{
+    let (report, _) = launch_map(cfg, |ctx| {
+        f(ctx);
+    });
+    report
+}
+
+/// Like [`launch`], also collecting each rank's return value.
+pub fn launch_map<F, R>(cfg: Config, f: F) -> (LaunchReport, Vec<R>)
+where
+    F: Fn(&mut RankCtx) -> R + Sync,
+    R: Send,
+{
+    assert!(cfg.ranks > 0, "pure: need at least one rank");
+    if let Some(map) = &cfg.rank_map {
+        assert_eq!(map.len(), cfg.ranks, "rank_map length must equal ranks");
+    }
+
+    // Topology.
+    let rank_node: Vec<usize> = (0..cfg.ranks).map(|r| cfg.node_of(r)).collect();
+    let n_nodes = rank_node.iter().copied().max().unwrap_or(0) + 1;
+    let mut node_ranks: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for (r, &n) in rank_node.iter().enumerate() {
+        node_ranks[n].push(r);
+    }
+    assert!(
+        node_ranks.iter().all(|v| !v.is_empty()),
+        "pure: every node in the rank map must host at least one rank"
+    );
+    let mut rank_local = vec![0usize; cfg.ranks];
+    for ranks in &node_ranks {
+        for (i, &r) in ranks.iter().enumerate() {
+            rank_local[r] = i;
+        }
+    }
+
+    let scheds: Vec<Arc<NodeScheduler>> = node_ranks
+        .iter()
+        .map(|ranks| {
+            Arc::new(NodeScheduler::new(
+                ranks.len(),
+                cfg.numa_domains_per_node,
+                cfg.steal_policy,
+                cfg.chunk_mode,
+                cfg.spin_budget,
+            ))
+        })
+        .collect();
+
+    let shared = Arc::new(Shared {
+        chan_cfg: ChannelFactoryCfg {
+            small_msg_max: cfg.small_msg_max,
+            pbq_slots: cfg.pbq_slots,
+            env_slots: cfg.env_slots,
+        },
+        birth: Instant::now(),
+        cluster: Cluster::new(n_nodes, cfg.net),
+        channels: ChannelTable::new(),
+        areas: (0..n_nodes).map(|_| Mutex::new(HashMap::new())).collect(),
+        scheds,
+        rank_node,
+        rank_local,
+        cfg,
+    });
+
+    let world_meta = Arc::new(CommMeta::world(&shared));
+    let panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..shared.cfg.ranks).map(|_| None).collect());
+    let stats: Mutex<Vec<RankStats>> = Mutex::new(vec![RankStats::default(); shared.cfg.ranks]);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut rank_handles = Vec::with_capacity(shared.cfg.ranks);
+        for rank in 0..shared.cfg.ranks {
+            let shared = Arc::clone(&shared);
+            let world_meta = Arc::clone(&world_meta);
+            let f = &f;
+            let panic_box = &panic_box;
+            let results = &results;
+            let stats = &stats;
+            rank_handles.push(scope.spawn(move || {
+                let node = shared.rank_node[rank];
+                let local = Rc::new(RankLocal {
+                    rank,
+                    node,
+                    local_idx: shared.rank_local[rank],
+                    sched: Arc::clone(&shared.scheds[node]),
+                    ep: shared.cluster.endpoint(node),
+                    steal: RefCell::new(StealCtx::new(
+                        shared.rank_local[rank],
+                        shared.cfg.seed ^ (rank as u64).wrapping_mul(0xD129_0A5B),
+                    )),
+                    chan_cache: RefCell::new(HashMap::new()),
+                    pending_sends: RefCell::new(Vec::new()),
+                    msgs_sent: Cell::new(0),
+                    bytes_sent: Cell::new(0),
+                    msgs_recvd: Cell::new(0),
+                    collectives: Cell::new(0),
+                    shared: Arc::clone(&shared),
+                });
+                let world = PureComm::from_meta(world_meta, Rc::clone(&local));
+                let mut ctx = RankCtx {
+                    local: Rc::clone(&local),
+                    world,
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                match outcome {
+                    Ok(v) => {
+                        results.lock()[rank] = Some(v);
+                    }
+                    Err(e) => {
+                        for s in &shared.scheds {
+                            s.set_abort();
+                        }
+                        panic_box.lock().get_or_insert(e);
+                    }
+                }
+                stats.lock()[rank] = local.stats();
+            }));
+        }
+
+        // Helper threads: steal-only workers on spare "cores" (§5.1).
+        let mut helper_handles = Vec::new();
+        for (node, sched) in shared.scheds.iter().enumerate() {
+            for h in 0..shared.cfg.helpers_per_node {
+                let sched = Arc::clone(sched);
+                let seed = shared.cfg.seed ^ 0xBEEF ^ ((node * 131 + h) as u64);
+                let workers = sched.n_workers();
+                helper_handles.push(scope.spawn(move || {
+                    let mut ctx = StealCtx::new(workers + h, seed);
+                    sched.run_helper(&mut ctx);
+                    (ctx.steals, ctx.chunks_stolen)
+                }));
+            }
+        }
+
+        for h in rank_handles {
+            let _ = h.join();
+        }
+        for s in &shared.scheds {
+            s.shutdown_helpers();
+        }
+        let mut helper_steals = (0u64, 0u64);
+        for h in helper_handles {
+            if let Ok((s, c)) = h.join() {
+                helper_steals.0 += s;
+                helper_steals.1 += c;
+            }
+        }
+        // Account helper work to rank 0's node entry so reports see it.
+        if helper_steals.0 > 0 {
+            let mut st = stats.lock();
+            st[0].steals += helper_steals.0;
+            st[0].chunks_stolen += helper_steals.1;
+        }
+    });
+    let elapsed = start.elapsed();
+
+    if let Some(p) = panic_box.into_inner() {
+        std::panic::resume_unwind(p);
+    }
+
+    let report = LaunchReport {
+        per_rank: stats.into_inner(),
+        net_traffic: shared.cluster.stats().snapshot(),
+        elapsed,
+    };
+    let results = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("rank produced no result despite no panic"))
+        .collect();
+    (report, results)
+}

@@ -1,0 +1,287 @@
+//! Pure Tasks (§3.2): application code chunks that the runtime may execute
+//! concurrently, including by *other* ranks that are blocked in
+//! communication.
+//!
+//! A [`PureTask`] wraps a closure taking a [`ChunkRange`]; `execute` hands it
+//! to the owning rank's [`scheduler`], which publishes it for stealing. The
+//! closure runs once per claimed chunk range, possibly on several threads at
+//! once, so it must be written to touch a disjoint portion of the data per
+//! chunk — [`SharedSlice`] plus [`ChunkRange::aligned`] make the common
+//! array-partitioning pattern convenient and false-sharing-free.
+
+pub mod scheduler;
+pub mod ssw;
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::runtime::RankCtx;
+use crate::util::cache::{aligned_chunk_range, unaligned_chunk_range};
+use scheduler::Thunk;
+
+/// The chunk range handed to a task closure by the runtime, together with
+/// the task's total chunk count (for index arithmetic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkRange {
+    /// First chunk of this invocation.
+    pub start: u32,
+    /// One past the last chunk of this invocation.
+    pub end: u32,
+    /// Total chunks the task was split into.
+    pub total: u32,
+}
+
+impl ChunkRange {
+    /// Map this chunk range onto element indices of a `len`-element `T`
+    /// array with cacheline-aligned boundaries (the paper's
+    /// `pure_aligned_idx_range`). Disjoint chunk ranges yield disjoint,
+    /// non-false-sharing index ranges.
+    pub fn aligned<T>(&self, len: usize) -> Range<usize> {
+        aligned_chunk_range::<T>(len, self.start, self.end, self.total)
+    }
+
+    /// Map onto element indices with exact (unaligned) splitting.
+    pub fn unaligned(&self, len: usize) -> Range<usize> {
+        unaligned_chunk_range(len, self.start, self.end, self.total)
+    }
+
+    /// Number of chunks in this invocation.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A mutable slice that task chunks running on several threads may write
+/// concurrently — Pure's answer to the paper's "the body of a Pure Task is
+/// like a small island of concurrent code that the programmer must ensure is
+/// thread-safe".
+///
+/// Obtain per-chunk sub-slices with [`SharedSlice::chunk_aligned`]; because
+/// the scheduler hands out every chunk exactly once and aligned chunk ranges
+/// are disjoint, each sub-slice is touched by exactly one thread per
+/// execution.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: SharedSlice hands out disjoint &mut sub-slices across threads (the
+// disjointness obligations are documented on each accessor); T crosses
+// threads by value.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap an exclusive slice for the duration of a task.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sub-slice owned by chunk range `r` under cacheline-aligned
+    /// splitting.
+    ///
+    /// This is the safe workhorse: the runtime assigns each chunk to exactly
+    /// one invocation per execution, and aligned ranges of distinct chunks
+    /// are disjoint, so no two live borrows alias.
+    #[allow(clippy::mut_from_ref)] // the scheduler's exactly-once chunk
+                                   // assignment guarantees non-aliasing (see type docs)
+    pub fn chunk_aligned(&self, r: &ChunkRange) -> &mut [T] {
+        let range = r.aligned::<T>(self.len);
+        // SAFETY: ranges from distinct chunks are disjoint (see above); the
+        // underlying exclusive borrow outlives `self`.
+        unsafe { self.slice_mut(range) }
+    }
+
+    /// An arbitrary mutable sub-slice.
+    ///
+    /// # Safety
+    /// Concurrently outstanding ranges must be pairwise disjoint. Use
+    /// [`SharedSlice::chunk_aligned`] unless you need custom partitioning.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "range out of bounds"
+        );
+        // SAFETY: bounds checked; aliasing discipline per the contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No thread may be concurrently writing element `i`.
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        assert!(i < self.len);
+        // SAFETY: bounds checked; no concurrent writer per contract.
+        unsafe { self.ptr.add(i).read() }
+    }
+
+    /// A read-only view of the whole slice.
+    ///
+    /// # Safety
+    /// No thread may be concurrently writing any element.
+    pub unsafe fn as_slice(&self) -> &[T] {
+        // SAFETY: no concurrent writer per contract.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// The boxed task closure type.
+type TaskFn<'env, E> = Box<dyn Fn(ChunkRange, Option<&E>) + Sync + 'env>;
+
+/// A Pure Task: a chunked closure plus its chunk count, mirroring the
+/// paper's `PureTask` C++ lambda objects. Define once, execute many times.
+///
+/// `E` is the optional `per_exe_args` type (§3.2): values that change
+/// between executions and therefore cannot be captured at definition time.
+pub struct PureTask<'env, E: Sync = ()> {
+    chunks: u32,
+    f: TaskFn<'env, E>,
+}
+
+impl<'env, E: Sync> PureTask<'env, E> {
+    /// A task split into `chunks` chunks. The closure may run concurrently
+    /// on several threads with disjoint chunk ranges.
+    pub fn new(chunks: u32, f: impl Fn(ChunkRange, Option<&E>) + Sync + 'env) -> Self {
+        Self {
+            chunks,
+            f: Box::new(f),
+        }
+    }
+
+    /// Total chunk count.
+    pub fn chunks(&self) -> u32 {
+        self.chunks
+    }
+
+    /// Execute all chunks; returns when every chunk has run (§3.2: tasks are
+    /// executed synchronously). Idle ranks on the same node may steal chunks.
+    pub fn execute(&self, ctx: &RankCtx) {
+        ctx.execute_task_ref(self.chunks, &*self.f, None);
+    }
+
+    /// Execute with per-execution arguments passed to every invocation.
+    pub fn execute_with(&self, ctx: &RankCtx, extra: &E) {
+        ctx.execute_task_ref(self.chunks, &*self.f, Some(extra));
+    }
+}
+
+/// Build the type-erased thunk for a `Fn(ChunkRange, Option<&E>)` closure.
+/// (The reference argument only drives type inference.)
+pub(crate) fn thunk_for<F, E>(_f: &F) -> Thunk
+where
+    F: Fn(ChunkRange, Option<&E>) + Sync,
+    E: Sync,
+{
+    unsafe fn call<F, E>(data: *const (), s: u32, e: u32, total: u32, extra: *const ())
+    where
+        F: Fn(ChunkRange, Option<&E>) + Sync,
+        E: Sync,
+    {
+        // SAFETY: `data` points to a live `F` and `extra` to a live `E` (or
+        // null) for the duration of the owning `execute` call; see
+        // `NodeScheduler::execute_raw`.
+        let f = unsafe { &*(data as *const F) };
+        let extra = if extra.is_null() {
+            None
+        } else {
+            // SAFETY: non-null extra points to a live E per the same contract.
+            Some(unsafe { &*(extra as *const E) })
+        };
+        f(
+            ChunkRange {
+                start: s,
+                end: e,
+                total,
+            },
+            extra,
+        );
+    }
+    call::<F, E>
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_range_maps_to_indices() {
+        let r = ChunkRange {
+            start: 0,
+            end: 4,
+            total: 4,
+        };
+        assert_eq!(r.aligned::<f64>(100), 0..100);
+        assert_eq!(r.unaligned(100), 0..100);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn shared_slice_chunks_are_disjoint_and_cover() {
+        let mut data = vec![0u64; 1000];
+        let total = 7u32;
+        {
+            let s = SharedSlice::new(&mut data);
+            for c in 0..total {
+                let r = ChunkRange {
+                    start: c,
+                    end: c + 1,
+                    total,
+                };
+                for x in s.chunk_aligned(&r) {
+                    *x += 1;
+                }
+            }
+        }
+        assert!(
+            data.iter().all(|&x| x == 1),
+            "every element covered exactly once"
+        );
+    }
+
+    #[test]
+    fn shared_slice_read_and_view() {
+        let mut data = vec![1u32, 2, 3];
+        let s = SharedSlice::new(&mut data);
+        // SAFETY: no concurrent writers in this test.
+        unsafe {
+            assert_eq!(s.read(1), 2);
+            assert_eq!(s.as_slice(), &[1, 2, 3]);
+        }
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn shared_slice_bounds_checked() {
+        let mut data = vec![0u8; 4];
+        let s = SharedSlice::new(&mut data);
+        // SAFETY: would be disjoint; panics on bounds first.
+        let _ = unsafe { s.slice_mut(2..9) };
+    }
+}

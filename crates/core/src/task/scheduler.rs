@@ -1,0 +1,573 @@
+//! The Pure Task Scheduler (§4.3).
+//!
+//! Per node there is one [`NodeScheduler`] holding an `active_tasks` array
+//! with one *task slot* per rank thread. Executing a task publishes it in the
+//! owner's slot; any other thread that is blocked (in its SSW-Loop) probes
+//! the array, claims a chunk with an atomic compare-exchange, runs it on its
+//! own hardware thread, and goes back to checking its blocking condition —
+//! "one chunk of stolen work" at a time, exactly as the paper prescribes.
+//!
+//! ## Lock-freedom and the ABA problem
+//!
+//! The paper stores raw pointers in `active_tasks`. A naive port would let a
+//! thief dereference a pointer to a task object whose owning stack frame has
+//! already returned. We instead make the slots *permanent* (they live as
+//! long as the runtime) and tag both the claim counter and the done counter
+//! with a 32-bit **generation**: `curr = gen << 32 | next_chunk`. A thief's
+//! claim CAS can only succeed against the generation it observed, so a claim
+//! on a completed (or recycled) task fails instead of touching stale state.
+//! A successful claim implies the owner is still inside `execute` (it cannot
+//! return while chunks it handed out remain unfinished), which is what makes
+//! the lifetime-erased closure pointer sound — the same argument
+//! `rayon::scope` uses.
+//!
+//! Generations wrap after 2³² task executions per rank; a wrap-induced ABA
+//! would additionally require a thief to stall across the entire wrap, which
+//! we accept (the paper's pointer design has a strictly weaker guarantee).
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::util::xorshift::XorShift64;
+
+/// Type-erased chunk invocation: `(closure_data, start_chunk, end_chunk,
+/// total_chunks, per_exe_args)`.
+pub type Thunk = unsafe fn(*const (), u32, u32, u32, *const ());
+
+/// How many chunks a claim takes (§4.3 "different chunk execution modes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkMode {
+    /// One chunk per claim (the mode used in the paper's evaluations).
+    SingleChunk,
+    /// Guided self-scheduling [Polychronopoulos & Kuck 1987]: claim
+    /// `max(1, remaining / (2 · threads))` chunks.
+    Guided,
+}
+
+/// Victim-selection policy for stealing (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealPolicy {
+    /// Probe victims starting at a random position (Cilk-style; the paper's
+    /// evaluation mode).
+    Random,
+    /// Prefer victims on the same NUMA node, then fall back to random.
+    NumaAware,
+    /// Return to the most recently stolen-from victim first ("sticky").
+    Sticky,
+}
+
+/// Per-thread stealing context: RNG, sticky victim, re-entrancy guard and
+/// counters. Owned by each rank (and helper) thread.
+#[derive(Debug)]
+pub struct StealCtx {
+    /// Local (within-node) thread index of this thread. Helpers get indices
+    /// `>= n_workers`; they have no slot of their own.
+    pub me: usize,
+    /// Victim-selection RNG.
+    pub rng: XorShift64,
+    /// Last successful victim (for [`StealPolicy::Sticky`]).
+    pub last_victim: Option<usize>,
+    /// True while running a task chunk — blocks recursive stealing.
+    pub in_task: bool,
+    /// Steal attempts that found and executed work.
+    pub steals: u64,
+    /// Chunks executed as a thief.
+    pub chunks_stolen: u64,
+    /// Chunks executed as an owner.
+    pub chunks_owned: u64,
+}
+
+impl StealCtx {
+    /// Context for local thread `me`, RNG seeded from `seed`.
+    pub fn new(me: usize, seed: u64) -> Self {
+        Self {
+            me,
+            rng: XorShift64::new(seed ^ 0xA076_1D64_78BD_642F ^ (me as u64) << 17),
+            last_victim: None,
+            in_task: false,
+            steals: 0,
+            chunks_stolen: 0,
+            chunks_owned: 0,
+        }
+    }
+}
+
+/// One entry of the `active_tasks` array.
+struct TaskSlot {
+    /// 0 when idle; the task generation when a task is open for stealing.
+    status: CachePadded<AtomicU64>,
+    /// `gen << 32 | next_unclaimed_chunk` — the claim counter.
+    curr: CachePadded<AtomicU64>,
+    /// `gen << 32 | chunks_done`.
+    done: CachePadded<AtomicU64>,
+    /// Total chunks of the current task (stable while its generation is
+    /// active).
+    total: AtomicU32,
+    /// Type-erased call thunk.
+    call: AtomicPtr<()>,
+    /// Closure data pointer.
+    data: AtomicPtr<()>,
+    /// Per-execute extra argument pointer (possibly null).
+    extra: AtomicPtr<()>,
+}
+
+impl TaskSlot {
+    fn new() -> Self {
+        Self {
+            status: CachePadded::new(AtomicU64::new(0)),
+            curr: CachePadded::new(AtomicU64::new(0)),
+            done: CachePadded::new(AtomicU64::new(0)),
+            total: AtomicU32::new(0),
+            call: AtomicPtr::new(std::ptr::null_mut()),
+            data: AtomicPtr::new(std::ptr::null_mut()),
+            extra: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+/// The per-node scheduler: the `active_tasks` array plus policy knobs.
+pub struct NodeScheduler {
+    slots: Box<[TaskSlot]>,
+    n_workers: usize,
+    /// NUMA domain of each local thread (for [`StealPolicy::NumaAware`]).
+    numa_of: Box<[u16]>,
+    policy: StealPolicy,
+    mode: ChunkMode,
+    spin_budget: u32,
+    /// Set when any rank panics; waiting loops propagate instead of hanging.
+    abort: AtomicBool,
+    /// Tells helper threads to exit.
+    shutdown: AtomicBool,
+}
+
+impl NodeScheduler {
+    /// A scheduler for `n_workers` rank threads split over `numa_domains`
+    /// equal NUMA domains.
+    pub fn new(
+        n_workers: usize,
+        numa_domains: usize,
+        policy: StealPolicy,
+        mode: ChunkMode,
+        spin_budget: u32,
+    ) -> Self {
+        assert!(n_workers > 0);
+        let d = numa_domains.max(1);
+        let numa_of = (0..n_workers)
+            .map(|t| ((t * d) / n_workers) as u16)
+            .collect();
+        Self {
+            slots: (0..n_workers).map(|_| TaskSlot::new()).collect(),
+            n_workers,
+            numa_of,
+            policy,
+            mode,
+            spin_budget,
+            abort: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of rank threads this scheduler serves.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Configured spin budget before the SSW-Loop yields.
+    pub fn spin_budget(&self) -> u32 {
+        self.spin_budget
+    }
+
+    /// Flag a fatal error; all waiting loops will panic promptly.
+    pub fn set_abort(&self) {
+        self.abort.store(true, Ordering::Release);
+    }
+
+    /// True when a peer rank has died.
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Ask helper threads to exit.
+    pub fn shutdown_helpers(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Claim up to a mode-dependent number of chunks of generation `gen`
+    /// from `slot`. Returns the claimed `[start, end)` chunk range.
+    fn try_claim(&self, slot: &TaskSlot, gen: u32) -> Option<(u32, u32)> {
+        let mut cur = slot.curr.load(Ordering::Acquire);
+        loop {
+            if (cur >> 32) as u32 != gen {
+                return None; // task completed or recycled
+            }
+            let c = cur as u32;
+            let total = slot.total.load(Ordering::Relaxed);
+            if c >= total {
+                return None; // fully claimed
+            }
+            let k = match self.mode {
+                ChunkMode::SingleChunk => 1,
+                ChunkMode::Guided => ((total - c) / (2 * self.n_workers as u32)).max(1),
+            };
+            let k = k.min(total - c);
+            let next = ((gen as u64) << 32) | (c + k) as u64;
+            match slot
+                .curr
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some((c, c + k)),
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Execute the chunk range on `slot`'s current task and account for it.
+    ///
+    /// # Safety
+    /// `gen` must have been obtained from a successful claim on this slot,
+    /// which guarantees the thunk and data pointers are alive.
+    unsafe fn run_chunks(&self, slot: &TaskSlot, ctx: &mut StealCtx, s: u32, e: u32) {
+        // A successful claim orders these loads after the owner's release
+        // store of `curr` for this generation.
+        let call = slot.call.load(Ordering::Relaxed);
+        let data = slot.data.load(Ordering::Relaxed);
+        let extra = slot.extra.load(Ordering::Relaxed);
+        let total = slot.total.load(Ordering::Relaxed);
+        // SAFETY: `call` was produced by casting a `Thunk` in `execute_raw`.
+        let thunk: Thunk = unsafe { std::mem::transmute::<*mut (), Thunk>(call) };
+        ctx.in_task = true;
+        // SAFETY: per the claim-implies-alive argument in the module docs.
+        unsafe { thunk(data.cast_const(), s, e, total, extra.cast_const()) };
+        ctx.in_task = false;
+    }
+
+    /// One steal attempt (the body of the SSW-Loop's "steal" arm): probe the
+    /// `active_tasks` array per policy, execute at most one claim, return
+    /// whether work was done.
+    pub fn try_steal_once(&self, ctx: &mut StealCtx) -> bool {
+        if ctx.in_task || self.n_workers <= 1 {
+            return false; // no recursive stealing; nobody to steal from
+        }
+        // Sticky: revisit the last victim first.
+        if self.policy == StealPolicy::Sticky {
+            if let Some(v) = ctx.last_victim {
+                if v != ctx.me && self.steal_from(ctx, v) {
+                    return true;
+                }
+            }
+        }
+        let n = self.n_workers;
+        let start = ctx.rng.next_below(n);
+        // NUMA-aware: first pass over same-domain victims, then the rest.
+        let my_numa = self.numa_of.get(ctx.me).copied();
+        let passes: &[bool] = if self.policy == StealPolicy::NumaAware {
+            &[true, false]
+        } else {
+            &[false]
+        };
+        for &numa_pass in passes {
+            for i in 0..n {
+                let v = (start + i) % n;
+                if v == ctx.me {
+                    continue;
+                }
+                if numa_pass && my_numa.is_some() && self.numa_of[v] != my_numa.unwrap() {
+                    continue;
+                }
+                if self.steal_from(ctx, v) {
+                    ctx.last_victim = Some(v);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn steal_from(&self, ctx: &mut StealCtx, victim: usize) -> bool {
+        let slot = &self.slots[victim];
+        let gen = slot.status.load(Ordering::Acquire);
+        if gen == 0 {
+            return false;
+        }
+        let Some((s, e)) = self.try_claim(slot, gen as u32) else {
+            return false;
+        };
+        // SAFETY: claim succeeded for this generation.
+        unsafe { self.run_chunks(slot, ctx, s, e) };
+        slot.done.fetch_add((e - s) as u64, Ordering::Release);
+        ctx.steals += 1;
+        ctx.chunks_stolen += (e - s) as u64;
+        true
+    }
+
+    /// Owner-side execution of a task broken into `total` chunks: publish it
+    /// in the owner's `active_tasks` slot, execute chunks (concurrently with
+    /// any thieves), and return only when **all** chunks are done.
+    ///
+    /// # Safety
+    /// `call(data, s, e, total, extra)` must be sound for any disjoint chunk
+    /// ranges invoked concurrently from multiple threads, and `data`/`extra`
+    /// must stay valid until this function returns (it does not return while
+    /// any chunk is outstanding).
+    pub unsafe fn execute_raw(
+        &self,
+        ctx: &mut StealCtx,
+        total: u32,
+        call: Thunk,
+        data: *const (),
+        extra: *const (),
+    ) {
+        if total == 0 {
+            return;
+        }
+        let slot = &self.slots[ctx.me];
+        let gen = (((slot.curr.load(Ordering::Relaxed) >> 32) as u32).wrapping_add(1)).max(1);
+        slot.total.store(total, Ordering::Relaxed);
+        slot.call.store(call as *mut (), Ordering::Relaxed);
+        slot.data.store(data.cast_mut(), Ordering::Relaxed);
+        slot.extra.store(extra.cast_mut(), Ordering::Relaxed);
+        slot.done.store((gen as u64) << 32, Ordering::Relaxed);
+        // Publish the claim counter (fields above become visible to any
+        // acquirer of `curr`), then open the task for stealing.
+        slot.curr.store((gen as u64) << 32, Ordering::Release);
+        slot.status.store(gen as u64, Ordering::Release);
+
+        // Work-first: the owner claims and runs chunks like everyone else,
+        // but accumulates its done-count locally (one cache miss at the end
+        // instead of one per chunk — §4.3).
+        let mut my_done: u64 = 0;
+        while let Some((s, e)) = self.try_claim(slot, gen) {
+            // SAFETY: claim succeeded; owner generation is active.
+            unsafe { self.run_chunks(slot, ctx, s, e) };
+            my_done += (e - s) as u64;
+        }
+        ctx.chunks_owned += my_done;
+        if my_done > 0 {
+            slot.done.fetch_add(my_done, Ordering::Release);
+        }
+
+        // Wait for thieves to finish outstanding chunks; steal other tasks
+        // meanwhile (the owner is just another blocked rank now).
+        let mut spins = 0u32;
+        loop {
+            let d = slot.done.load(Ordering::Acquire);
+            if (d >> 32) as u32 == gen && (d as u32) >= total {
+                break;
+            }
+            if self.aborted() {
+                panic!("pure: peer rank failed while this rank was in a task");
+            }
+            if self.try_steal_once(ctx) {
+                spins = 0;
+                continue;
+            }
+            spins += 1;
+            if spins > self.spin_budget {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        slot.status.store(0, Ordering::Release);
+    }
+
+    /// Body of a dedicated helper thread (§5.1, "Pure helper threads are
+    /// simply extra threads that continuously try to steal work"). Returns
+    /// when [`NodeScheduler::shutdown_helpers`] is called.
+    pub fn run_helper(&self, ctx: &mut StealCtx) {
+        let mut spins = 0u32;
+        while !self.shutdown.load(Ordering::Acquire) {
+            if self.aborted() {
+                return;
+            }
+            if self.try_steal_once(ctx) {
+                spins = 0;
+                continue;
+            }
+            spins += 1;
+            if spins > self.spin_budget {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32 as TestCounter;
+    use std::sync::Arc;
+    use std::thread;
+
+    /// Helper: build a thunk for a plain `Fn(u32, u32, u32)` closure.
+    unsafe fn thunk_for<F: Fn(u32, u32, u32) + Sync>(_f: &F) -> Thunk {
+        unsafe fn call<F: Fn(u32, u32, u32) + Sync>(
+            data: *const (),
+            s: u32,
+            e: u32,
+            total: u32,
+            _extra: *const (),
+        ) {
+            // SAFETY: data points at a live F per execute_raw's contract.
+            let f = unsafe { &*(data as *const F) };
+            f(s, e, total);
+        }
+        call::<F>
+    }
+
+    fn sched(n: usize) -> NodeScheduler {
+        NodeScheduler::new(n, 1, StealPolicy::Random, ChunkMode::SingleChunk, 16)
+    }
+
+    #[test]
+    fn owner_alone_executes_every_chunk_once() {
+        let s = sched(1);
+        let hits: Vec<TestCounter> = (0..32).map(|_| TestCounter::new(0)).collect();
+        let f = |a: u32, b: u32, _t: u32| {
+            for c in a..b {
+                hits[c as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let mut ctx = StealCtx::new(0, 1);
+        // SAFETY: closure outlives the call; chunks touch disjoint counters.
+        unsafe {
+            s.execute_raw(
+                &mut ctx,
+                32,
+                thunk_for(&f),
+                &f as *const _ as *const (),
+                std::ptr::null(),
+            )
+        };
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(ctx.chunks_owned, 32);
+    }
+
+    #[test]
+    fn zero_chunk_task_is_a_noop() {
+        let s = sched(1);
+        let f = |_: u32, _: u32, _: u32| panic!("must not run");
+        let mut ctx = StealCtx::new(0, 1);
+        // SAFETY: as above.
+        unsafe {
+            s.execute_raw(
+                &mut ctx,
+                0,
+                thunk_for(&f),
+                &f as *const _ as *const (),
+                std::ptr::null(),
+            )
+        };
+    }
+
+    #[test]
+    fn guided_mode_covers_all_chunks_exactly_once() {
+        let s = NodeScheduler::new(1, 1, StealPolicy::Random, ChunkMode::Guided, 16);
+        let hits: Vec<TestCounter> = (0..257).map(|_| TestCounter::new(0)).collect();
+        let f = |a: u32, b: u32, _t: u32| {
+            for c in a..b {
+                hits[c as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let mut ctx = StealCtx::new(0, 1);
+        // SAFETY: as above.
+        unsafe {
+            s.execute_raw(
+                &mut ctx,
+                257,
+                thunk_for(&f),
+                &f as *const _ as *const (),
+                std::ptr::null(),
+            )
+        };
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Two threads: one owns a task, the other steals chunks while "blocked".
+    #[test]
+    fn thief_steals_and_every_chunk_runs_once() {
+        const CHUNKS: u32 = 256;
+        let s = Arc::new(sched(2));
+        let hits: Arc<Vec<TestCounter>> =
+            Arc::new((0..CHUNKS).map(|_| TestCounter::new(0)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let s2 = Arc::clone(&s);
+        let done2 = Arc::clone(&done);
+        let thief = thread::spawn(move || {
+            let mut ctx = StealCtx::new(1, 99);
+            while !done2.load(Ordering::Acquire) {
+                if !s2.try_steal_once(&mut ctx) {
+                    thread::yield_now();
+                }
+            }
+            ctx.chunks_stolen
+        });
+
+        let hits_owner = Arc::clone(&hits);
+        let f = move |a: u32, b: u32, _t: u32| {
+            for c in a..b {
+                // A touch of work so the thief gets a chance to interleave.
+                std::hint::black_box((0..50).sum::<u64>());
+                hits_owner[c as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let mut ctx = StealCtx::new(0, 7);
+        for _ in 0..8 {
+            // SAFETY: closure outlives each call; chunks are disjoint.
+            unsafe {
+                s.execute_raw(
+                    &mut ctx,
+                    CHUNKS,
+                    thunk_for(&f),
+                    &f as *const _ as *const (),
+                    std::ptr::null(),
+                );
+            }
+            for h in hits.iter() {
+                assert_eq!(
+                    h.swap(0, Ordering::Relaxed),
+                    1,
+                    "chunk executed exactly once"
+                );
+            }
+        }
+        done.store(true, Ordering::Release);
+        let stolen = thief.join().unwrap();
+        // Oversubscribed single-core CI cannot guarantee interleaving, so we
+        // only require accounting consistency, not a successful steal.
+        assert_eq!(ctx.chunks_owned + stolen, 8 * CHUNKS as u64);
+    }
+
+    #[test]
+    fn steal_with_no_active_task_fails_fast() {
+        let s = sched(4);
+        let mut ctx = StealCtx::new(2, 3);
+        assert!(!s.try_steal_once(&mut ctx));
+    }
+
+    #[test]
+    fn in_task_blocks_recursive_steal() {
+        let s = sched(2);
+        let mut ctx = StealCtx::new(0, 3);
+        ctx.in_task = true;
+        assert!(!s.try_steal_once(&mut ctx));
+    }
+
+    #[test]
+    fn numa_mapping_partitions_threads() {
+        let s = NodeScheduler::new(8, 2, StealPolicy::NumaAware, ChunkMode::SingleChunk, 4);
+        assert_eq!(&s.numa_of[..], &[0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn generations_make_stale_claims_fail() {
+        let s = sched(1);
+        let slot = &s.slots[0];
+        // Fake an old generation observation.
+        assert!(s.try_claim(slot, 42).is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! The Spin-Steal-Wait loop (§4.0.2).
+//!
+//! Whenever a Pure rank must wait — for a message, an envelope, a collective
+//! phase — it runs the SSW-Loop: poll the condition; if not ready, try to
+//! steal one chunk of any co-resident rank's active task; otherwise spin
+//! briefly and eventually yield.
+//!
+//! The paper spins without yielding because it pins one rank per core. This
+//! port must also run oversubscribed (tests on small machines), so after
+//! `spin_budget` fruitless polls it calls `thread::yield_now()`; with a large
+//! budget the behaviour degenerates to the paper's pure spinning. The loop
+//! also watches the node's abort flag so one rank's panic fails the whole
+//! run promptly instead of deadlocking everyone else.
+
+use std::cell::RefCell;
+
+use super::scheduler::{NodeScheduler, StealCtx};
+
+/// Run the SSW-Loop until `poll` produces a value.
+///
+/// `steal_ctx` is this thread's stealing context; it is only borrowed for
+/// the duration of each steal attempt, so `poll` may itself use rank-local
+/// state (but must not re-enter the scheduler).
+pub fn ssw_until<T>(
+    sched: &NodeScheduler,
+    steal_ctx: &RefCell<StealCtx>,
+    mut poll: impl FnMut() -> Option<T>,
+) -> T {
+    let budget = sched.spin_budget();
+    let mut spins = 0u32;
+    loop {
+        if let Some(v) = poll() {
+            return v;
+        }
+        if sched.aborted() {
+            panic!("pure: a peer rank failed; aborting this rank's wait");
+        }
+        let stole = sched.try_steal_once(&mut steal_ctx.borrow_mut());
+        if stole {
+            spins = 0; // work happened; re-check immediately
+            continue;
+        }
+        spins += 1;
+        if spins > budget {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// SSW-wait on a boolean condition.
+pub fn ssw_while(
+    sched: &NodeScheduler,
+    steal_ctx: &RefCell<StealCtx>,
+    mut done: impl FnMut() -> bool,
+) {
+    ssw_until(sched, steal_ctx, || if done() { Some(()) } else { None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::scheduler::{ChunkMode, StealPolicy};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn sched() -> NodeScheduler {
+        NodeScheduler::new(2, 1, StealPolicy::Random, ChunkMode::SingleChunk, 8)
+    }
+
+    #[test]
+    fn returns_immediately_when_ready() {
+        let s = sched();
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        let v = ssw_until(&s, &ctx, || Some(42));
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn waits_for_cross_thread_condition() {
+        let s = Arc::new(sched());
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let setter = thread::spawn(move || {
+            thread::yield_now();
+            f2.store(true, Ordering::Release);
+        });
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        ssw_while(&s, &ctx, || flag.load(Ordering::Acquire));
+        setter.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "peer rank failed")]
+    fn abort_breaks_the_wait() {
+        let s = sched();
+        s.set_abort();
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        ssw_while(&s, &ctx, || false);
+    }
+}

@@ -1,0 +1,218 @@
+//! Cacheline geometry and the chunk→index helpers from the paper's §2.
+//!
+//! Pure Tasks hand the application *chunk* numbers; the application maps them
+//! to array index ranges. `pure_aligned_idx_range` in the paper rounds chunk
+//! boundaries to cacheline multiples so that two threads working on adjacent
+//! chunks never false-share; we reproduce that as [`aligned_chunk_range`].
+
+use std::ops::Range;
+
+/// Cacheline size assumed throughout (x86-64 and most aarch64 parts).
+pub const CACHE_LINE: usize = 64;
+
+/// A 64-byte-aligned unit used to obtain aligned backing storage from a
+/// plain `Box<[...]>` allocation.
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+pub struct CacheLineUnit(pub [u8; CACHE_LINE]);
+
+impl CacheLineUnit {
+    /// An all-zero line.
+    pub const ZERO: Self = Self([0; CACHE_LINE]);
+}
+
+/// Allocate `bytes` of zeroed, 64-byte-aligned storage.
+pub fn alloc_aligned(bytes: usize) -> Box<[CacheLineUnit]> {
+    let lines = bytes.div_ceil(CACHE_LINE).max(1);
+    vec![CacheLineUnit::ZERO; lines].into_boxed_slice()
+}
+
+/// Zeroed, 64-byte-aligned, interior-mutable byte storage for lock-free
+/// queue payloads, allocated directly from the global allocator so raw
+/// pointers carry whole-allocation provenance. All synchronization is the
+/// caller's: this is the backing store for the PBQ / EnvelopeQueue / SPTD
+/// protocols, which establish happens-before edges with acquire/release
+/// index or sequence operations.
+pub struct AlignedBytes {
+    ptr: std::ptr::NonNull<u8>,
+    layout: std::alloc::Layout,
+}
+
+// SAFETY: `AlignedBytes` is a raw storage arena; the containing protocol
+// types (PBQ, EnvelopeQueue, SPTD) guarantee exclusive access windows via
+// their acquire/release publication protocols, and they are the only users.
+unsafe impl Send for AlignedBytes {}
+unsafe impl Sync for AlignedBytes {}
+
+impl AlignedBytes {
+    /// Allocate at least `bytes` bytes (rounded up to whole cachelines,
+    /// minimum one line), zero-initialized, 64-byte aligned.
+    pub fn new(bytes: usize) -> Self {
+        let size = bytes.div_ceil(CACHE_LINE).max(1) * CACHE_LINE;
+        let layout = std::alloc::Layout::from_size_align(size, CACHE_LINE).expect("aligned layout");
+        // SAFETY: layout has non-zero size.
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) };
+        let ptr =
+            std::ptr::NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        Self { ptr, layout }
+    }
+
+    /// Capacity in bytes (a whole number of cachelines).
+    pub fn len(&self) -> usize {
+        self.layout.size()
+    }
+
+    /// Always false (capacity is at least one cacheline).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Raw pointer to the line at `line` (64-byte aligned).
+    ///
+    /// Reads/writes through the pointer require external synchronization.
+    #[inline]
+    pub fn line_ptr(&self, line: usize) -> *mut u8 {
+        self.byte_ptr(line * CACHE_LINE)
+    }
+
+    /// Raw pointer to byte offset `off`.
+    #[inline]
+    pub fn byte_ptr(&self, off: usize) -> *mut u8 {
+        debug_assert!(off < self.len());
+        // SAFETY: offset checked against capacity (debug assert); pointer has
+        // whole-allocation provenance.
+        unsafe { self.ptr.as_ptr().add(off) }
+    }
+}
+
+impl Drop for AlignedBytes {
+    fn drop(&mut self) {
+        // SAFETY: allocated with exactly this layout in `new`.
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), self.layout) };
+    }
+}
+
+/// Map the chunk range `[start_chunk, end_chunk)` out of `total_chunks` onto
+/// element indices of a `len`-element array of `T`, with chunk boundaries
+/// aligned to cachelines so concurrent chunks never share a line.
+///
+/// The union of all chunks exactly covers `0..len`, chunks are disjoint, and
+/// every boundary except possibly the last is a multiple of
+/// `CACHE_LINE / size_of::<T>()` elements.
+///
+/// # Panics
+/// Panics if `total_chunks == 0`, the chunk range is out of order, or
+/// `end_chunk > total_chunks`.
+pub fn aligned_chunk_range<T>(
+    len: usize,
+    start_chunk: u32,
+    end_chunk: u32,
+    total_chunks: u32,
+) -> Range<usize> {
+    assert!(total_chunks > 0, "total_chunks must be positive");
+    assert!(
+        start_chunk <= end_chunk && end_chunk <= total_chunks,
+        "bad chunk range"
+    );
+    let epl = (CACHE_LINE / std::mem::size_of::<T>().max(1)).max(1); // elements per line
+    let lines = len.div_ceil(epl);
+    let lo_lines = split_point(lines, start_chunk, total_chunks);
+    let hi_lines = split_point(lines, end_chunk, total_chunks);
+    (lo_lines * epl).min(len)..(hi_lines * epl).min(len)
+}
+
+/// Like [`aligned_chunk_range`] but splitting elements directly, with no
+/// cacheline rounding. Matches the paper's "unaligned version is also
+/// available".
+pub fn unaligned_chunk_range(
+    len: usize,
+    start_chunk: u32,
+    end_chunk: u32,
+    total_chunks: u32,
+) -> Range<usize> {
+    assert!(total_chunks > 0, "total_chunks must be positive");
+    assert!(
+        start_chunk <= end_chunk && end_chunk <= total_chunks,
+        "bad chunk range"
+    );
+    split_point(len, start_chunk, total_chunks)..split_point(len, end_chunk, total_chunks)
+}
+
+/// The start of chunk `i` when dividing `n` items into `parts` nearly-equal
+/// contiguous pieces (the first `n % parts` pieces get one extra item).
+fn split_point(n: usize, i: u32, parts: u32) -> usize {
+    let i = i as usize;
+    let parts = parts as usize;
+    let base = n / parts;
+    let extra = n % parts;
+    base * i + i.min(extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition<T>(len: usize, chunks: u32) {
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for c in 0..chunks {
+            let r = aligned_chunk_range::<T>(len, c, c + 1, chunks);
+            assert_eq!(r.start, prev_end, "chunks must be contiguous");
+            prev_end = r.end;
+            covered += r.len();
+        }
+        assert_eq!(prev_end, len);
+        assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn aligned_ranges_partition_exactly() {
+        check_partition::<f64>(1000, 7);
+        check_partition::<f64>(8, 16); // more chunks than lines: some empty
+        check_partition::<u8>(64 * 3 + 5, 4);
+        check_partition::<f32>(0, 3);
+        check_partition::<f64>(1, 1);
+    }
+
+    #[test]
+    fn aligned_boundaries_are_line_multiples() {
+        let len = 10_000usize;
+        let chunks = 13u32;
+        let epl = CACHE_LINE / std::mem::size_of::<f64>();
+        for c in 1..chunks {
+            let r = aligned_chunk_range::<f64>(len, c, c + 1, chunks);
+            if r.start < len {
+                assert_eq!(r.start % epl, 0, "interior boundary not line-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_ranges_partition_exactly() {
+        for (len, chunks) in [(10usize, 3u32), (0, 2), (7, 7), (100, 9)] {
+            let mut prev = 0;
+            for c in 0..chunks {
+                let r = unaligned_chunk_range(len, c, c + 1, chunks);
+                assert_eq!(r.start, prev);
+                prev = r.end;
+            }
+            assert_eq!(prev, len);
+        }
+    }
+
+    #[test]
+    fn multi_chunk_range_is_union() {
+        let a = aligned_chunk_range::<f64>(999, 2, 5, 8);
+        let b = aligned_chunk_range::<f64>(999, 2, 3, 8);
+        let c = aligned_chunk_range::<f64>(999, 4, 5, 8);
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.end, c.end);
+    }
+
+    #[test]
+    fn alloc_aligned_is_aligned() {
+        let b = alloc_aligned(100);
+        assert_eq!(b.as_ptr() as usize % CACHE_LINE, 0);
+        assert!(b.len() * CACHE_LINE >= 100);
+    }
+}

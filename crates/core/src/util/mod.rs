@@ -1,0 +1,9 @@
+//! Small shared utilities: cacheline geometry, chunk→index maths, byte views
+//! of POD slices, a seedable xorshift for victim selection, and single-side
+//! cells for SPSC protocol state.
+
+pub mod cache;
+pub mod side;
+pub mod xorshift;
+
+pub use cache::{aligned_chunk_range, unaligned_chunk_range, CACHE_LINE};

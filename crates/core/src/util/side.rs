@@ -1,0 +1,62 @@
+//! [`SideCell`]: single-side mutable state inside shared channel objects.
+//!
+//! Every Pure channel is strictly SPSC — it connects exactly one sending rank
+//! to exactly one receiving rank (§4.1: the Channel Manager maps the message
+//! argument tuple to a persistent channel). Each side keeps bookkeeping
+//! (pending non-blocking operations, sequence counters) that only *its own*
+//! thread ever touches, yet the state has to live inside the `Arc`-shared
+//! channel object. `SideCell` wraps that state in an `UnsafeCell` and
+//! documents the protocol that makes it sound.
+
+use std::cell::UnsafeCell;
+
+/// Mutable state accessed by exactly one side (thread) of an SPSC channel.
+///
+/// # Safety contract
+/// Callers of [`SideCell::with`] must guarantee that all accesses to a given
+/// cell happen on a single thread (the owning side of the channel). The
+/// channel manager guarantees this by construction: a channel key names one
+/// sender rank and one receiver rank, and each side's `SideCell` is only
+/// touched from that rank's thread.
+pub struct SideCell<T>(UnsafeCell<T>);
+
+// SAFETY: see the type-level contract; cross-thread *transfer* of the cell
+// (inside the Arc'd channel) is safe because accesses are single-threaded.
+unsafe impl<T: Send> Send for SideCell<T> {}
+unsafe impl<T: Send> Sync for SideCell<T> {}
+
+impl<T> SideCell<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        Self(UnsafeCell::new(value))
+    }
+
+    /// Run `f` with exclusive access to the state.
+    ///
+    /// # Safety
+    /// The caller must be the unique owning side of this cell (see the type
+    /// docs), and must not re-enter `with` on the same cell from within `f`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        // SAFETY: forwarded to the caller per the documented contract.
+        f(unsafe { &mut *self.0.get() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_gives_exclusive_access() {
+        let c = SideCell::new(41);
+        // SAFETY: single-threaded test; unique access.
+        let v = unsafe {
+            c.with(|x| {
+                *x += 1;
+                *x
+            })
+        };
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,79 @@
+//! A tiny, dependency-free xorshift64* PRNG for steal-victim selection.
+//!
+//! Work-stealing victim choice needs speed and statistical adequacy, not
+//! cryptographic quality (Cilk uses a similarly cheap generator). Keeping it
+//! in-crate avoids a `rand` dependency in the runtime hot path.
+
+/// xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded construction; a zero seed is remapped (xorshift requires a
+    /// non-zero state).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..n` (n must be positive). Modulo bias is
+    /// irrelevant for victim selection.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), 0);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut r = XorShift64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.next_below(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets should be hit in 200 draws"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # netsim — a simulated inter-node interconnect
+//!
+//! The Pure paper runs MPI between nodes of a Cray XC40 (Aries network) and
+//! its own lock-free machinery within nodes. This repository has no cluster,
+//! so `netsim` stands in for "MPI across nodes": an in-process transport
+//! connecting *simulated nodes*, with
+//!
+//! * tagged point-to-point messages between nodes,
+//! * the paper's tag-encoding trick (§4.1.3): the sending and receiving
+//!   *thread* ids within their nodes are packed into upper bits of the wire
+//!   tag so that thread-level routing works over a node-level transport,
+//! * an α–β latency model (`T = α + β · bytes`) so that multi-node runs on a
+//!   single machine still exhibit a latency hierarchy, and
+//! * per-endpoint traffic statistics.
+//!
+//! The transport is deliberately modest: a lock-protected inbox per node plus
+//! a lock-protected match store, which is an honest model of an MPI progress
+//! engine running in `MPI_THREAD_MULTIPLE` mode (a global-ish lock serializes
+//! progress). Higher-level cross-node collective *algorithms* live in
+//! `pure-core::internode`, composed from these primitives.
+
+pub mod tag;
+mod transport;
+
+pub use tag::WireTag;
+pub use transport::{Cluster, NetConfig, NetStats, NodeEndpoint};

@@ -1,0 +1,331 @@
+//! The node-to-node transport: per-node inbox + match store with an α–β
+//! latency model.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::tag::WireTag;
+
+/// Latency/bandwidth model for the simulated interconnect.
+///
+/// A message of `n` bytes becomes *matchable* at the destination
+/// `alpha_ns + n * beta_ps_per_byte / 1000` nanoseconds after it is sent.
+/// The defaults are zero (ideal network) — tests want determinism and speed;
+/// benchmarks configure Aries-like values (α ≈ 1.3 µs, β ≈ 1 ns per 10 B,
+/// i.e. ~10 GB/s per link).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct NetConfig {
+    /// Per-message latency in nanoseconds.
+    pub alpha_ns: u64,
+    /// Per-byte cost in picoseconds (1000 ps/B == 1 GB/s... precisely 1 ns/B).
+    pub beta_ps_per_byte: u64,
+}
+
+impl NetConfig {
+    /// An Aries-like interconnect: ~1.3 µs latency, ~10 GB/s effective
+    /// per-flow bandwidth.
+    pub fn aries_like() -> Self {
+        Self {
+            alpha_ns: 1_300,
+            beta_ps_per_byte: 100,
+        }
+    }
+
+    fn delay_ns(&self, bytes: usize) -> u64 {
+        self.alpha_ns + (bytes as u64 * self.beta_ps_per_byte) / 1000
+    }
+}
+
+/// Match-store key: (source node, encoded wire tag).
+type MatchKey = (usize, u64);
+
+struct InFlight {
+    key: MatchKey,
+    payload: Vec<u8>,
+    /// Nanoseconds-since-cluster-birth at which this message may be matched.
+    deliver_at_ns: u64,
+}
+
+#[derive(Default)]
+struct NodeShared {
+    /// Freshly arrived messages, not yet sorted into the match store.
+    inbox: Mutex<VecDeque<InFlight>>,
+    /// Matchable messages, keyed for receiver lookup.
+    store: Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>,
+}
+
+/// Aggregate traffic statistics for a cluster.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Total cross-node messages sent.
+    pub messages: AtomicU64,
+    /// Total cross-node payload bytes sent.
+    pub bytes: AtomicU64,
+}
+
+impl NetStats {
+    /// Snapshot (messages, bytes).
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.messages.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A simulated cluster: `n` nodes connected all-to-all.
+pub struct Cluster {
+    nodes: Arc<[Arc<NodeShared>]>,
+    cfg: NetConfig,
+    birth: Instant,
+    stats: Arc<NetStats>,
+}
+
+impl Cluster {
+    /// Create a cluster of `n_nodes` nodes.
+    pub fn new(n_nodes: usize, cfg: NetConfig) -> Self {
+        assert!(n_nodes > 0, "netsim: a cluster needs at least one node");
+        let nodes: Vec<Arc<NodeShared>> = (0..n_nodes)
+            .map(|_| Arc::new(NodeShared::default()))
+            .collect();
+        Self {
+            nodes: nodes.into(),
+            cfg,
+            birth: Instant::now(),
+            stats: Arc::new(NetStats::default()),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has exactly one node (no network traffic ever).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cluster-wide traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Obtain a (cheaply cloneable) endpoint for `node`.
+    pub fn endpoint(&self, node: usize) -> NodeEndpoint {
+        assert!(node < self.nodes.len(), "netsim: node {node} out of range");
+        NodeEndpoint {
+            me: node,
+            nodes: Arc::clone(&self.nodes),
+            cfg: self.cfg,
+            birth: self.birth,
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+/// One node's handle onto the interconnect. Clone freely; all clones share
+/// the node's inbox and match store.
+#[derive(Clone)]
+pub struct NodeEndpoint {
+    me: usize,
+    nodes: Arc<[Arc<NodeShared>]>,
+    cfg: NetConfig,
+    birth: Instant,
+    stats: Arc<NetStats>,
+}
+
+impl NodeEndpoint {
+    /// This endpoint's node id.
+    pub fn node(&self) -> usize {
+        self.me
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.birth.elapsed().as_nanos() as u64
+    }
+
+    /// Send `payload` to `dst_node`, matchable there under `(self.node, tag)`
+    /// once the modeled latency has elapsed.
+    pub fn send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+        let dst = &self.nodes[dst_node];
+        let deliver_at_ns = self.now_ns() + self.cfg.delay_ns(payload.len());
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        dst.inbox.lock().push_back(InFlight {
+            key: (self.me, tag.encode()),
+            payload: payload.to_vec(),
+            deliver_at_ns,
+        });
+    }
+
+    /// Non-blocking receive: returns the oldest matchable payload sent from
+    /// `src_node` with `tag`, if one has arrived (and its modeled latency has
+    /// elapsed). Drives progress (drains the inbox) as a side effect, exactly
+    /// as an MPI progress engine does on every receive poll.
+    pub fn try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
+        let key = (src_node, tag.encode());
+        let shared = &self.nodes[self.me];
+        // Fast path: already matched.
+        if let Some(p) = pop_store(&shared.store, &key) {
+            return Some(p);
+        }
+        self.progress();
+        pop_store(&shared.store, &key)
+    }
+
+    /// Drain every deliverable message from the inbox into the match store.
+    pub fn progress(&self) {
+        let shared = &self.nodes[self.me];
+        let now = self.now_ns();
+        let mut moved: Vec<InFlight> = Vec::new();
+        {
+            let mut inbox = shared.inbox.lock();
+            // Move deliverable messages in arrival order. A not-yet-deliverable
+            // message *blocks* later same-key messages (even small ones whose
+            // modeled latency has elapsed), preserving FIFO per channel — the
+            // ordering guarantee MPI gives per (src, dst, tag).
+            let mut blocked: Vec<MatchKey> = Vec::new();
+            let mut i = 0;
+            while i < inbox.len() {
+                let m = &inbox[i];
+                if m.deliver_at_ns <= now && !blocked.contains(&m.key) {
+                    moved.push(inbox.remove(i).expect("index in bounds"));
+                } else {
+                    blocked.push(m.key);
+                    i += 1;
+                }
+            }
+        }
+        if !moved.is_empty() {
+            let mut store = shared.store.lock();
+            for m in moved {
+                store.entry(m.key).or_default().push_back(m.payload);
+            }
+        }
+    }
+}
+
+fn pop_store(
+    store: &Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>,
+    key: &MatchKey,
+) -> Option<Vec<u8>> {
+    let mut store = store.lock();
+    let q = store.get_mut(key)?;
+    let p = q.pop_front();
+    if q.is_empty() {
+        store.remove(key);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_then_recv_same_payload() {
+        let c = Cluster::new(2, NetConfig::default());
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 7);
+        a.send(1, tag, b"hello");
+        assert_eq!(b.try_recv(0, tag).as_deref(), Some(&b"hello"[..]));
+        assert_eq!(b.try_recv(0, tag), None);
+    }
+
+    #[test]
+    fn fifo_per_key() {
+        let c = Cluster::new(2, NetConfig::default());
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 1);
+        for i in 0..16u8 {
+            a.send(1, tag, &[i]);
+        }
+        for i in 0..16u8 {
+            assert_eq!(b.try_recv(0, tag).unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn tags_do_not_cross_match() {
+        let c = Cluster::new(2, NetConfig::default());
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        a.send(1, WireTag::p2p(0, 1, 9), b"to-thread-1");
+        assert_eq!(b.try_recv(0, WireTag::p2p(0, 0, 9)), None);
+        assert_eq!(
+            b.try_recv(0, WireTag::p2p(0, 1, 9)).as_deref(),
+            Some(&b"to-thread-1"[..])
+        );
+    }
+
+    #[test]
+    fn latency_defers_delivery() {
+        let c = Cluster::new(
+            2,
+            NetConfig {
+                alpha_ns: 50_000_000,
+                beta_ps_per_byte: 0,
+            },
+        );
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 0);
+        a.send(1, tag, b"slow");
+        assert_eq!(b.try_recv(0, tag), None, "50 ms has not elapsed yet");
+        let start = Instant::now();
+        loop {
+            if let Some(p) = b.try_recv(0, tag) {
+                assert_eq!(p, b"slow");
+                break;
+            }
+            assert!(start.elapsed().as_secs() < 5, "message never delivered");
+            thread::yield_now();
+        }
+        assert!(start.elapsed().as_millis() >= 30, "delivered way too early");
+    }
+
+    #[test]
+    fn cross_thread_traffic() {
+        let c = Cluster::new(2, NetConfig::default());
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(2, 3, 42);
+        let h = thread::spawn(move || {
+            a.send(1, tag, &[1, 2, 3]);
+        });
+        h.join().unwrap();
+        let mut got = None;
+        for _ in 0..1000 {
+            got = b.try_recv(0, tag);
+            if got.is_some() {
+                break;
+            }
+            thread::yield_now();
+        }
+        assert_eq!(got.unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let c = Cluster::new(2, NetConfig::default());
+        let a = c.endpoint(0);
+        a.send(1, WireTag::p2p(0, 0, 0), &[0u8; 100]);
+        a.send(1, WireTag::p2p(0, 0, 1), &[0u8; 28]);
+        assert_eq!(c.stats().snapshot(), (2, 128));
+    }
+}

@@ -1,0 +1,603 @@
+//! # mpi2pure — the MPI-to-Pure source translator
+//!
+//! The paper repeatedly leans on its source-to-source translator: "we used
+//! our MPI-to-Pure source translator to automatically write the Pure message
+//! code" (§2), "Migrating the messaging and collective calls to Pure was
+//! mostly automatic" (§5.3). This crate reproduces that tool for C/C++
+//! sources: it finds `MPI_*` call expressions with a balanced-parenthesis
+//! scanner (no C parser needed — the MPI API surface is calls + constants),
+//! rewrites the supported ones to their `pure_*` equivalents, maps MPI
+//! constants to Pure constants, and reports everything it could not migrate
+//! (the paper's anecdote: most programs translate; process-global state and
+//! exotic calls need a human).
+//!
+//! The mapping follows the paper's API (Appendix E): `MPI_Send` →
+//! `pure_send_msg`, `MPI_Recv` → `pure_recv_msg` (the status argument is
+//! dropped — Pure's receive has no status), collectives keep their argument
+//! lists, `MPI_Init`/`MPI_Finalize` disappear (the Pure runtime owns `main`).
+
+use std::fmt::Write as _;
+
+/// One diagnostic produced during translation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based line of the construct.
+    pub line: usize,
+    /// What happened.
+    pub message: String,
+    /// Severity.
+    pub level: Level,
+}
+
+/// Diagnostic severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Call translated with a caveat (e.g. dropped status argument).
+    Note,
+    /// Construct left untouched; manual migration needed.
+    Warning,
+}
+
+/// Result of translating one source file.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// The rewritten source.
+    pub output: String,
+    /// Calls rewritten, by MPI name.
+    pub translated: Vec<(String, usize)>,
+    /// Diagnostics (notes + warnings).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Translation {
+    /// Total rewritten calls.
+    pub fn total_translated(&self) -> usize {
+        self.translated.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Human-readable report.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "mpi2pure: {} call(s) translated",
+            self.total_translated()
+        );
+        for (name, n) in &self.translated {
+            let _ = writeln!(s, "  {name} × {n}");
+        }
+        for d in &self.diagnostics {
+            let tag = match d.level {
+                Level::Note => "note",
+                Level::Warning => "WARNING",
+            };
+            let _ = writeln!(s, "  {tag} (line {}): {}", d.line, d.message);
+        }
+        s
+    }
+}
+
+/// How a call's arguments map to the Pure call.
+enum ArgMap {
+    /// Keep every argument as-is.
+    Keep,
+    /// Keep the first `n` arguments, dropping the rest (with a note naming
+    /// the dropped tail if it is not an "ignore" sentinel).
+    KeepFirst(usize, &'static str),
+    /// Delete the whole statement (runtime-owned concern).
+    Delete(&'static str),
+}
+
+/// The call-mapping table (paper Appendix E).
+fn call_map(name: &str) -> Option<(&'static str, ArgMap)> {
+    use ArgMap::*;
+    Some(match name {
+        "MPI_Send" => ("pure_send_msg", Keep),
+        "MPI_Ssend" => ("pure_send_msg", Keep),
+        "MPI_Recv" => ("pure_recv_msg", KeepFirst(6, "MPI_Status argument dropped")),
+        "MPI_Isend" => ("pure_isend_msg", Keep),
+        "MPI_Irecv" => ("pure_irecv_msg", Keep),
+        "MPI_Wait" => ("pure_wait", KeepFirst(1, "MPI_Status argument dropped")),
+        "MPI_Waitall" => ("pure_wait_all", KeepFirst(2, "MPI_Status array dropped")),
+        "MPI_Sendrecv" => (
+            "pure_sendrecv_msg",
+            KeepFirst(11, "MPI_Status argument dropped"),
+        ),
+        "MPI_Allreduce" => ("pure_allreduce", Keep),
+        "MPI_Reduce" => ("pure_reduce", Keep),
+        "MPI_Bcast" => ("pure_bcast", Keep),
+        "MPI_Barrier" => ("pure_barrier", Keep),
+        "MPI_Gather" => ("pure_gather", Keep),
+        "MPI_Allgather" => ("pure_allgather", Keep),
+        "MPI_Scatter" => ("pure_scatter", Keep),
+        "MPI_Scan" => ("pure_scan", Keep),
+        "MPI_Alltoall" => ("pure_alltoall", Keep),
+        "MPI_Comm_rank" => ("pure_comm_rank", Keep),
+        "MPI_Comm_size" => ("pure_comm_size", Keep),
+        "MPI_Comm_split" => ("pure_comm_split", Keep),
+        "MPI_Comm_free" => ("pure_comm_free", Keep),
+        "MPI_Wtime" => ("pure_wtime", Keep),
+        "MPI_Abort" => ("pure_abort", Keep),
+        "MPI_Get_count" => ("pure_get_count", Keep),
+        "MPI_Init" => (
+            "",
+            Delete("MPI_Init removed: the Pure runtime owns program start-up"),
+        ),
+        "MPI_Init_thread" => (
+            "",
+            Delete("MPI_Init_thread removed: the Pure runtime owns program start-up"),
+        ),
+        "MPI_Finalize" => (
+            "",
+            Delete("MPI_Finalize removed: the Pure runtime owns shutdown"),
+        ),
+        _ => return None,
+    })
+}
+
+/// MPI constant → Pure constant map (applied everywhere outside strings).
+const CONST_MAP: &[(&str, &str)] = &[
+    ("MPI_COMM_WORLD", "PURE_COMM_WORLD"),
+    ("MPI_DOUBLE", "PURE_DOUBLE"),
+    ("MPI_FLOAT", "PURE_FLOAT"),
+    ("MPI_INT", "PURE_INT32"),
+    ("MPI_LONG", "PURE_INT64"),
+    ("MPI_LONG_LONG", "PURE_INT64"),
+    ("MPI_UNSIGNED_LONG", "PURE_UINT64"),
+    ("MPI_UNSIGNED", "PURE_UINT32"),
+    ("MPI_CHAR", "PURE_INT8"),
+    ("MPI_BYTE", "PURE_UINT8"),
+    ("MPI_SUM", "PURE_SUM"),
+    ("MPI_PROD", "PURE_PROD"),
+    ("MPI_MIN", "PURE_MIN"),
+    ("MPI_MAX", "PURE_MAX"),
+    ("MPI_BAND", "PURE_BAND"),
+    ("MPI_BOR", "PURE_BOR"),
+    ("MPI_LAND", "PURE_BAND"),
+    ("MPI_LOR", "PURE_BOR"),
+    (
+        "MPI_ANY_SOURCE",
+        "PURE_ANY_SOURCE /* unsupported: needs manual port */",
+    ),
+    ("MPI_Request", "pure_request_t"),
+    ("MPI_Comm", "pure_comm_t"),
+    ("MPI_STATUS_IGNORE", "/*status-ignored*/"),
+    ("MPI_STATUSES_IGNORE", "/*statuses-ignored*/"),
+];
+
+/// Is `c` an identifier character?
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Split a balanced-parenthesis argument list (the `...` of `f(...)`)
+/// starting at the byte *after* the opening parenthesis. Returns the
+/// arguments and the index of the closing parenthesis, or `None` when the
+/// source is truncated/unbalanced.
+fn split_args(src: &str, open: usize) -> Option<(Vec<String>, usize)> {
+    let b = src.as_bytes();
+    let mut depth = 1usize;
+    let mut i = open;
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'"' | b'\'' => {
+                // Copy a string/char literal verbatim.
+                let quote = c;
+                cur.push(c as char);
+                i += 1;
+                while i < b.len() {
+                    cur.push(b[i] as char);
+                    if b[i] == b'\\' {
+                        i += 1;
+                        if i < b.len() {
+                            cur.push(b[i] as char);
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if b[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            b'(' | b'[' | b'{' => {
+                depth += 1;
+                cur.push(c as char);
+            }
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    let t = cur.trim();
+                    if !t.is_empty() || !args.is_empty() {
+                        args.push(t.to_string());
+                    }
+                    return Some((args, i));
+                }
+                cur.push(c as char);
+            }
+            b',' if depth == 1 => {
+                args.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c as char),
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Translate one C/C++ source.
+pub fn translate(src: &str) -> Translation {
+    let mut out = String::with_capacity(src.len());
+    let mut diagnostics = Vec::new();
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let line_of = |idx: usize| 1 + src[..idx].bytes().filter(|&c| c == b'\n').count();
+
+    while i < b.len() {
+        // Skip strings and comments verbatim.
+        match b[i] {
+            b'"' | b'\'' => {
+                let quote = b[i];
+                out.push(b[i] as char);
+                i += 1;
+                while i < b.len() {
+                    out.push(b[i] as char);
+                    if b[i] == b'\\' {
+                        i += 1;
+                        if i < b.len() {
+                            out.push(b[i] as char);
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if b[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b[i] as char);
+                    i += 1;
+                }
+                continue;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                out.push_str("/*");
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    out.push(b[i] as char);
+                    i += 1;
+                }
+                if i + 1 < b.len() {
+                    out.push_str("*/");
+                    i += 2;
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        // Identifier starting with "MPI_"?
+        if b[i] == b'M' && src[i..].starts_with("MPI_") && (i == 0 || !is_ident(b[i - 1])) {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && is_ident(b[j]) {
+                j += 1;
+            }
+            let name = &src[start..j];
+            // Call expression?
+            let mut k = j;
+            while k < b.len() && (b[k] == b' ' || b[k] == b'\t') {
+                k += 1;
+            }
+            if k < b.len() && b[k] == b'(' {
+                if let Some((pure_name, amap)) = call_map(name) {
+                    if let Some((args, close)) = split_args(src, k + 1) {
+                        let line = line_of(start);
+                        *counts.entry(name.to_string()).or_default() += 1;
+                        match amap {
+                            ArgMap::Keep => {
+                                let _ = write!(
+                                    out,
+                                    "{pure_name}({})",
+                                    rewrite_consts(&args.join(", "))
+                                );
+                            }
+                            ArgMap::KeepFirst(n, note) => {
+                                let kept = &args[..args.len().min(n)];
+                                if args.len() > n
+                                    && !args[n..]
+                                        .iter()
+                                        .all(|a| a.contains("IGNORE") || a.is_empty())
+                                {
+                                    diagnostics.push(Diagnostic {
+                                        line,
+                                        message: format!(
+                                            "{name}: {note} ({})",
+                                            args[n..].join(", ")
+                                        ),
+                                        level: Level::Note,
+                                    });
+                                }
+                                let _ = write!(
+                                    out,
+                                    "{pure_name}({})",
+                                    rewrite_consts(&kept.join(", "))
+                                );
+                            }
+                            ArgMap::Delete(why) => {
+                                diagnostics.push(Diagnostic {
+                                    line,
+                                    message: why.to_string(),
+                                    level: Level::Note,
+                                });
+                                let _ = write!(out, "/* {name} removed by mpi2pure */");
+                                // Swallow a trailing semicolon.
+                                let mut m = close + 1;
+                                while m < b.len() && (b[m] == b' ' || b[m] == b'\t') {
+                                    m += 1;
+                                }
+                                if m < b.len() && b[m] == b';' {
+                                    i = m + 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                // Unknown MPI call: leave + warn.
+                diagnostics.push(Diagnostic {
+                    line: line_of(start),
+                    message: format!("unsupported call {name}: left untranslated"),
+                    level: Level::Warning,
+                });
+                out.push_str(name);
+                i = j;
+                continue;
+            }
+            // Bare identifier: constant mapping (or leave + warn for types).
+            if let Some(&(_, to)) = CONST_MAP.iter().find(|&&(from, _)| from == name) {
+                out.push_str(to);
+                i = j;
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                line: line_of(start),
+                message: format!("unknown MPI identifier {name}: left untranslated"),
+                level: Level::Warning,
+            });
+            out.push_str(name);
+            i = j;
+            continue;
+        }
+
+        out.push(b[i] as char);
+        i += 1;
+    }
+
+    // Header rewrite.
+    let output = out
+        .replace("#include <mpi.h>", "#include \"pure.h\"")
+        .replace("#include \"mpi.h\"", "#include \"pure.h\"");
+
+    Translation {
+        output,
+        translated: counts.into_iter().collect(),
+        diagnostics,
+    }
+}
+
+/// Apply the constant map inside an argument string (identifier-boundary
+/// aware).
+fn rewrite_consts(args: &str) -> String {
+    let mut s = String::with_capacity(args.len());
+    let b = args.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if is_ident(b[i]) && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i;
+            while j < b.len() && is_ident(b[j]) {
+                j += 1;
+            }
+            let word = &args[i..j];
+            if let Some(&(_, to)) = CONST_MAP.iter().find(|&&(from, _)| from == word) {
+                s.push_str(to);
+            } else {
+                s.push_str(word);
+            }
+            i = j;
+        } else {
+            s.push(b[i] as char);
+            i += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translates_send_recv() {
+        let t = translate(r#"MPI_Send(&temp[0], 1, MPI_DOUBLE, my_rank - 1, 0, MPI_COMM_WORLD);"#);
+        assert_eq!(
+            t.output,
+            r#"pure_send_msg(&temp[0], 1, PURE_DOUBLE, my_rank - 1, 0, PURE_COMM_WORLD);"#
+        );
+        assert_eq!(t.total_translated(), 1);
+    }
+
+    #[test]
+    fn recv_drops_status_ignore_silently() {
+        let t =
+            translate("MPI_Recv(&v, 1, MPI_DOUBLE, src, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);");
+        assert!(t
+            .output
+            .starts_with("pure_recv_msg(&v, 1, PURE_DOUBLE, src, 0, PURE_COMM_WORLD)"));
+        assert!(
+            t.diagnostics.is_empty(),
+            "IGNORE sentinel drops without a note"
+        );
+    }
+
+    #[test]
+    fn recv_notes_real_status() {
+        let t = translate("MPI_Recv(&v, 1, MPI_INT, s, 0, comm, &status);");
+        assert_eq!(t.diagnostics.len(), 1);
+        assert_eq!(t.diagnostics[0].level, Level::Note);
+        assert!(t.diagnostics[0].message.contains("status"));
+    }
+
+    #[test]
+    fn init_finalize_removed() {
+        let t = translate("  MPI_Init(&argc, &argv);\n  work();\n  MPI_Finalize();\n");
+        assert!(t.output.contains("/* MPI_Init removed by mpi2pure */"));
+        assert!(t.output.contains("/* MPI_Finalize removed by mpi2pure */"));
+        assert!(!t.output.contains("MPI_Init("));
+    }
+
+    #[test]
+    fn unknown_call_warns_and_is_left() {
+        let t = translate("MPI_Alltoallw(a, b, c);");
+        assert!(t.output.contains("MPI_Alltoallw"));
+        assert_eq!(t.diagnostics.len(), 1);
+        assert_eq!(t.diagnostics[0].level, Level::Warning);
+    }
+
+    #[test]
+    fn nested_parens_and_strings_survive() {
+        let t = translate(r#"MPI_Send(buf(f(x, g(y)), "a,b)("), n*(k+1), MPI_INT, (d), 0, comm);"#);
+        assert!(t.output.starts_with("pure_send_msg("));
+        assert!(t.output.contains(r#"buf(f(x, g(y)), "a,b)(")"#));
+        assert!(t.output.contains("n*(k+1)"));
+    }
+
+    #[test]
+    fn strings_and_comments_untouched() {
+        let t = translate(
+            "// MPI_Send in a comment\nprintf(\"MPI_Send says hi\");\n/* MPI_Recv too */\n",
+        );
+        assert!(t.output.contains("// MPI_Send in a comment"));
+        assert!(t.output.contains("\"MPI_Send says hi\""));
+        assert!(t.output.contains("/* MPI_Recv too */"));
+        assert_eq!(t.total_translated(), 0);
+        assert!(t.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn header_is_rewritten() {
+        let t = translate("#include <mpi.h>\nint main() { return 0; }\n");
+        assert!(t.output.contains("#include \"pure.h\""));
+    }
+
+    #[test]
+    fn translates_the_papers_listing_1() {
+        // The §2 MPI stencil, abridged to its communication code.
+        let listing1 = r#"
+void rand_stencil_mpi(double* const a, size_t arr_sz, size_t iters, int my_rank, int n_ranks) {
+    if (my_rank > 0) {
+        MPI_Send(&temp[0], 1, MPI_DOUBLE, my_rank - 1, 0, MPI_COMM_WORLD);
+        double neighbor_hi_val;
+        MPI_Recv(&neighbor_hi_val, 1, MPI_DOUBLE, my_rank - 1, 0,
+                 MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    if (my_rank < n_ranks - 1) {
+        MPI_Send(&temp[arr_sz - 1], 1, MPI_DOUBLE, my_rank + 1, 0, MPI_COMM_WORLD);
+        double neighbor_lo_val;
+        MPI_Recv(&neighbor_lo_val, 1, MPI_DOUBLE, my_rank + 1, 0,
+                 MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+}
+"#;
+        let t = translate(listing1);
+        // Exactly the paper's Listing 2 calls appear.
+        assert_eq!(t.output.matches("pure_send_msg(").count(), 2);
+        assert_eq!(t.output.matches("pure_recv_msg(").count(), 2);
+        assert!(
+            !t.output.contains("MPI_"),
+            "all MPI symbols must be gone:\n{}",
+            t.output
+        );
+        assert_eq!(t.total_translated(), 4);
+        assert!(t.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn collectives_and_split() {
+        let t = translate(
+            "MPI_Allreduce(in, out, n, MPI_DOUBLE, MPI_SUM, comm);\n\
+             MPI_Comm_split(MPI_COMM_WORLD, color, key, &newcomm);\n\
+             MPI_Barrier(MPI_COMM_WORLD);\n",
+        );
+        assert!(t
+            .output
+            .contains("pure_allreduce(in, out, n, PURE_DOUBLE, PURE_SUM, comm)"));
+        assert!(t
+            .output
+            .contains("pure_comm_split(PURE_COMM_WORLD, color, key, &newcomm)"));
+        assert!(t.output.contains("pure_barrier(PURE_COMM_WORLD)"));
+    }
+
+    #[test]
+    fn extended_calls_map() {
+        let t = translate(
+            "MPI_Alltoall(s, n, MPI_INT, r, n, MPI_INT, comm);\n\
+             double t0 = MPI_Wtime();\n\
+             MPI_Abort(MPI_COMM_WORLD, 1);\n",
+        );
+        assert!(t
+            .output
+            .contains("pure_alltoall(s, n, PURE_INT32, r, n, PURE_INT32, comm)"));
+        assert!(t.output.contains("pure_wtime()"));
+        assert!(t.output.contains("pure_abort(PURE_COMM_WORLD, 1)"));
+    }
+
+    #[test]
+    fn logical_ops_and_any_source_map_with_breadcrumbs() {
+        let t = translate("MPI_Allreduce(a, b, 1, MPI_INT, MPI_LOR, c); x = MPI_ANY_SOURCE;");
+        assert!(t.output.contains("PURE_BOR"));
+        assert!(t.output.contains("needs manual port"));
+    }
+
+    #[test]
+    fn multiline_call_translates() {
+        let t = translate(
+            "MPI_Send(&temp[arr_sz - 1], 1, MPI_DOUBLE, my_rank + 1, 0,\n             MPI_COMM_WORLD);",
+        );
+        assert!(t.output.starts_with("pure_send_msg("));
+        assert!(t.output.contains("PURE_COMM_WORLD"));
+        assert_eq!(t.total_translated(), 1);
+    }
+
+    #[test]
+    fn report_format_is_stable() {
+        let t = translate("MPI_Barrier(MPI_COMM_WORLD); MPI_Exotic_call(x);");
+        let rep = t.report();
+        assert!(rep.contains("1 call(s) translated"));
+        assert!(rep.contains("MPI_Barrier"));
+        assert!(rep.contains("WARNING"));
+        assert!(rep.contains("MPI_Exotic_call"));
+    }
+
+    #[test]
+    fn request_types_map() {
+        let t = translate("MPI_Request reqs[4]; MPI_Waitall(4, reqs, MPI_STATUSES_IGNORE);");
+        assert!(t.output.contains("pure_request_t reqs[4]"));
+        assert!(t.output.contains("pure_wait_all(4, reqs)"));
+    }
+}

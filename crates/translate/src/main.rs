@@ -1,0 +1,66 @@
+//! CLI for the MPI-to-Pure translator.
+//!
+//! ```sh
+//! mpi2pure input.c            # writes input.pure.c + report to stderr
+//! mpi2pure input.c -o out.c   # explicit output path
+//! mpi2pure -                  # stdin → stdout (report to stderr)
+//! ```
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: mpi2pure <input.c | -> [-o output.c]");
+        eprintln!("Rewrites MPI calls to the Pure API; report goes to stderr.");
+        return ExitCode::from(2);
+    }
+
+    let input_path = &args[0];
+    let src = if input_path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("mpi2pure: stdin is not valid UTF-8");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(input_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mpi2pure: cannot read {input_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let t = mpi2pure::translate(&src);
+    eprint!("{}", t.report());
+
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if input_path == "-" && out_path.is_none() {
+        let mut stdout = std::io::stdout();
+        if stdout.write_all(t.output.as_bytes()).is_err() {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    let p = out_path.unwrap_or_else(|| {
+        // Default: input.c → input.pure.c
+        match input_path.rsplit_once('.') {
+            Some((stem, ext)) => format!("{stem}.pure.{ext}"),
+            None => format!("{input_path}.pure"),
+        }
+    });
+    if let Err(e) = std::fs::write(&p, t.output) {
+        eprintln!("mpi2pure: cannot write {p}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("mpi2pure: wrote {p}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,133 @@
+//! Drive the discrete-event cluster simulator from the command line: pick a
+//! workload, a runtime and a scale, get makespan + utilization + steal
+//! statistics — the same machinery behind every figure harness.
+//!
+//! ```sh
+//! cargo run --release --example simulate_cluster -- comd pure-tasks 256
+//! cargo run --release --example simulate_cluster -- dt mpi 80
+//! cargo run --release --example simulate_cluster -- miniamr pure 64
+//! cargo run --release --example simulate_cluster -- stencil pure-tasks 32
+//! cargo run --release --example simulate_cluster -- stencil pure-tasks 8 --timeline
+//! ```
+//!
+//! `--timeline` renders a per-rank ASCII Gantt chart (`#` compute, `o` own
+//! chunks, `s` stolen chunks, `.` blocked) — the paper's Figure 1, live.
+
+use cluster_sim::workloads::comd::{programs as comd, ComdWl, ImbalanceWl};
+use cluster_sim::workloads::dt::{programs as dt, DtWl};
+use cluster_sim::workloads::miniamr::{programs as amr, AmrWl};
+use cluster_sim::workloads::stencil::{programs as stencil, StencilWl};
+use cluster_sim::{render_timeline, RankProgram, Sim, SimConfig, SimRuntime};
+use miniapps::nasdt::DtClass;
+
+const CORES_PER_NODE: usize = 64;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate_cluster <comd|dt|miniamr|stencil> <mpi|pure|pure-tasks|omp|ampi> [ranks]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let app = args[0].as_str();
+    let runtime = match args[1].as_str() {
+        "mpi" => SimRuntime::Mpi,
+        "pure" => SimRuntime::Pure { tasks: false },
+        "pure-tasks" => SimRuntime::Pure { tasks: true },
+        "omp" => SimRuntime::MpiOmp { threads: 4 },
+        "ampi" => SimRuntime::Ampi {
+            vranks_per_core: 2,
+            smp: true,
+        },
+        _ => usage(),
+    };
+    let ranks: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let (programs, n, label): (Vec<Box<dyn RankProgram>>, usize, String) = match app {
+        "comd" => {
+            let nodes = ranks.div_ceil(CORES_PER_NODE).max(1);
+            let w = ComdWl {
+                ranks,
+                steps: 20,
+                imbalance: ImbalanceWl::StaticSpheres {
+                    count: 6 * nodes,
+                    radius: 0.33 / (nodes as f64).cbrt(),
+                },
+                ..ComdWl::default()
+            };
+            (
+                comd(&w),
+                ranks,
+                format!("CoMD {ranks} ranks, static imbalance"),
+            )
+        }
+        "dt" => {
+            let class = match ranks {
+                80 => DtClass::A,
+                192 => DtClass::B,
+                448 => DtClass::C,
+                1024 => DtClass::D,
+                _ => DtClass::A,
+            };
+            let w = DtWl {
+                class,
+                ..DtWl::default()
+            };
+            (
+                dt(&w),
+                class.ranks(),
+                format!("NAS DT class {class:?} ({} ranks)", class.ranks()),
+            )
+        }
+        "miniamr" => {
+            let w = AmrWl::weak(ranks, 12);
+            (
+                amr(&w),
+                ranks,
+                format!("miniAMR {ranks} ranks (weak scaled)"),
+            )
+        }
+        "stencil" => {
+            let w = StencilWl {
+                ranks,
+                ..StencilWl::default()
+            };
+            (stencil(&w), ranks, format!("rand-stencil {ranks} ranks"))
+        }
+        _ => usage(),
+    };
+
+    let want_timeline = args.iter().any(|a| a == "--timeline");
+    let cfg = SimConfig::new(n, CORES_PER_NODE, runtime);
+    let sim = Sim::new(cfg, programs);
+    let (res, timeline) = if want_timeline {
+        let (r, t) = sim.run_traced();
+        (r, Some(t))
+    } else {
+        (sim.run(), None)
+    };
+    println!("{label} under {runtime:?}");
+    println!("  makespan      : {:.3} ms", res.makespan_ns as f64 / 1e6);
+    println!("  utilization   : {:.1}%", 100.0 * res.utilization(n));
+    println!("  p2p messages  : {}", res.messages);
+    println!("  chunks stolen : {}", res.chunks_stolen);
+    if res.helper_chunks > 0 {
+        println!("  helper chunks : {}", res.helper_chunks);
+    }
+    if res.migrations > 0 {
+        println!("  migrations    : {}", res.migrations);
+    }
+    if let Some(t) = timeline {
+        if n <= 32 {
+            println!("\ntimeline (# compute, o own chunks, s stolen, . blocked):");
+            print!("{}", render_timeline(&t, n, 100));
+        } else {
+            println!("  (--timeline limited to ≤32 ranks)");
+        }
+    }
+}

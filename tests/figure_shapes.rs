@@ -1,0 +1,221 @@
+//! Figure-shape regression tests: scaled-down versions of every headline
+//! result, asserting the *orderings and bands* the paper reports (and that
+//! EXPERIMENTS.md documents). If a cost-model or engine change breaks a
+//! reproduced shape, CI fails here rather than silently shipping wrong
+//! tables.
+
+use cluster_sim::workloads::comd::{programs as comd_programs, ComdWl, ImbalanceWl};
+use cluster_sim::workloads::dt::{programs as dt_programs, DtWl};
+use cluster_sim::workloads::micro::collective_ns_per_op;
+use cluster_sim::{CollKind, CostModel, MsgStack, Placement, Sim, SimConfig, SimRuntime};
+
+fn comd_run(rt: SimRuntime, ranks: usize, cores: usize, w: &ComdWl) -> cluster_sim::SimResult {
+    Sim::new(SimConfig::new(ranks, cores, rt), comd_programs(w)).run()
+}
+
+/// Figure 6's headline: ~17× peak for hyperthread-sibling small messages,
+/// monotone decline to ≈1× at 16 MB.
+#[test]
+fn fig6_shape_peak_and_tail() {
+    let c = CostModel::default();
+    let speed = |p, b| c.msg_ns(MsgStack::Mpi, p, b) / c.msg_ns(MsgStack::Pure, p, b);
+    let peak = speed(Placement::HyperthreadSiblings, 8);
+    assert!(
+        (12.0..25.0).contains(&peak),
+        "peak sibling speedup {peak} outside paper band"
+    );
+    let tail = speed(Placement::SharedL3, 16 << 20);
+    assert!(
+        (0.95..1.15).contains(&tail),
+        "16 MB speedup {tail} should be ≈ copy-bound"
+    );
+    // Monotone ordering across placements at small sizes.
+    assert!(
+        speed(Placement::HyperthreadSiblings, 64) > speed(Placement::SharedL3, 64)
+            && speed(Placement::SharedL3, 64) > speed(Placement::CrossNuma, 64),
+        "placement ordering broken"
+    );
+}
+
+/// Figure 7a: Pure beats MPI and DMAPP for 8 B all-reduce at every scale,
+/// within the paper's 1.11–3.5× band at the largest sizes.
+#[test]
+fn fig7a_shape() {
+    for ranks in [64usize, 1024, 16_384] {
+        let mpi = collective_ns_per_op(SimRuntime::Mpi, ranks, 64, 5, 8, CollKind::Allreduce);
+        let dmapp =
+            collective_ns_per_op(SimRuntime::MpiDmapp, ranks, 64, 5, 8, CollKind::Allreduce);
+        let pure = collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            ranks,
+            64,
+            5,
+            8,
+            CollKind::Allreduce,
+        );
+        assert!(pure < mpi, "ranks={ranks}: pure {pure} !< mpi {mpi}");
+        assert!(pure < dmapp, "ranks={ranks}: pure {pure} !< dmapp {dmapp}");
+        let s = mpi / pure;
+        assert!(
+            (1.11..=12.0).contains(&s),
+            "ranks={ranks}: speedup {s} out of band"
+        );
+    }
+}
+
+/// Figure 7b/7c: barrier speedups in the paper's 2.4–5× band within a node,
+/// narrowing (but staying > 1) at cluster scale.
+#[test]
+fn fig7bc_shape() {
+    let node = collective_ns_per_op(SimRuntime::Mpi, 64, 64, 5, 0, CollKind::Barrier)
+        / collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            64,
+            64,
+            5,
+            0,
+            CollKind::Barrier,
+        );
+    assert!(
+        (2.0..9.0).contains(&node),
+        "single-node barrier speedup {node}"
+    );
+    let cluster = collective_ns_per_op(SimRuntime::Mpi, 32_768, 64, 3, 0, CollKind::Barrier)
+        / collective_ns_per_op(
+            SimRuntime::Pure { tasks: false },
+            32_768,
+            64,
+            3,
+            0,
+            CollKind::Barrier,
+        );
+    assert!(
+        cluster > 1.05 && cluster < node,
+        "cluster barrier speedup {cluster}"
+    );
+}
+
+/// Figure 4's ordering for a small DT instance: baseline ≤ messaging-only <
+/// tasks ≤ tasks+helpers.
+#[test]
+fn fig4_ordering() {
+    let w = DtWl {
+        passes: 6,
+        ..DtWl::default()
+    };
+    let run = |rt, helpers: usize| {
+        let ranks = w.class.ranks();
+        let mut cfg = SimConfig::new(ranks, 40, rt);
+        cfg.helpers_per_node = helpers;
+        Sim::new(cfg, dt_programs(&w)).run().makespan_ns as f64
+    };
+    let mpi = run(SimRuntime::Mpi, 0);
+    let msgs = run(SimRuntime::Pure { tasks: false }, 0);
+    let tasks = run(SimRuntime::Pure { tasks: true }, 0);
+    let helpers = run(SimRuntime::Pure { tasks: true }, 24);
+    assert!(msgs <= mpi * 1.001, "messaging-only must not lose");
+    assert!(
+        mpi / tasks > 1.5,
+        "task speedup {:.2} below band",
+        mpi / tasks
+    );
+    assert!(
+        mpi / tasks < 4.0,
+        "task speedup {:.2} implausibly high",
+        mpi / tasks
+    );
+    assert!(helpers <= tasks * 1.001, "helpers must not hurt");
+}
+
+/// Figure 5b/5c shapes: imbalanced CoMD speedup in the 1.3–2.5× band and
+/// near-full utilization under stealing; dynamic case: OMP < MPI < AMPI <
+/// Pure.
+#[test]
+fn fig5_orderings() {
+    // 5b (static, one node).
+    let w = ComdWl {
+        ranks: 16,
+        steps: 8,
+        imbalance: ImbalanceWl::StaticSpheres {
+            count: 6,
+            radius: 0.33,
+        },
+        ..ComdWl::default()
+    };
+    let mpi = comd_run(SimRuntime::Mpi, 16, 64, &w);
+    let pure = comd_run(SimRuntime::Pure { tasks: true }, 16, 64, &w);
+    let s = mpi.makespan_ns as f64 / pure.makespan_ns as f64;
+    assert!((1.3..3.0).contains(&s), "5b speedup {s:.2} out of band");
+    assert!(
+        pure.utilization(16) > 0.85,
+        "stealing must recover idle time"
+    );
+    assert!(pure.utilization(16) > mpi.utilization(16) + 0.2);
+
+    // 5c (dynamic): full comparison ordering at one node.
+    let wd = ComdWl {
+        ranks: 16,
+        steps: 12,
+        imbalance: ImbalanceWl::MovingSphere {
+            count: 6,
+            radius: 0.33,
+            speed: 3.0,
+        },
+        ..ComdWl::default()
+    };
+    let mpi = comd_run(SimRuntime::Mpi, 16, 64, &wd).makespan_ns as f64;
+    let womp = ComdWl {
+        ranks: 4,
+        force_ns: wd.force_ns * 4.0,
+        integrate_ns: wd.integrate_ns * 4.0,
+        ..wd
+    };
+    let omp = Sim::new(
+        SimConfig::new(4, 16, SimRuntime::MpiOmp { threads: 4 }),
+        comd_programs(&womp),
+    )
+    .run()
+    .makespan_ns as f64;
+    let wa = ComdWl {
+        ranks: 64,
+        force_ns: wd.force_ns / 4.0,
+        integrate_ns: wd.integrate_ns / 4.0,
+        face_bytes: wd.face_bytes / 2,
+        ..wd
+    };
+    let ampi = Sim::new(
+        SimConfig::new(
+            64,
+            16,
+            SimRuntime::Ampi {
+                vranks_per_core: 4,
+                smp: true,
+            },
+        ),
+        comd_programs(&wa),
+    )
+    .run()
+    .makespan_ns as f64;
+    let pure = comd_run(SimRuntime::Pure { tasks: true }, 16, 64, &wd).makespan_ns as f64;
+    assert!(omp > mpi, "MPI+OMP must lose to MPI (paper)");
+    assert!(ampi < mpi, "AMPI must beat MPI (paper)");
+    assert!(pure < ampi, "Pure must beat the best AMPI (paper)");
+}
+
+/// EXPERIMENTS.md's Appendix-C claim: the buffered/rendezvous crossover sits
+/// between 1 KiB and 8 KiB in the cost model.
+#[test]
+fn appendix_c_crossover_band() {
+    let buffered = CostModel {
+        small_threshold: usize::MAX,
+        ..CostModel::default()
+    };
+    let rdv = CostModel {
+        small_threshold: 0,
+        ..CostModel::default()
+    };
+    let b = |bytes| buffered.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes);
+    let r = |bytes| rdv.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes);
+    assert!(b(512) < r(512), "buffered must win small");
+    assert!(r(16 * 1024) < b(16 * 1024), "rendezvous must win large");
+}
