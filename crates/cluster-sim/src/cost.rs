@@ -62,6 +62,11 @@ pub struct CostModel {
 
     /// Eager/rendezvous and PBQ/envelope threshold (bytes).
     pub small_threshold: usize,
+    /// Whether the PBQ producer/consumer privately cache the opposite index
+    /// (the cached-index fast path). When false, every enqueue loads the
+    /// consumer's head line and every dequeue loads the producer's tail
+    /// line — two extra coherence transfers per message on the small path.
+    pub pbq_cached_indices: bool,
 
     // -- interconnect --
     /// Per-message network latency.
@@ -122,6 +127,7 @@ impl Default for CostModel {
             mpi_rdv_handshake_ns: 1200.0,
             mpi_xpmem_attach_ns: 1200.0,
             small_threshold: 8 * 1024,
+            pbq_cached_indices: true,
             net_alpha_ns: 1300.0,
             net_beta_ps_per_byte: 100.0, // 10 GB/s
             nic_ps_per_byte: 50.0,       // 20 GB/s injection
@@ -181,8 +187,15 @@ impl CostModel {
         match stack {
             MsgStack::Pure => {
                 if bytes <= self.small_threshold {
-                    // Two copies + producer/consumer line handoffs.
-                    self.pure_msg_base_ns + 2.0 * copy(bytes) + 2.0 * line
+                    // Two copies + producer/consumer line handoffs. Without
+                    // cached indices each side also pulls the opposite
+                    // index's line every operation.
+                    let index_lines = if self.pbq_cached_indices {
+                        0.0
+                    } else {
+                        2.0 * line
+                    };
+                    self.pure_msg_base_ns + 2.0 * copy(bytes) + 2.0 * line + index_lines
                 } else {
                     // Single copy after envelope exchange (two line handoffs
                     // for the envelope, one for completion).
@@ -406,6 +419,36 @@ mod tests {
         let d = c.coll_ns(CollKind::Allreduce, CollStack::MpiDmapp, 64, 256, 8);
         let m = c.coll_ns(CollKind::Allreduce, CollStack::Mpi, 64, 256, 8);
         assert!(d < m);
+    }
+
+    #[test]
+    fn uncached_indices_cost_two_extra_lines_on_small_path_only() {
+        let cached = CostModel::default();
+        let uncached = CostModel {
+            pbq_cached_indices: false,
+            ..CostModel::default()
+        };
+        for p in [
+            Placement::HyperthreadSiblings,
+            Placement::SharedL3,
+            Placement::CrossNuma,
+        ] {
+            let line = cached.line_ns(p);
+            let delta =
+                uncached.msg_ns(MsgStack::Pure, p, 64) - cached.msg_ns(MsgStack::Pure, p, 64);
+            assert!((delta - 2.0 * line).abs() < 1e-9, "{p:?}: delta {delta}");
+            // Large messages go through the rendezvous path: no change.
+            let big = 1 << 20;
+            assert_eq!(
+                uncached.msg_ns(MsgStack::Pure, p, big),
+                cached.msg_ns(MsgStack::Pure, p, big)
+            );
+        }
+        // The toggle must not affect the MPI baseline.
+        assert_eq!(
+            uncached.msg_ns(MsgStack::Mpi, Placement::SharedL3, 64),
+            cached.msg_ns(MsgStack::Mpi, Placement::SharedL3, 64)
+        );
     }
 
     #[test]

@@ -110,6 +110,10 @@ pub struct RemoteChannel {
 }
 
 /// A persistent channel of one of the three kinds.
+// Channels are allocated once behind an `Arc` and live for the run; the
+// size skew (the PBQ's cache-padded index cells) costs nothing there,
+// while boxing `SmallChannel` would add a pointer chase to the hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum Channel {
     /// PBQ-backed short-message channel.
     Small(SmallChannel),
@@ -166,6 +170,104 @@ impl Channel {
         }
     }
 
+    /// Blocking-path fast send: when no sends are pending on this channel,
+    /// move the payload straight into the transport, bypassing the in-flight
+    /// queue entirely. Returns `true` on success; on `false` the caller must
+    /// fall back to `post_send` + `try_flush_sends`.
+    ///
+    /// # Safety
+    /// Caller must be the channel's sender thread; `ptr..ptr+len` is read
+    /// synchronously during the call only.
+    pub unsafe fn try_send_now(&self, ep: &NodeEndpoint, ptr: *const u8, len: usize) -> bool {
+        match self {
+            // SAFETY (both arms): sender-side cell, sender thread per the
+            // caller contract; ordering with queued sends is preserved by
+            // the pending-empty check.
+            Channel::Small(c) => unsafe {
+                c.send.with(|s| {
+                    let payload = std::slice::from_raw_parts(ptr, len);
+                    if s.pending.is_empty() && c.pbq.try_send(payload) {
+                        s.next_seq += 1;
+                        s.completed += 1;
+                        true
+                    } else {
+                        false
+                    }
+                })
+            },
+            Channel::Large(c) => unsafe {
+                c.send.with(|s| {
+                    let payload = std::slice::from_raw_parts(ptr, len);
+                    if s.pending.is_empty() && c.env.try_fill(payload) {
+                        s.next_seq += 1;
+                        s.completed += 1;
+                        true
+                    } else {
+                        false
+                    }
+                })
+            },
+            Channel::Remote(c) => {
+                // SAFETY: ptr/len valid per caller contract; read-only here.
+                let payload = unsafe { std::slice::from_raw_parts(ptr, len) };
+                ep.send(c.dst_node, c.wire, payload);
+                true
+            }
+        }
+    }
+
+    /// Blocking-path fast receive into `ptr..ptr+cap`: when no receives are
+    /// pending and a message is already waiting, deliver it without touching
+    /// the in-flight queue. Returns `true` on delivery.
+    ///
+    /// # Safety
+    /// Caller must be the channel's receiver thread; the buffer is written
+    /// synchronously during the call only.
+    pub unsafe fn try_recv_now(&self, ep: &NodeEndpoint, ptr: *mut u8, cap: usize) -> bool {
+        match self {
+            // SAFETY (all arms): receiver-side cell, receiver thread.
+            Channel::Small(c) => unsafe {
+                c.recv.with(|s| {
+                    if !s.pending.is_empty() {
+                        return false;
+                    }
+                    let out = std::slice::from_raw_parts_mut(ptr, cap);
+                    if c.pbq.try_recv(out).is_some() {
+                        s.next_seq += 1;
+                        s.completed += 1;
+                        true
+                    } else {
+                        false
+                    }
+                })
+            },
+            // Rendezvous needs the buffer posted into the envelope queue for
+            // the sender to find; no queue-free shortcut exists.
+            Channel::Large(_) => false,
+            Channel::Remote(c) => unsafe {
+                c.recv.with(|s| {
+                    if !s.pending.is_empty() {
+                        return false;
+                    }
+                    let Some(payload) = ep.try_recv(c.src_node, c.wire) else {
+                        return false;
+                    };
+                    assert!(
+                        payload.len() <= cap,
+                        "remote message of {} bytes into {} byte buffer",
+                        payload.len(),
+                        cap
+                    );
+                    // SAFETY: buffer valid per the caller contract.
+                    std::ptr::copy_nonoverlapping(payload.as_ptr(), ptr, payload.len());
+                    s.next_seq += 1;
+                    s.completed += 1;
+                    true
+                })
+            },
+        }
+    }
+
     /// Try to flush posted sends so that all sequences `< upto` are complete.
     /// Returns `true` when that is the case.
     ///
@@ -175,17 +277,21 @@ impl Channel {
             // SAFETY (both arms): sender-side cell, sender thread per contract.
             Channel::Small(c) => unsafe {
                 c.send.with(|s| {
-                    while s.completed < upto {
-                        let Some(front) = s.pending.front() else {
-                            break;
-                        };
-                        // SAFETY: pending pointers valid per post_send contract.
-                        let payload = std::slice::from_raw_parts(front.ptr, front.len);
-                        if !c.pbq.try_send(payload) {
+                    while s.completed < upto && !s.pending.is_empty() {
+                        // Drain as many fronts as fit in one acquire/release
+                        // pair (one `tail` publication per poll).
+                        let sent = c.pbq.try_send_batch(
+                            s.pending
+                                .iter()
+                                // SAFETY: pending pointers valid per the
+                                // post_send contract.
+                                .map(|p| std::slice::from_raw_parts(p.ptr, p.len)),
+                        );
+                        if sent == 0 {
                             return false;
                         }
-                        s.pending.pop_front();
-                        s.completed += 1;
+                        s.pending.drain(..sent);
+                        s.completed += sent as u64;
                     }
                     s.completed >= upto
                 })
@@ -281,17 +387,28 @@ impl Channel {
             // SAFETY (all arms): receiver-side cell, receiver thread.
             Channel::Small(c) => unsafe {
                 c.recv.with(|s| {
-                    while s.completed < upto {
-                        let Some(front) = s.pending.front() else {
-                            break;
-                        };
-                        // SAFETY: posted buffer valid per post_recv contract.
-                        let out = std::slice::from_raw_parts_mut(front.ptr, front.cap);
-                        if c.pbq.try_recv(out).is_none() {
+                    while s.completed < upto && !s.pending.is_empty() {
+                        // Deliver as many waiting messages as there are
+                        // posted buffers in one acquire/release pair (one
+                        // `head` publication per poll).
+                        let pending = &s.pending;
+                        let got = c.pbq.try_recv_batch(pending.len(), |i, bytes| {
+                            let front = &pending[i];
+                            assert!(
+                                bytes.len() <= front.cap,
+                                "PBQ message of {} bytes into {} byte buffer",
+                                bytes.len(),
+                                front.cap
+                            );
+                            // SAFETY: posted buffer valid per the post_recv
+                            // contract; buffers are pairwise distinct.
+                            std::ptr::copy_nonoverlapping(bytes.as_ptr(), front.ptr, bytes.len());
+                        });
+                        if got == 0 {
                             return false;
                         }
-                        s.pending.pop_front();
-                        s.completed += 1;
+                        s.pending.drain(..got);
+                        s.completed += got as u64;
                     }
                     s.completed >= upto
                 })
@@ -364,6 +481,9 @@ pub struct ChannelFactoryCfg {
     pub pbq_slots: usize,
     /// Envelope slots per rendezvous channel.
     pub env_slots: usize,
+    /// PBQ cached-index fast path (false = reload the opposite index on
+    /// every operation; the ablation baseline).
+    pub pbq_cached: bool,
 }
 
 /// The global (per run) channel table: maps keys to live channels.
@@ -406,7 +526,11 @@ impl ChannelTable {
                 })
             } else if key.bytes <= cfg.small_msg_max as u64 {
                 Channel::Small(SmallChannel {
-                    pbq: PureBufferQueue::new(cfg.pbq_slots, key.bytes as usize),
+                    pbq: PureBufferQueue::new_with_mode(
+                        cfg.pbq_slots,
+                        key.bytes as usize,
+                        cfg.pbq_cached,
+                    ),
                     send: SideCell::new(InFlight::default()),
                     recv: SideCell::new(InFlight::default()),
                 })
@@ -447,6 +571,7 @@ mod tests {
             small_msg_max: 64,
             pbq_slots: 4,
             env_slots: 4,
+            pbq_cached: true,
         }
     }
 

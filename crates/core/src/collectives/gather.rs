@@ -102,10 +102,7 @@ impl PureComm {
         self.area.sptd[self.my_group_pos].set_done(r);
 
         if self.is_leader() {
-            for j in 0..self.group_len() {
-                let d = &self.area.sptd[j];
-                self.local.ssw_until(|| (d.done() >= r).then_some(()));
-            }
+            self.wait_all_done(r);
             if self.multi_node() {
                 let g = self.leader_group();
                 let my_pos = self.my_node_idx;
@@ -272,9 +269,26 @@ impl PureComm {
 
     /// In-place all-reduce (the `MPI_IN_PLACE` convenience): `buf` holds
     /// this rank's contribution on entry and the full reduction on exit.
+    ///
+    /// Runs the same round protocol as [`PureComm::allreduce`] with `buf`
+    /// serving as both input and output — no staging copy. Overwriting `buf`
+    /// only after `leader_seq` reaches this round is safe: the leader
+    /// publishes only after every member's `done` backedge (large path) or
+    /// after all dropbox payloads were combined (small path, where `buf` was
+    /// copied out at arrival), so no peer still reads `buf`.
     pub fn allreduce_in_place<T: Reducible>(&self, buf: &mut [T], op: ReduceOp) {
-        let input = buf.to_vec();
-        self.allreduce(&input, buf, op);
+        self.bump_collective_stat();
+        let r = self.next_round();
+        let bytes = std::mem::size_of_val(buf);
+        if bytes <= self.local.shared.cfg.small_coll_max {
+            self.reduce_small(r, buf, op, None);
+        } else {
+            self.reduce_large(r, buf, op, None);
+        }
+        self.wait_leader_seq(r);
+        // SAFETY: observed leader_seq >= r; scratch holds round r's result
+        // and is not mutated until all members arrive at a later round.
+        buf.copy_from_slice(unsafe { self.area.scratch.as_slice::<T>(buf.len()) });
     }
 
     /// All-to-all equal blocks (like `MPI_Alltoall`): rank `i` sends
@@ -314,17 +328,27 @@ impl PureComm {
 
         if self.is_leader() {
             self.wait_all_arrivals(r);
-            // SAFETY: all arrived ⇒ previous readers done.
-            unsafe { self.area.bcast_buf.ensure(total.max(1)) };
+            // SAFETY: all arrived ⇒ previous readers done. The accumulator
+            // lives in the node-shared scratch (leader-exclusive for the
+            // round, same argument as the reductions') instead of a fresh
+            // allocation per call.
+            let acc: &mut [T] = unsafe {
+                self.area.bcast_buf.ensure(total.max(1));
+                self.area.scratch.ensure(block.max(1));
+                self.area.scratch.as_mut_slice::<T>(len)
+            };
             // Sequential prefix over this node's members, in group (comm
             // rank) order, written to each member's offset.
-            let mut acc = vec![T::identity(op); len];
             for (j, &cr) in self.meta.groups[self.my_node_idx].iter().enumerate() {
                 // SAFETY: arrival observed; pointer valid for the round.
                 let (p, l) = unsafe { self.area.sptd[j].payload_as_ptr() };
                 debug_assert_eq!(l, len);
                 let inp = unsafe { std::slice::from_raw_parts(p.cast::<T>(), len) };
-                T::reduce_assign(op, &mut acc, inp);
+                if j == 0 {
+                    acc.copy_from_slice(inp);
+                } else {
+                    T::reduce_assign(op, acc, inp);
+                }
                 // SAFETY: exclusive leader window; disjoint member region.
                 unsafe {
                     std::ptr::copy_nonoverlapping(
@@ -336,16 +360,17 @@ impl PureComm {
             }
             // Cross-node: every leader broadcasts its node total (in node
             // order); each leader folds the totals of earlier nodes into its
-            // members' prefixes.
+            // members' prefixes. One reused wire buffer serves every phase.
             if self.multi_node() {
                 let g = self.leader_group();
                 let mut offset = vec![T::identity(op); len];
+                let mut tot = vec![T::identity(op); len];
                 for pos in 0..self.meta.nodes.len() {
-                    let mut tot = if pos == self.my_node_idx {
-                        acc.clone()
+                    if pos == self.my_node_idx {
+                        tot.copy_from_slice(acc);
                     } else {
-                        vec![T::identity(op); len]
-                    };
+                        tot.fill(T::identity(op));
+                    }
                     g.bcast_phase(pos, &mut tot, PH_SCAN);
                     if pos == self.my_node_idx {
                         break; // only earlier nodes contribute to my offset
@@ -355,10 +380,12 @@ impl PureComm {
                 // Remaining nodes still expect my broadcast participation:
                 // finish the sequence.
                 for pos in (self.my_node_idx + 1)..self.meta.nodes.len() {
-                    let mut tot = vec![T::identity(op); len];
+                    tot.fill(T::identity(op));
                     g.bcast_phase(pos, &mut tot, PH_SCAN);
                 }
-                // Fold the earlier-node offset into every member's prefix.
+                // Fold the earlier-node offset into every member's prefix,
+                // in place (every ReduceOp is commutative, so
+                // `prefix op offset` == `offset op prefix`).
                 for &cr in &self.meta.groups[self.my_node_idx] {
                     // SAFETY: exclusive leader window.
                     let slice = unsafe {
@@ -371,9 +398,7 @@ impl PureComm {
                             len,
                         )
                     };
-                    let mut folded = offset.clone();
-                    T::reduce_assign(op, &mut folded, slice);
-                    slice.copy_from_slice(&folded);
+                    T::reduce_assign(op, slice, &offset);
                 }
             }
             self.area.publish_leader(r);

@@ -77,13 +77,21 @@ impl PureComm {
         let g = self.group_len();
         match self.local.shared.cfg.arrival {
             ArrivalMode::Sptd => {
-                for j in 0..g {
-                    if j == self.my_group_pos {
-                        continue;
+                // Batched scan: one SSW wait sweeping every dropbox, instead
+                // of g−1 sequential waits each paying its own steal/yield
+                // cycle. `next` persists across polls so already-seen
+                // arrivals are never re-loaded.
+                let mut next = 0usize;
+                self.local.ssw_until(|| {
+                    while next < g {
+                        if next == self.my_group_pos || self.area.sptd[next].seq() >= r {
+                            next += 1;
+                        } else {
+                            return None;
+                        }
                     }
-                    let d = &self.area.sptd[j];
-                    self.local.ssw_until(|| (d.seq() >= r).then_some(()));
-                }
+                    Some(())
+                });
             }
             ArrivalMode::SharedCounter => {
                 let target = g as u64 * r;
@@ -102,6 +110,24 @@ impl PureComm {
     pub(crate) fn wait_leader_seq(&self, r: u64) {
         self.local
             .ssw_until(|| (self.area.leader_seq() >= r).then_some(()));
+    }
+
+    /// Wait until every group member has published its `done` backedge for
+    /// round `r` (leader side), with the same batched single-scan shape as
+    /// [`PureComm::wait_all_arrivals`].
+    pub(crate) fn wait_all_done(&self, r: u64) {
+        let g = self.group_len();
+        let mut next = 0usize;
+        self.local.ssw_until(|| {
+            while next < g {
+                if self.area.sptd[next].done() >= r {
+                    next += 1;
+                } else {
+                    return None;
+                }
+            }
+            Some(())
+        });
     }
 
     /// Barrier (§4.2; evaluated in Figure 7b/7c).
@@ -187,7 +213,7 @@ impl PureComm {
     /// `reduce_root_node`: `None` for all-reduce (leaders run cross-node
     /// all-reduce, every leader publishes), `Some(node_idx)` for rooted
     /// reduce (leaders reduce towards that node; only it publishes).
-    fn reduce_small<T: Reducible>(
+    pub(crate) fn reduce_small<T: Reducible>(
         &self,
         r: u64,
         input: &[T],
@@ -223,7 +249,7 @@ impl PureComm {
     /// The Partitioned Reducer (§4.2.2, Figure 3): every member publishes a
     /// pointer to its input, all members concurrently reduce disjoint
     /// cacheline-aligned chunks of the output.
-    fn reduce_large<T: Reducible>(
+    pub(crate) fn reduce_large<T: Reducible>(
         &self,
         r: u64,
         input: &[T],
@@ -252,19 +278,8 @@ impl PureComm {
             });
         }
 
-        // Gather everyone's input pointers (stable for the round).
-        let inputs: Vec<&[T]> = (0..g)
-            .map(|j| {
-                // SAFETY: arrival of j observed; the pointed-to input outlives
-                // the round (its owner is blocked in this collective until
-                // after all `done` backedges).
-                let (p, l) = unsafe { self.area.sptd[j].payload_as_ptr() };
-                debug_assert_eq!(l, len);
-                unsafe { std::slice::from_raw_parts(p.cast::<T>(), len) }
-            })
-            .collect();
-
-        // My cacheline-aligned chunk of the output.
+        // My cacheline-aligned chunk of the output, reduced straight from the
+        // published input pointers (no per-call pointer table allocation).
         let range = aligned_chunk_range::<T>(
             len,
             self.my_group_pos as u32,
@@ -275,18 +290,24 @@ impl PureComm {
             // SAFETY: members' ranges are pairwise disjoint by construction;
             // scratch_ready >= r observed.
             let out = unsafe { self.area.scratch.as_mut_range::<T>(range.clone()) };
-            out.copy_from_slice(&inputs[0][range.clone()]);
-            for inp in &inputs[1..] {
-                T::reduce_assign(op, out, &inp[range.clone()]);
+            for j in 0..g {
+                // SAFETY: arrival of j observed; the pointed-to input outlives
+                // the round (its owner is blocked in this collective until
+                // after all `done` backedges).
+                let (p, l) = unsafe { self.area.sptd[j].payload_as_ptr() };
+                debug_assert_eq!(l, len);
+                let inp = unsafe { std::slice::from_raw_parts(p.cast::<T>(), len) };
+                if j == 0 {
+                    out.copy_from_slice(&inp[range.clone()]);
+                } else {
+                    T::reduce_assign(op, out, &inp[range.clone()]);
+                }
             }
         }
         self.area.sptd[self.my_group_pos].set_done(r);
 
         if self.is_leader() {
-            for j in 0..g {
-                let d = &self.area.sptd[j];
-                self.local.ssw_until(|| (d.done() >= r).then_some(()));
-            }
+            self.wait_all_done(r);
             // SAFETY: all chunk writers finished (done backedges observed).
             let acc = unsafe { self.area.scratch.as_mut_slice::<T>(len) };
             self.cross_node_phase(acc, op, reduce_root_node);

@@ -47,11 +47,17 @@ impl PureComm {
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
         let ch = self.local.channel(key);
+        // Fast path: nothing pending on this channel and the transport has
+        // room — the payload goes straight into the PBQ slot (or envelope),
+        // skipping the in-flight queue.
         // SAFETY: we are the sender thread for this channel (the key names
         // us); buf stays valid for the duration of this blocking call.
-        let seq = unsafe { ch.post_send(&self.local.ep, buf.as_ptr().cast(), bytes) };
-        self.local
-            .ssw_until(|| ch.try_flush_sends(&self.local.ep, seq + 1).then_some(()));
+        if !unsafe { ch.try_send_now(&self.local.ep, buf.as_ptr().cast(), bytes) } {
+            // SAFETY: as above.
+            let seq = unsafe { ch.post_send(&self.local.ep, buf.as_ptr().cast(), bytes) };
+            self.local
+                .ssw_until(|| ch.try_flush_sends(&self.local.ep, seq + 1).then_some(()));
+        }
         self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
         self.local
             .bytes_sent
@@ -71,11 +77,17 @@ impl PureComm {
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);
         let ch = self.local.channel(key);
+        // Fast path: nothing pending and the message already waits in its
+        // slot — copy it out in place (the PBQ's `try_recv_with` path) with
+        // no in-flight bookkeeping.
         // SAFETY: we are the receiver thread; buf stays valid and untouched
         // until completion below.
-        let seq = unsafe { ch.post_recv(buf.as_mut_ptr().cast(), bytes) };
-        self.local
-            .ssw_until(|| ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(()));
+        if !unsafe { ch.try_recv_now(&self.local.ep, buf.as_mut_ptr().cast(), bytes) } {
+            // SAFETY: as above.
+            let seq = unsafe { ch.post_recv(buf.as_mut_ptr().cast(), bytes) };
+            self.local
+                .ssw_until(|| ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(()));
+        }
         self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
     }
 

@@ -50,6 +50,9 @@ pub struct Config {
     pub small_coll_max: usize,
     /// Message slots per PBQ.
     pub pbq_slots: usize,
+    /// PBQ cached-index fast path (§4.1.1 + Torquati TR-10-20); disable for
+    /// the cached-vs-uncached ablation.
+    pub pbq_cached_indices: bool,
     /// Envelope slots per rendezvous channel.
     pub env_slots: usize,
     /// SSW-Loop spins before yielding the core.
@@ -80,6 +83,7 @@ impl Config {
             small_msg_max: 8 * 1024,
             small_coll_max: 2 * 1024,
             pbq_slots: 8,
+            pbq_cached_indices: true,
             env_slots: 8,
             spin_budget: 64,
             chunk_mode: ChunkMode::SingleChunk,
@@ -460,6 +464,7 @@ where
             small_msg_max: cfg.small_msg_max,
             pbq_slots: cfg.pbq_slots,
             env_slots: cfg.env_slots,
+            pbq_cached: cfg.pbq_cached_indices,
         },
         birth: Instant::now(),
         cluster: Cluster::new(n_nodes, cfg.net),

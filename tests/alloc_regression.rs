@@ -1,0 +1,151 @@
+//! Allocation-count regression tests: the messaging hot paths must be
+//! zero-allocation per message in steady state. A counting `GlobalAlloc`
+//! wraps the system allocator; each test measures the allocation-count
+//! delta across a measured window after a warm-up phase and asserts it is
+//! exactly zero.
+//!
+//! Tests sharing the process-global counter serialize on a mutex so a
+//! concurrently running test cannot pollute another's window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pure_core::channel::pbq::PureBufferQueue;
+use pure_core::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn pbq_single_send_recv_steady_state_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+    for cached in [true, false] {
+        let q = PureBufferQueue::new_with_mode(8, 256, cached);
+        let payload = [0x5au8; 64];
+        let mut out = [0u8; 256];
+        // Warm up (first traversal of the ring touches nothing heap-side
+        // either, but keep the measured window unambiguous).
+        for _ in 0..32 {
+            assert!(q.try_send(&payload));
+            assert_eq!(q.try_recv(&mut out), Some(64));
+        }
+        let before = alloc_count();
+        for _ in 0..10_000 {
+            assert!(q.try_send(&payload));
+            assert_eq!(q.try_recv(&mut out), Some(64));
+        }
+        let delta = alloc_count() - before;
+        assert_eq!(
+            delta, 0,
+            "cached={cached}: {delta} allocations in 10k send/recv pairs"
+        );
+    }
+}
+
+#[test]
+fn pbq_batched_send_recv_steady_state_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+    let q = PureBufferQueue::new(8, 256);
+    let payload = [0xc3u8; 64];
+    let msgs: [&[u8]; 4] = [&payload, &payload, &payload, &payload];
+    for _ in 0..32 {
+        assert_eq!(q.try_send_batch(msgs), 4);
+        assert_eq!(
+            q.try_recv_batch(4, |_, bytes| assert_eq!(bytes.len(), 64)),
+            4
+        );
+    }
+    let before = alloc_count();
+    for _ in 0..10_000 {
+        assert_eq!(q.try_send_batch(msgs), 4);
+        assert_eq!(
+            q.try_recv_batch(4, |_, bytes| assert_eq!(bytes.len(), 64)),
+            4
+        );
+    }
+    let delta = alloc_count() - before;
+    assert_eq!(delta, 0, "{delta} allocations in 10k batched rounds");
+}
+
+#[test]
+fn pbq_recv_with_in_place_path_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+    let q = PureBufferQueue::new(8, 256);
+    let payload = [7u8; 64];
+    for _ in 0..32 {
+        assert!(q.try_send(&payload));
+        assert_eq!(q.try_recv_with(|bytes| bytes.len()), Some(64));
+    }
+    let before = alloc_count();
+    let mut sum = 0u64;
+    for _ in 0..10_000 {
+        assert!(q.try_send(&payload));
+        sum += q
+            .try_recv_with(|bytes| bytes.iter().map(|&b| b as u64).sum::<u64>())
+            .unwrap();
+    }
+    let delta = alloc_count() - before;
+    assert_eq!(sum, 10_000 * 64 * 7);
+    assert_eq!(delta, 0, "{delta} allocations in 10k in-place receives");
+}
+
+/// End-to-end: the blocking send/recv fast path through the runtime's
+/// channel layer (rank 0 to itself — producer and consumer on one thread,
+/// so the window is deterministic) allocates nothing per message once the
+/// channel exists.
+#[test]
+fn runtime_send_recv_fast_path_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut cfg = Config::new(1);
+    cfg.spin_budget = 4;
+    let (_, deltas) = launch_map(cfg, |ctx| {
+        let w = ctx.world();
+        let tx = [9u8; 64];
+        let mut rx = [0u8; 64];
+        // Warm-up creates the channel and fills every lazily-initialized
+        // cache on the path.
+        for _ in 0..32 {
+            w.send(&tx, 0, 0);
+            w.recv(&mut rx, 0, 0);
+        }
+        let before = alloc_count();
+        for _ in 0..5_000 {
+            w.send(&tx, 0, 0);
+            w.recv(&mut rx, 0, 0);
+        }
+        assert_eq!(rx, tx);
+        alloc_count() - before
+    });
+    assert_eq!(
+        deltas[0], 0,
+        "{} allocations in 5k steady-state send/recv pairs",
+        deltas[0]
+    );
+}

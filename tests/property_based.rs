@@ -48,6 +48,89 @@ proptest! {
         prop_assert_eq!(q.try_recv(&mut out), None);
     }
 
+    /// PBQ: arbitrary interleavings of single and batched sends/recvs, in
+    /// both index modes, preserve FIFO byte-exactness and report exact
+    /// full/empty boundaries (no spurious failures from stale caches). The
+    /// plan repeatedly wraps small rings, so the monotonic indices cross the
+    /// ring seam many times with caches in every staleness state.
+    #[test]
+    fn pbq_batched_interleavings_preserve_fifo(
+        plan in pvec((0usize..4, 1usize..6), 1..80),
+        slots in 1usize..16,
+        cached in any::<bool>(),
+    ) {
+        let cap = 96usize;
+        let q = PureBufferQueue::new_with_mode(slots, cap, cached);
+        let slots = q.slots(); // requested count rounds up to a power of two
+        let mut out = vec![0u8; cap];
+        let mut next_id = 0u64;
+        let mut pending: std::collections::VecDeque<Vec<u8>> = Default::default();
+        let mk_msg = |id: u64| -> Vec<u8> {
+            let len = (id as usize).wrapping_mul(7) % cap;
+            (0..len).map(|j| (id as usize + j) as u8).collect()
+        };
+        for &(action, k) in &plan {
+            match action {
+                0 => {
+                    let m = mk_msg(next_id);
+                    if q.try_send(&m) {
+                        pending.push_back(m);
+                        next_id += 1;
+                    } else {
+                        // No spurious full: a refused send means the ring
+                        // really holds `slots` messages.
+                        prop_assert_eq!(pending.len(), slots);
+                    }
+                }
+                1 => {
+                    let batch: Vec<Vec<u8>> = (0..k).map(|i| mk_msg(next_id + i as u64)).collect();
+                    let sent = q.try_send_batch(batch.iter().map(|m| m.as_slice()));
+                    prop_assert_eq!(sent, k.min(slots - pending.len()));
+                    for m in batch.into_iter().take(sent) {
+                        pending.push_back(m);
+                    }
+                    next_id += sent as u64;
+                }
+                2 => {
+                    match q.try_recv(&mut out) {
+                        Some(n) => {
+                            let expect = pending.pop_front().expect("recv implies pending");
+                            prop_assert_eq!(&out[..n], &expect[..]);
+                        }
+                        None => prop_assert!(pending.is_empty(), "spurious empty"),
+                    }
+                }
+                _ => {
+                    let mut got: Vec<Vec<u8>> = Vec::new();
+                    let n = q.try_recv_batch(k, |i, bytes| {
+                        assert_eq!(i, got.len());
+                        got.push(bytes.to_vec());
+                    });
+                    // The consumer's cached tail is a conservative lower
+                    // bound (refreshed only when it implies empty), so a
+                    // batch may return fewer than are truly queued — but
+                    // never zero when messages exist, and never too many.
+                    prop_assert!(n <= k.min(pending.len()));
+                    if pending.is_empty() {
+                        prop_assert_eq!(n, 0);
+                    } else {
+                        prop_assert!(n > 0, "spurious empty batch");
+                    }
+                    prop_assert_eq!(n, got.len());
+                    for g in got {
+                        let expect = pending.pop_front().expect("batch recv implies pending");
+                        prop_assert_eq!(g, expect);
+                    }
+                }
+            }
+        }
+        while let Some(expect) = pending.pop_front() {
+            let n = q.try_recv(&mut out).expect("pending implies nonempty");
+            prop_assert_eq!(&out[..n], &expect[..]);
+        }
+        prop_assert_eq!(q.try_recv(&mut out), None);
+    }
+
     /// EnvelopeQueue: posted buffers receive exactly the filled payloads,
     /// in ticket order.
     #[test]

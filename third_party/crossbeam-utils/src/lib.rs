@@ -1,0 +1,61 @@
+//! Offline vendored subset of `crossbeam-utils`: only [`CachePadded`].
+//!
+//! The build environment has no network access to the crates.io mirror, so
+//! the workspace vendors the handful of upstream items it actually uses.
+//! Semantics match upstream: the wrapper aligns (and pads) its contents to
+//! 128 bytes, covering the 64 B cacheline plus the adjacent-line prefetcher
+//! pair on x86_64 and the 128 B lines on apple-silicon class hardware.
+
+#![no_std]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of two cache lines.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of two cache lines.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
