@@ -7,10 +7,15 @@
 //! receiver's buffer** (the single copy), records the transferred byte count
 //! and signals completion. Like the PBQ this is strictly SPSC per channel.
 //!
-//! Slot life-cycle: `FREE` →(receiver posts)→ `POSTED` →(sender fills)→
-//! `FILLED` →(receiver consumes)→ `FREE`. Each transition is published with
-//! a release store and observed with an acquire load, so the pointer,
-//! capacity and payload writes are all well-ordered.
+//! Slot life-cycle: `FREE` →(receiver posts)→ `POSTED` →(sender claims)→
+//! `CLAIMED` →(sender fills)→ `FILLED` →(receiver consumes)→ `FREE`. Each
+//! transition is published with a release store and observed with an acquire
+//! load, so the pointer, capacity and payload writes are all well-ordered.
+//! The transient `CLAIMED` state exists for *cancellation*: the receiver may
+//! withdraw its newest posted envelope (e.g. a `recv_timeout` giving up) with
+//! a `POSTED`→`FREE` CAS, and the sender's own `POSTED`→`CLAIMED` CAS makes
+//! the two sides race for the slot atomically — the sender never copies into
+//! a buffer the receiver has taken back.
 
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
@@ -18,10 +23,12 @@ use crossbeam_utils::CachePadded;
 
 /// Slot is empty and may be posted by the receiver.
 const FREE: u8 = 0;
-/// Receiver has posted (ptr, cap); sender may fill.
+/// Receiver has posted (ptr, cap); sender may fill, receiver may cancel.
 const POSTED: u8 = 1;
 /// Sender has copied the payload; receiver may consume.
 const FILLED: u8 = 2;
+/// Sender won the slot and is copying; neither side may transition it.
+const CLAIMED: u8 = 3;
 
 /// One rendezvous envelope. `ptr`/`cap`/`len` are plain fields protected by
 /// the `state` acquire/release protocol.
@@ -110,8 +117,14 @@ impl EnvelopeQueue {
     pub fn try_fill(&self, payload: &[u8]) -> bool {
         let pos = self.fill_pos.load(Ordering::Relaxed);
         let s = self.slot(pos);
-        if s.state.load(Ordering::Acquire) != POSTED {
-            return false; // receiver has not arrived yet
+        // Claim the slot before touching the receiver's buffer, so a racing
+        // cancellation (POSTED→FREE on the receiver side) can never pull the
+        // buffer out from under the copy.
+        if s.state
+            .compare_exchange(POSTED, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false; // receiver has not arrived (or just cancelled)
         }
         let cap = s.cap.get();
         assert!(
@@ -120,9 +133,10 @@ impl EnvelopeQueue {
             payload.len(),
             cap
         );
-        // SAFETY: the acquire load of POSTED synchronized with the receiver's
-        // release store, making ptr/cap visible; the receiver guarantees the
-        // buffer stays valid and unaliased until it consumes FILLED.
+        // SAFETY: the successful CAS from POSTED synchronized with the
+        // receiver's release store, making ptr/cap visible; the receiver
+        // guarantees the buffer stays valid and unaliased until it consumes
+        // FILLED (it cannot cancel a CLAIMED slot).
         unsafe {
             std::ptr::copy_nonoverlapping(payload.as_ptr(), s.ptr.get(), payload.len());
         }
@@ -148,6 +162,44 @@ impl EnvelopeQueue {
         let len = s.len.get();
         s.state.store(FREE, Ordering::Release);
         Some(len)
+    }
+
+    /// Receiver side: withdraw the **newest** posted envelope (ticket must
+    /// be the most recent one issued — cancelling mid-queue would reorder
+    /// the rendezvous stream). Returns `true` when the slot was reclaimed
+    /// before the sender touched it; `false` means the sender has already
+    /// claimed or filled it and the receive must be completed normally.
+    ///
+    /// Must only be called by the receiver thread.
+    pub fn try_cancel(&self, ticket: u64) -> bool {
+        let pos = self.post_pos.load(Ordering::Relaxed);
+        debug_assert_eq!(
+            ticket + 1,
+            pos as u64,
+            "only the newest envelope may be cancelled"
+        );
+        if ticket + 1 != pos as u64 {
+            return false;
+        }
+        let s = self.slot(ticket as usize);
+        if s.state
+            .compare_exchange(POSTED, FREE, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false; // sender already claimed/filled it
+        }
+        // Rewind so the slot (and ticket) are reissued to the next post.
+        self.post_pos.store(ticket as usize, Ordering::Relaxed);
+        true
+    }
+
+    /// Envelopes currently in flight (posted, claimed or filled) — a
+    /// diagnostics-only scan of the slot states.
+    pub fn in_flight(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state.load(Ordering::Relaxed) != FREE)
+            .count()
     }
 }
 
@@ -203,6 +255,34 @@ mod tests {
             unsafe { q.try_post(b2.as_mut_ptr(), 1) }.is_some(),
             "slot recycled"
         );
+    }
+
+    #[test]
+    fn cancel_reclaims_unfilled_post() {
+        let q = EnvelopeQueue::new(2);
+        let mut buf = [0u8; 4];
+        // SAFETY: buf outlives the exchange.
+        let t = unsafe { q.try_post(buf.as_mut_ptr(), 4) }.unwrap();
+        assert_eq!(q.in_flight(), 1);
+        assert!(q.try_cancel(t), "nothing filled: cancel wins");
+        assert_eq!(q.in_flight(), 0);
+        assert!(!q.try_fill(b"data"), "cancelled slot is not fillable");
+        // The slot and ticket are reissued.
+        let t2 = unsafe { q.try_post(buf.as_mut_ptr(), 4) }.unwrap();
+        assert_eq!(t2, t);
+        assert!(q.try_fill(b"ok!"));
+        assert_eq!(q.try_consume(t2), Some(3));
+    }
+
+    #[test]
+    fn cancel_loses_to_a_completed_fill() {
+        let q = EnvelopeQueue::new(2);
+        let mut buf = [0u8; 4];
+        // SAFETY: buf outlives the exchange.
+        let t = unsafe { q.try_post(buf.as_mut_ptr(), 4) }.unwrap();
+        assert!(q.try_fill(b"gone"));
+        assert!(!q.try_cancel(t), "sender already filled: must consume");
+        assert_eq!(q.try_consume(t), Some(4));
     }
 
     #[test]

@@ -109,6 +109,19 @@ pub struct RemoteChannel {
     recv: SideCell<InFlight<PendingRecv>>,
 }
 
+/// What happened to an in-flight operation a caller tried to cancel (the
+/// recovery path of `send_timeout`/`recv_timeout`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The operation was withdrawn; it is as if it was never posted.
+    Canceled,
+    /// The operation had already completed; the caller owns its effects.
+    Completed,
+    /// The operation is mid-transfer (or older posts precede it) and can
+    /// neither be withdrawn nor is it done; the caller must keep waiting.
+    InFlight,
+}
+
 /// A persistent channel of one of the three kinds.
 // Channels are allocated once behind an `Arc` and live for the run; the
 // size skew (the PBQ's cache-padded index cells) costs nothing there,
@@ -456,6 +469,105 @@ impl Channel {
             },
         }
     }
+
+    /// Try to withdraw the posted send with sequence `seq`. Only the
+    /// **newest** posted operation can be withdrawn (cancelling mid-queue
+    /// would reorder the stream, breaking MPI matching).
+    ///
+    /// Must be called from the sender thread.
+    pub fn try_cancel_send(&self, seq: u64) -> CancelOutcome {
+        let cancel = |cell: &SideCell<InFlight<PendingSend>>| {
+            // SAFETY: sender-side cell, sender thread per the contract.
+            unsafe {
+                cell.with(|s| {
+                    if seq < s.completed {
+                        return CancelOutcome::Completed;
+                    }
+                    if seq + 1 == s.next_seq && !s.pending.is_empty() {
+                        s.pending.pop_back();
+                        s.next_seq -= 1;
+                        return CancelOutcome::Canceled;
+                    }
+                    CancelOutcome::InFlight
+                })
+            }
+        };
+        match self {
+            Channel::Small(c) => cancel(&c.send),
+            Channel::Large(c) => cancel(&c.send),
+            // Remote sends complete eagerly at post time.
+            Channel::Remote(_) => CancelOutcome::Completed,
+        }
+    }
+
+    /// Try to withdraw the posted receive with sequence `seq` (newest-only,
+    /// as for [`Channel::try_cancel_send`]). For rendezvous channels the
+    /// buffer may already be exposed to the sender; the envelope CAS decides
+    /// the race, and `InFlight` means the sender won — the caller must
+    /// finish the receive normally before reusing the buffer.
+    ///
+    /// Must be called from the receiver thread.
+    pub fn try_cancel_recv(&self, seq: u64) -> CancelOutcome {
+        match self {
+            // SAFETY (all arms): receiver-side cell, receiver thread.
+            Channel::Small(c) => unsafe {
+                c.recv.with(|s| {
+                    if seq < s.completed {
+                        return CancelOutcome::Completed;
+                    }
+                    if seq + 1 == s.next_seq && !s.pending.is_empty() {
+                        s.pending.pop_back();
+                        s.next_seq -= 1;
+                        return CancelOutcome::Canceled;
+                    }
+                    CancelOutcome::InFlight
+                })
+            },
+            Channel::Large(c) => unsafe {
+                c.recv.with(|s| {
+                    if seq < s.completed {
+                        return CancelOutcome::Completed;
+                    }
+                    if seq + 1 != s.next_seq || s.pending.is_empty() {
+                        return CancelOutcome::InFlight;
+                    }
+                    // The newest pending op is ours; if its buffer is in the
+                    // envelope queue, race the sender for it.
+                    if let Some(t) = s.pending.back().and_then(|p| p.ticket) {
+                        if !c.env.try_cancel(t) {
+                            return CancelOutcome::InFlight; // sender is filling
+                        }
+                    }
+                    s.pending.pop_back();
+                    s.next_seq -= 1;
+                    CancelOutcome::Canceled
+                })
+            },
+            Channel::Remote(c) => unsafe {
+                c.recv.with(|s| {
+                    if seq < s.completed {
+                        return CancelOutcome::Completed;
+                    }
+                    if seq + 1 == s.next_seq && !s.pending.is_empty() {
+                        s.pending.pop_back();
+                        s.next_seq -= 1;
+                        return CancelOutcome::Canceled;
+                    }
+                    CancelOutcome::InFlight
+                })
+            },
+        }
+    }
+
+    /// Messages currently buffered inside the channel (diagnostics-only;
+    /// reads atomics, never the side cells, so it is safe from any thread).
+    pub fn occupancy(&self) -> usize {
+        match self {
+            Channel::Small(c) => c.pbq.occupancy(),
+            Channel::Large(c) => c.env.in_flight(),
+            Channel::Remote(_) => 0, // buffered in the transport's inbox
+        }
+    }
 }
 
 /// Push as many pending receive buffers as possible into the envelope queue,
@@ -552,6 +664,15 @@ impl ChannelTable {
     /// True when no channel has been created yet.
     pub fn is_empty(&self) -> bool {
         self.map.read().is_empty()
+    }
+
+    /// `(channels created, channels with buffered messages)` for the
+    /// diagnostic dump. Uses atomics only, so it is safe while ranks are
+    /// wedged mid-operation.
+    pub fn occupancy_summary(&self) -> (usize, usize) {
+        let map = self.map.read();
+        let occupied = map.values().filter(|ch| ch.occupancy() > 0).count();
+        (map.len(), occupied)
     }
 }
 

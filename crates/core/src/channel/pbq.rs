@@ -117,6 +117,14 @@ impl PureBufferQueue {
         self.n_slots
     }
 
+    /// Messages currently queued (diagnostics-only: relaxed loads of both
+    /// indices, so the value can be momentarily stale).
+    pub fn occupancy(&self) -> usize {
+        self.tail
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.head.load(Ordering::Relaxed))
+    }
+
     /// True when the index caches are active (false in ablation mode).
     pub fn cached_indices(&self) -> bool {
         self.use_cached

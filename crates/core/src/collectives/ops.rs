@@ -33,6 +33,7 @@ enum Arrive<'a> {
 
 impl PureComm {
     pub(crate) fn bump_collective_stat(&self) {
+        self.local.op_event();
         self.local.collectives.set(self.local.collectives.get() + 1);
     }
 
@@ -82,7 +83,7 @@ impl PureComm {
                 // cycle. `next` persists across polls so already-seen
                 // arrivals are never re-loaded.
                 let mut next = 0usize;
-                self.local.ssw_until(|| {
+                self.local.ssw_op("collective arrivals", None, None, || {
                     while next < g {
                         if next == self.my_group_pos || self.area.sptd[next].seq() >= r {
                             next += 1;
@@ -95,7 +96,7 @@ impl PureComm {
             }
             ArrivalMode::SharedCounter => {
                 let target = g as u64 * r;
-                self.local.ssw_until(|| {
+                self.local.ssw_op("collective arrivals", None, None, || {
                     (self
                         .area
                         .arrivals
@@ -109,7 +110,9 @@ impl PureComm {
 
     pub(crate) fn wait_leader_seq(&self, r: u64) {
         self.local
-            .ssw_until(|| (self.area.leader_seq() >= r).then_some(()));
+            .ssw_op("collective leader result", None, None, || {
+                (self.area.leader_seq() >= r).then_some(())
+            });
     }
 
     /// Wait until every group member has published its `done` backedge for
@@ -118,16 +121,17 @@ impl PureComm {
     pub(crate) fn wait_all_done(&self, r: u64) {
         let g = self.group_len();
         let mut next = 0usize;
-        self.local.ssw_until(|| {
-            while next < g {
-                if self.area.sptd[next].done() >= r {
-                    next += 1;
-                } else {
-                    return None;
+        self.local
+            .ssw_op("collective done backedges", None, None, || {
+                while next < g {
+                    if self.area.sptd[next].done() >= r {
+                        next += 1;
+                    } else {
+                        return None;
+                    }
                 }
-            }
-            Some(())
-        });
+                Some(())
+            });
     }
 
     /// Barrier (§4.2; evaluated in Figure 7b/7c).
@@ -268,7 +272,7 @@ impl PureComm {
                 .store(r, std::sync::atomic::Ordering::Release);
         } else {
             self.wait_all_arrivals(r);
-            self.local.ssw_until(|| {
+            self.local.ssw_op("reducer scratch", None, None, || {
                 (self
                     .area
                     .scratch_ready
@@ -394,7 +398,7 @@ impl PureComm {
     }
 
     pub(crate) fn wait_bcast_seq(&self, r: u64) {
-        self.local.ssw_until(|| {
+        self.local.ssw_op("bcast payload", None, None, || {
             (self
                 .area
                 .bcast_seq

@@ -13,6 +13,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::collectives::CollArea;
+use crate::error::die_invariant;
 use crate::internode::{LeaderGroup, LeaderInfo};
 use crate::runtime::{RankLocal, Shared, Tag, INTERNAL_TAG_BASE};
 
@@ -63,10 +64,12 @@ impl CommMeta {
             .iter()
             .map(|&n| {
                 // Leader = member with the lowest comm rank on that node.
+                // `node_ids` was derived from `members`, so every entry has
+                // at least one member by construction.
                 let leader_world = members
                     .iter()
                     .find(|&&w| shared.rank_node[w as usize] == n)
-                    .expect("node has a member");
+                    .unwrap_or_else(|| die_invariant("communicator node has no member"));
                 LeaderInfo {
                     node: n,
                     leader_local: shared.rank_local[*leader_world as usize],
@@ -77,7 +80,10 @@ impl CommMeta {
         let mut node_idx_of = vec![0u32; members.len()];
         for (cr, &w) in members.iter().enumerate() {
             let n = shared.rank_node[w as usize];
-            let ni = node_ids.binary_search(&n).expect("node present");
+            // `node_ids` is the sorted dedup of exactly these nodes.
+            let ni = node_ids
+                .binary_search(&n)
+                .unwrap_or_else(|_| die_invariant("member node missing from node list"));
             groups[ni].push(cr as u32);
             node_idx_of[cr] = ni as u32;
         }
@@ -115,17 +121,21 @@ pub struct PureComm {
 impl PureComm {
     pub(crate) fn from_meta(meta: Arc<CommMeta>, local: Rc<RankLocal>) -> Self {
         let my_world = local.rank as u32;
+        // `from_meta` is only reached by ranks listed in `meta.members`
+        // (split returns `None` to non-members), and `groups` partitions
+        // `members` by node.
+        debug_assert!(meta.members.contains(&my_world));
         let my_comm_rank = meta
             .members
             .iter()
             .position(|&w| w == my_world)
-            .expect("rank is a member of the communicator");
+            .unwrap_or_else(|| die_invariant("rank is not a member of the communicator"));
         let my_node_idx = meta.node_idx_of[my_comm_rank] as usize;
         let group = &meta.groups[my_node_idx];
         let my_group_pos = group
             .iter()
             .position(|&cr| cr == my_comm_rank as u32)
-            .expect("rank in its node group");
+            .unwrap_or_else(|| die_invariant("rank missing from its node group"));
         let area = local.shared.area(local.node, meta.id, group.len());
         Self {
             meta,
@@ -180,6 +190,7 @@ impl PureComm {
             tag_base: self.meta.tag_base,
             sched: &self.local.sched,
             steal: &self.local.steal,
+            deadline: self.local.shared.cfg.progress_deadline,
         }
     }
 

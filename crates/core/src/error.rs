@@ -1,0 +1,216 @@
+//! Structured runtime errors and the launch-wide abort machinery.
+//!
+//! Pure's lock-free waits buy speed by spinning; the price is that a peer's
+//! panic, a lost internode frame or a receiver that never posts would leave
+//! every other rank spinning forever. This module gives those failures a
+//! *shape*:
+//!
+//! * [`PureError`] — what went wrong, carrying rank/peer/tag context, so
+//!   fallible API variants (`send_timeout` / `recv_timeout` /
+//!   `Request::wait_timeout`) can return it and callers can recover;
+//! * the launch-wide **abort cause** — the first fatal failure, recorded in
+//!   [`crate::runtime`]'s shared state and re-raised from `launch` with the
+//!   failing rank's identity attached;
+//! * `PeerAbortEcho` (crate-private) — the distinguishable panic payload used when a rank
+//!   unwinds *because a peer failed*, so echo panics never masquerade as the
+//!   original failure in the launch report.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::runtime::Tag;
+
+/// A structured Pure runtime error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PureError {
+    /// A blocking operation exceeded its deadline.
+    Timeout {
+        /// Rank whose wait timed out.
+        rank: usize,
+        /// The operation that was waiting (e.g. `"recv"`, `"collective arrivals"`).
+        op: &'static str,
+        /// Peer rank of the operation, when it has one.
+        peer: Option<usize>,
+        /// Application tag, when the operation has one.
+        tag: Option<Tag>,
+        /// How long the wait had been running when it gave up.
+        elapsed: Duration,
+    },
+    /// A peer rank failed (panic, injected fault or timeout) and this rank's
+    /// wait was unwound by the abort flag.
+    PeerAborted {
+        /// Rank observing the abort.
+        rank: usize,
+        /// The operation that was interrupted.
+        op: &'static str,
+    },
+    /// A message did not fit the posted receive buffer.
+    Truncation {
+        /// Receiving rank.
+        rank: usize,
+        /// Bytes the sender provided.
+        sent: usize,
+        /// Bytes the receive buffer can hold.
+        capacity: usize,
+        /// Application tag, when known.
+        tag: Option<Tag>,
+    },
+    /// The simulated interconnect failed an operation (e.g. reliable links
+    /// still undelivered when the run wound down).
+    NetFault {
+        /// Rank reporting the fault.
+        rank: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Result alias for fallible Pure operations.
+pub type PureResult<T> = Result<T, PureError>;
+
+impl fmt::Display for PureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PureError::Timeout {
+                rank,
+                op,
+                peer,
+                tag,
+                elapsed,
+            } => {
+                write!(f, "pure: rank {rank} timed out after {elapsed:.2?} in {op}")?;
+                if let Some(p) = peer {
+                    write!(f, " (peer rank {p}")?;
+                    if let Some(t) = tag {
+                        write!(f, ", tag {t}")?;
+                    }
+                    write!(f, ")")?;
+                } else if let Some(t) = tag {
+                    write!(f, " (tag {t})")?;
+                }
+                Ok(())
+            }
+            PureError::PeerAborted { rank, op } => {
+                write!(
+                    f,
+                    "pure: a peer rank failed; aborting rank {rank}'s wait in {op}"
+                )
+            }
+            PureError::Truncation {
+                rank,
+                sent,
+                capacity,
+                tag,
+            } => {
+                write!(
+                    f,
+                    "pure: rank {rank}: message of {sent} bytes truncated by a \
+                     {capacity} byte receive buffer"
+                )?;
+                if let Some(t) = tag {
+                    write!(f, " (tag {t})")?;
+                }
+                Ok(())
+            }
+            PureError::NetFault { rank, detail } => {
+                write!(f, "pure: rank {rank}: network fault: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PureError {}
+
+impl PureError {
+    /// True for [`PureError::Timeout`] (the only variant a caller should
+    /// normally retry or route around; the others mean the run is dying).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, PureError::Timeout { .. })
+    }
+}
+
+/// Panic payload for *echo* panics: a rank unwinding because the abort flag
+/// is set, not because it failed itself. `launch` recognises this type and
+/// never reports an echo as the launch's primary failure.
+pub(crate) struct PeerAbortEcho(pub String);
+
+/// The first fatal failure of a launch.
+pub(crate) struct AbortCause {
+    /// Rank that failed first.
+    pub rank: usize,
+    /// Human-readable description (panic message or `PureError` display).
+    pub what: String,
+    /// True when this cause was itself an echo (only possible if a raw
+    /// abort was observed before any primary cause was recorded).
+    pub echo: bool,
+}
+
+/// Render a caught panic payload for the abort cause / launch report.
+pub(crate) fn payload_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(echo) = e.downcast_ref::<PeerAbortEcho>() {
+        echo.0.clone()
+    } else if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Cold panic path for invariants that are guaranteed by construction
+/// (documented with an adjacent `debug_assert!`) but still checked on the
+/// way down so a violated invariant dies loudly instead of corrupting state.
+#[cold]
+#[inline(never)]
+pub(crate) fn die_invariant(what: &str) -> ! {
+    panic!("pure: internal invariant violated: {what}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = PureError::Timeout {
+            rank: 3,
+            op: "recv",
+            peer: Some(1),
+            tag: Some(42),
+            elapsed: Duration::from_millis(250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("recv"), "{s}");
+        assert!(s.contains("peer rank 1") && s.contains("tag 42"), "{s}");
+        assert!(e.is_timeout());
+
+        let e = PureError::Truncation {
+            rank: 0,
+            sent: 100,
+            capacity: 64,
+            tag: None,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100 bytes") && s.contains("64 byte"), "{s}");
+        assert!(!e.is_timeout());
+
+        let e = PureError::PeerAborted {
+            rank: 2,
+            op: "barrier",
+        };
+        assert!(e.to_string().contains("peer rank failed"));
+    }
+
+    #[test]
+    fn payload_message_handles_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(payload_message(&*s), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(payload_message(&*s), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(PeerAbortEcho("echo".into()));
+        assert_eq!(payload_message(&*s), "echo");
+        let s: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert!(payload_message(&*s).contains("non-string"));
+    }
+}

@@ -10,12 +10,14 @@
 //! barrier.
 
 use std::cell::RefCell;
+use std::time::Duration;
 
 use netsim::{NodeEndpoint, WireTag};
 
 use crate::datatype::{as_bytes, as_bytes_mut, PureDatatype, ReduceOp, Reducible};
+use crate::error::PeerAbortEcho;
 use crate::task::scheduler::{NodeScheduler, StealCtx};
-use crate::task::ssw::ssw_until;
+use crate::task::ssw::{ssw_try_until, WaitInterrupt};
 
 /// A participating node of a communicator: its netsim node id and the
 /// within-node thread index of its leader (needed for wire-tag routing).
@@ -41,6 +43,9 @@ pub struct LeaderGroup<'a> {
     pub sched: &'a NodeScheduler,
     /// This thread's steal context.
     pub steal: &'a RefCell<StealCtx>,
+    /// Progress deadline inherited from the launch config (`None` =
+    /// unbounded, the paper's behaviour).
+    pub deadline: Option<Duration>,
 }
 
 impl LeaderGroup<'_> {
@@ -51,11 +56,31 @@ impl LeaderGroup<'_> {
         self.ep.send(dst.node, tag, as_bytes(data));
     }
 
+    /// SSW-wait for a frame from `src.node`. Polling `try_recv` also drives
+    /// the transport's reliable-delivery machinery (ACKs, retransmits) when
+    /// frame-level fault injection is armed, so leader waits survive dropped
+    /// internode frames with no extra code here.
+    fn recv_wire(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
+        let wait = ssw_try_until(self.sched, self.steal, self.deadline, || {
+            self.ep.try_recv(src.node, tag)
+        });
+        match wait {
+            Ok(payload) => payload,
+            Err(WaitInterrupt::Aborted) => std::panic::panic_any(PeerAbortEcho(format!(
+                "pure: a peer rank failed; aborting this rank's wait in {what}"
+            ))),
+            Err(WaitInterrupt::TimedOut(elapsed)) => panic!(
+                "pure: cross-node {what} from node {} timed out after {elapsed:.2?}",
+                src.node
+            ),
+        }
+    }
+
     fn recv_t<T: PureDatatype>(&self, src_pos: usize, phase: u32, out: &mut [T]) {
         let src = self.nodes[src_pos];
         let me = self.nodes[self.my_pos];
         let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
-        let payload = ssw_until(self.sched, self.steal, || self.ep.try_recv(src.node, tag));
+        let payload = self.recv_wire(src, tag, "leader collective");
         let ob = as_bytes_mut(out);
         assert_eq!(
             payload.len(),
@@ -77,7 +102,7 @@ impl LeaderGroup<'_> {
         let src = self.nodes[src_pos];
         let me = self.nodes[self.my_pos];
         let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
-        ssw_until(self.sched, self.steal, || self.ep.try_recv(src.node, tag))
+        self.recv_wire(src, tag, "leader block exchange")
     }
 
     /// All-reduce `data` across the member nodes (recursive doubling).
@@ -267,6 +292,7 @@ mod tests {
                     tag_base: 1000,
                     sched: &sched,
                     steal: &steal,
+                    deadline: None,
                 })
             }));
         }

@@ -61,6 +61,7 @@ pub mod channel;
 pub mod collectives;
 pub mod comm;
 pub mod datatype;
+pub mod error;
 pub mod internode;
 pub mod msg;
 pub mod runtime;
@@ -72,8 +73,9 @@ pub use api::{wait_all_poll, CommRequest, Communicator};
 pub use collectives::ArrivalMode;
 pub use comm::PureComm;
 pub use datatype::{PureDatatype, ReduceOp, Reducible};
+pub use error::{PureError, PureResult};
 pub use msg::{wait_all, Request};
-pub use runtime::{launch, launch_map, Config, LaunchReport, RankCtx, RankStats, Tag};
+pub use runtime::{launch, launch_map, Config, LaunchReport, RankCtx, RankFaults, RankStats, Tag};
 pub use task::scheduler::{ChunkMode, StealPolicy};
 pub use task::{ChunkRange, PureTask, SharedSlice};
 
@@ -83,7 +85,8 @@ pub mod prelude {
     pub use crate::collectives::ArrivalMode;
     pub use crate::comm::PureComm;
     pub use crate::datatype::{PureDatatype, ReduceOp, Reducible};
-    pub use crate::runtime::{launch, launch_map, Config, LaunchReport, RankCtx, Tag};
+    pub use crate::error::{PureError, PureResult};
+    pub use crate::runtime::{launch, launch_map, Config, LaunchReport, RankCtx, RankFaults, Tag};
     pub use crate::task::scheduler::{ChunkMode, StealPolicy};
     pub use crate::task::{ChunkRange, PureTask, SharedSlice};
     pub use netsim::NetConfig;

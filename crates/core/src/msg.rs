@@ -11,10 +11,12 @@
 use std::marker::PhantomData;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
-use crate::channel::{Channel, ChannelKey};
+use crate::channel::{CancelOutcome, Channel, ChannelKey};
 use crate::comm::PureComm;
 use crate::datatype::PureDatatype;
+use crate::error::PureResult;
 use crate::runtime::{RankLocal, Tag, INTERNAL_TAG_BASE};
 
 impl PureComm {
@@ -44,6 +46,7 @@ impl PureComm {
     }
 
     pub(crate) fn send_with_tag<T: PureDatatype>(&self, buf: &[T], dst: usize, tag: Tag) {
+        self.local.op_event();
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
         let ch = self.local.channel(key);
@@ -55,13 +58,77 @@ impl PureComm {
         if !unsafe { ch.try_send_now(&self.local.ep, buf.as_ptr().cast(), bytes) } {
             // SAFETY: as above.
             let seq = unsafe { ch.post_send(&self.local.ep, buf.as_ptr().cast(), bytes) };
-            self.local
-                .ssw_until(|| ch.try_flush_sends(&self.local.ep, seq + 1).then_some(()));
+            let peer = self.meta.members[dst] as usize;
+            self.local.ssw_op("send", Some(peer), Some(tag), || {
+                ch.try_flush_sends(&self.local.ep, seq + 1).then_some(())
+            });
         }
+        self.count_sent(bytes);
+    }
+
+    fn count_sent(&self, bytes: usize) {
         self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
         self.local
             .bytes_sent
             .set(self.local.bytes_sent.get() + bytes as u64);
+    }
+
+    /// [`PureComm::send`] with a deadline: `Err(PureError::Timeout)` when
+    /// the transfer cannot complete within `timeout`. On timeout the send
+    /// is withdrawn — the message is **not** delivered later — unless the
+    /// channel's ordering made withdrawal impossible (older sends were
+    /// still queued ahead of it), in which case the call keeps blocking to
+    /// preserve the no-reorder guarantee.
+    pub fn send_timeout<T: PureDatatype>(
+        &self,
+        buf: &[T],
+        dst: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> PureResult<()> {
+        assert!(
+            tag < INTERNAL_TAG_BASE,
+            "tags with the top bit set are reserved"
+        );
+        self.local.op_event();
+        let bytes = std::mem::size_of_val(buf);
+        let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
+        let ch = self.local.channel(key);
+        let peer = self.meta.members[dst] as usize;
+        // SAFETY: sender thread; buf valid for the duration of this call.
+        if unsafe { ch.try_send_now(&self.local.ep, buf.as_ptr().cast(), bytes) } {
+            self.count_sent(bytes);
+            return Ok(());
+        }
+        // SAFETY: as above — and on timeout the post is either withdrawn or
+        // completed before returning, so the borrow never outlives the call.
+        let seq = unsafe { ch.post_send(&self.local.ep, buf.as_ptr().cast(), bytes) };
+        let waited = self
+            .local
+            .ssw_try_op("send", Some(peer), Some(tag), timeout, || {
+                ch.try_flush_sends(&self.local.ep, seq + 1).then_some(())
+            });
+        match waited {
+            Ok(()) => {
+                self.count_sent(bytes);
+                Ok(())
+            }
+            Err(e) => match ch.try_cancel_send(seq) {
+                CancelOutcome::Canceled => Err(e),
+                CancelOutcome::Completed => {
+                    self.count_sent(bytes);
+                    Ok(())
+                }
+                CancelOutcome::InFlight => {
+                    self.local
+                        .ssw_op("send (unwithdrawable)", Some(peer), Some(tag), || {
+                            ch.try_flush_sends(&self.local.ep, seq + 1).then_some(())
+                        });
+                    self.count_sent(bytes);
+                    Ok(())
+                }
+            },
+        }
     }
 
     /// Blocking receive from comm rank `src` (`pure_recv_msg`).
@@ -74,6 +141,7 @@ impl PureComm {
     }
 
     pub(crate) fn recv_with_tag<T: PureDatatype>(&self, buf: &mut [T], src: usize, tag: Tag) {
+        self.local.op_event();
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);
         let ch = self.local.channel(key);
@@ -85,10 +153,71 @@ impl PureComm {
         if !unsafe { ch.try_recv_now(&self.local.ep, buf.as_mut_ptr().cast(), bytes) } {
             // SAFETY: as above.
             let seq = unsafe { ch.post_recv(buf.as_mut_ptr().cast(), bytes) };
-            self.local
-                .ssw_until(|| ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(()));
+            let peer = self.meta.members[src] as usize;
+            self.local.ssw_op("recv", Some(peer), Some(tag), || {
+                ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(())
+            });
         }
         self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+    }
+
+    /// [`PureComm::recv`] with a deadline: `Err(PureError::Timeout)` when no
+    /// matching message arrives within `timeout`. On timeout the posted
+    /// receive is withdrawn and the buffer is immediately reusable; if the
+    /// sender won the race mid-transfer, the receive completes and `Ok` is
+    /// returned instead.
+    pub fn recv_timeout<T: PureDatatype>(
+        &self,
+        buf: &mut [T],
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> PureResult<()> {
+        assert!(
+            tag < INTERNAL_TAG_BASE,
+            "tags with the top bit set are reserved"
+        );
+        self.local.op_event();
+        let bytes = std::mem::size_of_val(buf);
+        let key = self.key_for(src, self.my_comm_rank, tag, bytes);
+        let ch = self.local.channel(key);
+        let peer = self.meta.members[src] as usize;
+        // SAFETY: receiver thread; buf valid for the duration of this call.
+        if unsafe { ch.try_recv_now(&self.local.ep, buf.as_mut_ptr().cast(), bytes) } {
+            self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+            return Ok(());
+        }
+        // SAFETY: as above — on timeout the post is withdrawn or completed
+        // before returning, so the mutable borrow never escapes the call.
+        let seq = unsafe { ch.post_recv(buf.as_mut_ptr().cast(), bytes) };
+        let waited = self
+            .local
+            .ssw_try_op("recv", Some(peer), Some(tag), timeout, || {
+                ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(())
+            });
+        match waited {
+            Ok(()) => {
+                self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+                Ok(())
+            }
+            Err(e) => match ch.try_cancel_recv(seq) {
+                CancelOutcome::Canceled => Err(e),
+                CancelOutcome::Completed => {
+                    self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+                    Ok(())
+                }
+                // The sender claimed the envelope mid-copy: the transfer is
+                // about to finish, so completing it is bounded.
+                CancelOutcome::InFlight => {
+                    self.local
+                        .ssw_op("recv (finishing)", Some(peer), Some(tag), || {
+                            ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(())
+                        });
+                    self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
+                    Ok(())
+                }
+            },
+        }
     }
 
     /// Non-blocking send. The buffer is borrowed until the request completes.
@@ -206,6 +335,61 @@ impl Request<'_> {
         self.wait_inner();
     }
 
+    /// [`Request::wait`] with a deadline. On `Err(PureError::Timeout)` the
+    /// operation was withdrawn — its buffer is released and the transfer
+    /// will not happen later. If the operation raced to completion (or was
+    /// mid-transfer and could only be finished), `Ok(())` is returned.
+    pub fn wait_timeout(mut self, timeout: Duration) -> PureResult<()> {
+        if self.done {
+            return Ok(());
+        }
+        let ch = Arc::clone(&self.ch);
+        let local = Rc::clone(&self.local);
+        let kind_send = matches!(self.kind, ReqKind::Send);
+        let op = if kind_send {
+            "isend wait"
+        } else {
+            "irecv wait"
+        };
+        let waited = local.ssw_try_op(op, None, None, timeout, || {
+            let ok = if kind_send {
+                ch.try_flush_sends(&local.ep, self.upto)
+            } else {
+                ch.try_complete_recvs(&local.ep, self.upto)
+            };
+            ok.then_some(())
+        });
+        match waited {
+            Ok(()) => {
+                self.done = true;
+                Ok(())
+            }
+            Err(e) => {
+                let out = if kind_send {
+                    ch.try_cancel_send(self.upto - 1)
+                } else {
+                    ch.try_cancel_recv(self.upto - 1)
+                };
+                match out {
+                    CancelOutcome::Canceled => {
+                        self.done = true;
+                        Err(e)
+                    }
+                    CancelOutcome::Completed => {
+                        self.done = true;
+                        Ok(())
+                    }
+                    // Unwithdrawable (older ops queued ahead, or a sender
+                    // mid-copy): finish it so the borrow can be released.
+                    CancelOutcome::InFlight => {
+                        self.wait_inner();
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
     fn wait_inner(&mut self) {
         if self.done {
             return;
@@ -226,7 +410,12 @@ impl Request<'_> {
         let ch = Arc::clone(&self.ch);
         let local = Rc::clone(&self.local);
         let kind_send = matches!(self.kind, ReqKind::Send);
-        local.ssw_until(|| {
+        let op = if kind_send {
+            "isend wait"
+        } else {
+            "irecv wait"
+        };
+        local.ssw_op(op, None, None, || {
             let ok = if kind_send {
                 ch.try_flush_sends(&local.ep, self.upto)
             } else {

@@ -13,6 +13,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -21,7 +22,9 @@ use parking_lot::Mutex;
 use crate::channel::{Channel, ChannelFactoryCfg, ChannelKey, ChannelTable};
 use crate::collectives::{ArrivalMode, CollArea};
 use crate::comm::{CommMeta, PureComm};
+use crate::error::{payload_message, AbortCause, PeerAbortEcho, PureError, PureResult};
 use crate::task::scheduler::{ChunkMode, NodeScheduler, StealCtx, StealPolicy};
+use crate::task::ssw::{ssw_try_until, WaitInterrupt};
 use crate::task::{thunk_for, ChunkRange};
 use netsim::{Cluster, NetConfig, NodeEndpoint};
 
@@ -71,6 +74,33 @@ pub struct Config {
     pub net: NetConfig,
     /// Base seed for the steal RNGs.
     pub seed: u64,
+    /// Global progress deadline: if any blocking wait makes no progress for
+    /// this long, the launch aborts with a diagnostic dump instead of
+    /// hanging. `None` (the default) keeps every wait unbounded, exactly as
+    /// the paper's runtime behaves.
+    pub progress_deadline: Option<Duration>,
+    /// Intra-node fault injection (slow ranks, die-at-step) for robustness
+    /// tests; inert by default.
+    pub rank_faults: RankFaults,
+}
+
+/// Injectable intra-node faults, counted in *blocking operations* (sends,
+/// receives, collectives) per rank. Complements `netsim`'s frame-level
+/// fault plan, which covers the internode paths.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RankFaults {
+    /// `(rank, n)`: the given rank panics on its `n`-th blocking operation.
+    pub die_at: Option<(usize, u64)>,
+    /// `(rank, pause)`: the given rank sleeps `pause` before every blocking
+    /// operation, simulating a straggler.
+    pub slow: Option<(usize, Duration)>,
+}
+
+impl RankFaults {
+    /// True when any fault is armed.
+    pub fn enabled(&self) -> bool {
+        self.die_at.is_some() || self.slow.is_some()
+    }
 }
 
 impl Config {
@@ -93,6 +123,8 @@ impl Config {
             arrival: ArrivalMode::Sptd,
             net: NetConfig::default(),
             seed: 0x5EED,
+            progress_deadline: None,
+            rank_faults: RankFaults::default(),
         }
     }
 
@@ -105,6 +137,18 @@ impl Config {
     /// Set the interconnect model.
     pub fn with_net(mut self, net: NetConfig) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Bound every blocking wait by `d` (see [`Config::progress_deadline`]).
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.progress_deadline = Some(d);
+        self
+    }
+
+    /// Arm intra-node fault injection.
+    pub fn with_rank_faults(mut self, faults: RankFaults) -> Self {
+        self.rank_faults = faults;
         self
     }
 
@@ -143,6 +187,9 @@ pub struct LaunchReport {
     pub per_rank: Vec<RankStats>,
     /// Cross-node (messages, bytes) on the simulated interconnect.
     pub net_traffic: (u64, u64),
+    /// Fault-injection counters `(dropped, duplicated, retransmits)` on the
+    /// interconnect; all zero unless a `FaultPlan` was configured.
+    pub net_faults: (u64, u64, u64),
     /// Wall-clock time of the SPMD region.
     pub elapsed: Duration,
 }
@@ -156,6 +203,28 @@ impl LaunchReport {
     /// Total chunks executed by thieves.
     pub fn total_chunks_stolen(&self) -> u64 {
         self.per_rank.iter().map(|r| r.chunks_stolen).sum()
+    }
+}
+
+/// Per-rank liveness record for the progress watchdog and diagnostic dump.
+/// Written only in robust mode (deadline or fault injection armed), so the
+/// default hot paths never touch it.
+pub(crate) struct RankHealth {
+    /// Last time this rank completed a blocking wait (ns since launch birth).
+    pub hb_ns: AtomicU64,
+    /// When the current blocking wait began (ns, `0` = not waiting).
+    pub wait_since_ns: AtomicU64,
+    /// Label of the wait the rank is currently in.
+    pub wait_op: Mutex<&'static str>,
+}
+
+impl RankHealth {
+    fn new() -> Self {
+        Self {
+            hb_ns: AtomicU64::new(0),
+            wait_since_ns: AtomicU64::new(0),
+            wait_op: Mutex::new("-"),
+        }
     }
 }
 
@@ -174,6 +243,15 @@ pub(crate) struct Shared {
     pub scheds: Vec<Arc<NodeScheduler>>,
     /// Per-node registry of communicator collective areas (keyed by comm id).
     pub areas: Vec<Mutex<HashMap<u64, Arc<CollArea>>>>,
+    /// Per-rank liveness, indexed by rank.
+    pub health: Vec<RankHealth>,
+    /// First fatal failure of the launch (echoes never displace a primary).
+    pub abort_cause: Mutex<Option<AbortCause>>,
+    /// Ensures the diagnostic dump prints at most once per launch.
+    pub dumped: AtomicBool,
+    /// True when health bookkeeping is on (deadline, rank faults or net
+    /// faults armed); false keeps the default wait paths clock-free.
+    pub robust: bool,
 }
 
 impl Shared {
@@ -190,6 +268,103 @@ impl Shared {
             "inconsistent node group for comm {id}"
         );
         Arc::clone(a)
+    }
+
+    /// Nanoseconds since this launch started (the epoch of all health
+    /// timestamps; stored `max 1` so `0` can mean "never"/"not waiting").
+    pub fn now_ns(&self) -> u64 {
+        (self.birth.elapsed().as_nanos() as u64).max(1)
+    }
+
+    /// Record a launch failure. The first *primary* (non-echo) cause wins;
+    /// an echo is kept only until a primary arrives.
+    pub fn record_abort(&self, rank: usize, what: String, echo: bool) {
+        let mut g = self.abort_cause.lock();
+        match &*g {
+            // Keep the incumbent unless it is an echo being displaced by a
+            // primary cause.
+            Some(c) if !c.echo || echo => {}
+            _ => *g = Some(AbortCause { rank, what, echo }),
+        }
+    }
+
+    /// Raise the abort flag on every node, unwinding all blocked ranks.
+    pub fn abort_all(&self) {
+        for s in &self.scheds {
+            s.set_abort();
+        }
+    }
+
+    /// Print the diagnostic dump to stderr, at most once per launch.
+    pub fn dump_diagnostics_once(&self) {
+        if !self.dumped.swap(true, Ordering::SeqCst) {
+            eprintln!("{}", self.dump_diagnostics());
+        }
+    }
+
+    /// Snapshot of runtime state for the failure report: per-rank liveness,
+    /// channel occupancy, per-node collective rounds, interconnect counters.
+    /// Reads only atomics and try-locks — safe to call from the watchdog
+    /// while ranks are wedged mid-operation.
+    pub fn dump_diagnostics(&self) -> String {
+        use std::fmt::Write as _;
+        let now = self.now_ns();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== pure diagnostic dump (t = {:.3}s) ===",
+            now as f64 / 1e9
+        );
+        for (r, h) in self.health.iter().enumerate() {
+            let hb = h.hb_ns.load(Ordering::Relaxed);
+            let ws = h.wait_since_ns.load(Ordering::Relaxed);
+            let op = h.wait_op.try_lock().map_or("?", |g| *g);
+            let _ = write!(
+                out,
+                "rank {r:3} (node {}, thread {}): ",
+                self.rank_node[r], self.rank_local[r]
+            );
+            if ws != 0 {
+                let _ = writeln!(
+                    out,
+                    "WAITING {:>10.3}ms in {op}",
+                    now.saturating_sub(ws) as f64 / 1e6
+                );
+            } else if hb != 0 {
+                let _ = writeln!(
+                    out,
+                    "running (last wait finished {:.3}ms ago)",
+                    now.saturating_sub(hb) as f64 / 1e6
+                );
+            } else {
+                let _ = writeln!(out, "running (never blocked)");
+            }
+        }
+        let (n_chans, occupied) = self.channels.occupancy_summary();
+        let _ = writeln!(
+            out,
+            "channels: {n_chans} created, {occupied} with in-flight messages"
+        );
+        for (node, areas) in self.areas.iter().enumerate() {
+            if let Some(reg) = areas.try_lock() {
+                for (id, a) in reg.iter() {
+                    let _ = writeln!(
+                        out,
+                        "node {node} comm {id:#x}: collective round {}",
+                        a.leader_seq()
+                    );
+                }
+            }
+        }
+        let (msgs, bytes) = self.cluster.stats().snapshot();
+        let (dropped, dup, retx) = self.cluster.stats().fault_snapshot();
+        let _ = writeln!(
+            out,
+            "net: {msgs} msgs, {bytes} bytes; faults: {dropped} dropped, \
+             {dup} duplicated, {retx} retransmits"
+        );
+        let _ = write!(out, "=== end dump ===");
+        out
     }
 }
 
@@ -211,6 +386,8 @@ pub(crate) struct RankLocal {
     pub bytes_sent: Cell<u64>,
     pub msgs_recvd: Cell<u64>,
     pub collectives: Cell<u64>,
+    /// Blocking operations completed (drives [`RankFaults`] injection).
+    pub op_count: Cell<u64>,
 }
 
 impl RankLocal {
@@ -250,12 +427,151 @@ impl RankLocal {
     }
 
     /// Run the SSW-Loop until `poll` yields a value, progressing this
-    /// rank's pending sends on every iteration.
-    pub fn ssw_until<T>(&self, mut poll: impl FnMut() -> Option<T>) -> T {
-        crate::task::ssw::ssw_until(&self.sched, &self.steal, || {
+    /// rank's pending sends on every iteration. Bounded by the launch-wide
+    /// progress deadline (when configured) and interrupted by peer aborts;
+    /// both escalate instead of returning, so callers stay infallible.
+    /// `op`/`peer`/`tag` label the wait for the diagnostic dump and error.
+    pub fn ssw_op<T>(
+        &self,
+        op: &'static str,
+        peer: Option<usize>,
+        tag: Option<Tag>,
+        poll: impl FnMut() -> Option<T>,
+    ) -> T {
+        let deadline = self.shared.cfg.progress_deadline;
+        match self.ssw_wait(op, deadline, poll) {
+            Ok(v) => v,
+            Err(WaitInterrupt::Aborted) => self.escalate(PureError::PeerAborted {
+                rank: self.rank,
+                op,
+            }),
+            Err(WaitInterrupt::TimedOut(elapsed)) => self.escalate(PureError::Timeout {
+                rank: self.rank,
+                op,
+                peer,
+                tag,
+                elapsed,
+            }),
+        }
+    }
+
+    /// Fallible SSW wait with a caller-supplied deadline: `Timeout` is
+    /// *returned* (the caller can cancel and recover); a peer abort still
+    /// escalates, because the launch is already dying.
+    pub fn ssw_try_op<T>(
+        &self,
+        op: &'static str,
+        peer: Option<usize>,
+        tag: Option<Tag>,
+        deadline: Duration,
+        poll: impl FnMut() -> Option<T>,
+    ) -> PureResult<T> {
+        match self.ssw_wait(op, Some(deadline), poll) {
+            Ok(v) => Ok(v),
+            Err(WaitInterrupt::Aborted) => self.escalate(PureError::PeerAborted {
+                rank: self.rank,
+                op,
+            }),
+            Err(WaitInterrupt::TimedOut(elapsed)) => Err(PureError::Timeout {
+                rank: self.rank,
+                op,
+                peer,
+                tag,
+                elapsed,
+            }),
+        }
+    }
+
+    /// Common SSW body: health bookkeeping around the interruptible loop.
+    fn ssw_wait<T>(
+        &self,
+        op: &'static str,
+        deadline: Option<Duration>,
+        mut poll: impl FnMut() -> Option<T>,
+    ) -> Result<T, WaitInterrupt> {
+        let robust = self.shared.robust;
+        if robust {
+            let h = &self.shared.health[self.rank];
+            *h.wait_op.lock() = op;
+            h.wait_since_ns
+                .store(self.shared.now_ns(), Ordering::Relaxed);
+        }
+        let res = ssw_try_until(&self.sched, &self.steal, deadline, || {
             self.progress_sends();
             poll()
-        })
+        });
+        if robust {
+            let h = &self.shared.health[self.rank];
+            h.hb_ns.store(self.shared.now_ns(), Ordering::Relaxed);
+            h.wait_since_ns.store(0, Ordering::Relaxed);
+        }
+        res
+    }
+
+    /// Turn a fatal wait failure into a launch-wide abort. A `PeerAborted`
+    /// is an *echo* — some other rank already recorded the primary cause —
+    /// so it unwinds with the distinguishable [`PeerAbortEcho`] payload.
+    /// Anything else is a primary cause: record it, dump diagnostics, raise
+    /// the abort flag everywhere, then unwind.
+    #[cold]
+    fn escalate(&self, err: PureError) -> ! {
+        if matches!(err, PureError::PeerAborted { .. }) {
+            std::panic::panic_any(PeerAbortEcho(err.to_string()));
+        }
+        self.shared.record_abort(self.rank, err.to_string(), false);
+        self.shared.dump_diagnostics_once();
+        self.shared.abort_all();
+        panic!("{err}");
+    }
+
+    /// Count one blocking operation and apply any armed intra-node fault
+    /// (straggler sleep, die-at-step panic). No-op unless faults are armed.
+    pub fn op_event(&self) {
+        let rf = &self.shared.cfg.rank_faults;
+        if !rf.enabled() {
+            return;
+        }
+        let n = self.op_count.get() + 1;
+        self.op_count.set(n);
+        if let Some((r, pause)) = rf.slow {
+            if r == self.rank {
+                std::thread::sleep(pause);
+            }
+        }
+        if let Some((r, at)) = rf.die_at {
+            if r == self.rank && n == at {
+                panic!("pure: injected fault: rank {} died at op {}", self.rank, n);
+            }
+        }
+    }
+
+    /// Drain the reliable internode links before this rank exits. Without
+    /// this, a rank that finishes early would stop calling `progress()` and
+    /// a dropped final frame addressed to a still-running peer could never
+    /// be retransmitted. Bounded and abort-aware.
+    pub fn finalize_net(&self) {
+        if self.shared.cfg.net.faults.is_none() {
+            return;
+        }
+        let cap = self
+            .shared
+            .cfg
+            .progress_deadline
+            .unwrap_or(Duration::from_secs(2))
+            .min(Duration::from_secs(2));
+        let t0 = Instant::now();
+        while self.ep.reliable_outstanding() > 0 && !self.sched.aborted() {
+            if t0.elapsed() >= cap {
+                eprintln!(
+                    "pure: rank {}: reliable links still undelivered after {:?} at exit",
+                    self.rank, cap
+                );
+                break;
+            }
+            self.ep.progress();
+            self.progress_sends();
+            std::thread::yield_now();
+        }
     }
 
     fn stats(&self) -> RankStats {
@@ -459,6 +775,8 @@ where
         })
         .collect();
 
+    let robust =
+        cfg.progress_deadline.is_some() || cfg.rank_faults.enabled() || cfg.net.faults.is_some();
     let shared = Arc::new(Shared {
         chan_cfg: ChannelFactoryCfg {
             small_msg_max: cfg.small_msg_max,
@@ -473,22 +791,25 @@ where
         scheds,
         rank_node,
         rank_local,
+        health: (0..cfg.ranks).map(|_| RankHealth::new()).collect(),
+        abort_cause: Mutex::new(None),
+        dumped: AtomicBool::new(false),
+        robust,
         cfg,
     });
 
     let world_meta = Arc::new(CommMeta::world(&shared));
-    let panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..shared.cfg.ranks).map(|_| None).collect());
     let stats: Mutex<Vec<RankStats>> = Mutex::new(vec![RankStats::default(); shared.cfg.ranks]);
 
     let start = Instant::now();
+    let watchdog_stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         let mut rank_handles = Vec::with_capacity(shared.cfg.ranks);
         for rank in 0..shared.cfg.ranks {
             let shared = Arc::clone(&shared);
             let world_meta = Arc::clone(&world_meta);
             let f = &f;
-            let panic_box = &panic_box;
             let results = &results;
             let stats = &stats;
             rank_handles.push(scope.spawn(move || {
@@ -509,6 +830,7 @@ where
                     bytes_sent: Cell::new(0),
                     msgs_recvd: Cell::new(0),
                     collectives: Cell::new(0),
+                    op_count: Cell::new(0),
                     shared: Arc::clone(&shared),
                 });
                 let world = PureComm::from_meta(world_meta, Rc::clone(&local));
@@ -519,17 +841,53 @@ where
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                 match outcome {
                     Ok(v) => {
+                        local.finalize_net();
                         results.lock()[rank] = Some(v);
                     }
                     Err(e) => {
-                        for s in &shared.scheds {
-                            s.set_abort();
-                        }
-                        panic_box.lock().get_or_insert(e);
+                        let echo = e.downcast_ref::<PeerAbortEcho>().is_some();
+                        shared.record_abort(rank, payload_message(&*e), echo);
+                        shared.abort_all();
                     }
                 }
                 stats.lock()[rank] = local.stats();
             }));
+        }
+
+        // Progress watchdog: a backstop behind the per-wait deadlines for
+        // waits that wedge without ever reaching their own deadline check
+        // (e.g. a poll closure stuck inside a lock). Fires well after the
+        // per-wait deadline so the wait's own, better-labelled timeout is
+        // the one that usually reports.
+        if let Some(deadline) = shared.cfg.progress_deadline {
+            let shared = Arc::clone(&shared);
+            let stop = &watchdog_stop;
+            scope.spawn(move || {
+                let limit =
+                    deadline.as_nanos() as u64 + deadline.as_nanos() as u64 / 2 + 500_000_000;
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(5));
+                    let now = shared.now_ns();
+                    for (r, h) in shared.health.iter().enumerate() {
+                        let ws = h.wait_since_ns.load(Ordering::Relaxed);
+                        if ws == 0 || now.saturating_sub(ws) <= limit {
+                            continue;
+                        }
+                        let op = h.wait_op.try_lock().map_or("?", |g| *g);
+                        let err = PureError::Timeout {
+                            rank: r,
+                            op,
+                            peer: None,
+                            tag: None,
+                            elapsed: Duration::from_nanos(now - ws),
+                        };
+                        shared.record_abort(r, format!("watchdog: {err}"), false);
+                        shared.dump_diagnostics_once();
+                        shared.abort_all();
+                        return;
+                    }
+                }
+            });
         }
 
         // Helper threads: steal-only workers on spare "cores" (§5.1).
@@ -550,6 +908,7 @@ where
         for h in rank_handles {
             let _ = h.join();
         }
+        watchdog_stop.store(true, Ordering::Release);
         for s in &shared.scheds {
             s.shutdown_helpers();
         }
@@ -569,13 +928,17 @@ where
     });
     let elapsed = start.elapsed();
 
-    if let Some(p) = panic_box.into_inner() {
-        std::panic::resume_unwind(p);
+    // Re-raise the primary failure with the failing rank's identity. The
+    // original panic message is embedded verbatim, so callers matching on
+    // it (tests, harnesses) still see it.
+    if let Some(cause) = shared.abort_cause.lock().take() {
+        panic!("pure: rank {} failed: {}", cause.rank, cause.what);
     }
 
     let report = LaunchReport {
         per_rank: stats.into_inner(),
         net_traffic: shared.cluster.stats().snapshot(),
+        net_faults: shared.cluster.stats().fault_snapshot(),
         elapsed,
     };
     let results = results

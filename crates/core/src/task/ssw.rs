@@ -13,8 +13,18 @@
 //! run promptly instead of deadlocking everyone else.
 
 use std::cell::RefCell;
+use std::time::{Duration, Instant};
 
 use super::scheduler::{NodeScheduler, StealCtx};
+
+/// Why an interruptible SSW wait stopped before its condition held.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitInterrupt {
+    /// The node's abort flag was raised (a peer rank failed).
+    Aborted,
+    /// The wait's deadline elapsed; carries the measured wait time.
+    TimedOut(Duration),
+}
 
 /// Run the SSW-Loop until `poll` produces a value.
 ///
@@ -24,16 +34,49 @@ use super::scheduler::{NodeScheduler, StealCtx};
 pub fn ssw_until<T>(
     sched: &NodeScheduler,
     steal_ctx: &RefCell<StealCtx>,
-    mut poll: impl FnMut() -> Option<T>,
+    poll: impl FnMut() -> Option<T>,
 ) -> T {
+    match ssw_try_until(sched, steal_ctx, None, poll) {
+        Ok(v) => v,
+        Err(WaitInterrupt::Aborted) => {
+            panic!("pure: a peer rank failed; aborting this rank's wait")
+        }
+        Err(WaitInterrupt::TimedOut(_)) => unreachable!("no deadline was set"),
+    }
+}
+
+/// Interruptible SSW-Loop: like [`ssw_until`], but instead of panicking on
+/// abort it returns [`WaitInterrupt::Aborted`], and an optional `deadline`
+/// bounds the wait with [`WaitInterrupt::TimedOut`].
+///
+/// The deadline is checked every 64 fruitless iterations, so the ready path
+/// and the spinning path stay free of clock reads; a wait can therefore
+/// overshoot its deadline by a few yields, never undershoot it.
+pub fn ssw_try_until<T>(
+    sched: &NodeScheduler,
+    steal_ctx: &RefCell<StealCtx>,
+    deadline: Option<Duration>,
+    mut poll: impl FnMut() -> Option<T>,
+) -> Result<T, WaitInterrupt> {
     let budget = sched.spin_budget();
     let mut spins = 0u32;
+    let mut iters = 0u32;
+    let started = deadline.map(|_| Instant::now());
     loop {
         if let Some(v) = poll() {
-            return v;
+            return Ok(v);
         }
         if sched.aborted() {
-            panic!("pure: a peer rank failed; aborting this rank's wait");
+            return Err(WaitInterrupt::Aborted);
+        }
+        if let (Some(d), Some(t0)) = (deadline, started) {
+            iters = iters.wrapping_add(1);
+            if iters & 0x3F == 0 {
+                let elapsed = t0.elapsed();
+                if elapsed >= d {
+                    return Err(WaitInterrupt::TimedOut(elapsed));
+                }
+            }
         }
         let stole = sched.try_steal_once(&mut steal_ctx.borrow_mut());
         if stole {
@@ -99,5 +142,38 @@ mod tests {
         s.set_abort();
         let ctx = RefCell::new(StealCtx::new(0, 1));
         ssw_while(&s, &ctx, || false);
+    }
+
+    #[test]
+    fn try_variant_reports_abort_instead_of_panicking() {
+        let s = sched();
+        s.set_abort();
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        let r: Result<(), _> = ssw_try_until(&s, &ctx, None, || None);
+        assert_eq!(r, Err(WaitInterrupt::Aborted));
+    }
+
+    #[test]
+    fn deadline_fires_and_reports_elapsed() {
+        let s = sched();
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        let d = std::time::Duration::from_millis(20);
+        let r: Result<(), _> = ssw_try_until(&s, &ctx, Some(d), || None);
+        match r {
+            Err(WaitInterrupt::TimedOut(e)) => assert!(e >= d, "elapsed {e:?} < deadline"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_does_not_fire_when_condition_arrives() {
+        let s = sched();
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        let mut n = 0;
+        let r = ssw_try_until(&s, &ctx, Some(std::time::Duration::from_secs(30)), || {
+            n += 1;
+            (n > 500).then_some(n)
+        });
+        assert_eq!(r, Ok(501));
     }
 }

@@ -73,3 +73,42 @@
 //! own code by never letting chunk execution order leak into floating-point
 //! accumulation order (accumulate per chunk, fold serially, as the CoMD
 //! port does with per-cell energies).
+//!
+//! ## Timeouts, faults, and aborts
+//!
+//! The default messaging calls ([`crate::PureComm::send`] and friends)
+//! block until completion and, on any fatal condition, abort the entire
+//! launch with one attributed panic (`pure: rank R failed: ...`). Three
+//! tools change or exercise that behaviour:
+//!
+//! * **Fallible variants** — [`crate::PureComm::send_timeout`],
+//!   [`crate::PureComm::recv_timeout`] and `Request::wait_timeout` return
+//!   [`crate::PureResult`] instead of blocking forever. On
+//!   [`crate::PureError::Timeout`] the posted operation has been withdrawn:
+//!   the message will *not* be delivered later, and the channel stays
+//!   usable. The error carries `{rank, op, peer, tag, elapsed}` for logs
+//!   and retry policies. Only the *newest* posted operation on a channel
+//!   can be withdrawn (MPI ordering would otherwise be violated); a
+//!   timeout that catches an older or mid-copy operation finishes it and
+//!   returns `Ok`.
+//!
+//! * **Launch deadline** — `Config::with_deadline(d)` arms a per-operation
+//!   progress deadline on every blocking wait plus a watchdog backstop at
+//!   1.5×`d`. Use it in tests and batch jobs so a deadlock produces a
+//!   diagnostic dump (who is waiting on what, channel occupancy, collective
+//!   rounds, net fault counters) instead of a hang. Leave it unset in
+//!   latency benchmarks: without it the hot paths never read a clock.
+//!
+//! * **Fault injection** — `Config::with_rank_faults` kills or slows a
+//!   chosen rank deterministically (`die_at: Some((rank, op_index))`,
+//!   `slow: Some((rank, delay))`); `NetConfig::with_faults(FaultPlan::
+//!   chaos(seed))` injures internode frames (drop/duplicate/reorder/delay)
+//!   under seeded, per-frame-deterministic decisions which the reliable
+//!   sublayer must repair. Both are for testing *your* error handling and
+//!   performance robustness; neither changes delivered bytes — a run either
+//!   completes byte-exact or aborts loudly.
+//!
+//! Do not wrap individual ranks in `catch_unwind` to "handle" a peer
+//! abort: the echo unwind that releases a rank from a dead collective is
+//! an implementation detail, and swallowing it strands the other ranks.
+//! Treat the launch as the unit of failure, as MPI treats the job.

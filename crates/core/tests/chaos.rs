@@ -1,0 +1,141 @@
+//! Chaos tests: full runtime workloads on a faulty interconnect. Every
+//! internode frame is subject to seeded drop/duplicate/reorder/delay
+//! injection (`netsim::FaultPlan`), and the reliable-delivery sublayer must
+//! hide all of it — runs complete with byte-exact results, deterministically,
+//! for every seed.
+//!
+//! The seed sweep defaults to 10 seeds; set `PURE_CHAOS_SEEDS=<n>` to widen
+//! it (the CI chaos profile does).
+
+use std::time::Duration;
+
+use netsim::{FaultPlan, NetConfig};
+use pure_core::prelude::*;
+
+fn chaos_cfg(ranks: usize, rpn: usize, seed: u64) -> Config {
+    let mut c = Config::new(ranks).with_ranks_per_node(rpn);
+    c.spin_budget = 16;
+    c.net = NetConfig::default().with_faults(FaultPlan::chaos(seed));
+    // Safety net: a reliability regression should fail loudly, not hang CI.
+    c.progress_deadline = Some(Duration::from_secs(10));
+    c
+}
+
+fn seed_count() -> u64 {
+    std::env::var("PURE_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Cross-node ping-pong with payload verification: every byte of every
+/// message is checked, so a dropped, duplicated or reordered frame that
+/// leaks through reliable delivery fails the assertion (and a lost one
+/// trips the deadline instead of hanging).
+#[test]
+fn ping_pong_survives_frame_faults_byte_exact() {
+    for seed in 0..seed_count() {
+        launch(chaos_cfg(2, 1, seed), |ctx| {
+            let w = ctx.world();
+            let me = ctx.rank();
+            let peer = 1 - me;
+            for round in 0..25u64 {
+                let fill = (seed ^ round).wrapping_mul(0x9E37_79B9) as u8;
+                let payload = [fill; 48];
+                let mut got = [0u8; 48];
+                if me == 0 {
+                    w.send(&payload, peer, 1);
+                    w.recv(&mut got, peer, 2);
+                } else {
+                    w.recv(&mut got, peer, 1);
+                    w.send(&payload, peer, 2);
+                }
+                assert_eq!(got, payload, "seed {seed} round {round}: corrupt payload");
+            }
+        });
+    }
+}
+
+/// Collectives across nodes under the same fault schedules: allreduce,
+/// bcast and barrier all route leader traffic over the faulty links.
+#[test]
+fn collectives_survive_frame_faults() {
+    for seed in 0..seed_count() {
+        launch(chaos_cfg(4, 2, seed), |ctx| {
+            let w = ctx.world();
+            for i in 0..8u64 {
+                let s = w.allreduce_one(ctx.rank() as u64 + i, ReduceOp::Sum);
+                assert_eq!(s, 6 + 4 * i, "seed {seed} iter {i}: allreduce wrong");
+
+                let mut data = if ctx.rank() == (i as usize) % 4 {
+                    [seed ^ i, i, 77]
+                } else {
+                    [0u64; 3]
+                };
+                w.bcast(&mut data, (i as usize) % 4);
+                assert_eq!(data, [seed ^ i, i, 77], "seed {seed} iter {i}: bcast wrong");
+
+                w.barrier();
+            }
+        });
+    }
+}
+
+/// The chaos tests must not pass vacuously: the fault plan has to actually
+/// injure frames, and the reliable sublayer has to actually repair the
+/// damage. (Exact traffic counts are *not* compared across runs — retransmit
+/// volume depends on backoff timing. What is deterministic per seed is the
+/// per-frame fault decision, covered by netsim's unit tests; what this test
+/// pins down is that injection engages end-to-end and delivery stays exact.)
+#[test]
+fn chaos_plan_injects_faults_and_recovery_engages() {
+    let report = launch(chaos_cfg(2, 1, 42), |ctx| {
+        let w = ctx.world();
+        let me = ctx.rank();
+        for round in 0..25u64 {
+            let mut got = [0u8; 16];
+            let fill = round as u8 ^ 0x5A;
+            if me == 0 {
+                w.send(&[fill; 16], 1, 1);
+                w.recv(&mut got, 1, 2);
+            } else {
+                w.recv(&mut got, 0, 1);
+                w.send(&[fill; 16], 0, 2);
+            }
+            assert_eq!(got, [fill; 16], "round {round}: corrupt payload");
+        }
+    });
+    let (dropped, _dup, retransmits) = report.net_faults;
+    assert!(dropped > 0, "chaos plan never dropped a frame: {report:?}");
+    assert!(
+        retransmits >= dropped,
+        "every dropped frame needs at least one retransmit: {report:?}"
+    );
+}
+
+/// Heavier drop rate than the standard chaos plan: retransmission must
+/// still converge (the backoff schedule, not luck, is doing the work).
+#[test]
+fn heavy_drop_rate_still_completes() {
+    for seed in [3u64, 17] {
+        let mut c = Config::new(2).with_ranks_per_node(1);
+        c.spin_budget = 16;
+        c.net = NetConfig::default().with_faults(FaultPlan::drops(seed, 300)); // 30 %
+        c.progress_deadline = Some(Duration::from_secs(10));
+        launch(c, |ctx| {
+            let w = ctx.world();
+            let me = ctx.rank();
+            for round in 0..10u64 {
+                let mut got = [0u64; 2];
+                if me == 0 {
+                    w.send(&[round, round * 3], 1, 4);
+                    w.recv(&mut got, 1, 5);
+                } else {
+                    w.recv(&mut got, 0, 4);
+                    w.send(&[round, round * 3], 0, 5);
+                }
+                assert_eq!(got, [round, round * 3], "seed {seed} round {round}");
+            }
+        });
+    }
+}

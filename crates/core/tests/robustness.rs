@@ -1,0 +1,221 @@
+//! Failure-path tests: rank panics mid-collective, timeouts that fire and
+//! recover, the launch-wide progress deadline, and intra-node fault
+//! injection (die-at-step, stragglers). The happy paths are covered by
+//! `runtime_e2e.rs`; this file is about what happens when things go wrong —
+//! above all, that *nothing hangs*.
+
+use std::time::Duration;
+
+use pure_core::prelude::*;
+
+fn cfg(ranks: usize) -> Config {
+    let mut c = Config::new(ranks);
+    c.spin_budget = 16;
+    c
+}
+
+/// The panic payload re-raised by `launch` as a formatted string.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string payload>")
+    }
+}
+
+#[test]
+fn rank_panic_mid_collective_reports_rank_and_message() {
+    let res = std::panic::catch_unwind(|| {
+        launch(cfg(3), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("original failure in rank one");
+            }
+            // The other ranks sit in a collective that can never complete;
+            // the abort flag must unwind them, and the *original* panic —
+            // not the echoes — must be what launch re-raises.
+            let mut out = [0u64];
+            ctx.world().allreduce(&[1u64], &mut out, ReduceOp::Sum);
+        });
+    });
+    let msg = panic_message(res.expect_err("panic must propagate"));
+    assert!(msg.contains("rank 1"), "missing failing rank id: {msg}");
+    assert!(
+        msg.contains("original failure in rank one"),
+        "missing original message: {msg}"
+    );
+    assert!(
+        !msg.contains("peer rank failed"),
+        "an echo panic displaced the original failure: {msg}"
+    );
+}
+
+#[test]
+fn recv_timeout_fires_and_channel_stays_usable() {
+    launch(cfg(2), |ctx| {
+        let w = ctx.world();
+        // Small (PBQ) message and large (rendezvous) message: the timeout
+        // must withdraw the posted receive in both regimes, leaving the
+        // channel clean for the real transfer afterwards.
+        if ctx.rank() == 0 {
+            let mut small = [0u64; 1];
+            let err = w
+                .recv_timeout(&mut small, 1, 7, Duration::from_millis(30))
+                .expect_err("nobody sent: the receive must time out");
+            assert!(err.is_timeout(), "wrong error: {err}");
+            let msg = err.to_string();
+            assert!(msg.contains("recv") && msg.contains("rank 0"), "{msg}");
+
+            let mut large = vec![0u8; 64 * 1024];
+            let err = w
+                .recv_timeout(&mut large, 1, 8, Duration::from_millis(30))
+                .expect_err("rendezvous receive must time out too");
+            assert!(err.is_timeout());
+
+            w.barrier();
+            w.recv(&mut small, 1, 7);
+            assert_eq!(small, [42]);
+            w.recv(&mut large, 1, 8);
+            assert!(large.iter().all(|&b| b == 0xA5));
+        } else {
+            // Send only after rank 0's timeouts have fired.
+            w.barrier();
+            w.send(&[42u64], 0, 7);
+            w.send(&vec![0xA5u8; 64 * 1024], 0, 8);
+        }
+    });
+}
+
+#[test]
+fn send_timeout_on_a_full_pbq_withdraws_the_message() {
+    launch(cfg(2), |ctx| {
+        let w = ctx.world();
+        let slots = 8; // pbq_slots default, already a power of two
+        if ctx.rank() == 0 {
+            for i in 0..slots {
+                w.send(&[i as u64], 1, 3); // fills the queue, never blocks
+            }
+            let err = w
+                .send_timeout(&[999u64], 1, 3, Duration::from_millis(30))
+                .expect_err("queue full, receiver absent: must time out");
+            assert!(err.is_timeout(), "wrong error: {err}");
+            w.barrier();
+        } else {
+            w.barrier(); // wait until the timeout has fired
+            let mut got = [0u64];
+            for i in 0..slots {
+                w.recv(&mut got, 0, 3);
+                assert_eq!(got, [i as u64]);
+            }
+            // The timed-out send was withdrawn: nothing else arrives.
+            let err = w
+                .recv_timeout(&mut got, 0, 3, Duration::from_millis(50))
+                .expect_err("the withdrawn message must never be delivered");
+            assert!(err.is_timeout());
+        }
+    });
+}
+
+#[test]
+fn wait_timeout_withdraws_an_irecv() {
+    launch(cfg(2), |ctx| {
+        let w = ctx.world();
+        if ctx.rank() == 0 {
+            let mut buf = [0u32; 2];
+            let req = w.irecv(&mut buf, 1, 5);
+            let err = req
+                .wait_timeout(Duration::from_millis(30))
+                .expect_err("nobody sent: the request must time out");
+            assert!(err.is_timeout());
+            w.barrier();
+            w.recv(&mut buf, 1, 5);
+            assert_eq!(buf, [10, 20]);
+        } else {
+            w.barrier();
+            w.send(&[10u32, 20], 0, 5);
+        }
+    });
+}
+
+#[test]
+fn global_deadline_aborts_a_stuck_launch() {
+    let res = std::panic::catch_unwind(|| {
+        let c = cfg(2).with_deadline(Duration::from_millis(100));
+        launch(c, |ctx| {
+            if ctx.rank() == 0 {
+                // Blocks forever: rank 1 never sends.
+                let mut b = [0u8];
+                ctx.world().recv(&mut b, 1, 0);
+            } else {
+                // Blocks in a collective rank 0 will never join.
+                ctx.world().barrier();
+            }
+        });
+    });
+    let msg = panic_message(res.expect_err("deadline must abort the launch"));
+    assert!(msg.contains("timed out"), "not a timeout report: {msg}");
+}
+
+#[test]
+fn die_at_step_fault_kills_the_launch_with_context() {
+    let res = std::panic::catch_unwind(|| {
+        let c = cfg(3).with_rank_faults(RankFaults {
+            die_at: Some((2, 3)),
+            slow: None,
+        });
+        launch(c, |ctx| {
+            for _ in 0..10 {
+                ctx.world().barrier();
+            }
+        });
+    });
+    let msg = panic_message(res.expect_err("the injected fault must propagate"));
+    assert!(msg.contains("injected fault"), "{msg}");
+    assert!(msg.contains("rank 2"), "{msg}");
+}
+
+#[test]
+fn slow_rank_straggler_still_computes_correctly() {
+    let c = cfg(3).with_rank_faults(RankFaults {
+        die_at: None,
+        slow: Some((1, Duration::from_millis(2))),
+    });
+    launch(c, |ctx| {
+        let w = ctx.world();
+        for i in 0..5u64 {
+            let s = w.allreduce_one(ctx.rank() as u64 + i, ReduceOp::Sum);
+            assert_eq!(s, 3 + 3 * i);
+        }
+    });
+}
+
+#[test]
+fn timeout_error_is_structured() {
+    launch(cfg(2), |ctx| {
+        if ctx.rank() == 0 {
+            let mut b = [0u8; 4];
+            let err = ctx
+                .world()
+                .recv_timeout(&mut b, 1, 9, Duration::from_millis(20))
+                .expect_err("must time out");
+            match &err {
+                PureError::Timeout {
+                    rank,
+                    op,
+                    peer,
+                    tag,
+                    elapsed,
+                } => {
+                    assert_eq!(*rank, 0);
+                    assert_eq!(*op, "recv");
+                    assert_eq!(*peer, Some(1));
+                    assert_eq!(*tag, Some(9));
+                    assert!(*elapsed >= Duration::from_millis(20));
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+        }
+        ctx.world().barrier();
+    });
+}

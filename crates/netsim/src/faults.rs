@@ -1,0 +1,141 @@
+//! Deterministic fault injection for the simulated interconnect.
+//!
+//! A [`FaultPlan`] turns the ideal transport into a lossy one: each raw frame
+//! (identified by a cluster-global monotonically increasing frame index) is
+//! independently subjected to seeded drop / duplicate / reorder / delay
+//! decisions. The decision for frame `i` under seed `s` is a pure function of
+//! `(s, i)`, so a fault schedule can be replayed exactly — the property the
+//! chaos tests rely on to sweep seeds deterministically.
+//!
+//! Faults model the *network*, not the endpoints: they apply below the
+//! reliable sublayer (see [`crate::reliable`]), which is exactly why that
+//! sublayer exists. With no `FaultPlan` configured the transport behaves as
+//! before, byte for byte.
+
+/// Per-frame fault probabilities, in per-mille (0..=1000), plus the seed that
+/// makes the schedule deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-frame decision hash.
+    pub seed: u64,
+    /// Probability (‰) that a frame is silently dropped.
+    pub drop_pm: u32,
+    /// Probability (‰) that a frame is delivered twice.
+    pub dup_pm: u32,
+    /// Probability (‰) that a frame jumps the inbox queue (reordering).
+    pub reorder_pm: u32,
+    /// Probability (‰) that a frame is delayed by `extra_delay_ns`.
+    pub delay_pm: u32,
+    /// Extra delivery latency applied to delayed frames.
+    pub extra_delay_ns: u64,
+}
+
+/// What happens to one frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Do not deliver the frame at all.
+    pub drop: bool,
+    /// Deliver the frame twice.
+    pub duplicate: bool,
+    /// Insert the frame at the *front* of the destination inbox.
+    pub reorder: bool,
+    /// Additional delivery latency in nanoseconds.
+    pub extra_delay_ns: u64,
+}
+
+/// splitmix64 finalizer — the same mixer the rest of the workspace uses for
+/// deterministic seeding.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with every fault class enabled at test-friendly rates:
+    /// 5% drops, 3% duplicates, 5% reorders, 10% delays of 200 µs.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_pm: 50,
+            dup_pm: 30,
+            reorder_pm: 50,
+            delay_pm: 100,
+            extra_delay_ns: 200_000,
+        }
+    }
+
+    /// A drops-only plan (the simplest retry-path exerciser).
+    pub fn drops(seed: u64, drop_pm: u32) -> Self {
+        Self {
+            seed,
+            drop_pm,
+            dup_pm: 0,
+            reorder_pm: 0,
+            delay_pm: 0,
+            extra_delay_ns: 0,
+        }
+    }
+
+    /// The (pure, replayable) fault decision for cluster frame `frame`.
+    pub fn decide(&self, frame: u64) -> FaultDecision {
+        // Four independent rolls from a short splitmix stream keyed by
+        // (seed, frame). Each roll is uniform in 0..1000.
+        let mut x = mix64(self.seed ^ frame.wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut roll = |pm: u32| {
+            x = mix64(x);
+            (x % 1000) < pm as u64
+        };
+        let drop = roll(self.drop_pm);
+        let duplicate = roll(self.dup_pm);
+        let reorder = roll(self.reorder_pm);
+        let delayed = roll(self.delay_pm);
+        FaultDecision {
+            drop,
+            duplicate: duplicate && !drop,
+            reorder: reorder && !drop,
+            extra_delay_ns: if delayed { self.extra_delay_ns } else { 0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let p = FaultPlan::chaos(42);
+        let a: Vec<FaultDecision> = (0..1000).map(|i| p.decide(i)).collect();
+        let b: Vec<FaultDecision> = (0..1000).map(|i| p.decide(i)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        let same = (0..1000).filter(|&i| a.decide(i) == b.decide(i)).count();
+        assert!(
+            same < 1000,
+            "distinct seeds must produce distinct schedules"
+        );
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let p = FaultPlan::drops(7, 100); // 10%
+        let drops = (0..10_000).filter(|&i| p.decide(i).drop).count();
+        assert!(
+            (500..1500).contains(&drops),
+            "10% of 10k frames should drop, got {drops}"
+        );
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let p = FaultPlan::drops(3, 0);
+        assert!((0..1000).all(|i| p.decide(i) == FaultDecision::default()));
+    }
+}

@@ -19,8 +19,11 @@
 //! progress). Higher-level cross-node collective *algorithms* live in
 //! `pure-core::internode`, composed from these primitives.
 
+pub mod faults;
+pub mod reliable;
 pub mod tag;
 mod transport;
 
+pub use faults::{FaultDecision, FaultPlan};
 pub use tag::WireTag;
 pub use transport::{Cluster, NetConfig, NetStats, NodeEndpoint};

@@ -1,0 +1,233 @@
+//! Sequence-numbered reliable delivery over the (possibly faulty) raw
+//! transport.
+//!
+//! When a [`crate::FaultPlan`] is configured, every data frame is wrapped
+//! with an 8-byte little-endian sequence number, per *link* — a link being
+//! `(peer node, encoded wire tag)`, i.e. exactly the FIFO unit the raw
+//! transport guarantees ordering for. The receiver acknowledges with
+//! **cumulative** ACKs (the next sequence it expects, TCP-style — a per-frame
+//! ACK scheme would lose a dropped frame 4 once frame 5 was acknowledged),
+//! deduplicates replays and reorders stashed out-of-order arrivals. The
+//! sender keeps unacknowledged frames and retransmits the oldest one on an
+//! exponential backoff timer.
+//!
+//! The state machines here are plain data; the [`crate::NodeEndpoint`]
+//! integration (who pumps what and when) lives in `transport.rs`. ACK frames
+//! travel on a mirrored wire tag (class bit [`crate::tag::CLASS_ACK_BIT`],
+//! src/dst thread ids swapped) so they never match application receives.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bytes of sequence header prepended to every reliable data frame.
+pub const SEQ_HEADER_BYTES: usize = 8;
+
+/// Initial retransmit backoff (ns). Chosen well above the default modeled
+/// network latency so the first retransmit is almost always a real loss.
+pub const BASE_BACKOFF_NS: u64 = 200_000;
+
+/// Backoff ceiling (ns).
+pub const MAX_BACKOFF_NS: u64 = 5_000_000;
+
+/// Prepend the sequence header to `payload`.
+pub fn frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(SEQ_HEADER_BYTES + payload.len());
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Split a reliable frame into `(seq, payload)`.
+pub fn deframe(f: &[u8]) -> (u64, &[u8]) {
+    assert!(
+        f.len() >= SEQ_HEADER_BYTES,
+        "netsim: reliable frame shorter than its sequence header"
+    );
+    let mut hdr = [0u8; SEQ_HEADER_BYTES];
+    hdr.copy_from_slice(&f[..SEQ_HEADER_BYTES]);
+    (u64::from_le_bytes(hdr), &f[SEQ_HEADER_BYTES..])
+}
+
+/// Sender half of one reliable link.
+pub struct TxState {
+    /// Sequence number the next new frame receives.
+    pub next_seq: u64,
+    /// Frames `< acked` are confirmed delivered (cumulative).
+    pub acked: u64,
+    /// Unacknowledged frames, oldest first, already framed.
+    pub outstanding: VecDeque<(u64, Vec<u8>)>,
+    /// Absolute (ns since cluster birth) deadline of the next retransmit;
+    /// 0 when nothing is outstanding.
+    pub next_retx_ns: u64,
+    /// Current backoff interval (ns), doubled per retransmit.
+    pub backoff_ns: u64,
+}
+
+impl TxState {
+    /// Fresh link state.
+    pub fn new() -> Self {
+        Self {
+            next_seq: 0,
+            acked: 0,
+            outstanding: VecDeque::new(),
+            next_retx_ns: 0,
+            backoff_ns: BASE_BACKOFF_NS,
+        }
+    }
+
+    /// Register a new frame for transmission; returns `(seq, framed bytes)`.
+    pub fn stage(&mut self, payload: &[u8], now_ns: u64) -> (u64, Vec<u8>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let f = frame(seq, payload);
+        self.outstanding.push_back((seq, f.clone()));
+        if self.next_retx_ns == 0 {
+            self.next_retx_ns = now_ns + self.backoff_ns;
+        }
+        (seq, f)
+    }
+
+    /// Apply a cumulative ACK (monotone; stale ACKs are harmless).
+    pub fn on_ack(&mut self, ack: u64) {
+        if ack > self.acked {
+            self.acked = ack;
+            while self.outstanding.front().is_some_and(|(s, _)| *s < ack) {
+                self.outstanding.pop_front();
+            }
+            // Progress happened: reset the backoff clock for what remains.
+            self.backoff_ns = BASE_BACKOFF_NS;
+            self.next_retx_ns = 0;
+        }
+        if self.outstanding.is_empty() {
+            self.next_retx_ns = 0;
+            self.backoff_ns = BASE_BACKOFF_NS;
+        }
+    }
+
+    /// If a retransmit is due at `now_ns`, return the oldest unacked frame
+    /// and advance the backoff timer.
+    pub fn due_retransmit(&mut self, now_ns: u64) -> Option<Vec<u8>> {
+        let (_, f) = self.outstanding.front()?;
+        if self.next_retx_ns == 0 {
+            self.next_retx_ns = now_ns + self.backoff_ns;
+            return None;
+        }
+        if now_ns < self.next_retx_ns {
+            return None;
+        }
+        let f = f.clone();
+        self.backoff_ns = (self.backoff_ns * 2).min(MAX_BACKOFF_NS);
+        self.next_retx_ns = now_ns + self.backoff_ns;
+        Some(f)
+    }
+}
+
+impl Default for TxState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Receiver half of one reliable link.
+#[derive(Default)]
+pub struct RxState {
+    /// Next in-order sequence expected (doubles as the cumulative ACK value).
+    pub expected: u64,
+    /// Out-of-order arrivals parked until the gap closes.
+    stash: BTreeMap<u64, Vec<u8>>,
+    /// In-order payloads not yet handed to the application.
+    ready: VecDeque<Vec<u8>>,
+}
+
+impl RxState {
+    /// Ingest one arriving frame: deliver in order, stash ahead-of-order,
+    /// discard duplicates. Returns `true` if the frame was new (not a dup).
+    pub fn accept(&mut self, seq: u64, payload: Vec<u8>) -> bool {
+        if seq < self.expected || self.stash.contains_key(&seq) {
+            return false; // replay of something already delivered/stashed
+        }
+        if seq == self.expected {
+            self.ready.push_back(payload);
+            self.expected += 1;
+            while let Some(p) = self.stash.remove(&self.expected) {
+                self.ready.push_back(p);
+                self.expected += 1;
+            }
+        } else {
+            self.stash.insert(seq, payload);
+        }
+        true
+    }
+
+    /// Next in-order payload, if any.
+    pub fn pop_ready(&mut self) -> Option<Vec<u8>> {
+        self.ready.pop_front()
+    }
+
+    /// Payloads delivered in order but not yet consumed.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Out-of-order frames parked in the stash.
+    pub fn stashed(&self) -> usize {
+        self.stash.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = frame(7, b"payload");
+        let (seq, p) = deframe(&f);
+        assert_eq!(seq, 7);
+        assert_eq!(p, b"payload");
+    }
+
+    #[test]
+    fn rx_delivers_in_order_despite_reorder_and_dups() {
+        let mut rx = RxState::default();
+        assert!(rx.accept(1, vec![1])); // ahead: stashed
+        assert_eq!(rx.pop_ready(), None);
+        assert!(rx.accept(0, vec![0])); // gap closes: both deliver
+        assert_eq!(rx.pop_ready(), Some(vec![0]));
+        assert_eq!(rx.pop_ready(), Some(vec![1]));
+        assert!(!rx.accept(0, vec![0]), "replay is a dup");
+        assert!(!rx.accept(1, vec![1]), "replay is a dup");
+        assert_eq!(rx.expected, 2);
+    }
+
+    #[test]
+    fn cumulative_ack_retires_all_older_frames() {
+        let mut tx = TxState::new();
+        for i in 0..5u8 {
+            tx.stage(&[i], 0);
+        }
+        assert_eq!(tx.outstanding.len(), 5);
+        tx.on_ack(3);
+        assert_eq!(tx.outstanding.len(), 2);
+        assert_eq!(tx.outstanding.front().unwrap().0, 3);
+        tx.on_ack(2); // stale: ignored
+        assert_eq!(tx.acked, 3);
+        tx.on_ack(5);
+        assert!(tx.outstanding.is_empty());
+        assert_eq!(tx.next_retx_ns, 0);
+    }
+
+    #[test]
+    fn retransmit_backs_off_exponentially() {
+        let mut tx = TxState::new();
+        tx.stage(b"x", 1_000);
+        assert!(tx.due_retransmit(1_000).is_none(), "not due yet");
+        let due_at = 1_000 + BASE_BACKOFF_NS;
+        assert!(tx.due_retransmit(due_at).is_some());
+        assert_eq!(tx.backoff_ns, 2 * BASE_BACKOFF_NS);
+        assert!(
+            tx.due_retransmit(due_at + BASE_BACKOFF_NS).is_none(),
+            "backoff doubled: next retry is further out"
+        );
+        assert!(tx.due_retransmit(due_at + 2 * BASE_BACKOFF_NS).is_some());
+    }
+}

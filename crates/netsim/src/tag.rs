@@ -14,6 +14,11 @@ pub const CLASS_P2P: u8 = 0;
 pub const CLASS_COLLECTIVE: u8 = 1;
 /// Runtime-internal bootstrap traffic (rank maps, consensus).
 pub const CLASS_BOOTSTRAP: u8 = 2;
+/// Top bit of the 7-bit class field: set on acknowledgement frames of the
+/// reliable sublayer. ORed onto the data class so every data plane gets its
+/// own ACK plane (a shared ACK class would let a P2P and a collective link
+/// with equal thread ids and user tag swallow each other's ACKs).
+pub const CLASS_ACK_BIT: u8 = 0x40;
 
 const LOCAL_BITS: u32 = 12;
 const LOCAL_MASK: u64 = (1 << LOCAL_BITS) - 1;
@@ -59,6 +64,22 @@ impl WireTag {
             user,
             class,
         }
+    }
+
+    /// The ACK tag mirroring a data tag: same user tag, thread ids swapped
+    /// (ACKs flow receiver → sender), class marked with [`CLASS_ACK_BIT`].
+    pub fn ack_for(data: WireTag) -> Self {
+        Self {
+            src_local: data.dst_local,
+            dst_local: data.src_local,
+            user: data.user,
+            class: data.class | CLASS_ACK_BIT,
+        }
+    }
+
+    /// True for acknowledgement-plane tags.
+    pub fn is_ack(self) -> bool {
+        self.class & CLASS_ACK_BIT != 0
     }
 
     /// Pack into the 64-bit on-the-wire representation.
@@ -112,6 +133,17 @@ mod tests {
         let c = WireTag::p2p(1, 2, 4).encode();
         let d = WireTag::collective(1, 2, 3).encode();
         assert!(a != b && a != c && a != d && b != c && b != d && c != d);
+    }
+
+    #[test]
+    fn ack_tag_mirrors_and_marks() {
+        let d = WireTag::collective(3, 9, 77);
+        let a = WireTag::ack_for(d);
+        assert!(a.is_ack() && !d.is_ack());
+        assert_eq!((a.src_local, a.dst_local), (9, 3));
+        assert_eq!(a.user, 77);
+        assert_ne!(a.encode(), d.encode());
+        assert_eq!(WireTag::decode(a.encode()), a);
     }
 
     #[test]
