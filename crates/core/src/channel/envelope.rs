@@ -17,7 +17,8 @@
 //! the two sides race for the slot atomically — the sender never copies into
 //! a buffer the receiver has taken back.
 
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use interleave::cell::{Cell, RaceZone};
+use interleave::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -34,9 +35,9 @@ const CLAIMED: u8 = 3;
 /// the `state` acquire/release protocol.
 struct Envelope {
     state: AtomicU8,
-    ptr: std::cell::Cell<*mut u8>,
-    cap: std::cell::Cell<usize>,
-    len: std::cell::Cell<usize>,
+    ptr: Cell<*mut u8>,
+    cap: Cell<usize>,
+    len: Cell<usize>,
 }
 
 // SAFETY: field access follows the FREE/POSTED/FILLED ownership protocol;
@@ -52,6 +53,10 @@ pub struct EnvelopeQueue {
     post_pos: CachePadded<AtomicUsize>,
     /// Next slot the sender will fill (sender-thread only).
     fill_pos: CachePadded<AtomicUsize>,
+    /// One virtual location per slot standing in for the receiver's buffer,
+    /// so the model checker can race-check the single-copy transfer. No-op
+    /// in normal builds.
+    transfer_races: RaceZone,
 }
 
 impl EnvelopeQueue {
@@ -62,9 +67,9 @@ impl EnvelopeQueue {
             .map(|_| {
                 CachePadded::new(Envelope {
                     state: AtomicU8::new(FREE),
-                    ptr: std::cell::Cell::new(std::ptr::null_mut()),
-                    cap: std::cell::Cell::new(0),
-                    len: std::cell::Cell::new(0),
+                    ptr: Cell::new(std::ptr::null_mut()),
+                    cap: Cell::new(0),
+                    len: Cell::new(0),
                 })
             })
             .collect();
@@ -72,6 +77,7 @@ impl EnvelopeQueue {
             slots,
             post_pos: CachePadded::new(AtomicUsize::new(0)),
             fill_pos: CachePadded::new(AtomicUsize::new(0)),
+            transfer_races: RaceZone::new(n),
         }
     }
 
@@ -101,6 +107,9 @@ impl EnvelopeQueue {
         if s.state.load(Ordering::Acquire) != FREE {
             return None; // all slots in flight
         }
+        // Handing the buffer to the sender counts as the receiver's last
+        // write before the rendezvous.
+        self.transfer_races.write(pos & (self.slots.len() - 1));
         s.ptr.set(ptr);
         s.cap.set(cap);
         s.state.store(POSTED, Ordering::Release);
@@ -137,6 +146,7 @@ impl EnvelopeQueue {
         // receiver's release store, making ptr/cap visible; the receiver
         // guarantees the buffer stays valid and unaliased until it consumes
         // FILLED (it cannot cancel a CLAIMED slot).
+        self.transfer_races.write(pos & (self.slots.len() - 1));
         unsafe {
             std::ptr::copy_nonoverlapping(payload.as_ptr(), s.ptr.get(), payload.len());
         }
@@ -159,6 +169,9 @@ impl EnvelopeQueue {
         if s.state.load(Ordering::Acquire) != FILLED {
             return None;
         }
+        // The receiver reads the filled buffer from here on.
+        self.transfer_races
+            .read(ticket as usize & (self.slots.len() - 1));
         let len = s.len.get();
         s.state.store(FREE, Ordering::Release);
         Some(len)
@@ -188,6 +201,10 @@ impl EnvelopeQueue {
         {
             return false; // sender already claimed/filled it
         }
+        // The receiver takes the buffer back; any later sender copy into it
+        // would be a race the model must flag.
+        self.transfer_races
+            .write(ticket as usize & (self.slots.len() - 1));
         // Rewind so the slot (and ticket) are reissued to the next post.
         self.post_pos.store(ticket as usize, Ordering::Relaxed);
         true

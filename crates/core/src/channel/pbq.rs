@@ -30,8 +30,8 @@
 //! the last slot is written/read. The channel manager uses them to drain its
 //! pending queues with a single publication per poll.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use interleave::cell::{Cell, RaceZone};
+use interleave::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -68,6 +68,9 @@ pub struct PureBufferQueue {
     head: CachePadded<AtomicUsize>,
     /// Consumer-private cache of the last observed `tail`.
     cached_tail: CachePadded<Cell<usize>>,
+    /// One virtual location per slot for the model checker; zero-sized no-op
+    /// in normal builds.
+    slot_races: RaceZone,
 }
 
 // SAFETY: the raw storage is only accessed under the SPSC protocol: the
@@ -104,6 +107,7 @@ impl PureBufferQueue {
             cached_head: CachePadded::new(Cell::new(0)),
             head: CachePadded::new(AtomicUsize::new(0)),
             cached_tail: CachePadded::new(Cell::new(0)),
+            slot_races: RaceZone::new(n_slots),
         }
     }
 
@@ -179,6 +183,7 @@ impl PureBufferQueue {
     /// past `pos`.
     #[inline]
     unsafe fn write_slot(&self, pos: usize, payload: &[u8]) {
+        self.slot_races.write(pos % self.n_slots);
         let p = self.slot_ptr(pos);
         // SAFETY: slot ownership per the caller contract; the consumer will
         // not read it before the release store of `tail`.
@@ -271,6 +276,7 @@ impl PureBufferQueue {
         if self.available(head) == 0 {
             return None; // empty
         }
+        self.slot_races.read(head % self.n_slots);
         let p = self.slot_ptr(head);
         // SAFETY: an acquire load of `tail` (now or on an earlier refresh
         // that first covered this position) synchronized with the producer's
@@ -295,6 +301,7 @@ impl PureBufferQueue {
         let head = self.head.load(Ordering::Relaxed); // sole writer of head
         let n = self.available(head).min(max);
         for i in 0..n {
+            self.slot_races.read(head.wrapping_add(i) % self.n_slots);
             let p = self.slot_ptr(head.wrapping_add(i));
             // SAFETY: as in `try_recv_with`; positions < cached_tail were
             // covered by an acquire load of `tail`.

@@ -10,7 +10,7 @@
 //! region (disjoint by construction), so the concurrent writes need no
 //! locks — the same argument as the Partitioned Reducer's.
 
-use std::sync::atomic::Ordering;
+use interleave::sync::atomic::Ordering;
 
 use crate::comm::PureComm;
 use crate::datatype::{PureDatatype, ReduceOp, Reducible};

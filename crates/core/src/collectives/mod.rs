@@ -11,8 +11,8 @@ pub mod gather;
 pub mod ops;
 pub mod sptd;
 
+use interleave::sync::atomic::{AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 

@@ -19,6 +19,8 @@
 //!    `leader_seq` / `bcast_seq` / per-member `done` and observed with
 //!    acquire loads.
 
+use interleave::sync::atomic::Ordering;
+
 use crate::collectives::ArrivalMode;
 use crate::comm::PureComm;
 use crate::datatype::{as_bytes, PureDatatype, ReduceOp, Reducible};
@@ -66,9 +68,7 @@ impl PureComm {
         match self.local.shared.cfg.arrival {
             ArrivalMode::Sptd => me.publish_seq(r),
             ArrivalMode::SharedCounter => {
-                self.area
-                    .arrivals
-                    .fetch_add(1, std::sync::atomic::Ordering::Release);
+                self.area.arrivals.fetch_add(1, Ordering::Release);
             }
         }
     }
@@ -97,12 +97,7 @@ impl PureComm {
             ArrivalMode::SharedCounter => {
                 let target = g as u64 * r;
                 self.local.ssw_op("collective arrivals", None, None, || {
-                    (self
-                        .area
-                        .arrivals
-                        .load(std::sync::atomic::Ordering::Acquire)
-                        >= target)
-                        .then_some(())
+                    (self.area.arrivals.load(Ordering::Acquire) >= target).then_some(())
                 });
             }
         }
@@ -267,18 +262,11 @@ impl PureComm {
             self.wait_all_arrivals(r);
             // SAFETY: all arrived ⇒ no reader of the previous scratch.
             unsafe { self.area.scratch.ensure(std::mem::size_of_val(input)) };
-            self.area
-                .scratch_ready
-                .store(r, std::sync::atomic::Ordering::Release);
+            self.area.scratch_ready.store(r, Ordering::Release);
         } else {
             self.wait_all_arrivals(r);
             self.local.ssw_op("reducer scratch", None, None, || {
-                (self
-                    .area
-                    .scratch_ready
-                    .load(std::sync::atomic::Ordering::Acquire)
-                    >= r)
-                    .then_some(())
+                (self.area.scratch_ready.load(Ordering::Acquire) >= r).then_some(())
             });
         }
 
@@ -358,9 +346,7 @@ impl PureComm {
                     .as_mut_slice::<T>(data.len())
                     .copy_from_slice(data);
             }
-            self.area
-                .bcast_seq
-                .store(r, std::sync::atomic::Ordering::Release);
+            self.area.bcast_seq.store(r, Ordering::Release);
         }
 
         if self.is_leader() && self.multi_node() {
@@ -382,9 +368,7 @@ impl PureComm {
                         .as_mut_slice::<T>(data.len())
                         .copy_from_slice(data);
                 }
-                self.area
-                    .bcast_seq
-                    .store(r, std::sync::atomic::Ordering::Release);
+                self.area.bcast_seq.store(r, Ordering::Release);
             }
         }
 
@@ -399,12 +383,7 @@ impl PureComm {
 
     pub(crate) fn wait_bcast_seq(&self, r: u64) {
         self.local.ssw_op("bcast payload", None, None, || {
-            (self
-                .area
-                .bcast_seq
-                .load(std::sync::atomic::Ordering::Acquire)
-                >= r)
-                .then_some(())
+            (self.area.bcast_seq.load(Ordering::Acquire) >= r).then_some(())
         });
     }
 }

@@ -14,7 +14,8 @@
 //! shared data), which the large-data collectives and broadcast flow control
 //! need.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use interleave::cell::RaceZone;
+use interleave::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -25,6 +26,9 @@ pub struct Sptd {
     seq: CachePadded<AtomicU64>,
     done_seq: CachePadded<AtomicU64>,
     payload: AlignedBytes,
+    /// Virtual location standing in for the payload buffer under the model
+    /// checker; zero-sized no-op in normal builds.
+    payload_race: RaceZone,
 }
 
 impl Sptd {
@@ -34,6 +38,7 @@ impl Sptd {
             seq: CachePadded::new(AtomicU64::new(0)),
             done_seq: CachePadded::new(AtomicU64::new(0)),
             payload: AlignedBytes::new(capacity.max(16)),
+            payload_race: RaceZone::new(1),
         }
     }
 
@@ -51,6 +56,7 @@ impl Sptd {
     /// collectives' round protocol).
     pub unsafe fn write_bytes(&self, bytes: &[u8]) {
         assert!(bytes.len() <= self.payload.len(), "SPTD payload overflow");
+        self.payload_race.write(0);
         // SAFETY: exclusive write window per the round protocol.
         unsafe {
             std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.payload.byte_ptr(0), bytes.len());
@@ -66,6 +72,7 @@ impl Sptd {
     /// valid until the round completes.
     pub unsafe fn write_ptr(&self, ptr: *const u8, len: usize) {
         let words = [ptr as usize, len];
+        self.payload_race.write(0);
         // SAFETY: 16 bytes fit (capacity min is 16); exclusive write window.
         unsafe {
             std::ptr::copy_nonoverlapping(
@@ -116,6 +123,7 @@ impl Sptd {
     /// this payload, and the owner must not republish until the round ends.
     pub unsafe fn payload(&self, len: usize) -> &[u8] {
         assert!(len <= self.payload.len());
+        self.payload_race.read(0);
         // SAFETY: acquire/release on `seq` ordered the owner's writes before
         // this read; stability per the round protocol.
         unsafe { std::slice::from_raw_parts(self.payload.byte_ptr(0), len) }

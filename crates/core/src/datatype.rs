@@ -66,6 +66,51 @@ pub fn from_bytes<T: PureDatatype>(b: &[u8]) -> &[T] {
     unsafe { std::slice::from_raw_parts(b.as_ptr().cast(), b.len() / sz) }
 }
 
+/// Pack `count` blocks of `block` elements, the blocks `stride` elements
+/// apart in `src` (an MPI-vector-style layout), into the contiguous `dst`.
+/// `dst` must hold exactly `count * block` elements; `stride >= block` and
+/// the last block must end within `src`. `count == 0` is a no-op.
+pub fn pack_strided<T: PureDatatype>(
+    src: &[T],
+    dst: &mut [T],
+    count: usize,
+    block: usize,
+    stride: usize,
+) {
+    assert!(stride >= block, "strided blocks must not overlap");
+    assert_eq!(dst.len(), count * block, "packed length mismatch");
+    if count > 0 {
+        let span = (count - 1) * stride + block;
+        assert!(span <= src.len(), "strided layout exceeds source");
+    }
+    for (i, chunk) in dst.chunks_exact_mut(block.max(1)).enumerate().take(count) {
+        let start = i * stride;
+        chunk.copy_from_slice(&src[start..start + block]);
+    }
+}
+
+/// Inverse of [`pack_strided`]: scatter the contiguous `src` back into the
+/// strided layout of `dst`. Elements of `dst` in the gaps between blocks are
+/// left untouched.
+pub fn unpack_strided<T: PureDatatype>(
+    src: &[T],
+    dst: &mut [T],
+    count: usize,
+    block: usize,
+    stride: usize,
+) {
+    assert!(stride >= block, "strided blocks must not overlap");
+    assert_eq!(src.len(), count * block, "packed length mismatch");
+    if count > 0 {
+        let span = (count - 1) * stride + block;
+        assert!(span <= dst.len(), "strided layout exceeds destination");
+    }
+    for (i, chunk) in src.chunks_exact(block.max(1)).enumerate().take(count) {
+        let start = i * stride;
+        dst[start..start + block].copy_from_slice(chunk);
+    }
+}
+
 /// The reduction operators Pure's collectives support.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReduceOp {

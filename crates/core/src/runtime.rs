@@ -9,11 +9,11 @@
 //! wherever the OS puts it and backs its spin loops with a yield after a
 //! configurable budget so oversubscribed runs stay live.
 
+use interleave::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -25,7 +25,7 @@
 //! would additionally require a thief to stall across the entire wrap, which
 //! we accept (the paper's pointer design has a strictly weaker guarantee).
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use interleave::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -364,9 +364,9 @@ impl NodeScheduler {
             }
             spins += 1;
             if spins > self.spin_budget {
-                std::thread::yield_now();
+                interleave::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                interleave::hint::spin_loop();
             }
         }
         slot.status.store(0, Ordering::Release);
@@ -387,9 +387,9 @@ impl NodeScheduler {
             }
             spins += 1;
             if spins > self.spin_budget {
-                std::thread::yield_now();
+                interleave::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                interleave::hint::spin_loop();
             }
         }
     }

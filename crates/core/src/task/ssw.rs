@@ -85,9 +85,9 @@ pub fn ssw_try_until<T>(
         }
         spins += 1;
         if spins > budget {
-            std::thread::yield_now();
+            interleave::thread::yield_now();
         } else {
-            std::hint::spin_loop();
+            interleave::hint::spin_loop();
         }
     }
 }

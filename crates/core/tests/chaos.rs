@@ -4,9 +4,12 @@
 //! hide all of it — runs complete with byte-exact results, deterministically,
 //! for every seed.
 //!
-//! The seed sweep defaults to 10 seeds; set `PURE_CHAOS_SEEDS=<n>` to widen
-//! it (the CI chaos profile does).
+//! The seed sweep runs 8 seeds by default; set `PURE_CHAOS_SEEDS=<n>` to
+//! widen it (the CI chaos profile does). A failing seed is reported with the
+//! exact replay command; set `PURE_CHAOS_ONLY_SEED=<seed>` to re-run just
+//! that seed under a debugger.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use netsim::{FaultPlan, NetConfig};
@@ -25,7 +28,34 @@ fn seed_count() -> u64 {
     std::env::var("PURE_CHAOS_SEEDS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(10)
+        .unwrap_or(8)
+}
+
+/// Run `body` for every seed in the sweep (or only `PURE_CHAOS_ONLY_SEED`
+/// when set). A failing seed re-panics with the command that replays it in
+/// isolation, so the failure message is actionable without bisecting.
+fn sweep_seeds(test_name: &str, body: impl Fn(u64)) {
+    let only: Option<u64> = std::env::var("PURE_CHAOS_ONLY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let seeds: Vec<u64> = match only {
+        Some(s) => vec![s],
+        None => (0..seed_count()).collect(),
+    };
+    for seed in seeds {
+        if let Err(cause) = catch_unwind(AssertUnwindSafe(|| body(seed))) {
+            let msg = cause
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| cause.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "chaos seed {seed} failed: {msg}\n\
+                 replay with: PURE_CHAOS_ONLY_SEED={seed} \
+                 cargo test -p pure-core --test chaos {test_name}"
+            );
+        }
+    }
 }
 
 /// Cross-node ping-pong with payload verification: every byte of every
@@ -34,7 +64,7 @@ fn seed_count() -> u64 {
 /// trips the deadline instead of hanging).
 #[test]
 fn ping_pong_survives_frame_faults_byte_exact() {
-    for seed in 0..seed_count() {
+    sweep_seeds("ping_pong_survives_frame_faults_byte_exact", |seed| {
         launch(chaos_cfg(2, 1, seed), |ctx| {
             let w = ctx.world();
             let me = ctx.rank();
@@ -53,14 +83,14 @@ fn ping_pong_survives_frame_faults_byte_exact() {
                 assert_eq!(got, payload, "seed {seed} round {round}: corrupt payload");
             }
         });
-    }
+    });
 }
 
 /// Collectives across nodes under the same fault schedules: allreduce,
 /// bcast and barrier all route leader traffic over the faulty links.
 #[test]
 fn collectives_survive_frame_faults() {
-    for seed in 0..seed_count() {
+    sweep_seeds("collectives_survive_frame_faults", |seed| {
         launch(chaos_cfg(4, 2, seed), |ctx| {
             let w = ctx.world();
             for i in 0..8u64 {
@@ -78,7 +108,7 @@ fn collectives_survive_frame_faults() {
                 w.barrier();
             }
         });
-    }
+    });
 }
 
 /// The chaos tests must not pass vacuously: the fault plan has to actually
@@ -117,7 +147,10 @@ fn chaos_plan_injects_faults_and_recovery_engages() {
 /// still converge (the backoff schedule, not luck, is doing the work).
 #[test]
 fn heavy_drop_rate_still_completes() {
-    for seed in [3u64, 17] {
+    sweep_seeds("heavy_drop_rate_still_completes", |sweep_seed| {
+        // Map the sweep index onto a heavier-drop seed range distinct from
+        // the standard chaos plan's.
+        let seed = [3u64, 17, 29, 31, 53, 71, 89, 97][sweep_seed as usize % 8];
         let mut c = Config::new(2).with_ranks_per_node(1);
         c.spin_budget = 16;
         c.net = NetConfig::default().with_faults(FaultPlan::drops(seed, 300)); // 30 %
@@ -137,5 +170,5 @@ fn heavy_drop_rate_still_completes() {
                 assert_eq!(got, [round, round * 3], "seed {seed} round {round}");
             }
         });
-    }
+    });
 }

@@ -1,0 +1,328 @@
+//! Model-checking the *real* lock-free structures: PBQ, SPTD, envelope
+//! queue, and the scheduler's steal counters, explored under every schedule
+//! the bounded-preemption DFS generates (plus a randomized tail for breadth).
+//!
+//! Run with `cargo test -q -p pure-core --features model --test model_check`.
+//! A failure prints a `PURE_MODEL_REPLAY=` command that re-runs the exact
+//! interleaving.
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use interleave::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use interleave::{check, thread, Options, Report};
+
+use pure_core::channel::envelope::EnvelopeQueue;
+use pure_core::channel::pbq::PureBufferQueue;
+use pure_core::collectives::sptd::Sptd;
+use pure_core::task::scheduler::{NodeScheduler, StealCtx};
+use pure_core::{ChunkMode, StealPolicy};
+
+fn opts(max_schedules: u64, random_schedules: u64) -> Options {
+    Options {
+        preemption_bound: 3,
+        max_schedules,
+        random_schedules,
+        ..Options::default()
+    }
+}
+
+fn assert_clean(report: &Report, floor: u64) {
+    if let Some(cex) = &report.failure {
+        panic!("{cex}");
+    }
+    eprintln!(
+        "explored {} schedules (exhausted={})",
+        report.schedules, report.exhausted
+    );
+    assert!(
+        report.schedules >= floor,
+        "only {} schedules explored (floor {floor}) — exploration degraded",
+        report.schedules
+    );
+}
+
+// ---------------------------------------------------------------------------
+// PBQ: no lost, duplicated, torn, or reordered messages
+// ---------------------------------------------------------------------------
+
+fn pbq_transfer(cached: bool, n_slots: usize, msgs: u8) -> Report {
+    check(opts(6_000, 1_500), move || {
+        let q = Arc::new(PureBufferQueue::new_with_mode(n_slots, 8, cached));
+        let producer = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            let mut sent = 0u8;
+            while sent < msgs {
+                // Distinct payload bytes so duplication/reordering shows up
+                // in the received sequence, torn reads in the contents.
+                let payload = [sent + 1; 4];
+                if producer.try_send(&payload) {
+                    sent += 1;
+                } else {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < msgs as usize {
+            let r = q.try_recv_with(|bytes| {
+                assert_eq!(bytes.len(), 4, "torn header");
+                assert!(
+                    bytes.iter().all(|&b| b == bytes[0]),
+                    "torn payload: {bytes:?}"
+                );
+                bytes[0]
+            });
+            match r {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        t.join().unwrap();
+        let want: Vec<u8> = (1..=msgs).collect();
+        assert_eq!(got, want, "lost/duplicated/reordered messages");
+        assert!(
+            q.try_recv_with(|_| ()).is_none(),
+            "phantom message after drain"
+        );
+    })
+}
+
+#[test]
+fn pbq_cached_index_transfer_is_sound() {
+    // 2 slots, 3 messages: exercises full-queue backpressure and slot reuse
+    // (the cached-index fast path from PR 1).
+    assert_clean(&pbq_transfer(true, 2, 3), 1_500);
+}
+
+#[test]
+fn pbq_uncached_ablation_transfer_is_sound() {
+    assert_clean(&pbq_transfer(false, 2, 3), 1_500);
+}
+
+#[test]
+fn pbq_batched_paths_are_sound() {
+    let report = check(opts(6_000, 1_500), || {
+        let q = Arc::new(PureBufferQueue::new(2, 8));
+        let producer = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            let batch: [&[u8]; 3] = [&[1, 1], &[2, 2], &[3, 3]];
+            let mut sent = 0;
+            while sent < batch.len() {
+                let n = producer.try_send_batch(batch[sent..].iter().copied());
+                if n == 0 {
+                    thread::yield_now();
+                }
+                sent += n;
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            let n = q.try_recv_batch(4, |_, bytes| {
+                assert_eq!(bytes.len(), 2, "torn header");
+                assert_eq!(bytes[0], bytes[1], "torn payload");
+                got.push(bytes[0]);
+            });
+            if n == 0 {
+                thread::yield_now();
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(got, vec![1, 2, 3], "batch lost/duplicated/reordered");
+    });
+    assert_clean(&report, 1_500);
+}
+
+// ---------------------------------------------------------------------------
+// SPTD: sequence monotonicity and payload visibility across rounds
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sptd_rounds_publish_uncorrupted_payloads() {
+    let report = check(opts(6_000, 1_500), || {
+        let d = Arc::new(Sptd::new(16));
+        let owner = Arc::clone(&d);
+        let t = thread::spawn(move || {
+            for r in 1u64..=2 {
+                // Round flow control: wait for the reader to finish r-1.
+                while owner.done() < r - 1 {
+                    thread::yield_now();
+                }
+                // SAFETY: previous round consumed (done >= r-1).
+                unsafe { owner.publish_bytes(&[r as u8; 16], r) };
+            }
+        });
+        let mut last_seq = 0;
+        for r in 1u64..=2 {
+            loop {
+                let s = d.seq();
+                assert!(s >= last_seq, "SPTD sequence went backwards");
+                last_seq = s;
+                if s >= r {
+                    break;
+                }
+                thread::yield_now();
+            }
+            // SAFETY: observed seq() >= r.
+            let bytes = unsafe { d.payload(16) };
+            assert!(
+                bytes.iter().all(|&b| b == r as u8),
+                "round {r} payload torn: {bytes:?}"
+            );
+            d.set_done(r);
+        }
+        t.join().unwrap();
+    });
+    assert_clean(&report, 1_500);
+}
+
+// ---------------------------------------------------------------------------
+// Envelope queue: single-copy rendezvous, and the cancel/fill CAS race
+// ---------------------------------------------------------------------------
+
+#[test]
+fn envelope_rendezvous_delivers_exact_bytes() {
+    let report = check(opts(6_000, 1_500), || {
+        let q = Arc::new(EnvelopeQueue::new(2));
+        let sender = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            while !sender.try_fill(&[7, 8, 9]) {
+                thread::yield_now();
+            }
+        });
+        let mut buf = [0u8; 8];
+        // SAFETY: buf outlives the rendezvous; we consume before returning.
+        let ticket = unsafe { q.try_post(buf.as_mut_ptr(), buf.len()) }.expect("empty queue");
+        let len = loop {
+            match q.try_consume(ticket) {
+                Some(len) => break len,
+                None => thread::yield_now(),
+            }
+        };
+        t.join().unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(&buf[..3], &[7, 8, 9], "single-copy payload corrupted");
+    });
+    assert_clean(&report, 1_500);
+}
+
+#[test]
+fn envelope_cancel_and_fill_race_exactly_one_winner() {
+    let report = check(opts(8_000, 1_500), || {
+        let q = Arc::new(EnvelopeQueue::new(2));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let mut buf = [0u8; 8];
+        // SAFETY: buf outlives the slot: either we cancel it back or we
+        // consume the fill before returning.
+        let ticket = unsafe { q.try_post(buf.as_mut_ptr(), buf.len()) }.expect("empty queue");
+
+        let sender_q = Arc::clone(&q);
+        let sender_saw_cancel = Arc::clone(&cancelled);
+        let t = thread::spawn(move || loop {
+            if sender_q.try_fill(&[5, 5]) {
+                break true; // sender won the CAS race
+            }
+            if sender_saw_cancel.load(Ordering::Acquire) {
+                break false; // receiver reclaimed the slot first
+            }
+            thread::yield_now();
+        });
+
+        let cancel_won = q.try_cancel(ticket);
+        cancelled.store(true, Ordering::Release);
+        if !cancel_won {
+            // Sender claimed (or already filled) the slot: the receive MUST
+            // complete normally with the sender's payload.
+            let len = loop {
+                match q.try_consume(ticket) {
+                    Some(len) => break len,
+                    None => thread::yield_now(),
+                }
+            };
+            assert_eq!(len, 2);
+            assert_eq!(&buf[..2], &[5, 5], "payload lost after failed cancel");
+        }
+        let fill_won = t.join().unwrap();
+        assert!(
+            cancel_won ^ fill_won,
+            "cancel/fill race must have exactly one winner \
+             (cancel_won={cancel_won}, fill_won={fill_won})"
+        );
+        if cancel_won {
+            assert_eq!(buf, [0u8; 8], "sender wrote into a cancelled buffer");
+        }
+    });
+    assert_clean(&report, 1_500);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: every chunk runs exactly once, counters account for all chunks
+// ---------------------------------------------------------------------------
+
+struct ChunkCounts([AtomicU32; 4]);
+
+unsafe fn count_chunk(data: *const (), s: u32, e: u32, _total: u32, _extra: *const ()) {
+    let counts = unsafe { &*(data as *const ChunkCounts) };
+    for c in s..e {
+        counts.0[c as usize].fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[test]
+fn scheduler_chunks_run_exactly_once_under_stealing() {
+    let report = check(opts(8_000, 1_500), || {
+        let sched = Arc::new(NodeScheduler::new(
+            2,
+            1,
+            StealPolicy::Random,
+            ChunkMode::SingleChunk,
+            1,
+        ));
+        let counts = Arc::new(ChunkCounts([
+            AtomicU32::new(0),
+            AtomicU32::new(0),
+            AtomicU32::new(0),
+            AtomicU32::new(0),
+        ]));
+
+        let thief_sched = Arc::clone(&sched);
+        let t = thread::spawn(move || {
+            let mut ctx = StealCtx::new(1, 7);
+            // A few bounded attempts: the owner finishes unclaimed chunks
+            // itself, so the thief never needs to succeed.
+            for _ in 0..3 {
+                thief_sched.try_steal_once(&mut ctx);
+            }
+            ctx.chunks_stolen
+        });
+
+        let mut ctx = StealCtx::new(0, 3);
+        // SAFETY: count_chunk tolerates concurrent disjoint ranges; counts
+        // lives until join below, and execute_raw does not return with
+        // chunks outstanding.
+        unsafe {
+            sched.execute_raw(
+                &mut ctx,
+                3,
+                count_chunk,
+                Arc::as_ptr(&counts) as *const (),
+                std::ptr::null(),
+            );
+        }
+        let stolen = t.join().unwrap();
+        for (i, c) in counts.0.iter().take(3).enumerate() {
+            assert_eq!(
+                c.load(Ordering::Acquire),
+                1,
+                "chunk {i} ran a wrong number of times"
+            );
+        }
+        assert_eq!(counts.0[3].load(Ordering::Acquire), 0, "phantom chunk ran");
+        assert_eq!(
+            ctx.chunks_owned + stolen,
+            3,
+            "owned+stolen chunk accounting does not cover the task"
+        );
+    });
+    assert_clean(&report, 1_500);
+}

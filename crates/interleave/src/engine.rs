@@ -1,0 +1,984 @@
+//! The model-checking engine: deterministic scheduling, DFS interleaving
+//! exploration, vector-clock race detection, counterexample replay.
+//!
+//! ## Execution model
+//!
+//! Threads inside a [`check`] run are real OS threads, but exactly **one**
+//! is ever unparked: every facade operation passes through a *schedule
+//! point* where the active thread decides (per the exploration mode) which
+//! thread performs the next operation, hands the baton over and parks until
+//! re-activated. Non-shared code between two facade operations therefore
+//! runs without interruption, and each decision sequence identifies one
+//! interleaving exactly — replaying the recorded choices reproduces the run
+//! bit-for-bit.
+//!
+//! ## Exploration
+//!
+//! DFS over the decision tree with two standard reductions:
+//!
+//! * **bounded preemption** — switching away from a thread that could have
+//!   continued costs one unit from [`Options::preemption_bound`]; schedule
+//!   points where the budget is exhausted have a single successor and create
+//!   no branch. Most protocol bugs need very few preemptions (CHESS's
+//!   observation), so a small bound explores the interesting schedules
+//!   without the factorial blowup.
+//! * **yield deprioritisation** — a thread executing `yield_now`/`spin_loop`
+//!   is not schedulable again until every non-yielded runnable thread has
+//!   taken a step (or none exists). Spin-retry loops thus cannot generate
+//!   unbounded futile branches; a genuine livelock instead exhausts
+//!   [`Options::max_steps`] and fails the schedule.
+//!
+//! An optional randomized phase ([`Options::random_schedules`]) samples
+//! additional deep schedules past the DFS budget, seeded and reproducible.
+//!
+//! ## Race detection
+//!
+//! Values are sequentially consistent (each atomic holds one authoritative
+//! value); *synchronization* is what is modelled weakly. Every thread
+//! carries a vector clock. A release store publishes the writer's clock on
+//! the atomic; an acquire load joins it; a **relaxed store clears it** (a
+//! relaxed write starts a new, clock-less value with no release history); a
+//! relaxed RMW extends the existing release sequence without contributing
+//! its own clock. Plain data accesses ([`crate::cell::Cell`],
+//! [`crate::cell::RaceZone`]) are checked FastTrack-style against the last
+//! write and all reads: any pair of conflicting accesses not ordered by
+//! happens-before fails the schedule. This is what gives the checker teeth
+//! against ordering mutants: demote the PBQ tail store to `Relaxed` and the
+//! consumer's payload read races with the producer's payload write in every
+//! schedule that delivers a message.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Maximum threads (including the root) a modelled execution may create.
+pub const MAX_THREADS: usize = 8;
+
+/// Monotone generation counter distinguishing executions, so the lazily
+/// registered per-object location stamps (see `shims::LocSlot`) from one
+/// schedule are never mistaken for registrations in the next.
+static EXEC_GEN: AtomicU32 = AtomicU32::new(1);
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A fixed-width vector clock over the execution's threads.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub(crate) struct VClock(pub(crate) [u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.0 = [0; MAX_THREADS];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread and per-location state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Schedulable.
+    Runnable,
+    /// Voluntarily yielded; schedulable only when no non-yielded thread is.
+    Yielded,
+    /// Waiting for the given thread to finish.
+    BlockedJoin(usize),
+    /// Done (or unwound by an abort).
+    Finished,
+}
+
+struct ThreadInfo {
+    status: Status,
+    clock: VClock,
+    /// Clock at finish time; joined into any thread that joins this one.
+    final_clock: VClock,
+}
+
+impl ThreadInfo {
+    fn new(clock: VClock) -> Self {
+        Self {
+            status: Status::Runnable,
+            clock,
+            final_clock: VClock::default(),
+        }
+    }
+}
+
+/// FastTrack-style metadata for one plain (non-atomic) location.
+#[derive(Clone)]
+struct DataLoc {
+    /// Thread of the last write (`usize::MAX` before any write).
+    write_by: usize,
+    /// The writer's own clock component at the time of the write.
+    write_at: u32,
+    /// Per-thread clock component of each thread's last read.
+    reads: [u32; MAX_THREADS],
+}
+
+impl Default for DataLoc {
+    fn default() -> Self {
+        Self {
+            write_by: usize::MAX,
+            write_at: 0,
+            reads: [0; MAX_THREADS],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration modes and DFS bookkeeping
+// ---------------------------------------------------------------------------
+
+/// One DFS branch point: which candidate was taken, out of how many.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    idx: usize,
+    n: usize,
+}
+
+enum Mode {
+    /// Systematic DFS; `stack` forces the prefix reached so far.
+    Dfs { stack: Vec<Frame>, branch: usize },
+    /// Seeded random walk.
+    Random { rng: u64 },
+    /// Forced thread choice at every decision (replay / trace re-run).
+    Replay { tids: Vec<usize>, at: usize },
+}
+
+/// Panic payload used to unwind modelled threads once a schedule has failed.
+/// Recognised (and swallowed) by the thread wrapper.
+struct Abort;
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+pub(crate) struct State {
+    threads: Vec<ThreadInfo>,
+    active: usize,
+    atomics: Vec<VClock>,
+    data: Vec<DataLoc>,
+    steps: u64,
+    max_steps: u64,
+    preemptions_left: u32,
+    failure: Option<String>,
+    mode: Mode,
+    /// Chosen thread at every decision of this run, in order.
+    choices: Vec<usize>,
+    trace_on: bool,
+    trace: Vec<String>,
+}
+
+/// One modelled execution: the shared state plus the baton condvar.
+pub(crate) struct Exec {
+    pub(crate) m: Mutex<State>,
+    pub(crate) cv: Condvar,
+    /// Generation stamp for lazy location registration.
+    pub(crate) gen: u32,
+}
+
+thread_local! {
+    /// The execution this OS thread belongs to, if any. `None` makes every
+    /// facade operation fall through to the real `std` primitive.
+    static CUR: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The `(execution, thread id)` of the calling OS thread, when modelled.
+pub(crate) fn cur() -> Option<(Arc<Exec>, usize)> {
+    CUR.with(|c| c.borrow().clone())
+}
+
+fn lock(exec: &Exec) -> MutexGuard<'_, State> {
+    // A modelled thread can panic (test assertion) while between schedule
+    // points; it never holds this mutex across user code, so poisoning is
+    // only ever a formality.
+    exec.m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+impl State {
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    fn tick(&mut self, tid: usize) {
+        self.threads[tid].clock.0[tid] += 1;
+    }
+
+    /// Record `msg` as the schedule's failure (first failure wins).
+    fn set_failure(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+    }
+
+    /// Candidate threads for the next step, in ascending tid order. May
+    /// revive yielded threads (when nothing else can run) and wake joiners
+    /// of finished threads.
+    fn candidates(&mut self) -> Vec<usize> {
+        let joinable = |st: &Self, t: &ThreadInfo| match t.status {
+            Status::BlockedJoin(target) => st.threads[target].status == Status::Finished,
+            _ => false,
+        };
+        let mut cands: Vec<usize> = (0..self.threads.len())
+            .filter(|&i| {
+                self.threads[i].status == Status::Runnable || joinable(self, &self.threads[i])
+            })
+            .collect();
+        if cands.is_empty() {
+            // Only yielded (or blocked/finished) threads remain: revive the
+            // yielded ones as one batch, so a spinner re-polls only after
+            // every other runnable thread had its chance to make progress.
+            cands = (0..self.threads.len())
+                .filter(|&i| self.threads[i].status == Status::Yielded)
+                .collect();
+            for &t in &cands {
+                self.threads[t].status = Status::Runnable;
+            }
+        }
+        cands
+    }
+
+    /// Make one scheduling decision and return the chosen thread.
+    /// `voluntary` is true when the current thread cannot continue (yield,
+    /// join, finish) — switching away from it then costs no preemption.
+    fn decide(&mut self, current: usize, voluntary: bool) -> Result<usize, ()> {
+        let mut cands = self.candidates();
+        if cands.is_empty() {
+            return Err(());
+        }
+        let current_enabled = !voluntary && cands.contains(&current);
+        if current_enabled && self.preemptions_left == 0 {
+            cands = vec![current];
+        }
+        let n = cands.len();
+        let mut replay_diverged: Option<String> = None;
+        let idx = if n == 1 {
+            0
+        } else {
+            match &mut self.mode {
+                Mode::Dfs { stack, branch } => {
+                    let idx = if *branch < stack.len() {
+                        debug_assert_eq!(stack[*branch].n, n, "DFS replay diverged");
+                        stack[*branch].idx
+                    } else {
+                        stack.push(Frame { idx: 0, n });
+                        0
+                    };
+                    *branch += 1;
+                    idx
+                }
+                Mode::Random { rng } => {
+                    // xorshift64*
+                    *rng ^= *rng << 13;
+                    *rng ^= *rng >> 7;
+                    *rng ^= *rng << 17;
+                    (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize
+                }
+                Mode::Replay { tids, at } => {
+                    let want = tids.get(*at).copied();
+                    let pos = want.and_then(|w| cands.iter().position(|&c| c == w));
+                    let at_now = *at;
+                    match pos {
+                        Some(i) => i,
+                        None => {
+                            replay_diverged = Some(format!(
+                                "replay diverged at decision {at_now}: wanted thread \
+                                 {want:?}, candidates {cands:?}"
+                            ));
+                            0
+                        }
+                    }
+                }
+            }
+        };
+        if let Some(msg) = replay_diverged {
+            self.set_failure(msg);
+        }
+        // Replay consumes one entry per decision, branching or not.
+        if let Mode::Replay { at, .. } = &mut self.mode {
+            *at += 1;
+        }
+        let chosen = cands[idx];
+        if current_enabled && chosen != current {
+            self.preemptions_left -= 1;
+        }
+        if self.threads[chosen].status != Status::Runnable {
+            // A joiner whose target finished: unblock it now.
+            self.threads[chosen].status = Status::Runnable;
+        }
+        self.choices.push(chosen);
+        Ok(chosen)
+    }
+
+    fn blocked_summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            match t.status {
+                Status::BlockedJoin(target) => parts.push(format!("T{i} joins T{target}")),
+                Status::Finished => {}
+                s => parts.push(format!("T{i} {s:?}")),
+            }
+        }
+        parts.join(", ")
+    }
+
+    // ---- hooks used by the shims (all run with the state lock held) ----
+
+    /// True when this run records a per-operation trace.
+    pub(crate) fn tracing(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Append a trace line for the given thread's current operation.
+    pub(crate) fn trace_op(&mut self, tid: usize, what: String) {
+        let step = self.steps;
+        self.trace.push(format!("step {step:>4}  T{tid}  {what}"));
+    }
+
+    /// Register a fresh atomic location; returns its id.
+    pub(crate) fn new_atomic_loc(&mut self) -> usize {
+        self.atomics.push(VClock::default());
+        self.atomics.len() - 1
+    }
+
+    /// Register `n` fresh plain-data locations; returns the first id.
+    pub(crate) fn new_data_locs(&mut self, n: usize) -> usize {
+        let first = self.data.len();
+        self.data.extend((0..n).map(|_| DataLoc::default()));
+        first
+    }
+
+    /// Clock effect of an atomic load.
+    pub(crate) fn atomic_load(&mut self, tid: usize, loc: usize, ord: StdOrdering) {
+        if acquires(ord) {
+            let sync = self.atomics[loc].clone();
+            self.threads[tid].clock.join(&sync);
+        }
+        self.tick(tid);
+    }
+
+    /// Clock effect of an atomic store.
+    pub(crate) fn atomic_store(&mut self, tid: usize, loc: usize, ord: StdOrdering) {
+        if releases(ord) {
+            self.atomics[loc] = self.threads[tid].clock.clone();
+        } else {
+            // A relaxed store begins a new value with no release history:
+            // nothing an acquire load of it can synchronize with.
+            self.atomics[loc].clear();
+        }
+        self.tick(tid);
+    }
+
+    /// Clock effect of a successful read-modify-write.
+    pub(crate) fn atomic_rmw(&mut self, tid: usize, loc: usize, ord: StdOrdering) {
+        if acquires(ord) {
+            let sync = self.atomics[loc].clone();
+            self.threads[tid].clock.join(&sync);
+        }
+        if releases(ord) {
+            let clock = self.threads[tid].clock.clone();
+            self.atomics[loc].join(&clock);
+        }
+        // A relaxed RMW continues the location's release sequence (C++
+        // [atomics.order]): it neither clears nor contributes a clock.
+        self.tick(tid);
+    }
+
+    /// Race-check a plain read of data location `loc`.
+    pub(crate) fn data_read(&mut self, tid: usize, loc: usize) -> Result<(), String> {
+        let d = &self.data[loc];
+        if d.write_by != usize::MAX
+            && d.write_by != tid
+            && d.write_at > self.threads[tid].clock.0[d.write_by]
+        {
+            return Err(format!(
+                "data race: T{tid} reads location #{loc} with no happens-before \
+                 edge from T{}'s write (missing release/acquire synchronization)",
+                d.write_by
+            ));
+        }
+        let me = self.threads[tid].clock.0[tid];
+        self.data[loc].reads[tid] = me;
+        self.tick(tid);
+        Ok(())
+    }
+
+    /// Race-check a plain write of data location `loc`.
+    pub(crate) fn data_write(&mut self, tid: usize, loc: usize) -> Result<(), String> {
+        let clock = self.threads[tid].clock.clone();
+        let d = &self.data[loc];
+        if d.write_by != usize::MAX && d.write_by != tid && d.write_at > clock.0[d.write_by] {
+            return Err(format!(
+                "data race: T{tid} overwrites location #{loc} with no happens-before \
+                 edge from T{}'s write (missing release/acquire synchronization)",
+                d.write_by
+            ));
+        }
+        for (u, &r) in d.reads.iter().enumerate() {
+            if u != tid && r > clock.0[u] {
+                return Err(format!(
+                    "data race: T{tid} writes location #{loc} with no happens-before \
+                     edge from T{u}'s read (missing release/acquire synchronization)"
+                ));
+            }
+        }
+        let me = clock.0[tid];
+        let d = &mut self.data[loc];
+        d.write_by = tid;
+        d.write_at = me;
+        self.tick(tid);
+        Ok(())
+    }
+}
+
+fn acquires(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+fn releases(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Schedule points
+// ---------------------------------------------------------------------------
+
+/// Record `msg` as the failure, wake everyone, unwind the caller.
+fn fail_and_abort(exec: &Exec, mut g: MutexGuard<'_, State>, msg: String) -> ! {
+    g.set_failure(msg);
+    exec.cv.notify_all();
+    drop(g);
+    abort_unwind()
+}
+
+/// Park until this thread is the active one (or the schedule failed).
+fn wait_for_turn<'a>(
+    exec: &'a Exec,
+    mut g: MutexGuard<'a, State>,
+    tid: usize,
+) -> MutexGuard<'a, State> {
+    loop {
+        if g.failure.is_some() {
+            drop(g);
+            abort_unwind()
+        }
+        if g.active == tid && g.threads[tid].status == Status::Runnable {
+            return g;
+        }
+        g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// The schedule point at the start of every shared-memory operation: decide
+/// who runs next; if not us, hand over and park. Returns with the state lock
+/// held and this thread active — the caller then performs its operation
+/// under the lock (all other threads are parked, so the operation is
+/// serialized *at the point the scheduler chose*).
+pub(crate) fn op_gate(exec: &Exec, tid: usize) -> MutexGuard<'_, State> {
+    gate(exec, tid, false)
+}
+
+/// The schedule point of `yield_now`/`spin_loop`: like [`op_gate`] but the
+/// caller is deprioritised until all non-yielded runnable threads step.
+pub(crate) fn yield_gate(exec: &Exec, tid: usize) {
+    let g = gate(exec, tid, true);
+    drop(g);
+}
+
+fn gate(exec: &Exec, tid: usize, yielding: bool) -> MutexGuard<'_, State> {
+    let mut g = lock(exec);
+    if g.failure.is_some() {
+        drop(g);
+        abort_unwind()
+    }
+    debug_assert_eq!(g.active, tid, "only the active thread reaches a gate");
+    g.steps += 1;
+    if g.steps > g.max_steps {
+        let msg = format!(
+            "livelock: schedule exceeded {} steps without completing \
+             (threads: {})",
+            g.max_steps,
+            g.blocked_summary()
+        );
+        fail_and_abort(exec, g, msg);
+    }
+    if yielding {
+        g.threads[tid].status = Status::Yielded;
+    }
+    match g.decide(tid, yielding) {
+        Ok(next) => {
+            if next == tid {
+                g.threads[tid].status = Status::Runnable;
+                g
+            } else {
+                g.active = next;
+                exec.cv.notify_all();
+                wait_for_turn(exec, g, tid)
+            }
+        }
+        Err(()) => {
+            let msg = format!("deadlock: no runnable thread ({})", g.blocked_summary());
+            fail_and_abort(exec, g, msg)
+        }
+    }
+}
+
+/// Lock the state for a plain-data (Cell / RaceZone) access. Data accesses
+/// are race-checked with vector clocks but are *not* schedule points: the
+/// happens-before check flags an unordered pair in whatever schedule it
+/// occurs, so there is no need to branch on data-access placement — this
+/// keeps the DFS tree to atomic-protocol decisions only.
+pub(crate) fn data_gate(exec: &Exec, tid: usize) -> MutexGuard<'_, State> {
+    let g = lock(exec);
+    if g.failure.is_some() {
+        drop(g);
+        abort_unwind()
+    }
+    debug_assert_eq!(g.active, tid);
+    g
+}
+
+/// Report a failure discovered while holding a gate's guard (race detected,
+/// invariant broken): records it and unwinds.
+pub(crate) fn fail_op(exec: &Exec, g: MutexGuard<'_, State>, msg: String) -> ! {
+    fail_and_abort(exec, g, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------------
+
+/// Register a child thread (caller holds a gate from the spawn operation).
+pub(crate) fn register_child(
+    exec: &Exec,
+    g: &mut MutexGuard<'_, State>,
+    parent: usize,
+) -> Result<usize, String> {
+    let _ = exec;
+    if g.threads.len() >= MAX_THREADS {
+        return Err(format!(
+            "model supports at most {MAX_THREADS} threads per execution"
+        ));
+    }
+    let child = g.threads.len();
+    let mut clock = g.threads[parent].clock.clone();
+    g.tick(parent);
+    clock.0[child] += 1;
+    g.threads.push(ThreadInfo::new(clock));
+    Ok(child)
+}
+
+/// Body wrapper for every modelled thread: waits to be scheduled for the
+/// first time, runs `f`, then retires the thread (choosing a successor).
+pub(crate) fn run_thread<T>(exec: Arc<Exec>, tid: usize, f: impl FnOnce() -> T) -> Option<T> {
+    CUR.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    // Birth: park until a decision activates this thread (thread 0 starts
+    // active). Unlike a gate this must not unwind — it runs outside the
+    // catch below, so a failure here retires the thread directly.
+    {
+        let mut g = lock(&exec);
+        loop {
+            if g.failure.is_some() {
+                drop(g);
+                CUR.with(|c| *c.borrow_mut() = None);
+                finish(&exec, tid, None);
+                return None;
+            }
+            if g.active == tid {
+                break;
+            }
+            g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CUR.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => {
+            finish(&exec, tid, None);
+            Some(v)
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_some() {
+                finish(&exec, tid, None);
+            } else {
+                finish(&exec, tid, Some(panic_message(&*payload)));
+            }
+            None
+        }
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Retire `tid`: record its final clock, mark it finished and pick the next
+/// thread (or conclude / fail the schedule).
+fn finish(exec: &Exec, tid: usize, panicked: Option<String>) {
+    let mut g = lock(exec);
+    g.threads[tid].final_clock = g.threads[tid].clock.clone();
+    g.threads[tid].status = Status::Finished;
+    if let Some(msg) = panicked {
+        g.set_failure(format!("thread T{tid} panicked: {msg}"));
+        exec.cv.notify_all();
+        return;
+    }
+    if g.failure.is_some() {
+        exec.cv.notify_all();
+        return;
+    }
+    if g.all_finished() {
+        exec.cv.notify_all();
+        return;
+    }
+    match g.decide(tid, true) {
+        Ok(next) => {
+            g.active = next;
+            exec.cv.notify_all();
+        }
+        Err(()) => {
+            let msg = format!("deadlock: no runnable thread ({})", g.blocked_summary());
+            g.set_failure(msg);
+            exec.cv.notify_all();
+        }
+    }
+}
+
+/// Model-join: block until `target` finishes, then inherit its final clock.
+pub(crate) fn join_gate(exec: &Exec, tid: usize, target: usize) {
+    let mut g = lock(exec);
+    if g.failure.is_some() {
+        drop(g);
+        abort_unwind()
+    }
+    debug_assert_eq!(g.active, tid);
+    g.steps += 1;
+    g.threads[tid].status = Status::BlockedJoin(target);
+    match g.decide(tid, true) {
+        Ok(next) => {
+            if next != tid {
+                g.active = next;
+                exec.cv.notify_all();
+                g = wait_for_turn(exec, g, tid);
+            } else {
+                g.threads[tid].status = Status::Runnable;
+            }
+        }
+        Err(()) => {
+            let msg = format!("deadlock: no runnable thread ({})", g.blocked_summary());
+            fail_and_abort(exec, g, msg)
+        }
+    }
+    debug_assert_eq!(g.threads[target].status, Status::Finished);
+    let fc = g.threads[target].final_clock.clone();
+    g.threads[tid].clock.join(&fc);
+    g.tick(tid);
+    if g.tracing() {
+        g.trace_op(tid, format!("join T{target}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+/// Exploration limits and reproducibility knobs for [`check`].
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// How many involuntary context switches one schedule may contain.
+    pub preemption_bound: u32,
+    /// Hard cap on DFS schedules (the gate's time budget); `exhausted` in
+    /// the report tells whether the tree was fully explored within it.
+    pub max_schedules: u64,
+    /// Extra seeded random-walk schedules to run after (or past) the DFS.
+    pub random_schedules: u64,
+    /// Seed for the random-walk phase.
+    pub seed: u64,
+    /// Per-schedule step budget; exceeding it fails the schedule as a
+    /// livelock.
+    pub max_steps: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_schedules: 8_192,
+            random_schedules: 0,
+            seed: 0x5EED,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// A failing schedule: what went wrong, the exact thread-choice sequence
+/// and a per-operation trace of the replayed run.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The failure (assertion text, race report, deadlock or livelock).
+    pub message: String,
+    /// Thread chosen at each schedule decision, in order.
+    pub schedule: Vec<usize>,
+    /// Per-operation trace of the failing schedule (from a traced re-run).
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model check failed: {}", self.message)?;
+        let sched: Vec<String> = self.schedule.iter().map(|t| t.to_string()).collect();
+        writeln!(f, "failing schedule ({} decisions):", sched.len())?;
+        writeln!(f, "  PURE_MODEL_REPLAY={}", sched.join("."))?;
+        writeln!(f, "operation trace:")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        write!(
+            f,
+            "replay: re-run this test with the PURE_MODEL_REPLAY variable above"
+        )
+    }
+}
+
+/// Outcome of a [`check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules executed (DFS + random + replay).
+    pub schedules: u64,
+    /// True when the DFS fully explored the (preemption-bounded) tree.
+    pub exhausted: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Counterexample>,
+}
+
+struct RunOutcome {
+    failure: Option<String>,
+    choices: Vec<usize>,
+    stack: Vec<Frame>,
+    trace: Vec<String>,
+}
+
+fn run_one(
+    opts: &Options,
+    mode: Mode,
+    trace_on: bool,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let exec = Arc::new(Exec {
+        m: Mutex::new(State {
+            threads: vec![ThreadInfo::new({
+                let mut c = VClock::default();
+                c.0[0] = 1;
+                c
+            })],
+            active: 0,
+            atomics: Vec::new(),
+            data: Vec::new(),
+            steps: 0,
+            max_steps: opts.max_steps,
+            preemptions_left: opts.preemption_bound,
+            failure: None,
+            mode,
+            choices: Vec::new(),
+            trace_on,
+            trace: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        gen: EXEC_GEN.fetch_add(1, StdOrdering::Relaxed),
+    });
+    let root_exec = Arc::clone(&exec);
+    let body = Arc::clone(f);
+    let root = std::thread::spawn(move || {
+        run_thread(root_exec, 0, move || body());
+    });
+    let _ = root.join();
+    let mut g = lock(&exec);
+    while !g.all_finished() {
+        g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    let stack = match &g.mode {
+        Mode::Dfs { stack, .. } => stack.clone(),
+        _ => Vec::new(),
+    };
+    RunOutcome {
+        failure: g.failure.take(),
+        choices: std::mem::take(&mut g.choices),
+        stack,
+        trace: std::mem::take(&mut g.trace),
+    }
+}
+
+/// Advance the DFS stack to the next unexplored branch. Returns false when
+/// the tree is exhausted.
+fn advance(stack: &mut Vec<Frame>) -> bool {
+    while let Some(f) = stack.last_mut() {
+        if f.idx + 1 < f.n {
+            f.idx += 1;
+            return true;
+        }
+        stack.pop();
+    }
+    false
+}
+
+/// Build a counterexample by re-running the failing choice sequence with
+/// tracing enabled (runs are deterministic, so the failure reproduces).
+fn trace_failure(
+    opts: &Options,
+    choices: Vec<usize>,
+    first_msg: String,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> Counterexample {
+    let outcome = run_one(
+        opts,
+        Mode::Replay {
+            tids: choices.clone(),
+            at: 0,
+        },
+        true,
+        f,
+    );
+    Counterexample {
+        message: outcome.failure.unwrap_or(first_msg),
+        schedule: choices,
+        trace: outcome.trace,
+    }
+}
+
+/// Model-check `f`: run it under every explored interleaving per `opts`.
+///
+/// `f` is executed once per schedule; it must be deterministic given the
+/// schedule (no wall-clock or OS randomness). Returns a [`Report`]; a
+/// failing schedule carries a replayable [`Counterexample`].
+///
+/// When `PURE_MODEL_REPLAY` is set (a dot-separated thread-id list, as
+/// printed in a counterexample), only that single schedule is run, traced.
+pub fn check<F>(opts: Options, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+
+    if let Ok(replay) = std::env::var("PURE_MODEL_REPLAY") {
+        let tids: Vec<usize> = replay
+            .split('.')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().expect("PURE_MODEL_REPLAY: bad thread id"))
+            .collect();
+        let outcome = run_one(
+            &opts,
+            Mode::Replay {
+                tids: tids.clone(),
+                at: 0,
+            },
+            true,
+            &f,
+        );
+        let failure = outcome.failure.map(|message| Counterexample {
+            message,
+            schedule: outcome.choices,
+            trace: outcome.trace,
+        });
+        return Report {
+            schedules: 1,
+            exhausted: false,
+            failure,
+        };
+    }
+
+    let mut schedules = 0u64;
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut exhausted = false;
+    loop {
+        if schedules >= opts.max_schedules {
+            break;
+        }
+        let outcome = run_one(
+            &opts,
+            Mode::Dfs {
+                stack: std::mem::take(&mut stack),
+                branch: 0,
+            },
+            false,
+            &f,
+        );
+        schedules += 1;
+        if let Some(msg) = outcome.failure {
+            return Report {
+                schedules,
+                exhausted: false,
+                failure: Some(trace_failure(&opts, outcome.choices, msg, &f)),
+            };
+        }
+        stack = outcome.stack;
+        if !advance(&mut stack) {
+            exhausted = true;
+            break;
+        }
+    }
+
+    let mut rng_seed = opts.seed | 1;
+    for i in 0..opts.random_schedules {
+        let outcome = run_one(
+            &opts,
+            Mode::Random {
+                rng: rng_seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            },
+            false,
+            &f,
+        );
+        rng_seed = rng_seed.wrapping_add(0xA24B_AED4_963E_E407);
+        schedules += 1;
+        if let Some(msg) = outcome.failure {
+            return Report {
+                schedules,
+                exhausted: false,
+                failure: Some(trace_failure(&opts, outcome.choices, msg, &f)),
+            };
+        }
+    }
+
+    Report {
+        schedules,
+        exhausted,
+        failure: None,
+    }
+}
+
+/// [`check`] with default options; panics (with the printable
+/// counterexample) on failure, returns the schedule count on success.
+pub fn model<F>(f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = check(Options::default(), f);
+    if let Some(cex) = report.failure {
+        panic!("{cex}");
+    }
+    report.schedules
+}

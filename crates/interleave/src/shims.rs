@@ -1,0 +1,560 @@
+//! Instrumented stand-ins for the `std` primitives, active under the
+//! `model` feature.
+//!
+//! Every shim holds the *real* `std` storage plus a lazily-registered
+//! per-execution location id. Inside a [`crate::check`] run each operation
+//! passes through a schedule point and updates the engine's vector clocks;
+//! outside a run (no thread-local execution) every operation falls straight
+//! through to the `std` primitive with the caller's ordering, so a `model`
+//! build still behaves normally in ordinary tests.
+
+use std::any::Any;
+use std::sync::atomic as std_atomic;
+use std::sync::atomic::Ordering as StdOrd;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::engine::{self, Exec, State};
+
+pub use std::sync::atomic::Ordering;
+
+/// Lazily-registered per-execution location id, packed `gen << 32 | id + 1`
+/// in one word so shims stay `const`-constructible and allocation-free.
+/// Executions start at generation 1, so the initial 0 never matches.
+struct LocSlot(std_atomic::AtomicU64);
+
+impl LocSlot {
+    const fn new() -> Self {
+        Self(std_atomic::AtomicU64::new(0))
+    }
+
+    fn get(
+        &self,
+        g: &mut MutexGuard<'_, State>,
+        gen: u32,
+        register: impl FnOnce(&mut State) -> usize,
+    ) -> usize {
+        let packed = self.0.load(StdOrd::Relaxed);
+        if (packed >> 32) as u32 == gen {
+            return (packed as u32 as usize) - 1;
+        }
+        let id = register(g);
+        self.0
+            .store(((gen as u64) << 32) | (id as u64 + 1), StdOrd::Relaxed);
+        id
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ident, $t:ty) => {
+        /// Model shim for the equally-named `std::sync::atomic` type.
+        pub struct $name {
+            v: std_atomic::$std,
+            loc: LocSlot,
+        }
+
+        impl $name {
+            /// New atomic holding `v`.
+            pub const fn new(v: $t) -> Self {
+                Self {
+                    v: std_atomic::$std::new(v),
+                    loc: LocSlot::new(),
+                }
+            }
+
+            fn loc(&self, exec: &Exec, g: &mut MutexGuard<'_, State>) -> usize {
+                self.loc.get(g, exec.gen, |st| st.new_atomic_loc())
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $t {
+                match engine::cur() {
+                    None => self.v.load(ord),
+                    Some((exec, tid)) => {
+                        let mut g = engine::op_gate(&exec, tid);
+                        let loc = self.loc(&exec, &mut g);
+                        g.atomic_load(tid, loc, ord);
+                        let val = self.v.load(StdOrd::Relaxed);
+                        if g.tracing() {
+                            g.trace_op(
+                                tid,
+                                format!(
+                                    concat!(stringify!($name), "#{} load({:?}) -> {}"),
+                                    loc, ord, val
+                                ),
+                            );
+                        }
+                        val
+                    }
+                }
+            }
+
+            /// Atomic store.
+            pub fn store(&self, val: $t, ord: Ordering) {
+                match engine::cur() {
+                    None => self.v.store(val, ord),
+                    Some((exec, tid)) => {
+                        let mut g = engine::op_gate(&exec, tid);
+                        let loc = self.loc(&exec, &mut g);
+                        g.atomic_store(tid, loc, ord);
+                        self.v.store(val, StdOrd::Relaxed);
+                        if g.tracing() {
+                            g.trace_op(
+                                tid,
+                                format!(
+                                    concat!(stringify!($name), "#{} store({:?}) <- {}"),
+                                    loc, ord, val
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, val: $t, ord: Ordering) -> $t {
+                match engine::cur() {
+                    None => self.v.swap(val, ord),
+                    Some((exec, tid)) => {
+                        let mut g = engine::op_gate(&exec, tid);
+                        let loc = self.loc(&exec, &mut g);
+                        g.atomic_rmw(tid, loc, ord);
+                        let old = self.v.swap(val, StdOrd::Relaxed);
+                        if g.tracing() {
+                            g.trace_op(
+                                tid,
+                                format!(
+                                    concat!(stringify!($name), "#{} swap({:?}) {} -> {}"),
+                                    loc, ord, old, val
+                                ),
+                            );
+                        }
+                        old
+                    }
+                }
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                match engine::cur() {
+                    None => self.v.compare_exchange(current, new, success, failure),
+                    Some((exec, tid)) => {
+                        let mut g = engine::op_gate(&exec, tid);
+                        let loc = self.loc(&exec, &mut g);
+                        let r =
+                            self.v
+                                .compare_exchange(current, new, StdOrd::Relaxed, StdOrd::Relaxed);
+                        match r {
+                            // Success is a read-modify-write with `success`.
+                            Ok(_) => g.atomic_rmw(tid, loc, success),
+                            // Failure is just a load with `failure`.
+                            Err(_) => g.atomic_load(tid, loc, failure),
+                        }
+                        if g.tracing() {
+                            g.trace_op(
+                                tid,
+                                format!(
+                                    concat!(stringify!($name), "#{} cas {} -> {}: {:?}"),
+                                    loc, current, new, r
+                                ),
+                            );
+                        }
+                        r
+                    }
+                }
+            }
+
+            /// Atomic compare-and-exchange (spurious failure allowed by the
+            /// API; the model never fails spuriously).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int_ops {
+    ($name:ident, $t:ty) => {
+        impl $name {
+            fn rmw(&self, ord: Ordering, apply: impl FnOnce(&std_atomic::$name) -> $t) -> $t
+            where
+                std_atomic::$name: Sized,
+            {
+                match engine::cur() {
+                    None => apply(&self.v),
+                    Some((exec, tid)) => {
+                        let mut g = engine::op_gate(&exec, tid);
+                        let loc = self.loc(&exec, &mut g);
+                        g.atomic_rmw(tid, loc, ord);
+                        let old = apply(&self.v);
+                        if g.tracing() {
+                            g.trace_op(
+                                tid,
+                                format!(concat!(stringify!($name), "#{} rmw -> {}"), loc, old),
+                            );
+                        }
+                        old
+                    }
+                }
+            }
+
+            /// Atomic add; returns the previous value.
+            pub fn fetch_add(&self, val: $t, ord: Ordering) -> $t {
+                let o = if engine::cur().is_some() {
+                    StdOrd::Relaxed
+                } else {
+                    ord
+                };
+                self.rmw(ord, |v| v.fetch_add(val, o))
+            }
+
+            /// Atomic subtract; returns the previous value.
+            pub fn fetch_sub(&self, val: $t, ord: Ordering) -> $t {
+                let o = if engine::cur().is_some() {
+                    StdOrd::Relaxed
+                } else {
+                    ord
+                };
+                self.rmw(ord, |v| v.fetch_sub(val, o))
+            }
+
+            /// Atomic bitwise OR; returns the previous value.
+            pub fn fetch_or(&self, val: $t, ord: Ordering) -> $t {
+                let o = if engine::cur().is_some() {
+                    StdOrd::Relaxed
+                } else {
+                    ord
+                };
+                self.rmw(ord, |v| v.fetch_or(val, o))
+            }
+
+            /// Atomic bitwise AND; returns the previous value.
+            pub fn fetch_and(&self, val: $t, ord: Ordering) -> $t {
+                let o = if engine::cur().is_some() {
+                    StdOrd::Relaxed
+                } else {
+                    ord
+                };
+                self.rmw(ord, |v| v.fetch_and(val, o))
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicUsize, AtomicUsize, usize);
+model_atomic!(AtomicU64, AtomicU64, u64);
+model_atomic!(AtomicU32, AtomicU32, u32);
+model_atomic!(AtomicU8, AtomicU8, u8);
+model_atomic!(AtomicBool, AtomicBool, bool);
+
+model_atomic_int_ops!(AtomicUsize, usize);
+model_atomic_int_ops!(AtomicU64, u64);
+model_atomic_int_ops!(AtomicU32, u32);
+model_atomic_int_ops!(AtomicU8, u8);
+
+impl AtomicBool {
+    /// Atomic logical OR; returns the previous value.
+    pub fn fetch_or(&self, val: bool, ord: Ordering) -> bool {
+        match engine::cur() {
+            None => self.v.fetch_or(val, ord),
+            Some((exec, tid)) => {
+                let mut g = engine::op_gate(&exec, tid);
+                let loc = self.loc(&exec, &mut g);
+                g.atomic_rmw(tid, loc, ord);
+                self.v.fetch_or(val, StdOrd::Relaxed)
+            }
+        }
+    }
+}
+
+/// Model shim for `std::sync::atomic::AtomicPtr`.
+pub struct AtomicPtr<T> {
+    v: std_atomic::AtomicPtr<T>,
+    loc: LocSlot,
+}
+
+impl<T> AtomicPtr<T> {
+    /// New atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            v: std_atomic::AtomicPtr::new(p),
+            loc: LocSlot::new(),
+        }
+    }
+
+    fn loc(&self, exec: &Exec, g: &mut MutexGuard<'_, State>) -> usize {
+        self.loc.get(g, exec.gen, |st| st.new_atomic_loc())
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match engine::cur() {
+            None => self.v.load(ord),
+            Some((exec, tid)) => {
+                let mut g = engine::op_gate(&exec, tid);
+                let loc = self.loc(&exec, &mut g);
+                g.atomic_load(tid, loc, ord);
+                let p = self.v.load(StdOrd::Relaxed);
+                if g.tracing() {
+                    g.trace_op(tid, format!("AtomicPtr#{loc} load({ord:?}) -> {p:p}"));
+                }
+                p
+            }
+        }
+    }
+
+    /// Atomic store.
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        match engine::cur() {
+            None => self.v.store(p, ord),
+            Some((exec, tid)) => {
+                let mut g = engine::op_gate(&exec, tid);
+                let loc = self.loc(&exec, &mut g);
+                g.atomic_store(tid, loc, ord);
+                self.v.store(p, StdOrd::Relaxed);
+                if g.tracing() {
+                    g.trace_op(tid, format!("AtomicPtr#{loc} store({ord:?}) <- {p:p}"));
+                }
+            }
+        }
+    }
+
+    /// Atomic swap.
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match engine::cur() {
+            None => self.v.swap(p, ord),
+            Some((exec, tid)) => {
+                let mut g = engine::op_gate(&exec, tid);
+                let loc = self.loc(&exec, &mut g);
+                g.atomic_rmw(tid, loc, ord);
+                self.v.swap(p, StdOrd::Relaxed)
+            }
+        }
+    }
+}
+
+/// Global fence location (approximation: an acquire fence synchronizes with
+/// prior release fences/stores through one rendezvous clock; the Pure core
+/// does not use standalone fences, so this exists for facade completeness).
+static FENCE_LOC: LocSlot = LocSlot::new();
+
+/// Model shim for `std::sync::atomic::fence`.
+pub fn fence(ord: Ordering) {
+    match engine::cur() {
+        None => std_atomic::fence(ord),
+        Some((exec, tid)) => {
+            let mut g = engine::op_gate(&exec, tid);
+            let loc = FENCE_LOC.get(&mut g, exec.gen, |st| st.new_atomic_loc());
+            g.atomic_rmw(tid, loc, ord);
+            if g.tracing() {
+                g.trace_op(tid, format!("fence({ord:?})"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain data: Cell and RaceZone
+// ---------------------------------------------------------------------------
+
+/// Model shim for `std::cell::Cell`: a plain field whose accesses are
+/// race-checked against the happens-before order built by the atomics.
+pub struct Cell<T> {
+    v: std::cell::Cell<T>,
+    loc: LocSlot,
+}
+
+impl<T: Copy> Cell<T> {
+    /// New cell holding `v`.
+    pub const fn new(v: T) -> Self {
+        Self {
+            v: std::cell::Cell::new(v),
+            loc: LocSlot::new(),
+        }
+    }
+
+    /// Read the value (race-checked under the model).
+    pub fn get(&self) -> T {
+        if let Some((exec, tid)) = engine::cur() {
+            let mut g = engine::data_gate(&exec, tid);
+            let loc = self.loc.get(&mut g, exec.gen, |st| st.new_data_locs(1));
+            if let Err(msg) = g.data_read(tid, loc) {
+                engine::fail_op(&exec, g, msg);
+            }
+        }
+        self.v.get()
+    }
+
+    /// Write the value (race-checked under the model).
+    pub fn set(&self, val: T) {
+        if let Some((exec, tid)) = engine::cur() {
+            let mut g = engine::data_gate(&exec, tid);
+            let loc = self.loc.get(&mut g, exec.gen, |st| st.new_data_locs(1));
+            if let Err(msg) = g.data_write(tid, loc) {
+                engine::fail_op(&exec, g, msg);
+            }
+        }
+        self.v.set(val);
+    }
+}
+
+/// A set of `n` virtual locations for race-checking raw-pointer payloads
+/// (see the crate docs). Model-mode implementation.
+pub struct RaceZone {
+    n: usize,
+    loc: LocSlot,
+}
+
+impl RaceZone {
+    /// A zone of `n` locations.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n: n.max(1),
+            loc: LocSlot::new(),
+        }
+    }
+
+    fn base(&self, exec: &Exec, g: &mut MutexGuard<'_, State>) -> usize {
+        let n = self.n;
+        self.loc.get(g, exec.gen, |st| st.new_data_locs(n))
+    }
+
+    /// Mark a read of location `i`.
+    pub fn read(&self, i: usize) {
+        debug_assert!(i < self.n, "RaceZone index out of range");
+        if let Some((exec, tid)) = engine::cur() {
+            let mut g = engine::data_gate(&exec, tid);
+            let base = self.base(&exec, &mut g);
+            if let Err(msg) = g.data_read(tid, base + i) {
+                engine::fail_op(&exec, g, msg);
+            }
+        }
+    }
+
+    /// Mark a write of location `i`.
+    pub fn write(&self, i: usize) {
+        debug_assert!(i < self.n, "RaceZone index out of range");
+        if let Some((exec, tid)) = engine::cur() {
+            let mut g = engine::data_gate(&exec, tid);
+            let base = self.base(&exec, &mut g);
+            if let Err(msg) = g.data_write(tid, base + i) {
+                engine::fail_op(&exec, g, msg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Model shim for `std::thread::yield_now`.
+pub fn yield_now() {
+    match engine::cur() {
+        None => std::thread::yield_now(),
+        Some((exec, tid)) => engine::yield_gate(&exec, tid),
+    }
+}
+
+/// Model shim for `std::hint::spin_loop` (same deprioritisation as yield).
+pub fn spin_loop() {
+    match engine::cur() {
+        None => std::hint::spin_loop(),
+        Some((exec, tid)) => engine::yield_gate(&exec, tid),
+    }
+}
+
+enum HandleInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Exec>,
+        tid: usize,
+        os: std::thread::JoinHandle<()>,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Model-aware thread handle (std handle outside a check run).
+pub struct JoinHandle<T>(HandleInner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleInner::Std(h) => h.join(),
+            HandleInner::Model {
+                exec,
+                tid,
+                os,
+                result,
+            } => {
+                if let Some((cur_exec, me)) = engine::cur() {
+                    debug_assert!(
+                        Arc::ptr_eq(&cur_exec, &exec),
+                        "joining a thread of a different execution"
+                    );
+                    engine::join_gate(&cur_exec, me, tid);
+                }
+                // The model thread has retired; its OS thread exits right
+                // after storing the result.
+                let _ = os.join();
+                let mut slot = result.lock().unwrap_or_else(|e| e.into_inner());
+                slot.take().unwrap_or_else(|| {
+                    Err(Box::new("modelled thread produced no result") as Box<dyn Any + Send>)
+                })
+            }
+        }
+    }
+}
+
+/// Model shim for `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match engine::cur() {
+        None => JoinHandle(HandleInner::Std(std::thread::spawn(f))),
+        Some((exec, tid)) => {
+            let child = {
+                let mut g = engine::op_gate(&exec, tid);
+                match engine::register_child(&exec, &mut g, tid) {
+                    Ok(c) => {
+                        if g.tracing() {
+                            g.trace_op(tid, format!("spawn T{c}"));
+                        }
+                        c
+                    }
+                    Err(msg) => engine::fail_op(&exec, g, msg),
+                }
+            };
+            let result = Arc::new(Mutex::new(None));
+            let result2 = Arc::clone(&result);
+            let exec2 = Arc::clone(&exec);
+            let os = std::thread::spawn(move || {
+                let out = engine::run_thread(exec2, child, f);
+                *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(match out {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("modelled thread unwound") as Box<dyn Any + Send>),
+                });
+            });
+            JoinHandle(HandleInner::Model {
+                exec,
+                tid: child,
+                os,
+                result,
+            })
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Satellite: the harness has teeth. A deliberately broken PBQ variant —
+//! identical to the real ring's index protocol except the producer publishes
+//! the tail with a `Relaxed` store — must be caught by the model checker,
+//! while the faithful Release/Acquire version passes exhaustively.
+//!
+//! Run with `cargo test -p interleave --features model`.
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use interleave::cell::{Cell, RaceZone};
+use interleave::sync::atomic::{AtomicUsize, Ordering};
+use interleave::{check, thread, Options};
+
+const CAP: usize = 4;
+
+/// Mini SPSC ring with PBQ's exact index protocol: monotonically increasing
+/// head/tail, payload slots at `idx % CAP`, consumer-owned head with a
+/// Release publish, producer-owned tail whose publish ordering is the knob
+/// under test.
+struct Ring {
+    tail: AtomicUsize,
+    head: AtomicUsize,
+    slots: [Cell<u64>; CAP],
+    zone: RaceZone,
+    tail_publish: Ordering,
+}
+
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(tail_publish: Ordering) -> Self {
+        Ring {
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            slots: [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
+            zone: RaceZone::new(CAP),
+            tail_publish,
+        }
+    }
+
+    fn try_send(&self, v: u64) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed); // producer-owned
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == CAP {
+            return false;
+        }
+        let slot = tail % CAP;
+        self.zone.write(slot);
+        self.slots[slot].set(v);
+        self.tail.store(tail.wrapping_add(1), self.tail_publish);
+        true
+    }
+
+    fn try_recv(&self) -> Option<u64> {
+        let head = self.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let slot = head % CAP;
+        self.zone.read(slot);
+        let v = self.slots[slot].get();
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+}
+
+fn drive(tail_publish: Ordering, msgs: u64) -> interleave::Report {
+    check(
+        Options {
+            max_schedules: 6_000,
+            ..Options::default()
+        },
+        move || {
+            let ring = Arc::new(Ring::new(tail_publish));
+            let producer = Arc::clone(&ring);
+            let t = thread::spawn(move || {
+                let mut sent = 0;
+                while sent < msgs {
+                    if producer.try_send(100 + sent) {
+                        sent += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            });
+            let mut got = Vec::new();
+            while (got.len() as u64) < msgs {
+                match ring.try_recv() {
+                    Some(v) => got.push(v),
+                    None => thread::yield_now(),
+                }
+            }
+            t.join().unwrap();
+            // No lost, duplicated, or reordered messages.
+            let want: Vec<u64> = (0..msgs).map(|i| 100 + i).collect();
+            assert_eq!(got, want, "ring lost/duplicated/reordered messages");
+            assert!(ring.try_recv().is_none(), "phantom extra message");
+        },
+    )
+}
+
+#[test]
+fn faithful_ring_passes_exhaustively() {
+    let report = drive(Ordering::Release, 2);
+    assert!(
+        report.failure.is_none(),
+        "correct ring flagged: {}",
+        report.failure.unwrap()
+    );
+    assert!(
+        report.schedules >= 10,
+        "suspiciously few schedules explored"
+    );
+}
+
+#[test]
+fn relaxed_tail_mutant_is_caught() {
+    let report = drive(Ordering::Relaxed, 2);
+    let cex = report
+        .failure
+        .expect("Relaxed tail publish must be caught as a payload race");
+    assert!(
+        cex.message.contains("race"),
+        "expected a data-race report, got: {}",
+        cex.message
+    );
+    // The counterexample is replayable: it names the exact schedule.
+    assert!(!cex.schedule.is_empty());
+    assert!(format!("{cex}").contains("PURE_MODEL_REPLAY="));
+}

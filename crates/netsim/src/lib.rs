@@ -27,3 +27,12 @@ mod transport;
 pub use faults::{FaultDecision, FaultPlan};
 pub use tag::WireTag;
 pub use transport::{Cluster, NetConfig, NetStats, NodeEndpoint};
+
+/// Cold panic path for invariants that are guaranteed by construction but
+/// still checked on the way down, so a violation dies loudly with context
+/// instead of corrupting transport state (mirrors `pure-core`'s convention).
+#[cold]
+#[inline(never)]
+pub(crate) fn die_invariant(what: &str) -> ! {
+    panic!("netsim: internal invariant violated: {what}");
+}

@@ -38,10 +38,9 @@ pub fn frame(seq: u64, payload: &[u8]) -> Vec<u8> {
 
 /// Split a reliable frame into `(seq, payload)`.
 pub fn deframe(f: &[u8]) -> (u64, &[u8]) {
-    assert!(
-        f.len() >= SEQ_HEADER_BYTES,
-        "netsim: reliable frame shorter than its sequence header"
-    );
+    if f.len() < SEQ_HEADER_BYTES {
+        crate::die_invariant("reliable frame shorter than its sequence header");
+    }
     let mut hdr = [0u8; SEQ_HEADER_BYTES];
     hdr.copy_from_slice(&f[..SEQ_HEADER_BYTES]);
     (u64::from_le_bytes(hdr), &f[SEQ_HEADER_BYTES..])

@@ -304,7 +304,9 @@ impl NodeEndpoint {
             while i < inbox.len() {
                 let m = &inbox[i];
                 if m.deliver_at_ns <= now && !blocked.contains(&m.key) {
-                    moved.push(inbox.remove(i).expect("index in bounds"));
+                    moved.push(inbox.remove(i).unwrap_or_else(|| {
+                        crate::die_invariant("inbox index out of bounds while draining")
+                    }));
                 } else {
                     blocked.push(m.key);
                     i += 1;
