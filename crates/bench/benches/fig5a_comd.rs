@@ -6,6 +6,7 @@
 
 use cluster_sim::workloads::comd::{programs, ComdWl, ImbalanceWl};
 use cluster_sim::{Sim, SimConfig, SimRuntime};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
 
 const CORES_PER_NODE: usize = 64;
@@ -43,7 +44,12 @@ fn main() {
             ]
         )
     );
-    for ranks in [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048] {
+    let mut fig = Figure::new("fig5a_comd");
+    let sweep = trajectory::pick(
+        &[8usize, 16, 32, 64, 128, 256, 512, 1024, 2048][..],
+        &[8usize, 16][..],
+    );
+    for &ranks in sweep {
         let w = balanced(ranks);
         let mpi = Sim::new(
             SimConfig::new(ranks, CORES_PER_NODE, SimRuntime::Mpi),
@@ -93,6 +99,12 @@ fn main() {
                 ]
             )
         );
+        fig.ratio(&format!("pure_vs_mpi_{ranks}"), mpi / pure);
+        fig.ratio(&format!("pure_vs_omp_{ranks}"), omp / pure);
+        fig.raw(&format!("mpi_makespan_{ranks}_ns"), mpi);
+    }
+    if trajectory::emit_requested() {
+        fig.write();
     }
     println!("\n(paper: Pure 7–25% over MPI; MPI+OpenMP slower than MPI everywhere)");
 }

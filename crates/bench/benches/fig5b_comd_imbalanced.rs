@@ -7,6 +7,7 @@
 
 use cluster_sim::workloads::comd::{programs, ComdWl, ImbalanceWl};
 use cluster_sim::{Sim, SimConfig, SimRuntime};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
 
 const CORES_PER_NODE: usize = 64;
@@ -29,7 +30,12 @@ fn main() {
             ]
         )
     );
-    for ranks in [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048] {
+    let mut fig = Figure::new("fig5b_comd_imbalanced");
+    let sweep = trajectory::pick(
+        &[8usize, 16, 32, 64, 128, 256, 512, 1024, 2048][..],
+        &[8usize, 16][..],
+    );
+    for &ranks in sweep {
         // Weak scaling: keep the *per-node* imbalance structure constant —
         // sphere count grows with the node count and radii shrink with the
         // node-subdomain edge, so every node retains a mix of hollowed and
@@ -73,6 +79,14 @@ fn main() {
                 ]
             )
         );
+        fig.ratio(
+            &format!("pure_vs_mpi_{ranks}"),
+            mpi / pure.makespan_ns as f64,
+        );
+        fig.raw(&format!("chunks_stolen_{ranks}"), pure.chunks_stolen as f64);
+    }
+    if trajectory::emit_requested() {
+        fig.write();
     }
     println!("\n(paper: 1.6×–2.1× across 8–2,048 ranks)");
 }

@@ -9,6 +9,7 @@
 
 use cluster_sim::workloads::comd::{programs, ComdWl, ImbalanceWl};
 use cluster_sim::{Sim, SimConfig, SimRuntime};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
 
 const CORES_PER_NODE: usize = 64;
@@ -55,7 +56,9 @@ fn main() {
             ]
         )
     );
-    for ranks in [8usize, 16, 32, 64, 128, 256, 512] {
+    let mut fig = Figure::new("fig5c_comd_dynamic");
+    let sweep = trajectory::pick(&[8usize, 16, 32, 64, 128, 256, 512][..], &[8usize, 16][..]);
+    for &ranks in sweep {
         let w = wl(ranks);
         let mpi = run(SimRuntime::Mpi, ranks, CORES_PER_NODE, &w);
         let omp_ranks = (ranks / OMP_THREADS).max(1);
@@ -121,6 +124,11 @@ fn main() {
                 ]
             )
         );
+        fig.ratio(&format!("pure_vs_mpi_{ranks}"), mpi / pure);
+        fig.ratio(&format!("pure_vs_best_ampi_{ranks}"), ampi_best / pure);
+    }
+    if trajectory::emit_requested() {
+        fig.write();
     }
     println!("\n(paper: Pure 25% over best AMPI on one node, ~2× multi-node)");
 }

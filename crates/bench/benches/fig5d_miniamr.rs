@@ -8,6 +8,7 @@
 
 use cluster_sim::workloads::miniamr::{programs, AmrWl};
 use cluster_sim::{Sim, SimConfig, SimRuntime};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
 
 const CORES_PER_NODE: usize = 64;
@@ -29,7 +30,12 @@ fn main() {
             ]
         )
     );
-    for ranks in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
+    let mut fig = Figure::new("fig5d_miniamr");
+    let sweep = trajectory::pick(
+        &[2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096][..],
+        &[2usize, 4, 8][..],
+    );
+    for &ranks in sweep {
         let steps = if ranks >= 1024 { 6 } else { 12 };
         let mut w = AmrWl::weak(ranks, steps);
         // The real miniAMR's stencil is compute-heavier than the mesh-only
@@ -59,5 +65,13 @@ fn main() {
                 ]
             )
         );
+        fig.ratio(
+            &format!("pure_vs_mpi_{ranks}"),
+            mpi.makespan_ns as f64 / pure.makespan_ns as f64,
+        );
+        fig.raw(&format!("p2p_msgs_{ranks}"), mpi.messages as f64);
+    }
+    if trajectory::emit_requested() {
+        fig.write();
     }
 }

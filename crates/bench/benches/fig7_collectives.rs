@@ -9,10 +9,15 @@
 
 use cluster_sim::workloads::micro::collective_ns_per_op;
 use cluster_sim::{CollKind, CollStack, CostModel, SimRuntime};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
 
 const CORES_PER_NODE: usize = 64;
 const ITERS: usize = 40;
+
+fn iters() -> usize {
+    trajectory::pick(ITERS, 5)
+}
 
 fn omp_single_node(kind: CollKind, t: usize, bytes: usize) -> f64 {
     // OpenMP exists only within one node; modeled directly from the cost
@@ -21,6 +26,7 @@ fn omp_single_node(kind: CollKind, t: usize, bytes: usize) -> f64 {
 }
 
 fn main() {
+    let mut fig = Figure::new("fig7_collectives");
     header(
         "Figure 7a — 8 B all-reduce, 2 → 16,384 ranks (64/node)",
         "virtual ns per op; OpenMP column only exists within one node",
@@ -39,12 +45,13 @@ fn main() {
         )
     );
     let mut n = 2usize;
-    while n <= 16_384 {
+    let cap_a = trajectory::pick(16_384usize, 64);
+    while n <= cap_a {
         let mpi = collective_ns_per_op(
             SimRuntime::Mpi,
             n,
             CORES_PER_NODE,
-            ITERS,
+            iters(),
             8,
             CollKind::Allreduce,
         );
@@ -52,7 +59,7 @@ fn main() {
             SimRuntime::MpiDmapp,
             n,
             CORES_PER_NODE,
-            ITERS,
+            iters(),
             8,
             CollKind::Allreduce,
         );
@@ -60,7 +67,7 @@ fn main() {
             SimRuntime::Pure { tasks: false },
             n,
             CORES_PER_NODE,
-            ITERS,
+            iters(),
             8,
             CollKind::Allreduce,
         );
@@ -76,6 +83,9 @@ fn main() {
                 &[cell(mpi), cell(dmapp), omp, cell(pure), speedup(mpi / pure)]
             )
         );
+        if matches!(n, 8 | 64) {
+            fig.ratio(&format!("allreduce8B_vs_mpi_{n}"), mpi / pure);
+        }
         n *= 2;
     }
 
@@ -101,7 +111,7 @@ fn main() {
             SimRuntime::Mpi,
             n,
             CORES_PER_NODE,
-            ITERS,
+            iters(),
             0,
             CollKind::Barrier,
         );
@@ -109,7 +119,7 @@ fn main() {
             SimRuntime::Pure { tasks: false },
             n,
             CORES_PER_NODE,
-            ITERS,
+            iters(),
             0,
             CollKind::Barrier,
         );
@@ -121,6 +131,10 @@ fn main() {
                 &[cell(mpi), cell(omp), cell(pure), speedup(mpi / pure)]
             )
         );
+        if n == 64 {
+            fig.ratio("barrier_vs_mpi_64", mpi / pure);
+            fig.ratio("barrier_vs_omp_64", omp / pure);
+        }
         n *= 2;
     }
 
@@ -136,8 +150,9 @@ fn main() {
         )
     );
     let mut n = 2usize;
-    while n <= 65_536 {
-        let iters = if n > 8192 { 10 } else { ITERS };
+    let cap_c = trajectory::pick(65_536usize, 64);
+    while n <= cap_c {
+        let iters = if n > 8192 { 10 } else { iters() };
         let mpi = collective_ns_per_op(
             SimRuntime::Mpi,
             n,
@@ -162,5 +177,8 @@ fn main() {
             )
         );
         n *= 4;
+    }
+    if trajectory::emit_requested() {
+        fig.write();
     }
 }

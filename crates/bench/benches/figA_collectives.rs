@@ -5,12 +5,13 @@
 
 use cluster_sim::workloads::micro::collective_ns_per_op;
 use cluster_sim::{CollKind, SimRuntime};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
 
 const CORES_PER_NODE: usize = 64;
 const ITERS: usize = 30;
 
-fn table(kind: CollKind, title: &str) {
+fn table(kind: CollKind, title: &str, fig: &mut Figure) {
     header(title, "virtual ns per op; Pure speedup over MPI");
     println!(
         "{}",
@@ -25,7 +26,9 @@ fn table(kind: CollKind, title: &str) {
             ]
         )
     );
-    for ranks in [8usize, 64, 512, 4096] {
+    let sweep = trajectory::pick(&[8usize, 64, 512, 4096][..], &[8usize, 64][..]);
+    let iters = trajectory::pick(ITERS, 5);
+    for &ranks in sweep {
         let cols: Vec<String> = [8u32, 512, 4096, 65_536, 1 << 20]
             .into_iter()
             .map(|bytes| {
@@ -33,7 +36,7 @@ fn table(kind: CollKind, title: &str) {
                     SimRuntime::Mpi,
                     ranks,
                     CORES_PER_NODE,
-                    ITERS,
+                    iters,
                     bytes,
                     kind,
                 );
@@ -41,10 +44,13 @@ fn table(kind: CollKind, title: &str) {
                     SimRuntime::Pure { tasks: false },
                     ranks,
                     CORES_PER_NODE,
-                    ITERS,
+                    iters,
                     bytes,
                     kind,
                 );
+                if ranks == 64 && bytes == 4096 {
+                    fig.ratio(&format!("{kind:?}_vs_mpi_64r_4096B"), mpi / pure);
+                }
                 format!("{} ({})", cell(pure), speedup(mpi / pure))
             })
             .collect();
@@ -53,10 +59,19 @@ fn table(kind: CollKind, title: &str) {
 }
 
 fn main() {
-    table(CollKind::Bcast, "Appendix A — broadcast");
-    table(CollKind::Reduce, "Appendix A — reduce (to rank 0)");
+    let mut fig = Figure::new("figA_collectives");
+    table(CollKind::Bcast, "Appendix A — broadcast", &mut fig);
+    table(
+        CollKind::Reduce,
+        "Appendix A — reduce (to rank 0)",
+        &mut fig,
+    );
     table(
         CollKind::Allreduce,
         "Appendix A — all-reduce (payload sweep)",
+        &mut fig,
     );
+    if trajectory::emit_requested() {
+        fig.write();
+    }
 }

@@ -5,6 +5,7 @@
 //! and in the cost model, and report the crossover.
 
 use cluster_sim::{CostModel, MsgStack, Placement};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{header, row};
 use pure_core::prelude::*;
 use std::time::Instant;
@@ -35,6 +36,7 @@ fn forced(bytes: usize, iters: usize, force_rendezvous: bool) -> f64 {
 }
 
 fn main() {
+    let mut fig = Figure::new("figC_threshold");
     header(
         "Appendix C (model) — buffered vs rendezvous cost",
         "cost-model ns; the crossover motivates the 8 KiB default threshold",
@@ -60,6 +62,14 @@ fn main() {
         let bytes = 1usize << shift;
         let b = buffered_model.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes);
         let r = rdv_model.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes);
+        // Below the 8 KiB default threshold buffered should win (ratio
+        // > 1 means rendezvous costs more); above it the reverse.
+        if bytes == 64 {
+            fig.ratio("model_rdv_over_buffered_64B", r / b);
+        }
+        if bytes == 1 << 20 {
+            fig.ratio("model_buffered_over_rdv_1MB", b / r);
+        }
         println!(
             "{}",
             row(
@@ -85,9 +95,10 @@ fn main() {
             &["buffered (2-copy)".into(), "rendezvous (1-copy)".into()]
         )
     );
-    for shift in [6usize, 10, 13, 16, 20] {
+    let shifts = trajectory::pick(&[6usize, 10, 13, 16, 20][..], &[6usize, 13][..]);
+    for &shift in shifts {
         let bytes = 1usize << shift;
-        let iters = if bytes <= 1 << 13 { 1000 } else { 100 };
+        let iters = trajectory::pick(if bytes <= 1 << 13 { 1000 } else { 100 }, 50);
         let b = forced(bytes, iters, false);
         let r = forced(bytes, iters, true);
         println!(
@@ -97,5 +108,10 @@ fn main() {
                 &[format!("{b:.0} ns"), format!("{r:.0} ns")]
             )
         );
+        fig.raw(&format!("buffered_{bytes}B_ns"), b);
+        fig.raw(&format!("rendezvous_{bytes}B_ns"), r);
+    }
+    if trajectory::emit_requested() {
+        fig.write();
     }
 }

@@ -10,10 +10,12 @@
 use cluster_sim::workloads::stencil::{programs, StencilWl};
 use cluster_sim::{Sim, SimConfig, SimRuntime};
 use miniapps::stencil::{rand_stencil, StencilParams};
+use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
 use pure_core::prelude::*;
 
 fn main() {
+    let mut fig = Figure::new("fig_stencil");
     header(
         "§2 example — rand-stencil, 32 ranks, one node",
         "End-to-end virtual time and speedup over MPI (DES)",
@@ -59,15 +61,24 @@ fn main() {
             ]
         )
     );
+    fig.ratio(
+        "speedup_msgs",
+        mpi.makespan_ns as f64 / msgs.makespan_ns as f64,
+    );
+    fig.ratio(
+        "speedup_tasks",
+        mpi.makespan_ns as f64 / tasks.makespan_ns as f64,
+    );
+    fig.raw("des_chunks_stolen", tasks.chunks_stolen as f64);
 
     header(
         "rand-stencil on the real Pure runtime (this machine)",
         "Same source, real threads; checks live stealing and identical results",
     );
     let p = StencilParams {
-        arr_sz: 2048,
-        iters: 5,
-        mean_work: 60,
+        arr_sz: trajectory::pick(2048, 512),
+        iters: trajectory::pick(5, 2),
+        mean_work: trajectory::pick(60, 20),
         ..Default::default()
     };
     let mut cfg = Config::new(4);
@@ -95,4 +106,12 @@ fn main() {
             ]
         )
     );
+    fig.raw("real_steals", report_t.total_steals() as f64);
+    fig.telemetry(
+        "real_steal_attempts",
+        report_t.stats.total(Counter::StealAttempt) as f64,
+    );
+    if trajectory::emit_requested() {
+        fig.write();
+    }
 }

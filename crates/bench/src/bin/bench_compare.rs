@@ -1,0 +1,130 @@
+//! Diff a bench trajectory (`BENCH_PR4.json`) against the checked-in
+//! baseline and fail on regressions.
+//!
+//! ```text
+//! cargo run -p pure-bench --bin bench_compare [CURRENT [BASELINE]]
+//! ```
+//!
+//! Defaults: `BENCH_PR4.json` at the workspace root vs
+//! `crates/bench/baseline/BENCH_BASELINE.json`. Only the `ratios` bucket
+//! is compared — those are machine-independent, higher-is-better numbers
+//! (DES/cost-model speedups, deterministic counter ratios). A ratio that
+//! drops more than the tolerance (default 15 %, override with
+//! `PURE_BENCH_TOLERANCE=0.20`) is a regression and exits nonzero. Keys
+//! present on only one side are reported but don't fail the run, so
+//! adding a figure or sweep point never breaks an older baseline.
+
+use pure_core::util::json::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == pure_bench::trajectory::SCHEMA => Ok(doc),
+        other => Err(format!(
+            "{}: schema {:?}, expected {:?}",
+            path.display(),
+            other,
+            pure_bench::trajectory::SCHEMA
+        )),
+    }
+}
+
+/// Flatten `figures.<fig>.ratios.<key>` into `"<fig>/<key>" -> value`.
+fn ratios(doc: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(figures) = doc.get("figures").and_then(Json::as_obj) else {
+        return out;
+    };
+    for (fig, entry) in figures {
+        let Some(r) = entry.get("ratios").and_then(Json::as_obj) else {
+            continue;
+        };
+        for (k, v) in r {
+            if let Some(n) = v.as_f64() {
+                out.insert(format!("{fig}/{k}"), n);
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_PR4.json"));
+    let baseline = args
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("crates/bench/baseline/BENCH_BASELINE.json"));
+    let tolerance: f64 = std::env::var("PURE_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+
+    let (cur_doc, base_doc) = match (load(&current), load(&baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for e in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench_compare: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let cur = ratios(&cur_doc);
+    let base = ratios(&base_doc);
+
+    println!(
+        "bench_compare: {} vs {} (tolerance {:.0}%)",
+        current.display(),
+        baseline.display(),
+        tolerance * 100.0
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, &b) in &base {
+        match cur.get(key) {
+            None => println!("  [only-baseline] {key} = {b:.4}"),
+            Some(&c) => {
+                compared += 1;
+                let rel = if b != 0.0 { (c - b) / b } else { 0.0 };
+                let verdict = if rel < -tolerance {
+                    regressions += 1;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  [{verdict}] {key}: {b:.4} -> {c:.4} ({:+.1}%)",
+                    rel * 100.0
+                );
+            }
+        }
+    }
+    for key in cur.keys().filter(|k| !base.contains_key(*k)) {
+        println!("  [new] {key} = {:.4}", cur[key]);
+    }
+    if compared == 0 {
+        eprintln!("bench_compare: no overlapping ratio keys — nothing was checked");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: {regressions} ratio(s) regressed more than {:.0}%",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: {compared} ratios within tolerance");
+    ExitCode::SUCCESS
+}

@@ -4,6 +4,18 @@
 //! index) plus Criterion microbenchmarks of the real runtimes. Run all of
 //! them with `cargo bench --workspace`; each figure harness prints the
 //! series the paper plots.
+//!
+//! Two cross-cutting modes every figure harness understands:
+//!
+//! * **Smoke mode** (`PURE_BENCH_SMOKE=1`): tiny sizes and iteration
+//!   counts so CI can execute every harness end-to-end in seconds. The
+//!   table *shapes* are unchanged — only the sweep points shrink.
+//! * **Trajectory emission** (`-- --emit-json`): append this figure's
+//!   machine-independent ratios (and machine-local raw timings) to
+//!   `BENCH_PR4.json` at the workspace root. `bench_compare` (in
+//!   `src/bin/`) diffs that file against the checked-in baseline.
+
+pub mod trajectory;
 
 /// Format one table row: a label column plus numeric columns.
 pub fn row(label: &str, cols: &[String]) -> String {

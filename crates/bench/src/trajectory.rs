@@ -1,0 +1,137 @@
+//! Machine-readable bench trajectory: smoke-mode switches and the
+//! `BENCH_PR4.json` emitter.
+//!
+//! Every figure harness funnels its results through a [`Figure`] record
+//! with three buckets:
+//!
+//! * **`ratios`** — machine-independent numbers (DES/cost-model speedups,
+//!   deterministic counter ratios). These are the only values
+//!   `bench_compare` diffs against the baseline, and the contract is that
+//!   *higher is better* — a >15 % drop fails CI.
+//! * **`raw`** — machine-local raw measurements (real ping-pong ns,
+//!   makespans). Recorded for trend-watching, never compared.
+//! * **`telemetry`** — counter-derived observations from
+//!   [`pure_core::RuntimeStats`] (e.g. index refreshes per enqueue).
+//!   Recorded, never compared.
+//!
+//! The output file is merged, not truncated: each figure overwrites only
+//! its own entry, so running the harnesses one by one (as the CI matrix
+//! does) accumulates a single `BENCH_PR4.json`.
+
+use pure_core::util::json::Json;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Schema identifier written to (and required in) trajectory files.
+pub const SCHEMA: &str = "pure-bench-trajectory/v1";
+
+/// True when `PURE_BENCH_SMOKE=1`: harnesses shrink to CI-sized sweeps.
+pub fn smoke() -> bool {
+    std::env::var("PURE_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// `full` normally, `small` under smoke mode.
+pub fn pick<T>(full: T, small: T) -> T {
+    if smoke() {
+        small
+    } else {
+        full
+    }
+}
+
+/// True when the harness was invoked with `--emit-json` (cargo forwards
+/// everything after `--`; unknown flags like `--bench` are ignored).
+pub fn emit_requested() -> bool {
+    std::env::args().any(|a| a == "--emit-json")
+}
+
+/// The value following `flag` on the command line, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Where the trajectory file lives: `$PURE_BENCH_JSON` if set, else
+/// `BENCH_PR4.json` at the workspace root (benches run with the package
+/// root as cwd, so this is resolved from the crate's manifest dir).
+pub fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("PURE_BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
+}
+
+/// One figure's contribution to the trajectory file.
+pub struct Figure {
+    name: String,
+    raw: BTreeMap<String, Json>,
+    ratios: BTreeMap<String, Json>,
+    telemetry: BTreeMap<String, Json>,
+}
+
+impl Figure {
+    /// Start an empty record for figure `name` (the bench target name).
+    pub fn new(name: &str) -> Self {
+        Figure {
+            name: name.to_string(),
+            raw: BTreeMap::new(),
+            ratios: BTreeMap::new(),
+            telemetry: BTreeMap::new(),
+        }
+    }
+
+    /// Record a machine-local raw measurement (not compared).
+    pub fn raw(&mut self, key: &str, v: f64) {
+        self.raw.insert(key.to_string(), Json::Num(v));
+    }
+
+    /// Record a machine-independent, higher-is-better ratio (compared
+    /// against the baseline by `bench_compare`).
+    pub fn ratio(&mut self, key: &str, v: f64) {
+        self.ratios.insert(key.to_string(), Json::Num(v));
+    }
+
+    /// Record a telemetry-derived observation (not compared).
+    pub fn telemetry(&mut self, key: &str, v: f64) {
+        self.telemetry.insert(key.to_string(), Json::Num(v));
+    }
+
+    /// Merge this figure into the trajectory file (read-modify-write;
+    /// other figures' entries are preserved). Prints the destination so
+    /// CI logs show where the artifact landed.
+    pub fn write(&self) {
+        let path = out_path();
+        let mut doc = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| Json::parse(&t).ok())
+            .filter(|d| d.get("schema").and_then(Json::as_str) == Some(SCHEMA))
+            .and_then(|d| d.as_obj().cloned())
+            .unwrap_or_default();
+        doc.insert("schema".into(), Json::Str(SCHEMA.into()));
+        let mut figures = doc
+            .get("figures")
+            .and_then(Json::as_obj)
+            .cloned()
+            .unwrap_or_default();
+        let mut entry = BTreeMap::new();
+        entry.insert("raw".to_string(), Json::Obj(self.raw.clone()));
+        entry.insert("ratios".to_string(), Json::Obj(self.ratios.clone()));
+        entry.insert("telemetry".to_string(), Json::Obj(self.telemetry.clone()));
+        figures.insert(self.name.clone(), Json::Obj(entry));
+        doc.insert("figures".into(), Json::Obj(figures));
+        std::fs::write(&path, format!("{}\n", Json::Obj(doc)))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!(
+            "\n[trajectory] wrote figure {:?} to {}",
+            self.name,
+            path.display()
+        );
+    }
+}

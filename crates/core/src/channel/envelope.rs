@@ -22,6 +22,8 @@ use interleave::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
+use crate::telemetry::{self, Counter};
+
 /// Slot is empty and may be posted by the receiver.
 const FREE: u8 = 0;
 /// Receiver has posted (ptr, cap); sender may fill, receiver may cancel.
@@ -114,6 +116,7 @@ impl EnvelopeQueue {
         s.cap.set(cap);
         s.state.store(POSTED, Ordering::Release);
         self.post_pos.store(pos + 1, Ordering::Relaxed);
+        telemetry::count(Counter::EnvPost);
         Some(pos as u64)
     }
 
@@ -153,6 +156,7 @@ impl EnvelopeQueue {
         s.len.set(payload.len());
         s.state.store(FILLED, Ordering::Release);
         self.fill_pos.store(pos + 1, Ordering::Relaxed);
+        telemetry::count(Counter::EnvClaim);
         true
     }
 
@@ -174,6 +178,7 @@ impl EnvelopeQueue {
             .read(ticket as usize & (self.slots.len() - 1));
         let len = s.len.get();
         s.state.store(FREE, Ordering::Release);
+        telemetry::count(Counter::EnvConsume);
         Some(len)
     }
 
@@ -207,6 +212,7 @@ impl EnvelopeQueue {
             .write(ticket as usize & (self.slots.len() - 1));
         // Rewind so the slot (and ticket) are reissued to the next post.
         self.post_pos.store(ticket as usize, Ordering::Relaxed);
+        telemetry::count(Counter::EnvCancel);
         true
     }
 

@@ -35,6 +35,7 @@ use interleave::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
+use crate::telemetry::{self, Counter};
 use crate::util::cache::{AlignedBytes, CACHE_LINE};
 
 /// Slot header: the actual byte length of the message in the slot.
@@ -64,10 +65,23 @@ pub struct PureBufferQueue {
     /// Producer-private cache of the last observed `head` (same side of the
     /// queue as the producer's write path, its own padded line).
     cached_head: CachePadded<Cell<usize>>,
+    /// Producer-private telemetry tallies: index refreshes and full-queue
+    /// stalls both fire once per poll while the producer is blocked, so
+    /// bumping the shared registry there would dominate telemetry cost.
+    /// They accumulate in these plain cells and flush on the next
+    /// successful enqueue — a rank blocked at exit can leave a final
+    /// window's worth unreported, an accepted diagnostic trade-off.
+    /// (Tallies are cold relative to the indices, so they are not given
+    /// padded lines of their own.)
+    prod_refreshes: Cell<u64>,
+    prod_stalls: Cell<u64>,
     /// Consumer position.
     head: CachePadded<AtomicUsize>,
     /// Consumer-private cache of the last observed `tail`.
     cached_tail: CachePadded<Cell<usize>>,
+    /// Consumer-private tally of index refreshes (see `prod_refreshes`),
+    /// flushed on the next successful dequeue.
+    cons_refreshes: Cell<u64>,
     /// One virtual location per slot for the model checker; zero-sized no-op
     /// in normal builds.
     slot_races: RaceZone,
@@ -76,8 +90,9 @@ pub struct PureBufferQueue {
 // SAFETY: the raw storage is only accessed under the SPSC protocol: the
 // producer writes a slot strictly before publishing it with a release store
 // of `tail`, and the consumer reads it after an acquire load; symmetrically
-// for recycling via `head`. The `Cell` caches are single-side private:
-// `cached_head` is touched only by the producer thread, `cached_tail` only
+// for recycling via `head`. The `Cell` caches and telemetry tallies are
+// single-side private: `cached_head`/`prod_refreshes`/`prod_stalls` are
+// touched only by the producer thread, `cached_tail`/`cons_refreshes` only
 // by the consumer thread (the same contract that already serializes the
 // non-atomic slot accesses).
 unsafe impl Send for PureBufferQueue {}
@@ -105,8 +120,11 @@ impl PureBufferQueue {
             use_cached: cached,
             tail: CachePadded::new(AtomicUsize::new(0)),
             cached_head: CachePadded::new(Cell::new(0)),
+            prod_refreshes: Cell::new(0),
+            prod_stalls: Cell::new(0),
             head: CachePadded::new(AtomicUsize::new(0)),
             cached_tail: CachePadded::new(Cell::new(0)),
+            cons_refreshes: Cell::new(0),
             slot_races: RaceZone::new(n_slots),
         }
     }
@@ -141,6 +159,24 @@ impl PureBufferQueue {
             .line_ptr((pos % self.n_slots) * self.stride_lines)
     }
 
+    /// Flush the producer-side telemetry tallies into the installed
+    /// per-rank registry. Called on successful enqueues (producer thread).
+    #[inline]
+    fn flush_producer_tally(&self) {
+        telemetry::count_by(Counter::PbqIndexRefresh, self.prod_refreshes.get());
+        self.prod_refreshes.set(0);
+        telemetry::count_by(Counter::PbqFullStall, self.prod_stalls.get());
+        self.prod_stalls.set(0);
+    }
+
+    /// Flush the consumer-side telemetry tally. Called on successful
+    /// dequeues (consumer thread).
+    #[inline]
+    fn flush_consumer_tally(&self) {
+        telemetry::count_by(Counter::PbqIndexRefresh, self.cons_refreshes.get());
+        self.cons_refreshes.set(0);
+    }
+
     /// Free slots as seen by the producer at `tail`, refreshing the cached
     /// head only when the cache implies the queue is full. (Producer thread.)
     #[inline]
@@ -154,6 +190,7 @@ impl PureBufferQueue {
         // Cache says full (or caching is off): reload the shared index. The
         // acquire pairs with the consumer's release store of `head`, so every
         // slot at positions < head is finished with and reusable.
+        self.prod_refreshes.set(self.prod_refreshes.get() + 1);
         self.cached_head.set(self.head.load(Ordering::Acquire));
         self.n_slots - tail.wrapping_sub(self.cached_head.get())
     }
@@ -171,6 +208,7 @@ impl PureBufferQueue {
         // Cache says empty (or caching is off): reload. The acquire pairs
         // with the producer's release store of `tail`, making the payloads of
         // every slot at positions < tail visible.
+        self.cons_refreshes.set(self.cons_refreshes.get() + 1);
         self.cached_tail.set(self.tail.load(Ordering::Acquire));
         self.cached_tail.get().wrapping_sub(head)
     }
@@ -204,11 +242,14 @@ impl PureBufferQueue {
         );
         let tail = self.tail.load(Ordering::Relaxed); // sole writer of tail
         if self.free_slots(tail) == 0 {
+            self.prod_stalls.set(self.prod_stalls.get() + 1);
             return false; // full
         }
         // SAFETY: free_slots > 0 means the consumer is done with this slot.
         unsafe { self.write_slot(tail, payload) };
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        telemetry::count(Counter::PbqEnq);
+        self.flush_producer_tally();
         true
     }
 
@@ -225,12 +266,14 @@ impl PureBufferQueue {
         let tail = self.tail.load(Ordering::Relaxed); // sole writer of tail
         let mut free = self.free_slots(tail);
         if free == 0 {
+            self.prod_stalls.set(self.prod_stalls.get() + 1);
             return 0;
         }
         let mut pos = tail;
         for payload in msgs {
             if free == 0 {
                 // Mid-batch refresh: the consumer may have drained more.
+                self.prod_refreshes.set(self.prod_refreshes.get() + 1);
                 self.cached_head.set(self.head.load(Ordering::Acquire));
                 free = self.n_slots - pos.wrapping_sub(self.cached_head.get());
                 if free == 0 {
@@ -249,6 +292,9 @@ impl PureBufferQueue {
         let sent = pos.wrapping_sub(tail);
         if sent > 0 {
             self.tail.store(pos, Ordering::Release);
+            telemetry::count(Counter::PbqSendBatches);
+            telemetry::count_by(Counter::PbqSendBatchMsgs, sent as u64);
+            self.flush_producer_tally();
         }
         sent
     }
@@ -289,6 +335,8 @@ impl PureBufferQueue {
             f(std::slice::from_raw_parts(p.add(HEADER_BYTES), len))
         };
         self.head.store(head.wrapping_add(1), Ordering::Release);
+        telemetry::count(Counter::PbqDeq);
+        self.flush_consumer_tally();
         Some(out)
     }
 
@@ -313,6 +361,9 @@ impl PureBufferQueue {
         }
         if n > 0 {
             self.head.store(head.wrapping_add(n), Ordering::Release);
+            telemetry::count(Counter::PbqRecvBatches);
+            telemetry::count_by(Counter::PbqRecvBatchMsgs, n as u64);
+            self.flush_consumer_tally();
         }
         n
     }

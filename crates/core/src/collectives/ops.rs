@@ -24,6 +24,7 @@ use interleave::sync::atomic::Ordering;
 use crate::collectives::ArrivalMode;
 use crate::comm::PureComm;
 use crate::datatype::{as_bytes, PureDatatype, ReduceOp, Reducible};
+use crate::telemetry::{self, Counter};
 use crate::util::cache::aligned_chunk_range;
 
 /// What a member deposits in its dropbox when it arrives.
@@ -71,6 +72,7 @@ impl PureComm {
                 self.area.arrivals.fetch_add(1, Ordering::Release);
             }
         }
+        telemetry::count(Counter::SptdRound);
     }
 
     /// Invariant 2: wait until every group member has arrived at `r`.
@@ -131,6 +133,7 @@ impl PureComm {
 
     /// Barrier (§4.2; evaluated in Figure 7b/7c).
     pub fn barrier(&self) {
+        let _span = telemetry::span("barrier");
         self.bump_collective_stat();
         let r = self.next_round();
         self.arrive(r, Arrive::Nothing);
@@ -154,6 +157,7 @@ impl PureComm {
             output.len(),
             "allreduce buffer length mismatch"
         );
+        let _span = telemetry::span("allreduce");
         self.bump_collective_stat();
         let r = self.next_round();
         let bytes = std::mem::size_of_val(input);
@@ -180,6 +184,7 @@ impl PureComm {
         op: ReduceOp,
     ) {
         assert!(root < self.size(), "reduce root out of range");
+        let _span = telemetry::span("reduce");
         self.bump_collective_stat();
         if self.my_comm_rank == root {
             let out = output
@@ -237,6 +242,7 @@ impl PureComm {
                 // SAFETY: arrival observed; payload stable for the round.
                 let b = unsafe { self.area.sptd[j].payload(std::mem::size_of_val(input)) };
                 reduce_bytes_into(acc, b, op);
+                telemetry::count(Counter::SptdLeaderCombine);
             }
             self.cross_node_phase(acc, op, reduce_root_node);
             self.area.publish_leader(r);
@@ -326,6 +332,7 @@ impl PureComm {
     /// Broadcast from comm rank `root` (§4.2, Appendix A).
     pub fn bcast<T: PureDatatype>(&self, data: &mut [T], root: usize) {
         assert!(root < self.size(), "bcast root out of range");
+        let _span = telemetry::span("bcast");
         self.bump_collective_stat();
         let r = self.next_round();
         self.arrive(r, Arrive::Nothing);

@@ -66,6 +66,7 @@ pub mod internode;
 pub mod msg;
 pub mod runtime;
 pub mod task;
+pub mod telemetry;
 pub mod util;
 pub mod writing_pure_programs;
 
@@ -78,6 +79,7 @@ pub use msg::{wait_all, Request};
 pub use runtime::{launch, launch_map, Config, LaunchReport, RankCtx, RankFaults, RankStats, Tag};
 pub use task::scheduler::{ChunkMode, StealPolicy};
 pub use task::{ChunkRange, PureTask, SharedSlice};
+pub use telemetry::{Counter, CounterSnapshot, RuntimeStats, TraceEvent};
 
 /// The convenient glob-import surface.
 pub mod prelude {
@@ -89,5 +91,6 @@ pub mod prelude {
     pub use crate::runtime::{launch, launch_map, Config, LaunchReport, RankCtx, RankFaults, Tag};
     pub use crate::task::scheduler::{ChunkMode, StealPolicy};
     pub use crate::task::{ChunkRange, PureTask, SharedSlice};
+    pub use crate::telemetry::{Counter, RuntimeStats};
     pub use netsim::NetConfig;
 }

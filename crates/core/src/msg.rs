@@ -18,6 +18,7 @@ use crate::comm::PureComm;
 use crate::datatype::PureDatatype;
 use crate::error::PureResult;
 use crate::runtime::{RankLocal, Tag, INTERNAL_TAG_BASE};
+use crate::telemetry;
 
 impl PureComm {
     fn key_for(&self, src: usize, dst: usize, tag: Tag, bytes: usize) -> ChannelKey {
@@ -46,6 +47,7 @@ impl PureComm {
     }
 
     pub(crate) fn send_with_tag<T: PureDatatype>(&self, buf: &[T], dst: usize, tag: Tag) {
+        let _span = telemetry::span("send");
         self.local.op_event();
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
@@ -141,6 +143,7 @@ impl PureComm {
     }
 
     pub(crate) fn recv_with_tag<T: PureDatatype>(&self, buf: &mut [T], src: usize, tag: Tag) {
+        let _span = telemetry::span("recv");
         self.local.op_event();
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);

@@ -26,6 +26,7 @@ use crate::error::{payload_message, AbortCause, PeerAbortEcho, PureError, PureRe
 use crate::task::scheduler::{ChunkMode, NodeScheduler, StealCtx, StealPolicy};
 use crate::task::ssw::{ssw_try_until, WaitInterrupt};
 use crate::task::{thunk_for, ChunkRange};
+use crate::telemetry::{RankCounters, RuntimeStats, TraceEvent, Tracer};
 use netsim::{Cluster, NetConfig, NodeEndpoint};
 
 /// Application-level message tag. Tags with the top bit set are reserved for
@@ -82,6 +83,17 @@ pub struct Config {
     /// Intra-node fault injection (slow ranks, die-at-step) for robustness
     /// tests; inert by default.
     pub rank_faults: RankFaults,
+    /// Runtime telemetry counters. On by default (an uncontended relaxed add
+    /// per instrumented event); `false` leaves the thread-local sink
+    /// uninstalled so every bump is a null-check no-op. Compile the layer
+    /// out entirely with the `telemetry-off` cargo feature.
+    pub telemetry: bool,
+    /// Per-rank ring-tracer capacity in events; `0` (the default) disables
+    /// tracing. When enabled, `LaunchReport::stats.trace` holds each rank's
+    /// retained events and
+    /// [`RuntimeStats::chrome_trace`](crate::telemetry::RuntimeStats::chrome_trace)
+    /// exports them for `chrome://tracing`/Perfetto.
+    pub trace_events: usize,
 }
 
 /// Injectable intra-node faults, counted in *blocking operations* (sends,
@@ -125,6 +137,8 @@ impl Config {
             seed: 0x5EED,
             progress_deadline: None,
             rank_faults: RankFaults::default(),
+            telemetry: true,
+            trace_events: 0,
         }
     }
 
@@ -149,6 +163,19 @@ impl Config {
     /// Arm intra-node fault injection.
     pub fn with_rank_faults(mut self, faults: RankFaults) -> Self {
         self.rank_faults = faults;
+        self
+    }
+
+    /// Enable the per-rank event tracer with room for `events` events per
+    /// rank (see [`Config::trace_events`]).
+    pub fn with_trace(mut self, events: usize) -> Self {
+        self.trace_events = events;
+        self
+    }
+
+    /// Toggle the runtime counter registry (see [`Config::telemetry`]).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 
@@ -192,6 +219,9 @@ pub struct LaunchReport {
     pub net_faults: (u64, u64, u64),
     /// Wall-clock time of the SPMD region.
     pub elapsed: Duration,
+    /// Runtime telemetry: per-rank counter snapshots, trace streams (when
+    /// [`Config::trace_events`] > 0) and interconnect frame counters.
+    pub stats: RuntimeStats,
 }
 
 impl LaunchReport {
@@ -252,6 +282,10 @@ pub(crate) struct Shared {
     /// True when health bookkeeping is on (deadline, rank faults or net
     /// faults armed); false keeps the default wait paths clock-free.
     pub robust: bool,
+    /// Per-rank telemetry counter blocks, indexed by rank. Always allocated
+    /// (it is a few cachelines per rank); whether rank threads install them
+    /// is governed by [`Config::telemetry`].
+    pub telemetry: Vec<RankCounters>,
 }
 
 impl Shared {
@@ -363,8 +397,24 @@ impl Shared {
             "net: {msgs} msgs, {bytes} bytes; faults: {dropped} dropped, \
              {dup} duplicated, {retx} retransmits"
         );
+        let _ = writeln!(out, "{}", self.runtime_stats(Vec::new()).summary());
         let _ = write!(out, "=== end dump ===");
         out
+    }
+
+    /// Snapshot the telemetry registry (plus the interconnect's reliable
+    /// counters) into a [`RuntimeStats`], attaching `trace` as the per-rank
+    /// event streams. Relaxed reads only — safe mid-run (the watchdog calls
+    /// it while ranks are wedged).
+    pub fn runtime_stats(&self, trace: Vec<Vec<TraceEvent>>) -> RuntimeStats {
+        let (net_frames, net_retransmits, net_acks) = self.cluster.stats().reliable_snapshot();
+        RuntimeStats {
+            per_rank: self.telemetry.iter().map(|b| b.snapshot()).collect(),
+            trace,
+            net_frames,
+            net_retransmits,
+            net_acks,
+        }
     }
 }
 
@@ -515,6 +565,7 @@ impl RankLocal {
     /// the abort flag everywhere, then unwind.
     #[cold]
     fn escalate(&self, err: PureError) -> ! {
+        crate::telemetry::instant("abort");
         if matches!(err, PureError::PeerAborted { .. }) {
             std::panic::panic_any(PeerAbortEcho(err.to_string()));
         }
@@ -795,12 +846,14 @@ where
         abort_cause: Mutex::new(None),
         dumped: AtomicBool::new(false),
         robust,
+        telemetry: (0..cfg.ranks).map(|_| RankCounters::default()).collect(),
         cfg,
     });
 
     let world_meta = Arc::new(CommMeta::world(&shared));
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..shared.cfg.ranks).map(|_| None).collect());
     let stats: Mutex<Vec<RankStats>> = Mutex::new(vec![RankStats::default(); shared.cfg.ranks]);
+    let traces: Mutex<Vec<Vec<TraceEvent>>> = Mutex::new(vec![Vec::new(); shared.cfg.ranks]);
 
     let start = Instant::now();
     let watchdog_stop = AtomicBool::new(false);
@@ -812,7 +865,17 @@ where
             let f = &f;
             let results = &results;
             let stats = &stats;
+            let traces = &traces;
             rank_handles.push(scope.spawn(move || {
+                // Route this thread's telemetry to its rank's counter block
+                // and (when tracing is on) its private event ring.
+                let _counters = shared
+                    .cfg
+                    .telemetry
+                    .then(|| shared.telemetry[rank].install());
+                let mut tracer = (shared.cfg.trace_events > 0)
+                    .then(|| Tracer::new(shared.cfg.trace_events, shared.birth));
+                let tracer_guard = tracer.as_mut().map(crate::telemetry::install_tracer);
                 let node = shared.rank_node[rank];
                 let local = Rc::new(RankLocal {
                     rank,
@@ -851,6 +914,10 @@ where
                     }
                 }
                 stats.lock()[rank] = local.stats();
+                drop(tracer_guard);
+                if let Some(t) = tracer {
+                    traces.lock()[rank] = t.events_in_order();
+                }
             }));
         }
 
@@ -940,6 +1007,7 @@ where
         net_traffic: shared.cluster.stats().snapshot(),
         net_faults: shared.cluster.stats().fault_snapshot(),
         elapsed,
+        stats: shared.runtime_stats(traces.into_inner()),
     };
     let results = results
         .into_inner()

@@ -29,6 +29,7 @@ use interleave::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Orde
 
 use crossbeam_utils::CachePadded;
 
+use crate::telemetry::{self, Counter};
 use crate::util::xorshift::XorShift64;
 
 /// Type-erased chunk invocation: `(closure_data, start_chunk, end_chunk,
@@ -76,6 +77,12 @@ pub struct StealCtx {
     pub chunks_stolen: u64,
     /// Chunks executed as an owner.
     pub chunks_owned: u64,
+    /// Steal attempts not yet flushed to the telemetry registry. Attempts
+    /// fire once per SSW iteration while blocked, so bumping the shared
+    /// counter on every probe would be the hottest telemetry site in the
+    /// runtime; instead they accumulate here and flush in batches (and on
+    /// drop).
+    attempt_tally: u32,
 }
 
 impl StealCtx {
@@ -89,7 +96,14 @@ impl StealCtx {
             steals: 0,
             chunks_stolen: 0,
             chunks_owned: 0,
+            attempt_tally: 0,
         }
+    }
+}
+
+impl Drop for StealCtx {
+    fn drop(&mut self) {
+        telemetry::count_by(Counter::StealAttempt, self.attempt_tally as u64);
     }
 }
 
@@ -249,6 +263,11 @@ impl NodeScheduler {
         if ctx.in_task || self.n_workers <= 1 {
             return false; // no recursive stealing; nobody to steal from
         }
+        ctx.attempt_tally += 1;
+        if ctx.attempt_tally >= 1024 {
+            telemetry::count_by(Counter::StealAttempt, ctx.attempt_tally as u64);
+            ctx.attempt_tally = 0;
+        }
         // Sticky: revisit the last victim first.
         if self.policy == StealPolicy::Sticky {
             if let Some(v) = ctx.last_victim {
@@ -293,11 +312,17 @@ impl NodeScheduler {
         let Some((s, e)) = self.try_claim(slot, gen as u32) else {
             return false;
         };
+        let _span = telemetry::span("steal");
         // SAFETY: claim succeeded for this generation.
         unsafe { self.run_chunks(slot, ctx, s, e) };
         slot.done.fetch_add((e - s) as u64, Ordering::Release);
         ctx.steals += 1;
         ctx.chunks_stolen += (e - s) as u64;
+        telemetry::count(Counter::Steal);
+        // A successful steal is a natural sync point: flush the batched
+        // attempt tally so attempts never lag far behind steals.
+        telemetry::count_by(Counter::StealAttempt, ctx.attempt_tally as u64);
+        ctx.attempt_tally = 0;
         true
     }
 
@@ -321,6 +346,7 @@ impl NodeScheduler {
         if total == 0 {
             return;
         }
+        let _span = telemetry::span("task");
         let slot = &self.slots[ctx.me];
         let gen = (((slot.curr.load(Ordering::Relaxed) >> 32) as u32).wrapping_add(1)).max(1);
         slot.total.store(total, Ordering::Relaxed);

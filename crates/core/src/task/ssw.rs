@@ -16,6 +16,22 @@ use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use super::scheduler::{NodeScheduler, StealCtx};
+use crate::telemetry::{self, Counter};
+
+/// Accumulates spin/yield tallies locally during one SSW wait and flushes
+/// them to the rank's telemetry block in two atomic adds on drop — covering
+/// every exit path (ready, abort, timeout) without per-iteration atomics.
+struct SswTally {
+    spins: u64,
+    yields: u64,
+}
+
+impl Drop for SswTally {
+    fn drop(&mut self) {
+        telemetry::count_by(Counter::SswSpin, self.spins);
+        telemetry::count_by(Counter::SswYield, self.yields);
+    }
+}
 
 /// Why an interruptible SSW wait stopped before its condition held.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +78,10 @@ pub fn ssw_try_until<T>(
     let mut spins = 0u32;
     let mut iters = 0u32;
     let started = deadline.map(|_| Instant::now());
+    let mut tally = SswTally {
+        spins: 0,
+        yields: 0,
+    };
     loop {
         if let Some(v) = poll() {
             return Ok(v);
@@ -85,8 +105,10 @@ pub fn ssw_try_until<T>(
         }
         spins += 1;
         if spins > budget {
+            tally.yields += 1;
             interleave::thread::yield_now();
         } else {
+            tally.spins += 1;
             interleave::hint::spin_loop();
         }
     }

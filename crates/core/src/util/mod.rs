@@ -1,8 +1,10 @@
 //! Small shared utilities: cacheline geometry, chunk→index maths, byte views
-//! of POD slices, a seedable xorshift for victim selection, and single-side
-//! cells for SPSC protocol state.
+//! of POD slices, a seedable xorshift for victim selection, single-side
+//! cells for SPSC protocol state, and a dependency-free JSON value type for
+//! the telemetry exporter and bench trajectory files.
 
 pub mod cache;
+pub mod json;
 pub mod side;
 pub mod xorshift;
 

@@ -326,3 +326,53 @@ fn scheduler_chunks_run_exactly_once_under_stealing() {
     });
     assert_clean(&report, 1_500);
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry: counters must not perturb the protocols or add races
+// ---------------------------------------------------------------------------
+
+/// The PBQ transfer with telemetry counter blocks installed on both model
+/// threads. The counters use plain `std` relaxed atomics (deliberately
+/// outside the interleave facade), so this asserts two things at once: the
+/// RaceZone stays clean (no new races on the instrumented hot paths), and
+/// the explored schedule count matches the uninstrumented floor (the bumps
+/// add no preemption points, so the state space does not grow).
+#[test]
+fn telemetry_counters_add_no_races_to_pbq_transfer() {
+    use pure_core::telemetry::{Counter, RankCounters};
+
+    let report = check(opts(6_000, 1_500), || {
+        let q = Arc::new(PureBufferQueue::new(2, 8));
+        let counters = Arc::new((RankCounters::default(), RankCounters::default()));
+        let producer = Arc::clone(&q);
+        let prod_counters = Arc::clone(&counters);
+        let t = thread::spawn(move || {
+            let _g = prod_counters.0.install();
+            let mut sent = 0u8;
+            while sent < 3 {
+                if producer.try_send(&[sent + 1; 4]) {
+                    sent += 1;
+                } else {
+                    thread::yield_now();
+                }
+            }
+        });
+        let _g = counters.1.install();
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            match q.try_recv_with(|bytes| bytes[0]) {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(got, vec![1, 2, 3], "lost/duplicated/reordered messages");
+        // The side-band accounting must agree with the protocol outcome on
+        // every explored schedule.
+        assert_eq!(counters.0.get(Counter::PbqEnq), 3, "producer enq count");
+        assert_eq!(counters.1.get(Counter::PbqDeq), 3, "consumer deq count");
+        assert_eq!(counters.0.get(Counter::PbqDeq), 0, "cross-thread leak");
+        assert_eq!(counters.1.get(Counter::PbqEnq), 0, "cross-thread leak");
+    });
+    assert_clean(&report, 1_500);
+}

@@ -95,6 +95,8 @@ pub struct NetStats {
     pub duplicated: AtomicU64,
     /// Reliable-sublayer retransmissions.
     pub retransmits: AtomicU64,
+    /// Reliable-sublayer cumulative ACK frames sent.
+    pub acks: AtomicU64,
 }
 
 impl NetStats {
@@ -112,6 +114,16 @@ impl NetStats {
             self.dropped.load(Ordering::Relaxed),
             self.duplicated.load(Ordering::Relaxed),
             self.retransmits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot (frames, retransmits, acks) — the reliable-sublayer view
+    /// merged into the runtime's telemetry report.
+    pub fn reliable_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.frames.load(Ordering::Relaxed),
+            self.retransmits.load(Ordering::Relaxed),
+            self.acks.load(Ordering::Relaxed),
         )
     }
 }
@@ -402,6 +414,7 @@ impl NodeEndpoint {
             }
         }
         for (src, tag, ack) in acks {
+            self.stats.acks.fetch_add(1, Ordering::Relaxed);
             self.raw_send(src, tag, &ack.to_le_bytes());
         }
     }
