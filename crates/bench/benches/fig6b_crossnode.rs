@@ -1,0 +1,166 @@
+//! **Figure 6b** — cross-node small-message throughput: what the per-node
+//! progress engine's frame coalescing buys on the internode wire.
+//!
+//! Part (a) evaluates the calibrated cost model: amortizing the network
+//! per-frame cost `net_alpha_ns` over a batch of coalesced small frames
+//! (the `net_coalesce_batch` term), machine-independently.
+//!
+//! Part (b) runs the *real* runtime — 4 ranks on 2 simulated nodes — and
+//! streams small cross-node messages with coalescing off, cooperatively
+//! coalesced, and helper-thread coalesced, comparing actual wire frame
+//! counts from the transport's telemetry. The headline ratio
+//! `wire_frame_reduction_small` is frames(off) / frames(on); the PR's
+//! acceptance floor is 2×, and the count watermark (8 subframes per jumbo)
+//! puts the steady-state figure well above that.
+
+use cluster_sim::{CostModel, MsgStack, Placement};
+use pure_bench::trajectory::{self, Figure};
+use pure_bench::{header, row, speedup};
+use pure_core::prelude::*;
+use std::time::Instant;
+
+fn model_table(fig: &mut Figure) {
+    header(
+        "Figure 6b (model) — coalescing speedup for cross-node messages",
+        "payload | speedup at batch=4 | batch=8 | batch=16 (alpha amortized, Pure small msgs only)",
+    );
+    println!(
+        "{}",
+        row(
+            "payload",
+            &["batch 4".into(), "batch 8".into(), "batch 16".into()]
+        )
+    );
+    let base = CostModel::default();
+    for bytes in [8usize, 64, 512, 4096, 65536] {
+        let cols: Vec<String> = [4.0, 8.0, 16.0]
+            .into_iter()
+            .map(|batch| {
+                let c = CostModel {
+                    net_coalesce_batch: batch,
+                    ..CostModel::default()
+                };
+                let s = base.msg_ns(MsgStack::Pure, Placement::CrossNode, bytes)
+                    / c.msg_ns(MsgStack::Pure, Placement::CrossNode, bytes);
+                if bytes == 8 {
+                    fig.ratio(&format!("model_coalesce_speedup_batch{batch:.0}_8B"), s);
+                }
+                speedup(s)
+            })
+            .collect();
+        println!("{}", row(&format!("{bytes} B"), &cols));
+    }
+}
+
+/// Stream `msgs` small cross-node messages from each node-0 rank to its
+/// node-1 partner, then one collective to mix planes. Returns the stats
+/// snapshot and wall-clock ns per message.
+fn crossnode_stream(cfg: Config, msgs: u64) -> (RuntimeStats, f64) {
+    let t0 = Instant::now();
+    let report = pure_core::launch(cfg, move |ctx| {
+        let w = ctx.world();
+        let me = ctx.rank();
+        let partner = (me + 2) % 4;
+        let mut got = [0u64];
+        if me < 2 {
+            for i in 0..msgs {
+                w.send(&[i * 7 + me as u64], partner, 1);
+            }
+        } else {
+            for i in 0..msgs {
+                w.recv(&mut got, partner, 1);
+                assert_eq!(got[0], i * 7 + partner as u64, "stream corrupted");
+            }
+        }
+        let s = w.allreduce_one(1u64, ReduceOp::Sum);
+        assert_eq!(s, 4);
+    });
+    let ns_per_msg = t0.elapsed().as_nanos() as f64 / (2 * msgs) as f64;
+    (report.stats, ns_per_msg)
+}
+
+fn cfg(coalesce: bool, mode: ProgressMode) -> Config {
+    let mut c = Config::new(4).with_ranks_per_node(2);
+    c.spin_budget = 2;
+    if coalesce {
+        c = c.with_coalescing(CoalescePlan::default());
+    }
+    c.with_progress_mode(mode)
+}
+
+fn main() {
+    let mut fig = Figure::new("fig6b_crossnode");
+    model_table(&mut fig);
+
+    let msgs: u64 = trajectory::pick(512, 64);
+    header(
+        "Figure 6b (real) — wire frames for small cross-node streams",
+        "4 ranks / 2 nodes; frames on the internode wire, per progress mode",
+    );
+    println!(
+        "{}",
+        row(
+            "config",
+            &[
+                "wire frames".into(),
+                "coalesced".into(),
+                "flushes".into(),
+                "ns/msg".into()
+            ]
+        )
+    );
+
+    let (off, off_ns) = crossnode_stream(cfg(false, ProgressMode::Cooperative), msgs);
+    let (coop, coop_ns) = crossnode_stream(cfg(true, ProgressMode::Cooperative), msgs);
+    let (helper, helper_ns) = crossnode_stream(cfg(true, ProgressMode::Helper), msgs);
+    for (name, stats, ns) in [
+        ("off", &off, off_ns),
+        ("cooperative", &coop, coop_ns),
+        ("helper", &helper, helper_ns),
+    ] {
+        println!(
+            "{}",
+            row(
+                name,
+                &[
+                    format!("{}", stats.net_frames),
+                    format!("{}", stats.net_coalesced),
+                    format!("{}", stats.net_coalesce_flushes),
+                    format!("{ns:.0} ns"),
+                ]
+            )
+        );
+    }
+
+    let reduction = off.net_frames as f64 / coop.net_frames.max(1) as f64;
+    println!(
+        "\nwire frame reduction (off/cooperative): {}",
+        speedup(reduction)
+    );
+    assert!(
+        reduction >= 2.0,
+        "coalescing must at least halve wire frames: {} vs {}",
+        coop.net_frames,
+        off.net_frames
+    );
+    assert_eq!(off.net_coalesced, 0, "baseline must not coalesce");
+    assert!(coop.net_coalesced > 0 && helper.net_coalesced > 0);
+
+    // The frame counts are watermark-driven (count watermark = 8 subframes
+    // per jumbo for back-to-back streams), so the reduction is a stable,
+    // machine-independent ratio bench_compare can police.
+    fig.ratio("wire_frame_reduction_small", reduction);
+    fig.raw("pure_crossnode_off_ns_per_msg", off_ns);
+    fig.raw("pure_crossnode_coalesced_ns_per_msg", coop_ns);
+    fig.raw("pure_crossnode_helper_ns_per_msg", helper_ns);
+    fig.telemetry(
+        "frames_per_flush",
+        coop.net_coalesced as f64 / coop.net_coalesce_flushes.max(1) as f64,
+    );
+    fig.telemetry("cooperative_progress_polls", coop.net_progress_polls as f64);
+    fig.telemetry("helper_progress_polls", helper.net_progress_polls as f64);
+
+    if trajectory::emit_requested() {
+        fig.write();
+    }
+}

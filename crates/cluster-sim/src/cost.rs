@@ -77,6 +77,12 @@ pub struct CostModel {
     /// flow's effective bandwidth (pipelining across the fabric), so
     /// concurrent senders only partially serialize.
     pub nic_ps_per_byte: f64,
+    /// Average frames packed per wire frame by the progress engine's
+    /// outbound coalescing (1.0 = coalescing off, the frame-per-message
+    /// baseline). Small cross-node messages amortize `net_alpha_ns` over
+    /// the batch; the per-byte term and large messages are unaffected
+    /// (payloads above `small_threshold` bypass the coalesce buffer).
+    pub net_coalesce_batch: f64,
 
     // -- collectives --
     /// Reduction arithmetic (ps/byte) once data is local.
@@ -131,6 +137,7 @@ impl Default for CostModel {
             net_alpha_ns: 1300.0,
             net_beta_ps_per_byte: 100.0, // 10 GB/s
             nic_ps_per_byte: 50.0,       // 20 GB/s injection
+            net_coalesce_batch: 1.0,
             reduce_ps_per_byte: 60.0,
             dmapp_hop_ns: 450.0,
             omp_level_ns: 200.0,
@@ -173,8 +180,15 @@ impl CostModel {
     pub fn msg_ns(&self, stack: MsgStack, placement: Placement, bytes: usize) -> f64 {
         if placement == Placement::CrossNode {
             // Both runtimes ride the interconnect; MPI pays its stack costs,
-            // Pure pays a thin shim plus the same network.
-            let net = self.net_alpha_ns + bytes as f64 * self.net_beta_ps_per_byte / 1000.0;
+            // Pure pays a thin shim plus the same network. Pure's progress
+            // engine additionally coalesces small outbound frames, so each
+            // message carries only its share of the per-frame α.
+            let alpha = if stack == MsgStack::Pure && bytes <= self.small_threshold {
+                self.net_alpha_ns / self.net_coalesce_batch.max(1.0)
+            } else {
+                self.net_alpha_ns
+            };
+            let net = alpha + bytes as f64 * self.net_beta_ps_per_byte / 1000.0;
             let stack_oh = match stack {
                 MsgStack::Pure => self.pure_msg_base_ns,
                 MsgStack::Mpi => self.mpi_msg_base_ns,
@@ -448,6 +462,45 @@ mod tests {
         assert_eq!(
             uncached.msg_ns(MsgStack::Mpi, Placement::SharedL3, 64),
             cached.msg_ns(MsgStack::Mpi, Placement::SharedL3, 64)
+        );
+    }
+
+    #[test]
+    fn coalescing_amortizes_alpha_on_small_cross_node_only() {
+        let base = CostModel::default();
+        let co = CostModel {
+            net_coalesce_batch: 8.0,
+            ..CostModel::default()
+        };
+        // Small Pure messages shed 7/8 of α...
+        let delta = base.msg_ns(MsgStack::Pure, Placement::CrossNode, 64)
+            - co.msg_ns(MsgStack::Pure, Placement::CrossNode, 64);
+        assert!(
+            (delta - base.net_alpha_ns * 7.0 / 8.0).abs() < 1e-9,
+            "delta {delta}"
+        );
+        // ...large ones bypass the coalesce buffer entirely...
+        let big = 1 << 20;
+        assert_eq!(
+            base.msg_ns(MsgStack::Pure, Placement::CrossNode, big),
+            co.msg_ns(MsgStack::Pure, Placement::CrossNode, big)
+        );
+        // ...and the MPI/AMPI baselines never coalesce.
+        for s in [MsgStack::Mpi, MsgStack::Ampi] {
+            assert_eq!(
+                base.msg_ns(s, Placement::CrossNode, 64),
+                co.msg_ns(s, Placement::CrossNode, 64)
+            );
+        }
+        // A degenerate batch (< 1) clamps to the baseline instead of
+        // inflating α.
+        let degenerate = CostModel {
+            net_coalesce_batch: 0.0,
+            ..CostModel::default()
+        };
+        assert_eq!(
+            degenerate.msg_ns(MsgStack::Pure, Placement::CrossNode, 64),
+            base.msg_ns(MsgStack::Pure, Placement::CrossNode, 64)
         );
     }
 

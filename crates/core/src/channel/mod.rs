@@ -26,6 +26,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::error::die_invariant;
+use crate::internode::{rdv_header, rdv_parse};
 use crate::util::side::SideCell;
 use envelope::EnvelopeQueue;
 use netsim::{NodeEndpoint, WireTag};
@@ -81,6 +83,11 @@ struct PendingRecv {
     /// For rendezvous: the envelope ticket once the post has been pushed into
     /// the queue (posting can be deferred when all envelopes are in flight).
     ticket: Option<u64>,
+    /// For chunked remote rendezvous: body length announced by the wire
+    /// header (`None` until the header arrives).
+    total: Option<usize>,
+    /// For chunked remote rendezvous: body bytes received so far.
+    filled: usize,
 }
 
 // SAFETY: as for `PendingSend`.
@@ -106,7 +113,31 @@ pub struct RemoteChannel {
     src_node: usize,
     dst_node: usize,
     wire: WireTag,
+    /// `Some(chunk)` extends the eager/rendezvous split to the wire: the
+    /// payload (every message of this channel is `key.bytes` long, above the
+    /// eager ceiling) travels as a rendezvous header followed by
+    /// `chunk`-sized frames, so the receiver SSW-waits per chunk and the
+    /// coalescing layer never sees an oversize frame. `None` = one eager
+    /// frame per message.
+    rdv_chunk: Option<usize>,
     recv: SideCell<InFlight<PendingRecv>>,
+}
+
+impl RemoteChannel {
+    /// Ship one logical payload: a single eager frame, or header + chunks
+    /// when this channel runs the wire rendezvous. The transport is FIFO per
+    /// wire tag, so no per-chunk sequencing is needed.
+    fn wire_send(&self, ep: &NodeEndpoint, payload: &[u8]) {
+        match self.rdv_chunk {
+            None => ep.send(self.dst_node, self.wire, payload),
+            Some(chunk) => {
+                ep.send(self.dst_node, self.wire, &rdv_header(payload.len()));
+                for c in payload.chunks(chunk.max(1)) {
+                    ep.send(self.dst_node, self.wire, c);
+                }
+            }
+        }
+    }
 }
 
 /// What happened to an in-flight operation a caller tried to cancel (the
@@ -177,7 +208,7 @@ impl Channel {
                 // immediately (like an MPI eager send over the NIC).
                 // SAFETY: ptr/len valid per caller contract; read-only here.
                 let payload = unsafe { std::slice::from_raw_parts(ptr, len) };
-                ep.send(c.dst_node, c.wire, payload);
+                c.wire_send(ep, payload);
                 0
             }
         }
@@ -223,7 +254,7 @@ impl Channel {
             Channel::Remote(c) => {
                 // SAFETY: ptr/len valid per caller contract; read-only here.
                 let payload = unsafe { std::slice::from_raw_parts(ptr, len) };
-                ep.send(c.dst_node, c.wire, payload);
+                c.wire_send(ep, payload);
                 true
             }
         }
@@ -257,27 +288,34 @@ impl Channel {
             // Rendezvous needs the buffer posted into the envelope queue for
             // the sender to find; no queue-free shortcut exists.
             Channel::Large(_) => false,
-            Channel::Remote(c) => unsafe {
-                c.recv.with(|s| {
-                    if !s.pending.is_empty() {
-                        return false;
-                    }
-                    let Some(payload) = ep.try_recv(c.src_node, c.wire) else {
-                        return false;
-                    };
-                    assert!(
-                        payload.len() <= cap,
-                        "remote message of {} bytes into {} byte buffer",
-                        payload.len(),
-                        cap
-                    );
-                    // SAFETY: buffer valid per the caller contract.
-                    std::ptr::copy_nonoverlapping(payload.as_ptr(), ptr, payload.len());
-                    s.next_seq += 1;
-                    s.completed += 1;
-                    true
-                })
-            },
+            Channel::Remote(c) => {
+                // Chunked rendezvous needs the multi-frame bookkeeping of a
+                // posted receive; no queue-free shortcut.
+                if c.rdv_chunk.is_some() {
+                    return false;
+                }
+                unsafe {
+                    c.recv.with(|s| {
+                        if !s.pending.is_empty() {
+                            return false;
+                        }
+                        let Some(payload) = ep.try_recv(c.src_node, c.wire) else {
+                            return false;
+                        };
+                        assert!(
+                            payload.len() <= cap,
+                            "remote message of {} bytes into {} byte buffer",
+                            payload.len(),
+                            cap
+                        );
+                        // SAFETY: buffer valid per the caller contract.
+                        std::ptr::copy_nonoverlapping(payload.as_ptr(), ptr, payload.len());
+                        s.next_seq += 1;
+                        s.completed += 1;
+                        true
+                    })
+                }
+            }
         }
     }
 
@@ -368,6 +406,8 @@ impl Channel {
                         ptr,
                         cap,
                         ticket: None,
+                        total: None,
+                        filled: 0,
                     });
                     q
                 })
@@ -447,20 +487,64 @@ impl Channel {
             Channel::Remote(c) => unsafe {
                 c.recv.with(|s| {
                     while s.completed < upto {
-                        let Some(front) = s.pending.front() else {
+                        let Some(front) = s.pending.front_mut() else {
                             break;
                         };
                         let Some(payload) = ep.try_recv(c.src_node, c.wire) else {
                             return false;
                         };
-                        assert!(
-                            payload.len() <= front.cap,
-                            "remote message of {} bytes into {} byte buffer",
-                            payload.len(),
-                            front.cap
-                        );
-                        // SAFETY: posted buffer valid per post_recv contract.
-                        std::ptr::copy_nonoverlapping(payload.as_ptr(), front.ptr, payload.len());
+                        if c.rdv_chunk.is_some() {
+                            // Wire rendezvous: header announces the body,
+                            // then FIFO chunks land at increasing offsets.
+                            match front.total {
+                                None => {
+                                    let Some(total) = rdv_parse(&payload) else {
+                                        die_invariant(
+                                            "chunked remote channel got a non-header frame first",
+                                        );
+                                    };
+                                    assert!(
+                                        total <= front.cap,
+                                        "remote message of {} bytes into {} byte buffer",
+                                        total,
+                                        front.cap
+                                    );
+                                    front.total = Some(total);
+                                }
+                                Some(total) => {
+                                    if front.filled + payload.len() > total {
+                                        die_invariant(
+                                            "wire rendezvous chunks overran the announced length",
+                                        );
+                                    }
+                                    // SAFETY: posted buffer valid per the
+                                    // post_recv contract; offsets disjoint.
+                                    std::ptr::copy_nonoverlapping(
+                                        payload.as_ptr(),
+                                        front.ptr.add(front.filled),
+                                        payload.len(),
+                                    );
+                                    front.filled += payload.len();
+                                }
+                            }
+                            if front.total != Some(front.filled) {
+                                continue; // more chunks to come
+                            }
+                        } else {
+                            assert!(
+                                payload.len() <= front.cap,
+                                "remote message of {} bytes into {} byte buffer",
+                                payload.len(),
+                                front.cap
+                            );
+                            // SAFETY: posted buffer valid per post_recv
+                            // contract.
+                            std::ptr::copy_nonoverlapping(
+                                payload.as_ptr(),
+                                front.ptr,
+                                payload.len(),
+                            );
+                        }
                         s.pending.pop_front();
                         s.completed += 1;
                     }
@@ -548,7 +632,13 @@ impl Channel {
                     if seq < s.completed {
                         return CancelOutcome::Completed;
                     }
-                    if seq + 1 == s.next_seq && !s.pending.is_empty() {
+                    // A chunked receive whose header already arrived is
+                    // mid-stream: withdrawing it would desync the FIFO
+                    // reassembly, so the caller must keep waiting.
+                    if seq + 1 == s.next_seq
+                        && !s.pending.is_empty()
+                        && s.pending.back().map_or(true, |p| p.total.is_none())
+                    {
                         s.pending.pop_back();
                         s.next_seq -= 1;
                         return CancelOutcome::Canceled;
@@ -634,6 +724,8 @@ impl ChannelTable {
                     src_node,
                     dst_node,
                     wire: WireTag::p2p(src_local, dst_local, key.tag),
+                    rdv_chunk: (key.bytes > cfg.small_msg_max as u64)
+                        .then_some(cfg.small_msg_max.max(1)),
                     recv: SideCell::new(InFlight::default()),
                 })
             } else if key.bytes <= cfg.small_msg_max as u64 {
@@ -821,6 +913,46 @@ mod tests {
         let r = unsafe { ch.post_recv(out.as_mut_ptr(), 4) };
         assert!(ch.try_complete_recvs(&ep1, r + 1));
         assert_eq!(u32::from_le_bytes(out), 99);
+    }
+
+    #[test]
+    fn remote_channel_chunked_rendezvous_reassembles() {
+        let cluster = Cluster::new(2, NetConfig::default());
+        let ep0 = cluster.endpoint(0);
+        let ep1 = cluster.endpoint(1);
+        let t = ChannelTable::new();
+        let cfg = test_cfg(); // small_msg_max = 64
+        let ch = t.get_or_create(key(1000), &cfg, 0, 1, 0, 0);
+        match &*ch {
+            Channel::Remote(c) => assert_eq!(c.rdv_chunk, Some(64)),
+            _ => panic!("cross-node key must map to a remote channel"),
+        }
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let mut out = vec![0u8; 1000];
+        // Queue-free shortcut must decline: assembly needs bookkeeping.
+        // SAFETY: buffers outlive the calls (single-threaded test).
+        unsafe {
+            assert!(!ch.try_recv_now(&ep1, out.as_mut_ptr(), 1000));
+            ch.post_send(&ep0, data.as_ptr(), 1000);
+            let r = ch.post_recv(out.as_mut_ptr(), 1000);
+            // Header + 16 chunks are already in flight: one call reassembles.
+            assert!(ch.try_complete_recvs(&ep1, r + 1));
+        }
+        assert_eq!(out, data);
+        // Two back-to-back messages stay ordered (FIFO per wire tag).
+        let mut o1 = vec![0u8; 1000];
+        let mut o2 = vec![0u8; 1000];
+        let rev: Vec<u8> = data.iter().rev().copied().collect();
+        // SAFETY: as above.
+        unsafe {
+            ch.post_send(&ep0, data.as_ptr(), 1000);
+            ch.post_send(&ep0, rev.as_ptr(), 1000);
+            ch.post_recv(o1.as_mut_ptr(), 1000);
+            let r2 = ch.post_recv(o2.as_mut_ptr(), 1000);
+            assert!(ch.try_complete_recvs(&ep1, r2 + 1));
+        }
+        assert_eq!(o1, data);
+        assert_eq!(o2, rev);
     }
 
     #[test]

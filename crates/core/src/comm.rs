@@ -25,6 +25,48 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Launch-wide allocator of cross-node collective tag bases.
+///
+/// Each registered communicator id is handed the next 256-tag window
+/// (`sequence << 8`; internode phase numbers all fit in 8 bits), so bases of
+/// distinct live communicators are disjoint *by construction* — unlike the
+/// old hash-derived scheme, which drew from a 2¹⁶-value space and collided
+/// for adversarial (or merely unlucky) id pairs. The first member to
+/// register an id allocates its window; later members — racing from other
+/// ranks — read the cached assignment, so every member of a communicator
+/// agrees on the base without extra communication.
+#[derive(Default)]
+pub(crate) struct TagBaseAlloc {
+    /// comm id → assigned base.
+    assigned: std::collections::HashMap<u64, u32>,
+    /// Next window sequence number.
+    next: u32,
+}
+
+impl TagBaseAlloc {
+    /// The tag base of comm `id`, allocating a fresh window on first sight.
+    pub fn base_for(&mut self, id: u64) -> u32 {
+        if let Some(&base) = self.assigned.get(&id) {
+            return base;
+        }
+        assert!(
+            self.next < (1 << 24),
+            "pure: cross-node tag namespace exhausted (2^24 communicators)"
+        );
+        let base = self.next << 8;
+        self.next += 1;
+        // Pairwise uniqueness across every live communicator: cheap (comm
+        // counts are tiny next to message counts) and catches any future
+        // edit that breaks the disjoint-window invariant.
+        assert!(
+            self.assigned.values().all(|&b| b != base),
+            "pure: tag base {base:#x} already assigned to another live communicator"
+        );
+        self.assigned.insert(id, base);
+        base
+    }
+}
+
 /// Immutable, globally consistent communicator metadata.
 pub(crate) struct CommMeta {
     /// Communicator id (world = 0).
@@ -73,6 +115,7 @@ impl CommMeta {
                 LeaderInfo {
                     node: n,
                     leader_local: shared.rank_local[*leader_world as usize],
+                    leader_world: *leader_world as usize,
                 }
             })
             .collect();
@@ -87,10 +130,11 @@ impl CommMeta {
             groups[ni].push(cr as u32);
             node_idx_of[cr] = ni as u32;
         }
-        // 24-bit hashed tag namespace with 8 phase bits. Distinct live comms
-        // collide with probability ~2⁻²⁴ per pair; acceptable for a research
-        // runtime (documented in DESIGN.md).
-        let tag_base = ((mix64(id) >> 16) as u32) & 0x00FF_FF00;
+        // Collision-free deterministic tag base: the launch-wide registry
+        // assigns each distinct comm id its own 256-tag window (see
+        // [`TagBaseAlloc`]). Replaces the hash-derived scheme whose 2¹⁶
+        // effective space collided for adversarial id pairs.
+        let tag_base = shared.tag_bases.lock().base_for(id);
         Self {
             id,
             members,
@@ -191,6 +235,8 @@ impl PureComm {
             sched: &self.local.sched,
             steal: &self.local.steal,
             deadline: self.local.shared.cfg.progress_deadline,
+            local: Some(&self.local),
+            wire_eager_max: self.local.shared.cfg.small_msg_max,
         }
     }
 
@@ -285,6 +331,76 @@ mod tests {
             assert!(sub.is_leader(), "singleton groups are their own leaders");
             assert_ne!(sub.meta.id, 0, "child id must differ from world");
             assert_ne!(sub.meta.tag_base, w.meta.tag_base);
+        });
+    }
+
+    #[test]
+    fn tag_base_alloc_is_disjoint_and_stable() {
+        let mut alloc = TagBaseAlloc::default();
+        let first = alloc.base_for(7);
+        assert_eq!(alloc.base_for(7), first, "re-registration is idempotent");
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(first);
+        for id in 0..1000u64 {
+            let b = alloc.base_for(mix64(id));
+            assert!(seen.insert(b), "base {b:#x} assigned twice");
+            assert_eq!(b & 0xFF, 0, "each base owns a full 256-tag window");
+        }
+    }
+
+    #[test]
+    fn adversarial_comm_ids_get_distinct_tag_bases() {
+        // Regression for the hash-derived tag_base scheme: it drew from a
+        // 2¹⁶-value space, so a birthday search quickly finds two comm ids
+        // whose cross-node tag windows coincided. Build communicators with
+        // exactly such an adversarial pair and run their cross-node
+        // collectives concurrently — under the old scheme the wire tags
+        // collide and leaders consume each other's frames.
+        let old_scheme = |id: u64| ((mix64(id) >> 16) as u32) & 0x00FF_FF00;
+        let mut seen = std::collections::HashMap::new();
+        let mut pair = None;
+        for id in 1u64..1_000_000 {
+            if let Some(&prev) = seen.get(&old_scheme(id)) {
+                pair = Some((prev, id));
+                break;
+            }
+            seen.insert(old_scheme(id), id);
+        }
+        let (id_a, id_b) = pair.expect("birthday collision within 1e6 ids");
+        assert_eq!(old_scheme(id_a), old_scheme(id_b));
+
+        let mut cfg = crate::runtime::Config::new(4).with_ranks_per_node(2);
+        cfg.spin_budget = 8;
+        crate::runtime::launch(cfg, move |ctx| {
+            let w = ctx.world();
+            let shared = &w.local.shared;
+            let all: Vec<u32> = (0..4).collect();
+            let ca = PureComm::from_meta(
+                Arc::new(CommMeta::from_members(id_a, all.clone(), shared)),
+                Rc::clone(&w.local),
+            );
+            let cb = PureComm::from_meta(
+                Arc::new(CommMeta::from_members(id_b, all, shared)),
+                Rc::clone(&w.local),
+            );
+            assert_ne!(
+                ca.meta.tag_base, cb.meta.tag_base,
+                "adversarial ids must land in distinct windows"
+            );
+            // Interleaved cross-node collectives on both comms: ranks enter
+            // A's and B's rounds with no global barrier between, so frames
+            // of both communicators are in flight concurrently.
+            let mut out = [0u64];
+            for round in 0..8u64 {
+                ca.allreduce(&[round + 1], &mut out, crate::datatype::ReduceOp::Sum);
+                assert_eq!(out[0], 4 * (round + 1), "comm A round {round}");
+                cb.allreduce(
+                    &[10 * (round + 1)],
+                    &mut out,
+                    crate::datatype::ReduceOp::Sum,
+                );
+                assert_eq!(out[0], 40 * (round + 1), "comm B round {round}");
+            }
         });
     }
 

@@ -48,6 +48,11 @@ pub enum PureError {
     Truncation {
         /// Receiving rank.
         rank: usize,
+        /// The operation that received the payload (e.g. `"recv"`,
+        /// `"leader collective"`).
+        op: &'static str,
+        /// Peer (sending) rank, when known.
+        peer: Option<usize>,
         /// Bytes the sender provided.
         sent: usize,
         /// Bytes the receive buffer can hold.
@@ -98,6 +103,8 @@ impl fmt::Display for PureError {
             }
             PureError::Truncation {
                 rank,
+                op,
+                peer,
                 sent,
                 capacity,
                 tag,
@@ -105,9 +112,15 @@ impl fmt::Display for PureError {
                 write!(
                     f,
                     "pure: rank {rank}: message of {sent} bytes truncated by a \
-                     {capacity} byte receive buffer"
+                     {capacity} byte receive buffer in {op}"
                 )?;
-                if let Some(t) = tag {
+                if let Some(p) = peer {
+                    write!(f, " (peer rank {p}")?;
+                    if let Some(t) = tag {
+                        write!(f, ", tag {t}")?;
+                    }
+                    write!(f, ")")?;
+                } else if let Some(t) = tag {
                     write!(f, " (tag {t})")?;
                 }
                 Ok(())
@@ -187,12 +200,15 @@ mod tests {
 
         let e = PureError::Truncation {
             rank: 0,
+            op: "recv",
+            peer: Some(5),
             sent: 100,
             capacity: 64,
             tag: None,
         };
         let s = e.to_string();
         assert!(s.contains("100 bytes") && s.contains("64 byte"), "{s}");
+        assert!(s.contains("in recv") && s.contains("peer rank 5"), "{s}");
         assert!(!e.is_timeout());
 
         let e = PureError::PeerAborted {

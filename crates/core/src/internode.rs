@@ -15,7 +15,8 @@ use std::time::Duration;
 use netsim::{NodeEndpoint, WireTag};
 
 use crate::datatype::{as_bytes, as_bytes_mut, PureDatatype, ReduceOp, Reducible};
-use crate::error::PeerAbortEcho;
+use crate::error::{die_invariant, PeerAbortEcho, PureError};
+use crate::runtime::RankLocal;
 use crate::task::scheduler::{NodeScheduler, StealCtx};
 use crate::task::ssw::{ssw_try_until, WaitInterrupt};
 
@@ -27,6 +28,42 @@ pub struct LeaderInfo {
     pub node: usize,
     /// Leader's local thread index on that node.
     pub leader_local: usize,
+    /// Leader's world rank (error context: timeouts and truncations name
+    /// the peer *rank*, matching the intra-node error shape).
+    pub leader_world: usize,
+}
+
+/// Magic prefix of a wire rendezvous header. Cross-node payloads larger than
+/// [`LeaderGroup::wire_eager_max`] are not sent as one jumbo frame: the
+/// sender first ships this 16-byte header (magic + total length) and then
+/// streams the body in eager-sized chunks on the same wire tag. The receiver
+/// SSW-waits per chunk, so a leader blocked in a large cross-node exchange
+/// keeps stealing task chunks between arrivals — and the coalescing layer
+/// never sees a frame it must treat as oversize. (A 16-byte *eager* payload
+/// beginning with these magic bytes would be misread as a header; the prefix
+/// is reserved.)
+const RDV_MAGIC: [u8; 8] = *b"PURERDV1";
+
+/// Bytes of a wire rendezvous header: magic + little-endian u64 body length.
+const RDV_HEADER_BYTES: usize = 16;
+
+/// Build the rendezvous header announcing `total` body bytes.
+pub(crate) fn rdv_header(total: usize) -> [u8; RDV_HEADER_BYTES] {
+    let mut h = [0u8; RDV_HEADER_BYTES];
+    h[..8].copy_from_slice(&RDV_MAGIC);
+    h[8..].copy_from_slice(&(total as u64).to_le_bytes());
+    h
+}
+
+/// Parse a frame as a rendezvous header; `None` means an eager payload.
+pub(crate) fn rdv_parse(frame: &[u8]) -> Option<usize> {
+    if frame.len() == RDV_HEADER_BYTES && frame[..8] == RDV_MAGIC {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&frame[8..]);
+        Some(u64::from_le_bytes(b) as usize)
+    } else {
+        None
+    }
 }
 
 /// A leader's view of the cross-node phase of one communicator.
@@ -46,21 +83,54 @@ pub struct LeaderGroup<'a> {
     /// Progress deadline inherited from the launch config (`None` =
     /// unbounded, the paper's behaviour).
     pub deadline: Option<Duration>,
+    /// The rank driving this leader view, when running inside a launch;
+    /// routes fatal wire errors through the abort protocol so every other
+    /// rank unwinds too (`None` in bare harness tests: plain panic).
+    pub(crate) local: Option<&'a RankLocal>,
+    /// Largest payload sent as a single eager frame; larger ones go through
+    /// the header-then-chunks wire rendezvous (see [`RDV_MAGIC`]).
+    pub wire_eager_max: usize,
 }
 
 impl LeaderGroup<'_> {
+    /// This leader's world rank (falls back to the node position in bare
+    /// harness tests, where positions and ranks coincide).
+    fn my_rank(&self) -> usize {
+        self.local.map_or(self.my_pos, |l| l.rank)
+    }
+
+    /// Raise a fatal cross-node error: through the launch abort protocol
+    /// when attached to a rank (peers unwind, the watchdog dump fires, the
+    /// launch reports `pure: rank R failed: …`), a plain panic otherwise.
+    fn fail(&self, err: PureError) -> ! {
+        match self.local {
+            Some(l) => l.escalate(err),
+            None => panic!("{err}"),
+        }
+    }
+
     fn send_t<T: PureDatatype>(&self, dst_pos: usize, phase: u32, data: &[T]) {
         let dst = self.nodes[dst_pos];
         let me = self.nodes[self.my_pos];
         let tag = WireTag::collective(me.leader_local, dst.leader_local, self.tag_base + phase);
-        self.ep.send(dst.node, tag, as_bytes(data));
+        let bytes = as_bytes(data);
+        if bytes.len() <= self.wire_eager_max {
+            self.ep.send(dst.node, tag, bytes);
+            return;
+        }
+        // Wire rendezvous: announce the size, then stream eager-sized
+        // chunks. FIFO per wire tag makes the reassembly trivial.
+        self.ep.send(dst.node, tag, &rdv_header(bytes.len()));
+        for chunk in bytes.chunks(self.wire_eager_max.max(1)) {
+            self.ep.send(dst.node, tag, chunk);
+        }
     }
 
-    /// SSW-wait for a frame from `src.node`. Polling `try_recv` also drives
-    /// the transport's reliable-delivery machinery (ACKs, retransmits) when
-    /// frame-level fault injection is armed, so leader waits survive dropped
-    /// internode frames with no extra code here.
-    fn recv_wire(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
+    /// SSW-wait for one frame from `src.node`. Polling `try_recv` also
+    /// drives the transport's progress engine (coalesce flushes, ACKs,
+    /// retransmits), so leader waits survive dropped internode frames with
+    /// no extra code here.
+    fn recv_frame(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
         let wait = ssw_try_until(self.sched, self.steal, self.deadline, || {
             self.ep.try_recv(src.node, tag)
         });
@@ -69,11 +139,34 @@ impl LeaderGroup<'_> {
             Err(WaitInterrupt::Aborted) => std::panic::panic_any(PeerAbortEcho(format!(
                 "pure: a peer rank failed; aborting this rank's wait in {what}"
             ))),
-            Err(WaitInterrupt::TimedOut(elapsed)) => panic!(
-                "pure: cross-node {what} from node {} timed out after {elapsed:.2?}",
-                src.node
-            ),
+            Err(WaitInterrupt::TimedOut(elapsed)) => self.fail(PureError::Timeout {
+                rank: self.my_rank(),
+                op: what,
+                peer: Some(src.leader_world),
+                tag: None,
+                elapsed,
+            }),
         }
+    }
+
+    /// Receive one logical payload from `src.node`: a single eager frame,
+    /// or — when the first frame is a rendezvous header — the reassembled
+    /// chunk stream. Each chunk gets its own SSW wait (and its own deadline
+    /// window), so large transfers keep the receiver stealing throughout.
+    fn recv_wire(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
+        let first = self.recv_frame(src, tag, what);
+        let Some(total) = rdv_parse(&first) else {
+            return first;
+        };
+        let mut body = Vec::with_capacity(total);
+        while body.len() < total {
+            let chunk = self.recv_frame(src, tag, what);
+            body.extend_from_slice(&chunk);
+        }
+        if body.len() != total {
+            die_invariant("wire rendezvous chunks overran the announced length");
+        }
+        body
     }
 
     fn recv_t<T: PureDatatype>(&self, src_pos: usize, phase: u32, out: &mut [T]) {
@@ -82,11 +175,16 @@ impl LeaderGroup<'_> {
         let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
         let payload = self.recv_wire(src, tag, "leader collective");
         let ob = as_bytes_mut(out);
-        assert_eq!(
-            payload.len(),
-            ob.len(),
-            "cross-node collective size mismatch"
-        );
+        if payload.len() != ob.len() {
+            self.fail(PureError::Truncation {
+                rank: self.my_rank(),
+                op: "leader collective",
+                peer: Some(src.leader_world),
+                sent: payload.len(),
+                capacity: ob.len(),
+                tag: None,
+            });
+        }
         ob.copy_from_slice(&payload);
     }
 
@@ -261,9 +359,11 @@ mod tests {
         assert_eq!(prev_power_of_two(63), 32);
     }
 
-    /// Drive an n-node leader collective with one OS thread per node.
-    fn run_leaders<R: Send + 'static>(
+    /// Drive an n-node leader collective with one OS thread per node,
+    /// forcing the wire rendezvous for payloads above `eager_max`.
+    fn run_leaders_with<R: Send + 'static>(
         n: usize,
+        eager_max: usize,
         f: impl Fn(LeaderGroup<'_>) -> R + Send + Sync + 'static,
     ) -> Vec<R> {
         let cluster = Cluster::new(n, NetConfig::default());
@@ -272,6 +372,7 @@ mod tests {
                 .map(|i| LeaderInfo {
                     node: i,
                     leader_local: 0,
+                    leader_world: i,
                 })
                 .collect(),
         );
@@ -293,10 +394,20 @@ mod tests {
                     sched: &sched,
                     steal: &steal,
                     deadline: None,
+                    local: None,
+                    wire_eager_max: eager_max,
                 })
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    /// As [`run_leaders_with`] with every payload eager (the classic path).
+    fn run_leaders<R: Send + 'static>(
+        n: usize,
+        f: impl Fn(LeaderGroup<'_>) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        run_leaders_with(n, usize::MAX, f)
     }
 
     fn check_allreduce(n: usize) {
@@ -360,6 +471,36 @@ mod tests {
                 data[0]
             });
             assert_eq!(results[root], 0b111111, "root sum wrong for root={root}");
+        }
+    }
+
+    #[test]
+    fn rdv_header_roundtrip_and_eager_passthrough() {
+        let h = rdv_header(123_456);
+        assert_eq!(rdv_parse(&h), Some(123_456));
+        assert_eq!(rdv_parse(b"plain payload"), None);
+        assert_eq!(rdv_parse(&h[..15]), None, "short frame is eager");
+    }
+
+    #[test]
+    fn large_payloads_stream_chunked_over_the_wire() {
+        // 4000-byte payloads over a 64-byte eager ceiling: every collective
+        // exchange becomes header + 63 chunks, reassembled in FIFO order.
+        let n = 3;
+        let results = run_leaders_with(n, 64, move |g| {
+            let mut data: Vec<u32> = if g.my_pos == 0 {
+                (0..1000).collect()
+            } else {
+                vec![0; 1000]
+            };
+            g.bcast(0, &mut data);
+            let mut sum = vec![g.my_pos as u64];
+            g.allreduce(&mut sum, ReduceOp::Sum); // small: still eager
+            (data, sum[0])
+        });
+        for (data, sum) in results {
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+            assert_eq!(sum, (0..n as u64).sum::<u64>());
         }
     }
 

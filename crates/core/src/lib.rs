@@ -76,7 +76,9 @@ pub use comm::PureComm;
 pub use datatype::{PureDatatype, ReduceOp, Reducible};
 pub use error::{PureError, PureResult};
 pub use msg::{wait_all, Request};
-pub use runtime::{launch, launch_map, Config, LaunchReport, RankCtx, RankFaults, RankStats, Tag};
+pub use runtime::{
+    launch, launch_map, Config, LaunchReport, ProgressMode, RankCtx, RankFaults, RankStats, Tag,
+};
 pub use task::scheduler::{ChunkMode, StealPolicy};
 pub use task::{ChunkRange, PureTask, SharedSlice};
 pub use telemetry::{Counter, CounterSnapshot, RuntimeStats, TraceEvent};
@@ -88,9 +90,11 @@ pub mod prelude {
     pub use crate::comm::PureComm;
     pub use crate::datatype::{PureDatatype, ReduceOp, Reducible};
     pub use crate::error::{PureError, PureResult};
-    pub use crate::runtime::{launch, launch_map, Config, LaunchReport, RankCtx, RankFaults, Tag};
+    pub use crate::runtime::{
+        launch, launch_map, Config, LaunchReport, ProgressMode, RankCtx, RankFaults, Tag,
+    };
     pub use crate::task::scheduler::{ChunkMode, StealPolicy};
     pub use crate::task::{ChunkRange, PureTask, SharedSlice};
     pub use crate::telemetry::{Counter, RuntimeStats};
-    pub use netsim::NetConfig;
+    pub use netsim::{CoalescePlan, NetConfig};
 }

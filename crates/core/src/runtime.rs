@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 
 use crate::channel::{Channel, ChannelFactoryCfg, ChannelKey, ChannelTable};
 use crate::collectives::{ArrivalMode, CollArea};
-use crate::comm::{CommMeta, PureComm};
+use crate::comm::{CommMeta, PureComm, TagBaseAlloc};
 use crate::error::{payload_message, AbortCause, PeerAbortEcho, PureError, PureResult};
 use crate::task::scheduler::{ChunkMode, NodeScheduler, StealCtx, StealPolicy};
 use crate::task::ssw::{ssw_try_until, WaitInterrupt};
@@ -35,6 +35,19 @@ pub type Tag = u32;
 
 /// First runtime-internal tag; user tags must be below this.
 pub(crate) const INTERNAL_TAG_BASE: Tag = 0x8000_0000;
+
+/// Who drives the per-node internode progress engine (inbox drain, coalesce
+/// flush timers, reliable-sublayer ACKs and retransmits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// Every rank ticks the engine from its SSW-Loop polls — no extra
+    /// threads, matching the paper's "make waits productive" philosophy.
+    #[default]
+    Cooperative,
+    /// One dedicated thread per node owns the node's endpoint and polls the
+    /// engine until the ranks exit (an MPI-style async progress thread).
+    Helper,
+}
 
 /// Runtime configuration — the knobs the paper exposes through its Makefile
 /// (threshold sizes, processes per node, helper threads, scheduler modes)
@@ -73,6 +86,8 @@ pub struct Config {
     pub arrival: ArrivalMode,
     /// Simulated interconnect parameters.
     pub net: NetConfig,
+    /// Who drives the internode progress engine (see [`ProgressMode`]).
+    pub progress_mode: ProgressMode,
     /// Base seed for the steal RNGs.
     pub seed: u64,
     /// Global progress deadline: if any blocking wait makes no progress for
@@ -134,6 +149,7 @@ impl Config {
             numa_domains_per_node: 1,
             arrival: ArrivalMode::Sptd,
             net: NetConfig::default(),
+            progress_mode: ProgressMode::default(),
             seed: 0x5EED,
             progress_deadline: None,
             rank_faults: RankFaults::default(),
@@ -151,6 +167,18 @@ impl Config {
     /// Set the interconnect model.
     pub fn with_net(mut self, net: NetConfig) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Enable outbound frame coalescing on the interconnect.
+    pub fn with_coalescing(mut self, plan: netsim::CoalescePlan) -> Self {
+        self.net.coalesce = Some(plan);
+        self
+    }
+
+    /// Select who drives the internode progress engine.
+    pub fn with_progress_mode(mut self, mode: ProgressMode) -> Self {
+        self.progress_mode = mode;
         self
     }
 
@@ -273,6 +301,10 @@ pub(crate) struct Shared {
     pub scheds: Vec<Arc<NodeScheduler>>,
     /// Per-node registry of communicator collective areas (keyed by comm id).
     pub areas: Vec<Mutex<HashMap<u64, Arc<CollArea>>>>,
+    /// Launch-wide cross-node tag-base registry: every communicator id gets
+    /// a disjoint 256-tag window, assigned at registration (split) time, so
+    /// wire tags of distinct live communicators can never collide.
+    pub tag_bases: Mutex<TagBaseAlloc>,
     /// Per-rank liveness, indexed by rank.
     pub health: Vec<RankHealth>,
     /// First fatal failure of the launch (echoes never displace a primary).
@@ -408,12 +440,18 @@ impl Shared {
     /// it while ranks are wedged).
     pub fn runtime_stats(&self, trace: Vec<Vec<TraceEvent>>) -> RuntimeStats {
         let (net_frames, net_retransmits, net_acks) = self.cluster.stats().reliable_snapshot();
+        let (net_coalesced, net_coalesce_flushes, net_acks_batched, net_progress_polls) =
+            self.cluster.stats().coalesce_snapshot();
         RuntimeStats {
             per_rank: self.telemetry.iter().map(|b| b.snapshot()).collect(),
             trace,
             net_frames,
             net_retransmits,
             net_acks,
+            net_coalesced,
+            net_coalesce_flushes,
+            net_acks_batched,
+            net_progress_polls,
         }
     }
 }
@@ -438,6 +476,12 @@ pub(crate) struct RankLocal {
     pub collectives: Cell<u64>,
     /// Blocking operations completed (drives [`RankFaults`] injection).
     pub op_count: Cell<u64>,
+    /// True when this rank cooperatively ticks the net progress engine from
+    /// its SSW waits (coalescing or frame faults armed, cooperative mode,
+    /// more than one node).
+    pub net_active: bool,
+    /// SSW poll counter gating the cooperative net ticks (every 64th poll).
+    pub net_poll: Cell<u32>,
 }
 
 impl RankLocal {
@@ -548,6 +592,17 @@ impl RankLocal {
         }
         let res = ssw_try_until(&self.sched, &self.steal, deadline, || {
             self.progress_sends();
+            if self.net_active {
+                // Cooperative progress engine: every blocked rank ticks the
+                // node endpoint occasionally, so aged coalesce buffers flush
+                // and reliable retransmits/ACKs fire even while every rank
+                // on the node is parked in an intra-node wait.
+                let n = self.net_poll.get().wrapping_add(1);
+                self.net_poll.set(n);
+                if n & 0x3F == 0 {
+                    self.ep.progress();
+                }
+            }
             poll()
         });
         if robust {
@@ -564,7 +619,7 @@ impl RankLocal {
     /// Anything else is a primary cause: record it, dump diagnostics, raise
     /// the abort flag everywhere, then unwind.
     #[cold]
-    fn escalate(&self, err: PureError) -> ! {
+    pub(crate) fn escalate(&self, err: PureError) -> ! {
         crate::telemetry::instant("abort");
         if matches!(err, PureError::PeerAborted { .. }) {
             std::panic::panic_any(PeerAbortEcho(err.to_string()));
@@ -596,12 +651,19 @@ impl RankLocal {
         }
     }
 
-    /// Drain the reliable internode links before this rank exits. Without
-    /// this, a rank that finishes early would stop calling `progress()` and
-    /// a dropped final frame addressed to a still-running peer could never
-    /// be retransmitted. Bounded and abort-aware.
+    /// Drain the internode transport before this rank exits: force-flush
+    /// this node's coalesce buffers (a rank that finishes early would stop
+    /// polling, stranding buffered subframes below the age watermark), then
+    /// linger until the reliable links are empty (a dropped final frame
+    /// addressed to a still-running peer could otherwise never be
+    /// retransmitted). Bounded and abort-aware.
     pub fn finalize_net(&self) {
-        if self.shared.cfg.net.faults.is_none() {
+        let net = &self.shared.cfg.net;
+        if net.faults.is_none() && net.coalesce.is_none() {
+            return;
+        }
+        self.ep.flush_coalesced();
+        if net.faults.is_none() {
             return;
         }
         let cap = self
@@ -839,6 +901,7 @@ where
         cluster: Cluster::new(n_nodes, cfg.net),
         channels: ChannelTable::new(),
         areas: (0..n_nodes).map(|_| Mutex::new(HashMap::new())).collect(),
+        tag_bases: Mutex::new(TagBaseAlloc::default()),
         scheds,
         rank_node,
         rank_local,
@@ -857,6 +920,7 @@ where
 
     let start = Instant::now();
     let watchdog_stop = AtomicBool::new(false);
+    let progress_stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         let mut rank_handles = Vec::with_capacity(shared.cfg.ranks);
         for rank in 0..shared.cfg.ranks {
@@ -877,6 +941,10 @@ where
                     .then(|| Tracer::new(shared.cfg.trace_events, shared.birth));
                 let tracer_guard = tracer.as_mut().map(crate::telemetry::install_tracer);
                 let node = shared.rank_node[rank];
+                let net_active = (shared.cfg.net.coalesce.is_some()
+                    || shared.cfg.net.faults.is_some())
+                    && shared.cfg.progress_mode == ProgressMode::Cooperative
+                    && shared.cluster.len() > 1;
                 let local = Rc::new(RankLocal {
                     rank,
                     node,
@@ -894,6 +962,8 @@ where
                     msgs_recvd: Cell::new(0),
                     collectives: Cell::new(0),
                     op_count: Cell::new(0),
+                    net_active,
+                    net_poll: Cell::new(0),
                     shared: Arc::clone(&shared),
                 });
                 let world = PureComm::from_meta(world_meta, Rc::clone(&local));
@@ -957,6 +1027,28 @@ where
             });
         }
 
+        // Async progress engine, helper flavour: one spare thread per node
+        // owns the node's endpoint and polls it (drains inboxes, flushes
+        // aged coalesce buffers, runs reliable ACKs/retransmits) until the
+        // ranks exit — the MPI-style dedicated progress thread. In
+        // cooperative mode the same ticks run from every rank's SSW waits
+        // instead (see `RankLocal::ssw_wait`).
+        if shared.cfg.progress_mode == ProgressMode::Helper && shared.cluster.len() > 1 {
+            let stop = &progress_stop;
+            for node in 0..shared.cluster.len() {
+                let ep = shared.cluster.endpoint(node);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        ep.progress();
+                        std::thread::sleep(Duration::from_micros(20));
+                    }
+                    // One last tick so anything the final rank flushed on
+                    // exit is scattered before the scope closes.
+                    ep.progress();
+                });
+            }
+        }
+
         // Helper threads: steal-only workers on spare "cores" (§5.1).
         let mut helper_handles = Vec::new();
         for (node, sched) in shared.scheds.iter().enumerate() {
@@ -976,6 +1068,7 @@ where
             let _ = h.join();
         }
         watchdog_stop.store(true, Ordering::Release);
+        progress_stop.store(true, Ordering::Release);
         for s in &shared.scheds {
             s.shutdown_helpers();
         }

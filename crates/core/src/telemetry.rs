@@ -485,6 +485,14 @@ pub struct RuntimeStats {
     pub net_retransmits: u64,
     /// Reliable-sublayer cumulative ACK frames sent.
     pub net_acks: u64,
+    /// Application frames packed into coalesced jumbo frames.
+    pub net_coalesced: u64,
+    /// Jumbo frames emitted by the coalescing layer (watermark flushes).
+    pub net_coalesce_flushes: u64,
+    /// ACK frames *saved* by batching (frames covered beyond one per ACK).
+    pub net_acks_batched: u64,
+    /// Progress-engine polls (cooperative SSW ticks plus helper-thread loops).
+    pub net_progress_polls: u64,
 }
 
 impl RuntimeStats {
@@ -576,6 +584,17 @@ impl RuntimeStats {
             "net: {} frames, {} retransmits, {} acks",
             self.net_frames, self.net_retransmits, self.net_acks
         );
+        if self.net_coalesced > 0 || self.net_progress_polls > 0 {
+            let _ = write!(
+                out,
+                "\nnet: {} frames coalesced into {} flushes, {} acks batched, \
+                 {} progress polls",
+                self.net_coalesced,
+                self.net_coalesce_flushes,
+                self.net_acks_batched,
+                self.net_progress_polls
+            );
+        }
         out
     }
 }

@@ -7,7 +7,9 @@
 //! The seed sweep runs 8 seeds by default; set `PURE_CHAOS_SEEDS=<n>` to
 //! widen it (the CI chaos profile does). A failing seed is reported with the
 //! exact replay command; set `PURE_CHAOS_ONLY_SEED=<seed>` to re-run just
-//! that seed under a debugger.
+//! that seed under a debugger. Set `PURE_CHAOS_COALESCE=1` to run the same
+//! sweep with outbound frame coalescing armed, so jumbo frames (not just
+//! singletons) ride the faulty links — the CI gate runs both profiles.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -15,10 +17,20 @@ use std::time::Duration;
 use netsim::{FaultPlan, NetConfig};
 use pure_core::prelude::*;
 
+/// True when the sweep should also arm outbound coalescing, so the fault
+/// injector mangles jumbo frames and the reliable sublayer must recover
+/// multi-message payloads whole.
+fn coalesce_armed() -> bool {
+    std::env::var("PURE_CHAOS_COALESCE").is_ok_and(|v| v == "1")
+}
+
 fn chaos_cfg(ranks: usize, rpn: usize, seed: u64) -> Config {
     let mut c = Config::new(ranks).with_ranks_per_node(rpn);
     c.spin_budget = 16;
     c.net = NetConfig::default().with_faults(FaultPlan::chaos(seed));
+    if coalesce_armed() {
+        c.net = c.net.with_coalescing(CoalescePlan::default());
+    }
     // Safety net: a reliability regression should fail loudly, not hang CI.
     c.progress_deadline = Some(Duration::from_secs(10));
     c
@@ -154,6 +166,9 @@ fn heavy_drop_rate_still_completes() {
         let mut c = Config::new(2).with_ranks_per_node(1);
         c.spin_budget = 16;
         c.net = NetConfig::default().with_faults(FaultPlan::drops(seed, 300)); // 30 %
+        if coalesce_armed() {
+            c.net = c.net.with_coalescing(CoalescePlan::default());
+        }
         c.progress_deadline = Some(Duration::from_secs(10));
         launch(c, |ctx| {
             let w = ctx.world();

@@ -1,0 +1,184 @@
+//! Outbound frame coalescing: packing many small cross-node frames bound
+//! for the same peer node into one jumbo frame.
+//!
+//! Cross-node traffic in Pure is dominated by small leader exchanges
+//! (collective phases, envelopes); paying a full per-frame transport cost —
+//! and, in fault mode, a full reliable-sublayer sequence slot — for every
+//! 8-byte payload is where a real progress engine spends its batching
+//! effort (NCCL proxy threads, MPI progress engines). The progress engine
+//! buffers eligible frames per destination node and flushes the buffer as
+//! one jumbo frame when a size, count, or age watermark trips.
+//!
+//! A jumbo frame is a plain concatenation of *subframes*:
+//!
+//! ```text
+//! [encoded wire tag : 8 B LE][payload len : 4 B LE][payload ...] ...
+//! ```
+//!
+//! The receiver's progress engine unpacks the jumbo and scatters each
+//! subframe into the match store under its original `(src node, tag)` key,
+//! so matching is unchanged — coalescing is invisible above the transport.
+//!
+//! The policy state here is plain data; the [`crate::NodeEndpoint`]
+//! integration (when buffers flush, how jumbos ride the reliable sublayer)
+//! lives in `transport.rs`.
+
+/// Per-subframe header: 8-byte encoded wire tag + 4-byte payload length.
+pub const SUBFRAME_HEADER_BYTES: usize = 12;
+
+/// Coalescing policy: watermarks deciding when an outbound buffer flushes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalescePlan {
+    /// Flush once the buffered jumbo payload reaches this many bytes.
+    pub max_bytes: usize,
+    /// Flush once this many subframes are buffered.
+    pub max_frames: u32,
+    /// Flush a non-empty buffer once its oldest subframe is this old (ns).
+    /// Checked from `progress()` polls, so the bound is approximate — like
+    /// any progress-engine timer.
+    pub flush_ns: u64,
+    /// Only payloads of at most this many bytes are buffered; larger ones
+    /// flush the pending buffer and travel as a single-subframe jumbo
+    /// immediately (keeping the whole per-peer data plane one FIFO).
+    pub eligible_max: usize,
+}
+
+impl Default for CoalescePlan {
+    fn default() -> Self {
+        Self {
+            max_bytes: 4096,
+            max_frames: 8,
+            flush_ns: 50_000,
+            eligible_max: 1024,
+        }
+    }
+}
+
+/// One destination node's pending jumbo buffer.
+#[derive(Default)]
+pub struct CoalesceBuf {
+    /// Concatenated subframes awaiting flush.
+    pub buf: Vec<u8>,
+    /// Number of subframes in `buf`.
+    pub frames: u32,
+    /// Arrival time (ns since cluster birth) of the oldest buffered
+    /// subframe; meaningless when `frames == 0`.
+    pub first_ns: u64,
+}
+
+impl CoalesceBuf {
+    /// Append one subframe, recording `now_ns` if the buffer was empty.
+    pub fn push(&mut self, tag_enc: u64, payload: &[u8], now_ns: u64) {
+        if self.frames == 0 {
+            self.first_ns = now_ns;
+        }
+        pack_subframe(&mut self.buf, tag_enc, payload);
+        self.frames += 1;
+    }
+
+    /// True once any watermark says this buffer must flush.
+    pub fn due(&self, plan: &CoalescePlan, now_ns: u64) -> bool {
+        self.frames > 0
+            && (self.frames >= plan.max_frames
+                || self.buf.len() >= plan.max_bytes
+                || now_ns.saturating_sub(self.first_ns) >= plan.flush_ns)
+    }
+
+    /// Take the pending jumbo payload, leaving the buffer empty.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.frames = 0;
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Append one subframe (header + payload) to `out`.
+pub fn pack_subframe(out: &mut Vec<u8>, tag_enc: u64, payload: &[u8]) {
+    out.reserve(SUBFRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&tag_enc.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Iterate `(encoded tag, payload)` subframes of a jumbo frame in order.
+pub fn unpack_subframes(jumbo: &[u8]) -> impl Iterator<Item = (u64, &[u8])> {
+    let mut at = 0usize;
+    std::iter::from_fn(move || {
+        if at == jumbo.len() {
+            return None;
+        }
+        if jumbo.len() - at < SUBFRAME_HEADER_BYTES {
+            crate::die_invariant("jumbo frame truncated inside a subframe header");
+        }
+        let tag_enc = u64::from_le_bytes(jumbo[at..at + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(jumbo[at + 8..at + 12].try_into().unwrap()) as usize;
+        at += SUBFRAME_HEADER_BYTES;
+        if jumbo.len() - at < len {
+            crate::die_invariant("jumbo frame truncated inside a subframe payload");
+        }
+        let payload = &jumbo[at..at + len];
+        at += len;
+        Some((tag_enc, payload))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subframes_roundtrip_in_order() {
+        let mut jumbo = Vec::new();
+        pack_subframe(&mut jumbo, 7, b"alpha");
+        pack_subframe(&mut jumbo, 9, b"");
+        pack_subframe(&mut jumbo, 7, b"beta");
+        let got: Vec<(u64, Vec<u8>)> = unpack_subframes(&jumbo)
+            .map(|(t, p)| (t, p.to_vec()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (7, b"alpha".to_vec()),
+                (9, Vec::new()),
+                (7, b"beta".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn buffer_flushes_on_count_size_or_age() {
+        let plan = CoalescePlan {
+            max_bytes: 64,
+            max_frames: 3,
+            flush_ns: 1_000,
+            eligible_max: 1024,
+        };
+        let mut b = CoalesceBuf::default();
+        assert!(!b.due(&plan, 0), "empty buffer never due");
+        b.push(1, &[0u8; 4], 100);
+        assert!(!b.due(&plan, 100));
+        // Count watermark.
+        b.push(1, &[0u8; 4], 110);
+        b.push(1, &[0u8; 4], 120);
+        assert!(b.due(&plan, 120));
+        let jumbo = b.take();
+        assert_eq!(unpack_subframes(&jumbo).count(), 3);
+        assert!(!b.due(&plan, 120), "take resets the buffer");
+        // Size watermark.
+        b.push(2, &[0u8; 60], 200);
+        assert!(b.due(&plan, 200));
+        b.take();
+        // Age watermark.
+        b.push(3, &[0u8; 1], 300);
+        assert!(!b.due(&plan, 500));
+        assert!(b.due(&plan, 1_300));
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_jumbo_dies_loudly() {
+        let mut jumbo = Vec::new();
+        pack_subframe(&mut jumbo, 5, b"abcdef");
+        jumbo.truncate(jumbo.len() - 2);
+        let _ = unpack_subframes(&jumbo).count();
+    }
+}

@@ -19,11 +19,13 @@
 //! progress). Higher-level cross-node collective *algorithms* live in
 //! `pure-core::internode`, composed from these primitives.
 
+pub mod coalesce;
 pub mod faults;
 pub mod reliable;
 pub mod tag;
 mod transport;
 
+pub use coalesce::CoalescePlan;
 pub use faults::{FaultDecision, FaultPlan};
 pub use tag::WireTag;
 pub use transport::{Cluster, NetConfig, NetStats, NodeEndpoint};

@@ -28,6 +28,15 @@ pub const BASE_BACKOFF_NS: u64 = 200_000;
 /// Backoff ceiling (ns).
 pub const MAX_BACKOFF_NS: u64 = 5_000_000;
 
+/// Batched-ACK count watermark: an ACK frame goes out once this many new
+/// in-order frames have accumulated since the last ACK.
+pub const ACK_BATCH: u64 = 8;
+
+/// Batched-ACK age watermark (ns): unacknowledged progress older than this
+/// flushes even below the count watermark. Kept well under
+/// [`BASE_BACKOFF_NS`] so batching never provokes a spurious retransmit.
+pub const ACK_DELAY_NS: u64 = 50_000;
+
 /// Prepend the sequence header to `payload`.
 pub fn frame(seq: u64, payload: &[u8]) -> Vec<u8> {
     let mut f = Vec::with_capacity(SEQ_HEADER_BYTES + payload.len());
@@ -131,6 +140,11 @@ impl Default for TxState {
 pub struct RxState {
     /// Next in-order sequence expected (doubles as the cumulative ACK value).
     pub expected: u64,
+    /// Cumulative ACK value most recently sent to the peer.
+    pub acked: u64,
+    /// When the oldest not-yet-acknowledged progress was made (ns since
+    /// cluster birth); 0 while `acked == expected`.
+    ack_pending_ns: u64,
     /// Out-of-order arrivals parked until the gap closes.
     stash: BTreeMap<u64, Vec<u8>>,
     /// In-order payloads not yet handed to the application.
@@ -170,6 +184,31 @@ impl RxState {
     /// Out-of-order frames parked in the stash.
     pub fn stashed(&self) -> usize {
         self.stash.len()
+    }
+
+    /// Batched-ACK decision: if an ACK frame should go out now, return
+    /// `(cumulative ack value, frames newly covered)` and mark it sent.
+    ///
+    /// An ACK is due when `saw_dup` (a duplicate arrival usually means the
+    /// peer lost our last ACK and is retransmitting — answer immediately),
+    /// when [`ACK_BATCH`] new in-order frames accumulated, or when pending
+    /// progress is older than [`ACK_DELAY_NS`]. Otherwise the ACK stays
+    /// batched and `None` is returned.
+    pub fn ack_due(&mut self, now_ns: u64, saw_dup: bool) -> Option<(u64, u64)> {
+        if self.expected > self.acked && self.ack_pending_ns == 0 {
+            self.ack_pending_ns = now_ns;
+        }
+        let newly = self.expected - self.acked;
+        if saw_dup
+            || newly >= ACK_BATCH
+            || (newly > 0 && now_ns.saturating_sub(self.ack_pending_ns) >= ACK_DELAY_NS)
+        {
+            self.acked = self.expected;
+            self.ack_pending_ns = 0;
+            Some((self.expected, newly))
+        } else {
+            None
+        }
     }
 }
 
@@ -213,6 +252,33 @@ mod tests {
         tx.on_ack(5);
         assert!(tx.outstanding.is_empty());
         assert_eq!(tx.next_retx_ns, 0);
+    }
+
+    #[test]
+    fn acks_batch_until_count_age_or_dup() {
+        let mut rx = RxState::default();
+        // Below both watermarks: no ACK yet.
+        for i in 0..ACK_BATCH - 1 {
+            assert!(rx.accept(i, vec![]));
+        }
+        assert_eq!(rx.ack_due(1_000, false), None);
+        // Count watermark trips; all pending frames covered by one ACK.
+        assert!(rx.accept(ACK_BATCH - 1, vec![]));
+        assert_eq!(rx.ack_due(1_100, false), Some((ACK_BATCH, ACK_BATCH)));
+        assert_eq!(rx.ack_due(1_200, false), None, "nothing newly pending");
+        // Age watermark: one lone frame flushes once it is old enough.
+        assert!(rx.accept(ACK_BATCH, vec![]));
+        assert_eq!(rx.ack_due(2_000, false), None);
+        assert_eq!(
+            rx.ack_due(2_000 + ACK_DELAY_NS, false),
+            Some((ACK_BATCH + 1, 1))
+        );
+        // A duplicate forces an immediate re-ACK even with nothing new.
+        assert!(!rx.accept(0, vec![]), "replay is a dup");
+        assert_eq!(
+            rx.ack_due(2_100 + ACK_DELAY_NS, true),
+            Some((ACK_BATCH + 1, 0))
+        );
     }
 
     #[test]

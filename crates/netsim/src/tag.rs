@@ -14,6 +14,10 @@ pub const CLASS_P2P: u8 = 0;
 pub const CLASS_COLLECTIVE: u8 = 1;
 /// Runtime-internal bootstrap traffic (rank maps, consensus).
 pub const CLASS_BOOTSTRAP: u8 = 2;
+/// Jumbo frames carrying coalesced subframes between two nodes' progress
+/// engines. One such link exists per ordered node pair, so thread ids and
+/// user tag are zero; the original tags ride inside the subframe headers.
+pub const CLASS_COALESCE: u8 = 3;
 /// Top bit of the 7-bit class field: set on acknowledgement frames of the
 /// reliable sublayer. ORed onto the data class so every data plane gets its
 /// own ACK plane (a shared ACK class would let a P2P and a collective link
@@ -49,6 +53,11 @@ impl WireTag {
     /// Collective-plane tag between two node leaders.
     pub fn collective(src_local: usize, dst_local: usize, user: u32) -> Self {
         Self::new(src_local, dst_local, user, CLASS_COLLECTIVE)
+    }
+
+    /// The (single, per node pair) coalesced-jumbo link tag.
+    pub fn coalesce() -> Self {
+        Self::new(0, 0, 0, CLASS_COALESCE)
     }
 
     fn new(src_local: usize, dst_local: usize, user: u32, class: u8) -> Self {
@@ -133,6 +142,16 @@ mod tests {
         let c = WireTag::p2p(1, 2, 4).encode();
         let d = WireTag::collective(1, 2, 3).encode();
         assert!(a != b && a != c && a != d && b != c && b != d && c != d);
+    }
+
+    #[test]
+    fn coalesce_link_is_its_own_plane() {
+        let j = WireTag::coalesce();
+        assert!(!j.is_ack());
+        assert_ne!(j.encode(), WireTag::p2p(0, 0, 0).encode());
+        assert_ne!(j.encode(), WireTag::collective(0, 0, 0).encode());
+        assert_eq!(WireTag::decode(j.encode()), j);
+        assert!(WireTag::ack_for(j).is_ack());
     }
 
     #[test]

@@ -9,9 +9,10 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::coalesce::{self, CoalesceBuf, CoalescePlan};
 use crate::faults::FaultPlan;
 use crate::reliable::{deframe, RxState, TxState};
-use crate::tag::WireTag;
+use crate::tag::{WireTag, CLASS_COALESCE};
 
 /// Latency/bandwidth model for the simulated interconnect.
 ///
@@ -30,6 +31,10 @@ pub struct NetConfig {
     /// onto the reliable (sequence + ACK + retransmit) sublayer; `None` is
     /// the ideal, overhead-free transport.
     pub faults: Option<FaultPlan>,
+    /// Outbound frame coalescing. `Some` routes every internode data frame
+    /// through the progress engine's per-destination jumbo buffers; `None`
+    /// sends frame-per-message.
+    pub coalesce: Option<CoalescePlan>,
 }
 
 impl NetConfig {
@@ -40,12 +45,19 @@ impl NetConfig {
             alpha_ns: 1_300,
             beta_ps_per_byte: 100,
             faults: None,
+            coalesce: None,
         }
     }
 
     /// Enable seeded fault injection (builder style).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Enable outbound frame coalescing (builder style).
+    pub fn with_coalescing(mut self, plan: CoalescePlan) -> Self {
+        self.coalesce = Some(plan);
         self
     }
 
@@ -68,16 +80,31 @@ struct InFlight {
 /// same unit the raw transport preserves FIFO for.
 type LinkKey = (usize, u64);
 
+/// Match-store shard count (power of two). Receivers on unrelated tags hash
+/// to different shards and stop serializing on one store lock.
+const STORE_SHARDS: usize = 8;
+
+/// Which store shard a match key lives in.
+fn shard_of(key: &MatchKey) -> usize {
+    let h = (key.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ key.1.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    (h >> 61) as usize & (STORE_SHARDS - 1)
+}
+
 #[derive(Default)]
 struct NodeShared {
     /// Freshly arrived messages, not yet sorted into the match store.
     inbox: Mutex<VecDeque<InFlight>>,
-    /// Matchable messages, keyed for receiver lookup.
-    store: Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>,
+    /// Matchable messages, keyed for receiver lookup and sharded by key
+    /// hash (see [`shard_of`]).
+    store: [Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>; STORE_SHARDS],
     /// Reliable sender links originating at this node (fault mode only).
     rel_tx: Mutex<HashMap<LinkKey, TxState>>,
     /// Reliable receiver links terminating at this node (fault mode only).
     rel_rx: Mutex<HashMap<LinkKey, RxState>>,
+    /// Pending outbound coalescing buffers, destination node → buffer
+    /// (coalescing mode only).
+    co_tx: Mutex<HashMap<usize, CoalesceBuf>>,
 }
 
 /// Aggregate traffic statistics for a cluster.
@@ -97,6 +124,16 @@ pub struct NetStats {
     pub retransmits: AtomicU64,
     /// Reliable-sublayer cumulative ACK frames sent.
     pub acks: AtomicU64,
+    /// Subframes packed into coalescing buffers.
+    pub coalesced: AtomicU64,
+    /// Jumbo frames emitted by the coalescing engine.
+    pub coalesce_flushes: AtomicU64,
+    /// ACK frames avoided by cumulative-ACK batching (frames covered by an
+    /// ACK beyond the first).
+    pub acks_batched: AtomicU64,
+    /// Progress-engine polls (cooperative SSW ticks, helper-thread loops,
+    /// and receive-miss polls).
+    pub progress_polls: AtomicU64,
 }
 
 impl NetStats {
@@ -124,6 +161,18 @@ impl NetStats {
             self.frames.load(Ordering::Relaxed),
             self.retransmits.load(Ordering::Relaxed),
             self.acks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot (subframes coalesced, jumbo flushes, acks batched, progress
+    /// polls) — the progress-engine view merged into the runtime's
+    /// telemetry report.
+    pub fn coalesce_snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.coalesced.load(Ordering::Relaxed),
+            self.coalesce_flushes.load(Ordering::Relaxed),
+            self.acks_batched.load(Ordering::Relaxed),
+            self.progress_polls.load(Ordering::Relaxed),
         )
     }
 }
@@ -208,11 +257,15 @@ impl NodeEndpoint {
     /// Send `payload` to `dst_node`, matchable there under `(self.node, tag)`
     /// once the modeled latency has elapsed.
     ///
-    /// With a fault plan configured the payload is sequence-framed and kept
-    /// for retransmission until acknowledged; without one this is the
+    /// With a coalescing plan configured every data frame rides the
+    /// progress engine's per-destination jumbo buffers; with a fault plan
+    /// configured the (possibly jumbo) payload is sequence-framed and kept
+    /// for retransmission until acknowledged; with neither this is the
     /// familiar fire-and-forget path, byte for byte.
     pub fn send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
-        if self.cfg.faults.is_some() && !tag.is_ack() {
+        if self.cfg.coalesce.is_some() && !tag.is_ack() && tag.class != CLASS_COALESCE {
+            self.coalesce_send(dst_node, tag, payload);
+        } else if self.cfg.faults.is_some() && !tag.is_ack() {
             self.reliable_send(dst_node, tag, payload);
         } else {
             self.raw_send(dst_node, tag, payload);
@@ -230,8 +283,8 @@ impl NodeEndpoint {
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         let mut front = false;
         let mut copies = 1u32;
+        let frame = self.stats.frames.fetch_add(1, Ordering::Relaxed);
         if let Some(plan) = &self.cfg.faults {
-            let frame = self.stats.frames.fetch_add(1, Ordering::Relaxed);
             let d = plan.decide(frame);
             if d.drop {
                 self.stats.dropped.fetch_add(1, Ordering::Relaxed);
@@ -265,17 +318,29 @@ impl NodeEndpoint {
     /// reliable sublayer's retransmits and ACKs) as a side effect, exactly
     /// as an MPI progress engine does on every receive poll.
     pub fn try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
+        let shared = &self.nodes[self.me];
+        if self.cfg.coalesce.is_some() && !tag.is_ack() {
+            // Coalescing mode: data frames arrive inside jumbos and are
+            // scattered into the match store by the progress engine, so the
+            // store is the only place to look — even in fault mode, where
+            // the reliable sublayer wraps the jumbo link, not this tag.
+            let key = (src_node, tag.encode());
+            if let Some(p) = pop_store(shared, &key) {
+                return Some(p);
+            }
+            self.progress();
+            return pop_store(shared, &key);
+        }
         if self.cfg.faults.is_some() && !tag.is_ack() {
             return self.reliable_try_recv(src_node, tag);
         }
         let key = (src_node, tag.encode());
-        let shared = &self.nodes[self.me];
         // Fast path: already matched.
-        if let Some(p) = pop_store(&shared.store, &key) {
+        if let Some(p) = pop_store(shared, &key) {
             return Some(p);
         }
         self.progress();
-        pop_store(&shared.store, &key)
+        pop_store(shared, &key)
     }
 
     /// Raw-plane receive: match-store lookup + inbox drain, with no reliable
@@ -284,19 +349,28 @@ impl NodeEndpoint {
     fn raw_try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
         let key = (src_node, tag.encode());
         let shared = &self.nodes[self.me];
-        if let Some(p) = pop_store(&shared.store, &key) {
+        if let Some(p) = pop_store(shared, &key) {
             return Some(p);
         }
         self.drain_inbox();
-        pop_store(&shared.store, &key)
+        pop_store(shared, &key)
     }
 
-    /// Drain deliverable messages and, in fault mode, run one tick of the
-    /// reliable sublayer (ACK drain, due retransmits, eager data pump).
+    /// One progress-engine tick: drain deliverable messages; in coalescing
+    /// mode flush aged outbound buffers and unpack arrived jumbos; in fault
+    /// mode run the reliable sublayer (ACK drain, due retransmits, eager
+    /// data pump).
     pub fn progress(&self) {
+        self.stats.progress_polls.fetch_add(1, Ordering::Relaxed);
         self.drain_inbox();
+        if self.cfg.coalesce.is_some() {
+            self.flush_aged_coalesce();
+        }
         if self.cfg.faults.is_some() {
             self.reliable_tick();
+        }
+        if self.cfg.coalesce.is_some() {
+            self.pump_coalesced();
         }
     }
 
@@ -325,11 +399,156 @@ impl NodeEndpoint {
                 }
             }
         }
-        if !moved.is_empty() {
-            let mut store = shared.store.lock();
-            for m in moved {
-                store.entry(m.key).or_default().push_back(m.payload);
+        for m in moved {
+            let mut store = shared.store[shard_of(&m.key)].lock();
+            store.entry(m.key).or_default().push_back(m.payload);
+        }
+    }
+
+    // --- Coalescing progress engine (coalescing mode only) ----------------
+
+    /// Buffer one outbound data frame for `dst_node`, flushing the buffer
+    /// when a watermark trips. Payloads over the eligibility cutoff flush
+    /// what is pending and then travel as their own single-subframe jumbo,
+    /// so the whole per-peer data plane stays one FIFO.
+    fn coalesce_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+        let Some(plan) = self.cfg.coalesce else {
+            crate::die_invariant("coalesce_send without a coalescing plan")
+        };
+        let now = self.now_ns();
+        let mut jumbos: Vec<Vec<u8>> = Vec::new();
+        {
+            let mut com = self.nodes[self.me].co_tx.lock();
+            let buf = com.entry(dst_node).or_default();
+            if payload.len() > plan.eligible_max {
+                if buf.frames > 0 {
+                    jumbos.push(buf.take());
+                }
+                let mut solo = Vec::new();
+                coalesce::pack_subframe(&mut solo, tag.encode(), payload);
+                jumbos.push(solo);
+            } else {
+                buf.push(tag.encode(), payload, now);
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                if buf.due(&plan, now) {
+                    jumbos.push(buf.take());
+                }
             }
+        }
+        for j in jumbos {
+            self.emit_jumbo(dst_node, &j);
+        }
+    }
+
+    /// Transmit one jumbo frame on the per-peer coalesce link (reliable in
+    /// fault mode, raw otherwise).
+    fn emit_jumbo(&self, dst_node: usize, jumbo: &[u8]) {
+        self.stats.coalesce_flushes.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.faults.is_some() {
+            self.reliable_send(dst_node, WireTag::coalesce(), jumbo);
+        } else {
+            self.raw_send(dst_node, WireTag::coalesce(), jumbo);
+        }
+    }
+
+    /// Flush outbound buffers whose age watermark has tripped.
+    fn flush_aged_coalesce(&self) {
+        let Some(plan) = self.cfg.coalesce else {
+            return;
+        };
+        let now = self.now_ns();
+        let mut jumbos: Vec<(usize, Vec<u8>)> = Vec::new();
+        {
+            let mut com = self.nodes[self.me].co_tx.lock();
+            for (&dst, buf) in com.iter_mut() {
+                if buf.due(&plan, now) {
+                    jumbos.push((dst, buf.take()));
+                }
+            }
+        }
+        for (dst, j) in jumbos {
+            self.emit_jumbo(dst, &j);
+        }
+    }
+
+    /// Force-flush every pending outbound buffer on this node, watermarks
+    /// or not — the end-of-run path, so no subframe is stranded.
+    pub fn flush_coalesced(&self) {
+        if self.cfg.coalesce.is_none() {
+            return;
+        }
+        let mut jumbos: Vec<(usize, Vec<u8>)> = Vec::new();
+        {
+            let mut com = self.nodes[self.me].co_tx.lock();
+            for (&dst, buf) in com.iter_mut() {
+                if buf.frames > 0 {
+                    jumbos.push((dst, buf.take()));
+                }
+            }
+        }
+        for (dst, j) in jumbos {
+            self.emit_jumbo(dst, &j);
+        }
+    }
+
+    /// Unpack every arrived jumbo frame and scatter its subframes into the
+    /// match store under their original tags (through the reliable
+    /// sublayer's dedup/reorder first when fault mode is on).
+    fn pump_coalesced(&self) {
+        let jumbo = WireTag::coalesce();
+        if self.cfg.faults.is_some() {
+            let now = self.now_ns();
+            let mut scatter: Vec<(usize, Vec<u8>)> = Vec::new();
+            let mut acks: Vec<(usize, u64)> = Vec::new();
+            {
+                let mut rxm = self.nodes[self.me].rel_rx.lock();
+                for src in 0..self.nodes.len() {
+                    if src == self.me {
+                        continue;
+                    }
+                    let st = rxm.entry((src, jumbo.encode())).or_default();
+                    let mut saw_dup = false;
+                    while let Some(f) = self.raw_try_recv(src, jumbo) {
+                        let (seq, payload) = deframe(&f);
+                        saw_dup |= !st.accept(seq, payload.to_vec());
+                    }
+                    while let Some(j) = st.pop_ready() {
+                        scatter.push((src, j));
+                    }
+                    if let Some((ack, newly)) = st.ack_due(now, saw_dup) {
+                        self.stats
+                            .acks_batched
+                            .fetch_add(newly.saturating_sub(1), Ordering::Relaxed);
+                        acks.push((src, ack));
+                    }
+                }
+            }
+            for (src, j) in scatter {
+                self.scatter_jumbo(src, &j);
+            }
+            for (src, ack) in acks {
+                self.stats.acks.fetch_add(1, Ordering::Relaxed);
+                self.raw_send(src, WireTag::ack_for(jumbo), &ack.to_le_bytes());
+            }
+        } else {
+            for src in 0..self.nodes.len() {
+                if src == self.me {
+                    continue;
+                }
+                while let Some(j) = self.raw_try_recv(src, jumbo) {
+                    self.scatter_jumbo(src, &j);
+                }
+            }
+        }
+    }
+
+    /// Sort one jumbo's subframes into the match store in arrival order.
+    fn scatter_jumbo(&self, src: usize, jumbo: &[u8]) {
+        let shared = &self.nodes[self.me];
+        for (enc, payload) in coalesce::unpack_subframes(jumbo) {
+            let key = (src, enc);
+            let mut store = shared.store[shard_of(&key)].lock();
+            store.entry(key).or_default().push_back(payload.to_vec());
         }
     }
 
@@ -347,24 +566,27 @@ impl NodeEndpoint {
     }
 
     /// Reliable-plane receive: tick the sublayer, pump this link's raw
-    /// frames through dedup/reorder, ACK cumulatively, return the next
-    /// in-order payload.
+    /// frames through dedup/reorder, ACK cumulatively (batched: on a count
+    /// or age watermark, or immediately after a dup — a dup usually means
+    /// the previous ACK was lost), return the next in-order payload.
     fn reliable_try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
         self.reliable_tick();
+        let now = self.now_ns();
         let (out, ack) = {
             let mut rxm = self.nodes[self.me].rel_rx.lock();
             let st = rxm.entry((src_node, tag.encode())).or_default();
-            let mut got = false;
+            let mut saw_dup = false;
             while let Some(f) = self.raw_try_recv(src_node, tag) {
                 let (seq, payload) = deframe(&f);
-                st.accept(seq, payload.to_vec());
-                got = true;
+                saw_dup |= !st.accept(seq, payload.to_vec());
             }
-            // Re-ACK on *any* arrival, dup or not: a dup usually means the
-            // previous ACK was lost.
-            (st.pop_ready(), got.then_some(st.expected))
+            (st.pop_ready(), st.ack_due(now, saw_dup))
         };
-        if let Some(ack) = ack {
+        if let Some((ack, newly)) = ack {
+            self.stats
+                .acks_batched
+                .fetch_add(newly.saturating_sub(1), Ordering::Relaxed);
+            self.stats.acks.fetch_add(1, Ordering::Relaxed);
             self.raw_send(src_node, WireTag::ack_for(tag), &ack.to_le_bytes());
         }
         out
@@ -398,20 +620,35 @@ impl NodeEndpoint {
             self.raw_send(dst, tag, &f);
         }
         let mut acks: Vec<(usize, WireTag, u64)> = Vec::new();
+        let mut scatter: Vec<(usize, Vec<u8>)> = Vec::new();
         {
             let mut rxm = shared.rel_rx.lock();
             for (&(src, enc), st) in rxm.iter_mut() {
                 let tag = WireTag::decode(enc);
-                let mut got = false;
+                let mut saw_dup = false;
                 while let Some(f) = self.raw_try_recv(src, tag) {
                     let (seq, payload) = deframe(&f);
-                    st.accept(seq, payload.to_vec());
-                    got = true;
+                    saw_dup |= !st.accept(seq, payload.to_vec());
                 }
-                if got {
-                    acks.push((src, WireTag::ack_for(tag), st.expected));
+                // Jumbo links have no blocked receiver to pop them: hand
+                // their in-order payloads straight to the scatter path.
+                if tag.class == CLASS_COALESCE {
+                    while let Some(j) = st.pop_ready() {
+                        scatter.push((src, j));
+                    }
+                }
+                // The ACK decision runs every tick, arrivals or not, so a
+                // batched ACK still flushes on its age watermark.
+                if let Some((ack, newly)) = st.ack_due(now, saw_dup) {
+                    self.stats
+                        .acks_batched
+                        .fetch_add(newly.saturating_sub(1), Ordering::Relaxed);
+                    acks.push((src, WireTag::ack_for(tag), ack));
                 }
             }
+        }
+        for (src, j) in scatter {
+            self.scatter_jumbo(src, &j);
         }
         for (src, tag, ack) in acks {
             self.stats.acks.fetch_add(1, Ordering::Relaxed);
@@ -435,13 +672,26 @@ impl NodeEndpoint {
             })
             .sum()
     }
+
+    /// Subframes buffered for coalescing but not yet flushed, cluster-wide.
+    /// Zero (together with [`NodeEndpoint::reliable_outstanding`]) means no
+    /// payload is still parked inside the transport.
+    pub fn coalesce_pending(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.co_tx
+                    .lock()
+                    .values()
+                    .map(|b| b.frames as usize)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
 }
 
-fn pop_store(
-    store: &Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>,
-    key: &MatchKey,
-) -> Option<Vec<u8>> {
-    let mut store = store.lock();
+fn pop_store(shared: &NodeShared, key: &MatchKey) -> Option<Vec<u8>> {
+    let mut store = shared.store[shard_of(key)].lock();
     let q = store.get_mut(key)?;
     let p = q.pop_front();
     if q.is_empty() {
@@ -588,6 +838,110 @@ mod tests {
             // Let the final ACKs land so the links drain.
             let t0 = Instant::now();
             while a.reliable_outstanding() > 0 {
+                a.progress();
+                b.progress();
+                assert!(t0.elapsed().as_secs() < 10, "links never drained");
+                thread::yield_now();
+            }
+        }
+    }
+
+    /// 16 small messages under an 8-frame watermark must travel as exactly
+    /// 2 wire frames, arrive byte-exact in order, and show up in the
+    /// coalescing counters.
+    #[test]
+    fn coalescing_packs_small_messages_into_jumbos() {
+        let c = Cluster::new(
+            2,
+            NetConfig::default().with_coalescing(CoalescePlan::default()),
+        );
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 3);
+        for i in 0..16u8 {
+            a.send(1, tag, &[i, i ^ 0x5A]);
+        }
+        assert_eq!(a.coalesce_pending(), 0, "both watermark flushes fired");
+        for i in 0..16u8 {
+            let p = b.try_recv(0, tag).expect("subframe must be matchable");
+            assert_eq!(p, vec![i, i ^ 0x5A]);
+        }
+        assert_eq!(b.try_recv(0, tag), None);
+        assert_eq!(c.stats().frames.load(Ordering::Relaxed), 2);
+        let (coalesced, flushes, _, _) = c.stats().coalesce_snapshot();
+        assert_eq!((coalesced, flushes), (16, 2));
+    }
+
+    /// An oversized payload must not overtake (or be overtaken by) buffered
+    /// small frames on the same link: the split into solo jumbos preserves
+    /// per-peer FIFO.
+    #[test]
+    fn coalescing_preserves_fifo_across_the_size_split() {
+        let plan = CoalescePlan {
+            max_bytes: 1 << 20,
+            max_frames: 100,
+            flush_ns: u64::MAX,
+            eligible_max: 8,
+        };
+        let c = Cluster::new(2, NetConfig::default().with_coalescing(plan));
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 1);
+        a.send(1, tag, &[1]); // buffered
+        a.send(1, tag, &[2u8; 64]); // oversize: flushes [1], then goes solo
+        a.send(1, tag, &[3]); // buffered again
+        assert_eq!(a.coalesce_pending(), 1);
+        a.flush_coalesced();
+        assert_eq!(a.coalesce_pending(), 0);
+        assert_eq!(b.try_recv(0, tag).unwrap(), vec![1]);
+        assert_eq!(b.try_recv(0, tag).unwrap(), vec![2u8; 64]);
+        assert_eq!(b.try_recv(0, tag).unwrap(), vec![3]);
+        assert_eq!(c.stats().frames.load(Ordering::Relaxed), 3);
+    }
+
+    /// Coalescing over the faulty transport: jumbos ride the reliable
+    /// sublayer, so every subframe still arrives exactly once, in order,
+    /// with batched ACKs keeping the links drained.
+    #[test]
+    fn coalescing_composes_with_chaos_faults() {
+        for seed in 0..3 {
+            let mut plan = crate::FaultPlan::chaos(seed);
+            plan.drop_pm = 150;
+            let c = Cluster::new(
+                2,
+                NetConfig::default()
+                    .with_faults(plan)
+                    .with_coalescing(CoalescePlan::default()),
+            );
+            let a = c.endpoint(0);
+            let b = c.endpoint(1);
+            let tag = WireTag::p2p(0, 0, 5);
+            const N: u8 = 40;
+            for i in 0..N {
+                a.send(1, tag, &[i, i.wrapping_mul(7)]);
+            }
+            a.flush_coalesced();
+            let start = Instant::now();
+            let mut got = Vec::new();
+            while got.len() < N as usize {
+                a.progress(); // sender keeps retransmitting lost jumbos
+                if let Some(p) = b.try_recv(0, tag) {
+                    got.push(p);
+                }
+                assert!(
+                    start.elapsed().as_secs() < 10,
+                    "seed {seed}: stuck at {} of {N} subframes",
+                    got.len()
+                );
+                thread::yield_now();
+            }
+            for (i, p) in got.iter().enumerate() {
+                let i = i as u8;
+                assert_eq!(p[..], [i, i.wrapping_mul(7)], "seed {seed}: subframe {i}");
+            }
+            assert_eq!(b.try_recv(0, tag), None, "no duplicates may surface");
+            let t0 = Instant::now();
+            while a.reliable_outstanding() > 0 || a.coalesce_pending() > 0 {
                 a.progress();
                 b.progress();
                 assert!(t0.elapsed().as_secs() < 10, "links never drained");
