@@ -140,6 +140,22 @@ impl RemoteChannel {
     }
 }
 
+/// A receive-side size mismatch detected inside the channel layer: the wire
+/// delivered (or a rendezvous header announced) more bytes than the posted
+/// buffer holds. Possible only on remote channels — the wire tag does not
+/// encode the byte count, so a mismatched sender shares the tag — whereas
+/// intra-node channels agree on sizes by construction (the byte count is
+/// part of the channel key). The channel has no rank identity; callers wrap
+/// this into [`crate::error::PureError::Truncation`] and escalate through
+/// the abort protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvOverrun {
+    /// Bytes the sender delivered or announced.
+    pub sent: usize,
+    /// Bytes the posted receive buffer can hold.
+    pub capacity: usize,
+}
+
 /// What happened to an in-flight operation a caller tried to cancel (the
 /// recovery path of `send_timeout`/`recv_timeout`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -262,57 +278,63 @@ impl Channel {
 
     /// Blocking-path fast receive into `ptr..ptr+cap`: when no receives are
     /// pending and a message is already waiting, deliver it without touching
-    /// the in-flight queue. Returns `true` on delivery.
+    /// the in-flight queue. Returns `Ok(true)` on delivery, `Err` when a
+    /// remote frame does not fit the buffer (see [`RecvOverrun`]).
     ///
     /// # Safety
     /// Caller must be the channel's receiver thread; the buffer is written
     /// synchronously during the call only.
-    pub unsafe fn try_recv_now(&self, ep: &NodeEndpoint, ptr: *mut u8, cap: usize) -> bool {
+    pub unsafe fn try_recv_now(
+        &self,
+        ep: &NodeEndpoint,
+        ptr: *mut u8,
+        cap: usize,
+    ) -> Result<bool, RecvOverrun> {
         match self {
             // SAFETY (all arms): receiver-side cell, receiver thread.
             Channel::Small(c) => unsafe {
                 c.recv.with(|s| {
                     if !s.pending.is_empty() {
-                        return false;
+                        return Ok(false);
                     }
                     let out = std::slice::from_raw_parts_mut(ptr, cap);
                     if c.pbq.try_recv(out).is_some() {
                         s.next_seq += 1;
                         s.completed += 1;
-                        true
+                        Ok(true)
                     } else {
-                        false
+                        Ok(false)
                     }
                 })
             },
             // Rendezvous needs the buffer posted into the envelope queue for
             // the sender to find; no queue-free shortcut exists.
-            Channel::Large(_) => false,
+            Channel::Large(_) => Ok(false),
             Channel::Remote(c) => {
                 // Chunked rendezvous needs the multi-frame bookkeeping of a
                 // posted receive; no queue-free shortcut.
                 if c.rdv_chunk.is_some() {
-                    return false;
+                    return Ok(false);
                 }
                 unsafe {
                     c.recv.with(|s| {
                         if !s.pending.is_empty() {
-                            return false;
+                            return Ok(false);
                         }
                         let Some(payload) = ep.try_recv(c.src_node, c.wire) else {
-                            return false;
+                            return Ok(false);
                         };
-                        assert!(
-                            payload.len() <= cap,
-                            "remote message of {} bytes into {} byte buffer",
-                            payload.len(),
-                            cap
-                        );
+                        if payload.len() > cap {
+                            return Err(RecvOverrun {
+                                sent: payload.len(),
+                                capacity: cap,
+                            });
+                        }
                         // SAFETY: buffer valid per the caller contract.
                         std::ptr::copy_nonoverlapping(payload.as_ptr(), ptr, payload.len());
                         s.next_seq += 1;
                         s.completed += 1;
-                        true
+                        Ok(true)
                     })
                 }
             }
@@ -432,10 +454,11 @@ impl Channel {
 
     /// Try to complete posted receives so that all sequences `< upto` are
     /// complete (payload delivered into the posted buffers, in post order).
-    /// Returns `true` when that is the case.
+    /// Returns `Ok(true)` when that is the case; `Err` when a remote frame
+    /// (or an announced rendezvous body) does not fit the posted buffer.
     ///
     /// Must be called from the receiver thread.
-    pub fn try_complete_recvs(&self, ep: &NodeEndpoint, upto: u64) -> bool {
+    pub fn try_complete_recvs(&self, ep: &NodeEndpoint, upto: u64) -> Result<bool, RecvOverrun> {
         match self {
             // SAFETY (all arms): receiver-side cell, receiver thread.
             Channel::Small(c) => unsafe {
@@ -458,12 +481,12 @@ impl Channel {
                             std::ptr::copy_nonoverlapping(bytes.as_ptr(), front.ptr, bytes.len());
                         });
                         if got == 0 {
-                            return false;
+                            return Ok(false);
                         }
                         s.pending.drain(..got);
                         s.completed += got as u64;
                     }
-                    s.completed >= upto
+                    Ok(s.completed >= upto)
                 })
             },
             Channel::Large(c) => unsafe {
@@ -473,15 +496,17 @@ impl Channel {
                         let Some(front) = s.pending.front() else {
                             break;
                         };
-                        let Some(t) = front.ticket else { return false };
+                        let Some(t) = front.ticket else {
+                            return Ok(false);
+                        };
                         if c.env.try_consume(t).is_none() {
-                            return false;
+                            return Ok(false);
                         }
                         s.pending.pop_front();
                         s.completed += 1;
                         post_envelopes(&c.env, s);
                     }
-                    s.completed >= upto
+                    Ok(s.completed >= upto)
                 })
             },
             Channel::Remote(c) => unsafe {
@@ -491,7 +516,7 @@ impl Channel {
                             break;
                         };
                         let Some(payload) = ep.try_recv(c.src_node, c.wire) else {
-                            return false;
+                            return Ok(false);
                         };
                         if c.rdv_chunk.is_some() {
                             // Wire rendezvous: header announces the body,
@@ -503,12 +528,12 @@ impl Channel {
                                             "chunked remote channel got a non-header frame first",
                                         );
                                     };
-                                    assert!(
-                                        total <= front.cap,
-                                        "remote message of {} bytes into {} byte buffer",
-                                        total,
-                                        front.cap
-                                    );
+                                    if total > front.cap {
+                                        return Err(RecvOverrun {
+                                            sent: total,
+                                            capacity: front.cap,
+                                        });
+                                    }
                                     front.total = Some(total);
                                 }
                                 Some(total) => {
@@ -531,12 +556,12 @@ impl Channel {
                                 continue; // more chunks to come
                             }
                         } else {
-                            assert!(
-                                payload.len() <= front.cap,
-                                "remote message of {} bytes into {} byte buffer",
-                                payload.len(),
-                                front.cap
-                            );
+                            if payload.len() > front.cap {
+                                return Err(RecvOverrun {
+                                    sent: payload.len(),
+                                    capacity: front.cap,
+                                });
+                            }
                             // SAFETY: posted buffer valid per post_recv
                             // contract.
                             std::ptr::copy_nonoverlapping(
@@ -548,7 +573,7 @@ impl Channel {
                         s.pending.pop_front();
                         s.completed += 1;
                     }
-                    s.completed >= upto
+                    Ok(s.completed >= upto)
                 })
             },
         }
@@ -848,8 +873,8 @@ mod tests {
             )
         };
         // Waiting for the *second* must deliver the first in order too.
-        assert!(ch.try_complete_recvs(&ep, s2 + 1));
-        assert!(ch.try_complete_recvs(&ep, s1 + 1));
+        assert!(ch.try_complete_recvs(&ep, s2 + 1).unwrap());
+        assert!(ch.try_complete_recvs(&ep, s1 + 1).unwrap());
         assert_eq!(u32::from_le_bytes(ra), 11);
         assert_eq!(u32::from_le_bytes(rb), 22);
     }
@@ -865,11 +890,14 @@ mod tests {
         // Receiver first (rendezvous): post buffer, then sender fills.
         // SAFETY: buffers outlive completion (single-threaded test).
         let r = unsafe { ch.post_recv(out.as_mut_ptr(), 128) };
-        assert!(!ch.try_complete_recvs(&ep, r + 1), "nothing sent yet");
+        assert!(
+            !ch.try_complete_recvs(&ep, r + 1).unwrap(),
+            "nothing sent yet"
+        );
         // SAFETY: payload outlives flush.
         unsafe { ch.post_send(&ep, payload.as_ptr(), 128) };
         assert!(ch.try_flush_sends(&ep, 1));
-        assert!(ch.try_complete_recvs(&ep, r + 1));
+        assert!(ch.try_complete_recvs(&ep, r + 1).unwrap());
         assert_eq!(out, payload);
     }
 
@@ -893,7 +921,7 @@ mod tests {
             ch.try_flush_sends(&ep, 1),
             "receiver arrived: copy proceeds"
         );
-        assert!(ch.try_complete_recvs(&ep, r + 1));
+        assert!(ch.try_complete_recvs(&ep, r + 1).unwrap());
         assert_eq!(out, payload);
     }
 
@@ -911,7 +939,7 @@ mod tests {
         let mut out = [0u8; 4];
         // SAFETY: out outlives completion.
         let r = unsafe { ch.post_recv(out.as_mut_ptr(), 4) };
-        assert!(ch.try_complete_recvs(&ep1, r + 1));
+        assert!(ch.try_complete_recvs(&ep1, r + 1).unwrap());
         assert_eq!(u32::from_le_bytes(out), 99);
     }
 
@@ -932,11 +960,11 @@ mod tests {
         // Queue-free shortcut must decline: assembly needs bookkeeping.
         // SAFETY: buffers outlive the calls (single-threaded test).
         unsafe {
-            assert!(!ch.try_recv_now(&ep1, out.as_mut_ptr(), 1000));
+            assert!(!ch.try_recv_now(&ep1, out.as_mut_ptr(), 1000).unwrap());
             ch.post_send(&ep0, data.as_ptr(), 1000);
             let r = ch.post_recv(out.as_mut_ptr(), 1000);
             // Header + 16 chunks are already in flight: one call reassembles.
-            assert!(ch.try_complete_recvs(&ep1, r + 1));
+            assert!(ch.try_complete_recvs(&ep1, r + 1).unwrap());
         }
         assert_eq!(out, data);
         // Two back-to-back messages stay ordered (FIFO per wire tag).
@@ -949,10 +977,57 @@ mod tests {
             ch.post_send(&ep0, rev.as_ptr(), 1000);
             ch.post_recv(o1.as_mut_ptr(), 1000);
             let r2 = ch.post_recv(o2.as_mut_ptr(), 1000);
-            assert!(ch.try_complete_recvs(&ep1, r2 + 1));
+            assert!(ch.try_complete_recvs(&ep1, r2 + 1).unwrap());
         }
         assert_eq!(o1, data);
         assert_eq!(o2, rev);
+    }
+
+    /// A cross-node size mismatch (the wire tag does not encode the byte
+    /// count, so a mismatched sender shares it) must surface as a structured
+    /// [`RecvOverrun`] the caller can escalate as `PureError::Truncation` —
+    /// not as a bare assert.
+    #[test]
+    fn remote_oversize_reports_overrun_instead_of_asserting() {
+        let cluster = Cluster::new(2, NetConfig::default());
+        let ep0 = cluster.endpoint(0);
+        let ep1 = cluster.endpoint(1);
+        let t = ChannelTable::new();
+        let cfg = test_cfg(); // small_msg_max = 64
+                              // Chunked channel: a header announcing more than the posted cap.
+        let ch = t.get_or_create(key(1000), &cfg, 0, 1, 0, 0);
+        let wire = match &*ch {
+            Channel::Remote(c) => c.wire,
+            _ => panic!("cross-node key must map to a remote channel"),
+        };
+        ep0.send(1, wire, &rdv_header(4096));
+        let mut out = vec![0u8; 1000];
+        // SAFETY: out outlives the call (single-threaded test).
+        let r = unsafe { ch.post_recv(out.as_mut_ptr(), 1000) };
+        assert_eq!(
+            ch.try_complete_recvs(&ep1, r + 1),
+            Err(RecvOverrun {
+                sent: 4096,
+                capacity: 1000
+            })
+        );
+        // Eager channel: an oversize frame on the fast path.
+        let ch2 = t.get_or_create(ChannelKey { tag: 6, ..key(8) }, &cfg, 0, 1, 0, 0);
+        let wire2 = match &*ch2 {
+            Channel::Remote(c) => c.wire,
+            _ => unreachable!(),
+        };
+        ep0.send(1, wire2, &[0u8; 64]);
+        let mut small = [0u8; 8];
+        // SAFETY: small outlives the call.
+        let got = unsafe { ch2.try_recv_now(&ep1, small.as_mut_ptr(), 8) };
+        assert_eq!(
+            got,
+            Err(RecvOverrun {
+                sent: 64,
+                capacity: 8
+            })
+        );
     }
 
     #[test]
@@ -972,7 +1047,7 @@ mod tests {
         let mut out = [0u8; 4];
         // SAFETY: out used synchronously below.
         let r = unsafe { ch.post_recv(out.as_mut_ptr(), 4) };
-        assert!(ch.try_complete_recvs(&ep, r + 1));
+        assert!(ch.try_complete_recvs(&ep, r + 1).unwrap());
         assert!(
             ch.try_flush_sends(&ep, 5),
             "slot freed: pending send flushes"

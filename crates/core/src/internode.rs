@@ -33,19 +33,33 @@ pub struct LeaderInfo {
     pub leader_world: usize,
 }
 
-/// Magic prefix of a wire rendezvous header. Cross-node payloads larger than
-/// [`LeaderGroup::wire_eager_max`] are not sent as one jumbo frame: the
-/// sender first ships this 16-byte header (magic + total length) and then
-/// streams the body in eager-sized chunks on the same wire tag. The receiver
-/// SSW-waits per chunk, so a leader blocked in a large cross-node exchange
-/// keeps stealing task chunks between arrivals — and the coalescing layer
-/// never sees a frame it must treat as oversize. (A 16-byte *eager* payload
-/// beginning with these magic bytes would be misread as a header; the prefix
-/// is reserved.)
+/// Magic prefix of a wire rendezvous header, used by the point-to-point
+/// `RemoteChannel` path. There, whether a channel chunks is fixed
+/// out-of-band at channel creation (`rdv_chunk`): every message of a
+/// chunked channel is header-then-body, so the magic is a sanity check
+/// against protocol bugs, never a discriminator against user bytes. The
+/// leader-collective path cannot make that assumption — any bit pattern is
+/// a legal eager payload on its tags — so it disambiguates in-band with a
+/// per-payload kind byte ([`FRAME_EAGER`]/[`FRAME_RDV`]) instead.
 const RDV_MAGIC: [u8; 8] = *b"PURERDV1";
 
 /// Bytes of a wire rendezvous header: magic + little-endian u64 body length.
 const RDV_HEADER_BYTES: usize = 16;
+
+/// First byte of a leader-collective frame carrying an eager payload (the
+/// user bytes follow).
+const FRAME_EAGER: u8 = 0x00;
+
+/// First byte of a leader-collective rendezvous header (little-endian u64
+/// body length follows). Payloads larger than
+/// [`LeaderGroup::wire_eager_max`] are not sent as one giant frame: the
+/// sender ships this 9-byte header and then streams the body in eager-sized
+/// chunks (raw, no kind byte — after a header, exactly the announced body
+/// bytes follow on the tag's FIFO). The receiver SSW-waits per chunk, so a
+/// leader blocked in a large cross-node exchange keeps stealing task chunks
+/// between arrivals — and the coalescing layer never sees a frame it must
+/// treat as oversize.
+const FRAME_RDV: u8 = 0x01;
 
 /// Build the rendezvous header announcing `total` body bytes.
 pub(crate) fn rdv_header(total: usize) -> [u8; RDV_HEADER_BYTES] {
@@ -115,12 +129,20 @@ impl LeaderGroup<'_> {
         let tag = WireTag::collective(me.leader_local, dst.leader_local, self.tag_base + phase);
         let bytes = as_bytes(data);
         if bytes.len() <= self.wire_eager_max {
-            self.ep.send(dst.node, tag, bytes);
+            // One kind byte ahead of the payload: user bytes can never be
+            // mistaken for a rendezvous header, whatever their content.
+            let mut framed = Vec::with_capacity(1 + bytes.len());
+            framed.push(FRAME_EAGER);
+            framed.extend_from_slice(bytes);
+            self.ep.send(dst.node, tag, &framed);
             return;
         }
         // Wire rendezvous: announce the size, then stream eager-sized
         // chunks. FIFO per wire tag makes the reassembly trivial.
-        self.ep.send(dst.node, tag, &rdv_header(bytes.len()));
+        let mut hdr = [0u8; 9];
+        hdr[0] = FRAME_RDV;
+        hdr[1..].copy_from_slice(&(bytes.len() as u64).to_le_bytes());
+        self.ep.send(dst.node, tag, &hdr);
         for chunk in bytes.chunks(self.wire_eager_max.max(1)) {
             self.ep.send(dst.node, tag, chunk);
         }
@@ -150,23 +172,31 @@ impl LeaderGroup<'_> {
     }
 
     /// Receive one logical payload from `src.node`: a single eager frame,
-    /// or — when the first frame is a rendezvous header — the reassembled
-    /// chunk stream. Each chunk gets its own SSW wait (and its own deadline
-    /// window), so large transfers keep the receiver stealing throughout.
+    /// or — when the first frame's kind byte marks a rendezvous header —
+    /// the reassembled chunk stream. Each chunk gets its own SSW wait (and
+    /// its own deadline window), so large transfers keep the receiver
+    /// stealing throughout.
     fn recv_wire(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
-        let first = self.recv_frame(src, tag, what);
-        let Some(total) = rdv_parse(&first) else {
-            return first;
-        };
-        let mut body = Vec::with_capacity(total);
-        while body.len() < total {
-            let chunk = self.recv_frame(src, tag, what);
-            body.extend_from_slice(&chunk);
+        let mut first = self.recv_frame(src, tag, what);
+        match first.first() {
+            Some(&FRAME_EAGER) => {
+                first.remove(0); // O(n) shift; eager frames are small
+                first
+            }
+            Some(&FRAME_RDV) if first.len() == 9 => {
+                let total = u64::from_le_bytes(first[1..].try_into().unwrap()) as usize;
+                let mut body = Vec::with_capacity(total);
+                while body.len() < total {
+                    let chunk = self.recv_frame(src, tag, what);
+                    body.extend_from_slice(&chunk);
+                }
+                if body.len() != total {
+                    die_invariant("wire rendezvous chunks overran the announced length");
+                }
+                body
+            }
+            _ => die_invariant("leader-collective frame with an unknown kind byte"),
         }
-        if body.len() != total {
-            die_invariant("wire rendezvous chunks overran the announced length");
-        }
-        body
     }
 
     fn recv_t<T: PureDatatype>(&self, src_pos: usize, phase: u32, out: &mut [T]) {
@@ -480,6 +510,25 @@ mod tests {
         assert_eq!(rdv_parse(&h), Some(123_456));
         assert_eq!(rdv_parse(b"plain payload"), None);
         assert_eq!(rdv_parse(&h[..15]), None, "short frame is eager");
+    }
+
+    /// Adversarial regression: an eager user payload that is byte-for-byte
+    /// a `RemoteChannel` rendezvous header must round-trip as plain data —
+    /// the leader path's kind byte disambiguates — instead of stranding the
+    /// receiver waiting for a phantom body.
+    #[test]
+    fn eager_payload_matching_rdv_header_bytes_is_not_misparsed() {
+        let adversarial = rdv_header(usize::MAX >> 1).to_vec();
+        let results = run_leaders(2, move |g| {
+            let adv = rdv_header(usize::MAX >> 1);
+            if g.my_pos == 0 {
+                g.send_bytes(1, 0, &adv);
+                Vec::new()
+            } else {
+                g.recv_bytes(0, 0)
+            }
+        });
+        assert_eq!(results[1], adversarial);
     }
 
     #[test]

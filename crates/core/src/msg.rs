@@ -13,12 +13,32 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::channel::{CancelOutcome, Channel, ChannelKey};
+use crate::channel::{CancelOutcome, Channel, ChannelKey, RecvOverrun};
 use crate::comm::PureComm;
 use crate::datatype::PureDatatype;
-use crate::error::PureResult;
+use crate::error::{PureError, PureResult};
 use crate::runtime::{RankLocal, Tag, INTERNAL_TAG_BASE};
 use crate::telemetry;
+
+/// Escalate a channel-layer receive overrun as a structured truncation
+/// through the launch abort protocol (peers unwind, the watchdog dump
+/// fires, the launch reports `pure: rank R failed: …`).
+fn escalate_overrun(
+    local: &RankLocal,
+    o: RecvOverrun,
+    op: &'static str,
+    peer: Option<usize>,
+    tag: Option<Tag>,
+) -> ! {
+    local.escalate(PureError::Truncation {
+        rank: local.rank,
+        op,
+        peer,
+        sent: o.sent,
+        capacity: o.capacity,
+        tag,
+    })
+}
 
 impl PureComm {
     fn key_for(&self, src: usize, dst: usize, tag: Tag, bytes: usize) -> ChannelKey {
@@ -148,17 +168,22 @@ impl PureComm {
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);
         let ch = self.local.channel(key);
+        let peer = self.meta.members[src] as usize;
+        let fail = |o| escalate_overrun(&self.local, o, "recv", Some(peer), Some(tag));
         // Fast path: nothing pending and the message already waits in its
         // slot — copy it out in place (the PBQ's `try_recv_with` path) with
         // no in-flight bookkeeping.
         // SAFETY: we are the receiver thread; buf stays valid and untouched
         // until completion below.
-        if !unsafe { ch.try_recv_now(&self.local.ep, buf.as_mut_ptr().cast(), bytes) } {
+        let now = unsafe { ch.try_recv_now(&self.local.ep, buf.as_mut_ptr().cast(), bytes) }
+            .unwrap_or_else(fail);
+        if !now {
             // SAFETY: as above.
             let seq = unsafe { ch.post_recv(buf.as_mut_ptr().cast(), bytes) };
-            let peer = self.meta.members[src] as usize;
             self.local.ssw_op("recv", Some(peer), Some(tag), || {
-                ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(())
+                ch.try_complete_recvs(&self.local.ep, seq + 1)
+                    .unwrap_or_else(fail)
+                    .then_some(())
             });
         }
         self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
@@ -185,8 +210,11 @@ impl PureComm {
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);
         let ch = self.local.channel(key);
         let peer = self.meta.members[src] as usize;
+        let fail = |o| escalate_overrun(&self.local, o, "recv", Some(peer), Some(tag));
         // SAFETY: receiver thread; buf valid for the duration of this call.
-        if unsafe { ch.try_recv_now(&self.local.ep, buf.as_mut_ptr().cast(), bytes) } {
+        let now = unsafe { ch.try_recv_now(&self.local.ep, buf.as_mut_ptr().cast(), bytes) }
+            .unwrap_or_else(fail);
+        if now {
             self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
             return Ok(());
         }
@@ -196,7 +224,9 @@ impl PureComm {
         let waited = self
             .local
             .ssw_try_op("recv", Some(peer), Some(tag), timeout, || {
-                ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(())
+                ch.try_complete_recvs(&self.local.ep, seq + 1)
+                    .unwrap_or_else(fail)
+                    .then_some(())
             });
         match waited {
             Ok(()) => {
@@ -214,7 +244,9 @@ impl PureComm {
                 CancelOutcome::InFlight => {
                     self.local
                         .ssw_op("recv (finishing)", Some(peer), Some(tag), || {
-                            ch.try_complete_recvs(&self.local.ep, seq + 1).then_some(())
+                            ch.try_complete_recvs(&self.local.ep, seq + 1)
+                                .unwrap_or_else(fail)
+                                .then_some(())
                         });
                     self.local.msgs_recvd.set(self.local.msgs_recvd.get() + 1);
                     Ok(())
@@ -250,6 +282,8 @@ impl PureComm {
             upto: seq + 1,
             kind: ReqKind::Send,
             done: false,
+            peer: self.meta.members[dst] as usize,
+            tag,
             _borrow: PhantomData,
         }
     }
@@ -279,6 +313,8 @@ impl PureComm {
             upto: seq + 1,
             kind: ReqKind::Recv,
             done: false,
+            peer: self.meta.members[src] as usize,
+            tag,
             _borrow: PhantomData,
         }
     }
@@ -314,6 +350,10 @@ pub struct Request<'a> {
     upto: u64,
     kind: ReqKind,
     done: bool,
+    /// Peer world rank, kept for wait diagnostics and truncation errors.
+    peer: usize,
+    /// Application tag, kept for wait diagnostics and truncation errors.
+    tag: Tag,
     _borrow: PhantomData<&'a mut ()>,
 }
 
@@ -321,7 +361,12 @@ impl Request<'_> {
     fn poll(&self) -> bool {
         match self.kind {
             ReqKind::Send => self.ch.try_flush_sends(&self.local.ep, self.upto),
-            ReqKind::Recv => self.ch.try_complete_recvs(&self.local.ep, self.upto),
+            ReqKind::Recv => self
+                .ch
+                .try_complete_recvs(&self.local.ep, self.upto)
+                .unwrap_or_else(|o| {
+                    escalate_overrun(&self.local, o, "irecv", Some(self.peer), Some(self.tag))
+                }),
         }
     }
 
@@ -354,13 +399,8 @@ impl Request<'_> {
         } else {
             "irecv wait"
         };
-        let waited = local.ssw_try_op(op, None, None, timeout, || {
-            let ok = if kind_send {
-                ch.try_flush_sends(&local.ep, self.upto)
-            } else {
-                ch.try_complete_recvs(&local.ep, self.upto)
-            };
-            ok.then_some(())
+        let waited = local.ssw_try_op(op, Some(self.peer), Some(self.tag), timeout, || {
+            self.poll().then_some(())
         });
         match waited {
             Ok(()) => {
@@ -410,21 +450,13 @@ impl Request<'_> {
             self.done = true;
             return;
         }
-        let ch = Arc::clone(&self.ch);
         let local = Rc::clone(&self.local);
-        let kind_send = matches!(self.kind, ReqKind::Send);
-        let op = if kind_send {
-            "isend wait"
-        } else {
-            "irecv wait"
+        let op = match self.kind {
+            ReqKind::Send => "isend wait",
+            ReqKind::Recv => "irecv wait",
         };
-        local.ssw_op(op, None, None, || {
-            let ok = if kind_send {
-                ch.try_flush_sends(&local.ep, self.upto)
-            } else {
-                ch.try_complete_recvs(&local.ep, self.upto)
-            };
-            ok.then_some(())
+        local.ssw_op(op, Some(self.peer), Some(self.tag), || {
+            self.poll().then_some(())
         });
         self.done = true;
     }

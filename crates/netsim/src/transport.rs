@@ -411,37 +411,44 @@ impl NodeEndpoint {
     /// when a watermark trips. Payloads over the eligibility cutoff flush
     /// what is pending and then travel as their own single-subframe jumbo,
     /// so the whole per-peer data plane stays one FIFO.
+    ///
+    /// `take()` and `emit_jumbo` run under one `co_tx` critical section:
+    /// jumbos must reach the wire (and, in fault mode, take their reliable
+    /// sequence number) in take order, or a racing sender on the same node
+    /// could emit a later jumbo first and scatter one tag's subframes out
+    /// of FIFO order at the receiver.
     fn coalesce_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
         let Some(plan) = self.cfg.coalesce else {
             crate::die_invariant("coalesce_send without a coalescing plan")
         };
         let now = self.now_ns();
-        let mut jumbos: Vec<Vec<u8>> = Vec::new();
-        {
-            let mut com = self.nodes[self.me].co_tx.lock();
-            let buf = com.entry(dst_node).or_default();
-            if payload.len() > plan.eligible_max {
-                if buf.frames > 0 {
-                    jumbos.push(buf.take());
-                }
-                let mut solo = Vec::new();
-                coalesce::pack_subframe(&mut solo, tag.encode(), payload);
-                jumbos.push(solo);
-            } else {
-                buf.push(tag.encode(), payload, now);
-                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                if buf.due(&plan, now) {
-                    jumbos.push(buf.take());
-                }
+        let mut com = self.nodes[self.me].co_tx.lock();
+        let buf = com.entry(dst_node).or_default();
+        if payload.len() > plan.eligible_max {
+            if buf.frames > 0 {
+                let pending = buf.take();
+                self.emit_jumbo(dst_node, &pending);
             }
-        }
-        for j in jumbos {
-            self.emit_jumbo(dst_node, &j);
+            let mut solo = Vec::new();
+            coalesce::pack_subframe(&mut solo, tag.encode(), payload);
+            self.emit_jumbo(dst_node, &solo);
+        } else {
+            buf.push(tag.encode(), payload, now);
+            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            if buf.due(&plan, now) {
+                let jumbo = buf.take();
+                self.emit_jumbo(dst_node, &jumbo);
+            }
         }
     }
 
     /// Transmit one jumbo frame on the per-peer coalesce link (reliable in
     /// fault mode, raw otherwise).
+    ///
+    /// Callers hold the node's `co_tx` lock across the `CoalesceBuf::take`
+    /// that produced `jumbo` and this call, so emission order equals take
+    /// order. That is deadlock-free: the locks taken below (`rel_tx`, an
+    /// inbox, store shards) are never held while acquiring `co_tx`.
     fn emit_jumbo(&self, dst_node: usize, jumbo: &[u8]) {
         self.stats.coalesce_flushes.fetch_add(1, Ordering::Relaxed);
         if self.cfg.faults.is_some() {
@@ -457,17 +464,12 @@ impl NodeEndpoint {
             return;
         };
         let now = self.now_ns();
-        let mut jumbos: Vec<(usize, Vec<u8>)> = Vec::new();
-        {
-            let mut com = self.nodes[self.me].co_tx.lock();
-            for (&dst, buf) in com.iter_mut() {
-                if buf.due(&plan, now) {
-                    jumbos.push((dst, buf.take()));
-                }
+        let mut com = self.nodes[self.me].co_tx.lock();
+        for (&dst, buf) in com.iter_mut() {
+            if buf.due(&plan, now) {
+                let jumbo = buf.take();
+                self.emit_jumbo(dst, &jumbo);
             }
-        }
-        for (dst, j) in jumbos {
-            self.emit_jumbo(dst, &j);
         }
     }
 
@@ -477,17 +479,12 @@ impl NodeEndpoint {
         if self.cfg.coalesce.is_none() {
             return;
         }
-        let mut jumbos: Vec<(usize, Vec<u8>)> = Vec::new();
-        {
-            let mut com = self.nodes[self.me].co_tx.lock();
-            for (&dst, buf) in com.iter_mut() {
-                if buf.frames > 0 {
-                    jumbos.push((dst, buf.take()));
-                }
+        let mut com = self.nodes[self.me].co_tx.lock();
+        for (&dst, buf) in com.iter_mut() {
+            if buf.frames > 0 {
+                let jumbo = buf.take();
+                self.emit_jumbo(dst, &jumbo);
             }
-        }
-        for (dst, j) in jumbos {
-            self.emit_jumbo(dst, &j);
         }
     }
 
@@ -897,6 +894,53 @@ mod tests {
         assert_eq!(b.try_recv(0, tag).unwrap(), vec![2u8; 64]);
         assert_eq!(b.try_recv(0, tag).unwrap(), vec![3]);
         assert_eq!(c.stats().frames.load(Ordering::Relaxed), 3);
+    }
+
+    /// Regression (take→emit atomicity): two rank threads on one node share
+    /// the per-peer jumbo buffer. If one thread could take a jumbo holding
+    /// the other's frames and be preempted before emitting it, a later
+    /// jumbo would reach the wire first and break per-tag FIFO at the
+    /// receiver. Emission happens under the buffer lock, so this must never
+    /// reorder.
+    #[test]
+    fn concurrent_senders_keep_per_tag_fifo_under_coalescing() {
+        let plan = CoalescePlan {
+            max_bytes: 1 << 20,
+            max_frames: 4,
+            flush_ns: u64::MAX,
+            eligible_max: 1024,
+        };
+        let c = Cluster::new(2, NetConfig::default().with_coalescing(plan));
+        let b = c.endpoint(1);
+        const N: u32 = 2000;
+        let mut handles = Vec::new();
+        for t in 0..2usize {
+            let a = c.endpoint(0);
+            handles.push(thread::spawn(move || {
+                let tag = WireTag::p2p(t, 0, 1);
+                for i in 0..N {
+                    a.send(1, tag, &i.to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        c.endpoint(0).flush_coalesced();
+        for t in 0..2usize {
+            let tag = WireTag::p2p(t, 0, 1);
+            for i in 0..N {
+                let p = b
+                    .try_recv(0, tag)
+                    .unwrap_or_else(|| panic!("tag {t}: subframe {i} missing"));
+                assert_eq!(
+                    u32::from_le_bytes(p.try_into().unwrap()),
+                    i,
+                    "tag {t}: subframes reordered"
+                );
+            }
+            assert_eq!(b.try_recv(0, tag), None);
+        }
     }
 
     /// Coalescing over the faulty transport: jumbos ride the reliable
