@@ -146,6 +146,32 @@ fn main() {
     assert_eq!(off.net_coalesced, 0, "baseline must not coalesce");
     assert!(coop.net_coalesced > 0 && helper.net_coalesced > 0);
 
+    // Failure detection armed on the same trajectory: the liveness
+    // piggyback (every data frame and ACK counts as evidence) must keep
+    // explicit heartbeat frames below 1% of wire traffic on a busy stream —
+    // the detector is supposed to be observability, not load.
+    let mut det_cfg = cfg(false, ProgressMode::Cooperative);
+    det_cfg.net = det_cfg.net.with_detection(DetectPlan::default());
+    let (det, _) = crossnode_stream(det_cfg, msgs);
+    let hb_share = det.net_heartbeats as f64 / det.net_frames.max(1) as f64;
+    println!(
+        "\nheartbeat share with detection armed: {:.3}% ({} of {} frames)",
+        hb_share * 100.0,
+        det.net_heartbeats,
+        det.net_frames
+    );
+    assert!(
+        hb_share < 0.01,
+        "failure-detector heartbeats must stay under 1% of wire frames on a \
+         busy stream: {} heartbeats / {} frames",
+        det.net_heartbeats,
+        det.net_frames
+    );
+    assert_eq!(
+        det.net_suspicions, 0,
+        "a healthy run must not condemn peers"
+    );
+
     // The frame counts are watermark-driven (count watermark = 8 subframes
     // per jumbo for back-to-back streams), so the reduction is a stable,
     // machine-independent ratio bench_compare can police.
@@ -159,6 +185,7 @@ fn main() {
     );
     fig.telemetry("cooperative_progress_polls", coop.net_progress_polls as f64);
     fig.telemetry("helper_progress_polls", helper.net_progress_polls as f64);
+    fig.telemetry("detect_heartbeat_share", hb_share);
 
     if trajectory::emit_requested() {
         fig.write();

@@ -121,6 +121,12 @@ pub struct RemoteChannel {
     /// frame per message.
     rdv_chunk: Option<usize>,
     recv: SideCell<InFlight<PendingRecv>>,
+    /// Chunk frames of a withdrawn mid-stream rendezvous receive still in
+    /// flight on the wire (receiver-side state). They are drained and
+    /// discarded before any later message on this tag is matched — a stale
+    /// chunk must never complete a fresh post (see
+    /// [`Channel::try_cancel_recv`]).
+    skip: SideCell<usize>,
 }
 
 impl RemoteChannel {
@@ -511,6 +517,21 @@ impl Channel {
             },
             Channel::Remote(c) => unsafe {
                 c.recv.with(|s| {
+                    // Remains of a withdrawn chunked stream precede any live
+                    // message on this FIFO tag: discard them before matching.
+                    // SAFETY: receiver-side cell, receiver thread.
+                    let drained = c.skip.with(|k| {
+                        while *k > 0 {
+                            if ep.try_recv(c.src_node, c.wire).is_none() {
+                                return false;
+                            }
+                            *k -= 1;
+                        }
+                        true
+                    });
+                    if !drained {
+                        return Ok(s.completed >= upto);
+                    }
                     while s.completed < upto {
                         let Some(front) = s.pending.front_mut() else {
                             break;
@@ -613,7 +634,10 @@ impl Channel {
     /// as for [`Channel::try_cancel_send`]). For rendezvous channels the
     /// buffer may already be exposed to the sender; the envelope CAS decides
     /// the race, and `InFlight` means the sender won — the caller must
-    /// finish the receive normally before reusing the buffer.
+    /// finish the receive normally before reusing the buffer. A chunked
+    /// remote receive withdraws cleanly even mid-stream: the rest of its
+    /// frame train is discarded from the wire before any later post on the
+    /// tag is matched.
     ///
     /// Must be called from the receiver thread.
     pub fn try_cancel_recv(&self, seq: u64) -> CancelOutcome {
@@ -657,18 +681,25 @@ impl Channel {
                     if seq < s.completed {
                         return CancelOutcome::Completed;
                     }
-                    // A chunked receive whose header already arrived is
-                    // mid-stream: withdrawing it would desync the FIFO
-                    // reassembly, so the caller must keep waiting.
-                    if seq + 1 == s.next_seq
-                        && !s.pending.is_empty()
-                        && s.pending.back().map_or(true, |p| p.total.is_none())
-                    {
-                        s.pending.pop_back();
-                        s.next_seq -= 1;
-                        return CancelOutcome::Canceled;
+                    if seq + 1 != s.next_seq || s.pending.is_empty() {
+                        return CancelOutcome::InFlight;
                     }
-                    CancelOutcome::InFlight
+                    let p = s.pending.pop_back().unwrap();
+                    s.next_seq -= 1;
+                    // A chunked receive whose header already arrived is
+                    // mid-stream — the sender committed the whole frame
+                    // train eagerly, so the rest of it is on the wire.
+                    // Count those frames and arrange for them to be
+                    // discarded: a stale chunk matching (and corrupting) a
+                    // later post on this tag would be a correctness leak,
+                    // and waiting for the train instead would hang forever
+                    // when the sender crash-stopped mid-stream.
+                    if let (Some(total), Some(chunk)) = (p.total, c.rdv_chunk) {
+                        let frames = (total - p.filled).div_ceil(chunk.max(1));
+                        // SAFETY: receiver-side cell, receiver thread.
+                        c.skip.with(|k| *k += frames);
+                    }
+                    CancelOutcome::Canceled
                 })
             },
         }
@@ -752,6 +783,7 @@ impl ChannelTable {
                     rdv_chunk: (key.bytes > cfg.small_msg_max as u64)
                         .then_some(cfg.small_msg_max.max(1)),
                     recv: SideCell::new(InFlight::default()),
+                    skip: SideCell::new(0),
                 })
             } else if key.bytes <= cfg.small_msg_max as u64 {
                 Channel::Small(SmallChannel {
@@ -981,6 +1013,59 @@ mod tests {
         }
         assert_eq!(o1, data);
         assert_eq!(o2, rev);
+    }
+
+    /// Adversarial cancel-leak regression: withdrawing a chunked remote
+    /// receive *mid-stream* (header consumed, body partially landed) must
+    /// (a) succeed — a crash-stopped sender would otherwise pin the
+    /// receiver in `recv_timeout` forever — and (b) discard the rest of
+    /// the stale frame train, so it can never match (and corrupt) a later
+    /// post on the same tag.
+    #[test]
+    fn chunked_cancel_mid_stream_discards_stale_frames() {
+        let cluster = Cluster::new(2, NetConfig::default());
+        let ep0 = cluster.endpoint(0);
+        let ep1 = cluster.endpoint(1);
+        let t = ChannelTable::new();
+        let cfg = test_cfg(); // small_msg_max = 64 -> 16 frames per 1000 B
+        let ch = t.get_or_create(key(1000), &cfg, 0, 1, 0, 0);
+        let wire = match &*ch {
+            Channel::Remote(c) => c.wire,
+            _ => panic!("cross-node key must map to a remote channel"),
+        };
+        // The adversary ships the header and only 3 of 16 chunks, then
+        // goes quiet (a crash-stop mid-stream looks exactly like this).
+        let stale: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        ep0.send(1, wire, &rdv_header(1000));
+        for c in stale.chunks(64).take(3) {
+            ep0.send(1, wire, c);
+        }
+        let mut out = vec![0u8; 1000];
+        // SAFETY: buffers outlive the calls (single-threaded test).
+        unsafe {
+            let r = ch.post_recv(out.as_mut_ptr(), 1000);
+            assert!(
+                !ch.try_complete_recvs(&ep1, r + 1).unwrap(),
+                "stream is mid-flight: must not complete"
+            );
+            // Withdraw mid-stream: previously impossible (InFlight), which
+            // meant waiting forever on a dead sender.
+            assert_eq!(ch.try_cancel_recv(r), CancelOutcome::Canceled);
+            // The sender's remaining 13 frames straggle in late...
+            for c in stale.chunks(64).skip(3) {
+                ep0.send(1, wire, c);
+            }
+            // ...followed by a fresh message from a healthy sender.
+            let fresh: Vec<u8> = (0..1000u32).map(|i| (i % 13) as u8).collect();
+            ch.post_send(&ep0, fresh.as_ptr(), 1000);
+            let mut out2 = vec![0u8; 1000];
+            let r2 = ch.post_recv(out2.as_mut_ptr(), 1000);
+            assert!(
+                ch.try_complete_recvs(&ep1, r2 + 1).unwrap(),
+                "fresh post must complete past the discarded stale train"
+            );
+            assert_eq!(out2, fresh, "stale chunks bled into a later receive");
+        }
     }
 
     /// A cross-node size mismatch (the wire tag does not encode the byte

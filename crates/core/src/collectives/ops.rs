@@ -37,6 +37,9 @@ enum Arrive<'a> {
 impl PureComm {
     pub(crate) fn bump_collective_stat(&self) {
         self.local.op_event();
+        if let Err(e) = self.op_enter("collective") {
+            self.local.escalate(e);
+        }
         self.local.collectives.set(self.local.collectives.get() + 1);
     }
 

@@ -13,9 +13,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::collectives::CollArea;
-use crate::error::die_invariant;
+use crate::error::{die_invariant, PureError, PureResult};
 use crate::internode::{LeaderGroup, LeaderInfo};
 use crate::runtime::{RankLocal, Shared, Tag, INTERNAL_TAG_BASE};
+use interleave::sync::atomic::Ordering;
 
 /// 64-bit mixer (splitmix64 finalizer) for communicator ids and tag bases.
 pub(crate) fn mix64(mut x: u64) -> u64 {
@@ -160,6 +161,10 @@ pub struct PureComm {
     pub(crate) rounds: Cell<u64>,
     /// Number of `split` calls made on this comm (epoch for child comm ids).
     pub(crate) splits: Cell<u64>,
+    /// Number of `agree`/`shrink` calls made on this comm (locally tracked,
+    /// globally consistent by collective call ordering — disambiguates
+    /// agreement rounds and derives shrunk comm ids).
+    pub(crate) agrees: Cell<u64>,
 }
 
 impl PureComm {
@@ -190,7 +195,25 @@ impl PureComm {
             my_group_pos,
             rounds: Cell::new(0),
             splits: Cell::new(0),
+            agrees: Cell::new(0),
         }
+    }
+
+    /// Operation prologue: record this comm as the one the next blocking
+    /// wait belongs to (so the revocation probe can poison it) and fail
+    /// fast when the comm is already revoked. Cheap: a `Cell` store plus
+    /// one relaxed load until any revocation exists launch-wide.
+    pub(crate) fn op_enter(&self, op: &'static str) -> PureResult<()> {
+        self.local.cur_comm.set(self.meta.id);
+        let sh = &self.local.shared;
+        if sh.any_revoked.load(Ordering::Acquire) && sh.is_revoked(self.meta.id) {
+            return Err(PureError::Revoked {
+                rank: self.local.rank,
+                op,
+                comm: self.meta.id,
+            });
+        }
+        Ok(())
     }
 
     /// This rank's rank within the communicator.
@@ -280,7 +303,144 @@ impl PureComm {
         let meta = CommMeta::from_members(new_id, members, &self.local.shared);
         Some(PureComm::from_meta(Arc::new(meta), Rc::clone(&self.local)))
     }
+
+    // --- ULFM-style recovery (crash-stop failure handling, DESIGN.md §7).
+
+    /// Revoke this communicator launch-wide (`MPI_Comm_revoke`): every
+    /// pending and future operation on it — on **every** member — observes
+    /// [`PureError::Revoked`] (fallible variants return it; infallible ones
+    /// escalate). Not collective: any member may call it, typically after
+    /// observing [`PureError::PeerDead`], to kick the other survivors out
+    /// of whatever they are blocked in so they can [`PureComm::agree`] and
+    /// [`PureComm::shrink`]. Irreversible.
+    pub fn revoke(&self) {
+        self.local.shared.revoke_comm(self.meta.id);
+    }
+
+    /// Agree on the failure view (`MPI_Comm_agree`-flavoured): returns the
+    /// comm ranks residing on condemned nodes, **identical on every
+    /// surviving member of this round by construction** — the first member
+    /// past the arrival gate pins the view, later members adopt it.
+    /// Collective over surviving members (dead members are excused by the
+    /// detector); works on a revoked communicator — that is its purpose.
+    ///
+    /// A peer dying *during* the agreement round surfaces as
+    /// `Err(PeerDead)`; call `agree` again to settle on the wider view.
+    /// Condemnations racing the gate may be deferred to the next round —
+    /// the view is consistent, not necessarily maximal (DESIGN.md §7).
+    pub fn agree(&self) -> PureResult<Vec<usize>> {
+        let round = self.agrees.get() + 1;
+        self.agrees.set(round);
+        // Agreement must proceed on a revoked comm, so exempt its waits
+        // from the revocation probe while we are inside.
+        self.local.cur_comm.set(0);
+        let shared = Rc::clone(&self.local).shared.clone();
+        let cell = shared.agree_cell(self.meta.id, round);
+        cell.arrived.fetch_add(1, Ordering::AcqRel);
+
+        // Gate: every member has either checked in or been condemned. The
+        // detector bounds the wait — a crashed member's node goes silent
+        // and is condemned within the suspicion threshold.
+        let dead_members = |shared: &Shared| -> u64 {
+            self.meta
+                .members
+                .iter()
+                .filter(|&&w| {
+                    self.local
+                        .ep
+                        .peer_dead(shared.rank_node[w as usize])
+                        .is_some()
+                })
+                .count() as u64
+        };
+        let size = self.size() as u64;
+        self.local.ssw_op("agree gate", None, None, || {
+            (cell.arrived.load(Ordering::Acquire) + dead_members(&shared) >= size).then_some(())
+        });
+
+        // Pin or adopt the round's view (condemned node ids).
+        let view: Vec<usize> = {
+            let mut g = cell.view.lock();
+            g.get_or_insert_with(|| self.local.ep.dead_nodes().iter().map(|&(n, _)| n).collect())
+                .clone()
+        };
+
+        // Leader token round among survivors: no surviving leader returns
+        // before every surviving leader has entered (and adopted the pinned
+        // view), mirroring the agreement's synchronizing role in ULFM. A
+        // peer condemned mid-round is returned, not escalated.
+        if self.is_leader() && self.meta.nodes.len() > 1 {
+            let g = self.leader_group();
+            let survivors: Vec<usize> = (0..self.meta.nodes.len())
+                .filter(|&p| !view.contains(&self.meta.nodes[p].node))
+                .collect();
+            let token = round.to_le_bytes();
+            for &p in &survivors {
+                if p != self.my_node_idx {
+                    g.send_bytes(p, AGREE_PHASE, &token);
+                }
+            }
+            for &p in &survivors {
+                if p == self.my_node_idx {
+                    continue;
+                }
+                loop {
+                    let tok = g.try_recv_token(p, AGREE_PHASE)?;
+                    if tok.len() == 8 {
+                        let r = u64::from_le_bytes(tok[..8].try_into().unwrap());
+                        if r >= round {
+                            break;
+                        }
+                        // Stale token of an earlier agree round: drain it.
+                    }
+                }
+            }
+        }
+        self.local.cur_comm.set(self.meta.id);
+
+        Ok(self
+            .meta
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| view.contains(&self.local.shared.rank_node[w as usize]))
+            .map(|(cr, _)| cr)
+            .collect())
+    }
+
+    /// Rebuild a smaller communicator from the survivors
+    /// (`MPI_Comm_shrink`): [`PureComm::agree`] on the failure view, drop
+    /// the dead members, and construct a fresh communicator — new id, new
+    /// collective areas, and a fresh cross-node tag window from the
+    /// launch-wide [`TagBaseAlloc`], so no wire tag of the poisoned parent
+    /// can ever match traffic of the shrunk child. Collective over
+    /// surviving members; works on a revoked communicator.
+    pub fn shrink(&self) -> PureResult<PureComm> {
+        let dead = self.agree()?;
+        let round = self.agrees.get();
+        let members: Vec<u32> = self
+            .meta
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(cr, _)| !dead.contains(cr))
+            .map(|(_, &w)| w)
+            .collect();
+        // Deterministic child id: every survivor folds the same agreed dead
+        // set at the same round, so all construct the same communicator
+        // (and the first to register allocates its tag window).
+        let mut new_id = mix64(self.meta.id ^ mix64(round ^ 0x5411_1BFE));
+        for &cr in &dead {
+            new_id = mix64(new_id ^ (cr as u64 + 1));
+        }
+        let meta = CommMeta::from_members(new_id, members, &self.local.shared);
+        Ok(PureComm::from_meta(Arc::new(meta), Rc::clone(&self.local)))
+    }
 }
+
+/// Cross-node phase tag of the survivor-agreement token round (outside the
+/// 0–47 band the collective algorithms use).
+const AGREE_PHASE: u32 = 200;
 
 #[cfg(test)]
 mod tests {

@@ -68,6 +68,35 @@ pub enum PureError {
         /// Human-readable detail.
         detail: String,
     },
+    /// The failure detector declared a peer crash-stopped: its node has
+    /// been silent past the suspicion threshold and its session epoch was
+    /// fenced. Unlike [`PureError::Timeout`] this is a verdict about the
+    /// *peer*, not about the wait — retrying the operation cannot succeed.
+    PeerDead {
+        /// Rank whose operation was unwound by the verdict.
+        rank: usize,
+        /// The operation that was waiting on the dead peer.
+        op: &'static str,
+        /// World rank of the condemned peer (the lowest rank on the dead
+        /// node when the operation did not name a specific counterpart).
+        peer: usize,
+        /// The session epoch fenced by the condemnation: frames from the
+        /// peer's epoch `epoch - 1` are dropped, never dispatched.
+        epoch: u64,
+    },
+    /// The communicator this operation ran on has been revoked (explicitly
+    /// via [`crate::PureComm::revoke`], or implicitly when a member died
+    /// under [`crate::runtime::OnPeerDeath::Revoke`]). Pending and future
+    /// operations on it are poisoned; survivors should
+    /// [`crate::PureComm::shrink`] and continue on the result.
+    Revoked {
+        /// Rank whose operation was poisoned.
+        rank: usize,
+        /// The operation that observed the revocation.
+        op: &'static str,
+        /// Identifier of the revoked communicator.
+        comm: u64,
+    },
 }
 
 /// Result alias for fallible Pure operations.
@@ -128,6 +157,24 @@ impl fmt::Display for PureError {
             PureError::NetFault { rank, detail } => {
                 write!(f, "pure: rank {rank}: network fault: {detail}")
             }
+            PureError::PeerDead {
+                rank,
+                op,
+                peer,
+                epoch,
+            } => {
+                write!(
+                    f,
+                    "pure: rank {rank}: peer rank {peer} declared dead \
+                     (crash-stop, epoch {epoch}) during {op}"
+                )
+            }
+            PureError::Revoked { rank, op, comm } => {
+                write!(
+                    f,
+                    "pure: rank {rank}: communicator {comm:#x} revoked during {op}"
+                )
+            }
         }
     }
 }
@@ -146,6 +193,19 @@ impl PureError {
 /// is set, not because it failed itself. `launch` recognises this type and
 /// never reports an echo as the launch's primary failure.
 pub(crate) struct PeerAbortEcho(pub String);
+
+/// Panic payload of an injected **crash-stop** fault
+/// ([`crate::runtime::RankFaults::crash_at`]): the rank silences its node's
+/// endpoint and vanishes without an abort broadcast, so survivors must
+/// *detect* the silence through the failure detector rather than being told.
+/// `launch` recognises this payload and neither records an abort cause nor
+/// raises the abort flag — the launch carries on with the rank simply gone.
+pub(crate) struct CrashStop {
+    /// The rank that crash-stopped.
+    pub rank: usize,
+    /// The blocking-operation index at which it died.
+    pub op_index: u64,
+}
 
 /// The first fatal failure of a launch.
 pub(crate) struct AbortCause {
@@ -216,6 +276,27 @@ mod tests {
             op: "barrier",
         };
         assert!(e.to_string().contains("peer rank failed"));
+
+        let e = PureError::PeerDead {
+            rank: 1,
+            op: "recv",
+            peer: 3,
+            epoch: 1,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("peer rank 3") && s.contains("declared dead") && s.contains("epoch 1"),
+            "{s}"
+        );
+        assert!(!e.is_timeout());
+
+        let e = PureError::Revoked {
+            rank: 0,
+            op: "allreduce",
+            comm: 0xBEEF,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xbeef") && s.contains("revoked"), "{s}");
     }
 
     #[test]

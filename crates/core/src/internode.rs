@@ -18,7 +18,7 @@ use crate::datatype::{as_bytes, as_bytes_mut, PureDatatype, ReduceOp, Reducible}
 use crate::error::{die_invariant, PeerAbortEcho, PureError};
 use crate::runtime::RankLocal;
 use crate::task::scheduler::{NodeScheduler, StealCtx};
-use crate::task::ssw::{ssw_try_until, WaitInterrupt};
+use crate::task::ssw::{ssw_try_until, ssw_try_until_probed, WaitInterrupt};
 
 /// A participating node of a communicator: its netsim node id and the
 /// within-node thread index of its leader (needed for wire-tag routing).
@@ -151,22 +151,66 @@ impl LeaderGroup<'_> {
     /// SSW-wait for one frame from `src.node`. Polling `try_recv` also
     /// drives the transport's progress engine (coalesce flushes, ACKs,
     /// retransmits), so leader waits survive dropped internode frames with
-    /// no extra code here.
+    /// no extra code here. When attached to a rank, the wait also installs
+    /// the crash-stop interrupt probe, so a leader blocked on a *dead*
+    /// peer's frame mid-collective unwinds with a structured verdict in
+    /// bounded time — followers are never stranded by a dead leader.
     fn recv_frame(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
-        let wait = ssw_try_until(self.sched, self.steal, self.deadline, || {
-            self.ep.try_recv(src.node, tag)
-        });
-        match wait {
+        match self.recv_frame_result(src, tag, what) {
             Ok(payload) => payload,
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// Fallible body of [`LeaderGroup::recv_frame`]: timeout, peer-death
+    /// and revocation verdicts are *returned* (the survivor-agreement
+    /// protocol retries on them); a peer abort still unwinds as an echo.
+    fn recv_frame_result(
+        &self,
+        src: LeaderInfo,
+        tag: WireTag,
+        what: &'static str,
+    ) -> Result<Vec<u8>, PureError> {
+        let wait = match self.local {
+            Some(l) => ssw_try_until_probed(
+                self.sched,
+                self.steal,
+                self.deadline,
+                || l.wait_probe(Some(src.leader_world)),
+                || self.ep.try_recv(src.node, tag),
+            ),
+            None => ssw_try_until(self.sched, self.steal, self.deadline, || {
+                self.ep.try_recv(src.node, tag)
+            }),
+        };
+        match wait {
+            Ok(payload) => Ok(payload),
             Err(WaitInterrupt::Aborted) => std::panic::panic_any(PeerAbortEcho(format!(
                 "pure: a peer rank failed; aborting this rank's wait in {what}"
             ))),
-            Err(WaitInterrupt::TimedOut(elapsed)) => self.fail(PureError::Timeout {
+            Err(WaitInterrupt::TimedOut(elapsed)) => Err(PureError::Timeout {
                 rank: self.my_rank(),
                 op: what,
                 peer: Some(src.leader_world),
                 tag: None,
                 elapsed,
+            }),
+            Err(WaitInterrupt::PeerDead { node, epoch }) => Err(PureError::PeerDead {
+                rank: self.my_rank(),
+                op: what,
+                peer: if node == src.node {
+                    src.leader_world
+                } else {
+                    self.local
+                        .and_then(|l| l.shared.rank_node.iter().position(|&n| n == node))
+                        .unwrap_or(src.leader_world)
+                },
+                epoch,
+            }),
+            Err(WaitInterrupt::Revoked { comm }) => Err(PureError::Revoked {
+                rank: self.my_rank(),
+                op: what,
+                comm,
             }),
         }
     }
@@ -231,6 +275,25 @@ impl LeaderGroup<'_> {
         let me = self.nodes[self.my_pos];
         let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
         self.recv_wire(src, tag, "leader block exchange")
+    }
+
+    /// Fallible single-eager-frame receive for the survivor-agreement
+    /// protocol: a timeout, a condemned source or a revocation is returned
+    /// so the caller can restart with a fresh failure view instead of
+    /// escalating. Only eager frames are expected (agreement tokens are a
+    /// few bytes).
+    pub(crate) fn try_recv_token(&self, src_pos: usize, phase: u32) -> Result<Vec<u8>, PureError> {
+        let src = self.nodes[src_pos];
+        let me = self.nodes[self.my_pos];
+        let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
+        let mut frame = self.recv_frame_result(src, tag, "survivor agreement")?;
+        match frame.first() {
+            Some(&FRAME_EAGER) => {
+                frame.remove(0);
+                Ok(frame)
+            }
+            _ => die_invariant("agreement token was not an eager frame"),
+        }
     }
 
     /// All-reduce `data` across the member nodes (recursive doubling).

@@ -77,7 +77,8 @@ pub use datatype::{PureDatatype, ReduceOp, Reducible};
 pub use error::{PureError, PureResult};
 pub use msg::{wait_all, Request};
 pub use runtime::{
-    launch, launch_map, Config, LaunchReport, ProgressMode, RankCtx, RankFaults, RankStats, Tag,
+    launch, launch_map, launch_surviving, Config, LaunchReport, OnPeerDeath, ProgressMode, RankCtx,
+    RankFaults, RankStats, Tag,
 };
 pub use task::scheduler::{ChunkMode, StealPolicy};
 pub use task::{ChunkRange, PureTask, SharedSlice};
@@ -91,10 +92,11 @@ pub mod prelude {
     pub use crate::datatype::{PureDatatype, ReduceOp, Reducible};
     pub use crate::error::{PureError, PureResult};
     pub use crate::runtime::{
-        launch, launch_map, Config, LaunchReport, ProgressMode, RankCtx, RankFaults, Tag,
+        launch, launch_map, launch_surviving, Config, LaunchReport, OnPeerDeath, ProgressMode,
+        RankCtx, RankFaults, Tag,
     };
     pub use crate::task::scheduler::{ChunkMode, StealPolicy};
     pub use crate::task::{ChunkRange, PureTask, SharedSlice};
     pub use crate::telemetry::{Counter, RuntimeStats};
-    pub use netsim::{CoalescePlan, NetConfig};
+    pub use netsim::{CoalescePlan, DetectPlan, EndpointFaultKind, EndpointFaultPlan, NetConfig};
 }

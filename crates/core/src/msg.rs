@@ -69,6 +69,9 @@ impl PureComm {
     pub(crate) fn send_with_tag<T: PureDatatype>(&self, buf: &[T], dst: usize, tag: Tag) {
         let _span = telemetry::span("send");
         self.local.op_event();
+        if let Err(e) = self.op_enter("send") {
+            self.local.escalate(e);
+        }
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
         let ch = self.local.channel(key);
@@ -113,6 +116,7 @@ impl PureComm {
             "tags with the top bit set are reserved"
         );
         self.local.op_event();
+        self.op_enter("send")?;
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
         let ch = self.local.channel(key);
@@ -165,6 +169,9 @@ impl PureComm {
     pub(crate) fn recv_with_tag<T: PureDatatype>(&self, buf: &mut [T], src: usize, tag: Tag) {
         let _span = telemetry::span("recv");
         self.local.op_event();
+        if let Err(e) = self.op_enter("recv") {
+            self.local.escalate(e);
+        }
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);
         let ch = self.local.channel(key);
@@ -206,6 +213,7 @@ impl PureComm {
             "tags with the top bit set are reserved"
         );
         self.local.op_event();
+        self.op_enter("recv")?;
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);
         let ch = self.local.channel(key);
@@ -261,6 +269,9 @@ impl PureComm {
             tag < INTERNAL_TAG_BASE,
             "tags with the top bit set are reserved"
         );
+        if let Err(e) = self.op_enter("isend") {
+            self.local.escalate(e);
+        }
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(self.my_comm_rank, dst, tag, bytes);
         let ch = self.local.channel(key);
@@ -300,6 +311,9 @@ impl PureComm {
             tag < INTERNAL_TAG_BASE,
             "tags with the top bit set are reserved"
         );
+        if let Err(e) = self.op_enter("irecv") {
+            self.local.escalate(e);
+        }
         let bytes = std::mem::size_of_val(buf);
         let key = self.key_for(src, self.my_comm_rank, tag, bytes);
         let ch = self.local.channel(key);

@@ -11,7 +11,7 @@
 
 use interleave::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -22,9 +22,9 @@ use parking_lot::Mutex;
 use crate::channel::{Channel, ChannelFactoryCfg, ChannelKey, ChannelTable};
 use crate::collectives::{ArrivalMode, CollArea};
 use crate::comm::{CommMeta, PureComm, TagBaseAlloc};
-use crate::error::{payload_message, AbortCause, PeerAbortEcho, PureError, PureResult};
+use crate::error::{payload_message, AbortCause, CrashStop, PeerAbortEcho, PureError, PureResult};
 use crate::task::scheduler::{ChunkMode, NodeScheduler, StealCtx, StealPolicy};
-use crate::task::ssw::{ssw_try_until, WaitInterrupt};
+use crate::task::ssw::{ssw_try_until_probed, WaitInterrupt};
 use crate::task::{thunk_for, ChunkRange};
 use crate::telemetry::{RankCounters, RuntimeStats, TraceEvent, Tracer};
 use netsim::{Cluster, NetConfig, NodeEndpoint};
@@ -47,6 +47,27 @@ pub enum ProgressMode {
     /// One dedicated thread per node owns the node's endpoint and polls the
     /// engine until the ranks exit (an MPI-style async progress thread).
     Helper,
+}
+
+/// What the runtime does when the failure detector condemns a peer node
+/// while this launch is running (requires [`netsim::DetectPlan`] armed via
+/// [`NetConfig::with_detection`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OnPeerDeath {
+    /// Fail fast (the default): the first rank whose wait observes the
+    /// condemnation escalates [`PureError::PeerDead`] through the abort
+    /// machinery, so the whole launch unwinds with a structured cause.
+    #[default]
+    Abort,
+    /// ULFM-style recovery: *fallible* operations (`send_timeout`,
+    /// `recv_timeout`, …) **return** [`PureError::PeerDead`] when they
+    /// involve a condemned peer, keeping the launch alive so survivors can
+    /// [`crate::PureComm::revoke`], [`crate::PureComm::agree`] and
+    /// [`crate::PureComm::shrink`]. Infallible operations (plain
+    /// `send`/`recv`, collectives) still fail-stop — they have no error
+    /// channel — so recovery-minded code must use the fallible variants on
+    /// paths that may involve a dying peer (see DESIGN.md §7).
+    Revoke,
 }
 
 /// Runtime configuration — the knobs the paper exposes through its Makefile
@@ -98,6 +119,15 @@ pub struct Config {
     /// Intra-node fault injection (slow ranks, die-at-step) for robustness
     /// tests; inert by default.
     pub rank_faults: RankFaults,
+    /// Policy when the failure detector condemns a peer node (see
+    /// [`OnPeerDeath`]); fail-fast [`OnPeerDeath::Abort`] by default.
+    pub on_peer_death: OnPeerDeath,
+    /// Cap on the reliable-sublayer drain each rank performs at exit
+    /// (`finalize`): with a dead peer holding unACKed frames the linger
+    /// would otherwise only end when the detector condemns the peer; this
+    /// deadline bounds teardown unconditionally. A configured
+    /// [`Config::progress_deadline`] lowers it further, never raises it.
+    pub finalize_linger: Duration,
     /// Runtime telemetry counters. On by default (an uncontended relaxed add
     /// per instrumented event); `false` leaves the thread-local sink
     /// uninstalled so every bump is a null-check no-op. Compile the layer
@@ -121,12 +151,19 @@ pub struct RankFaults {
     /// `(rank, pause)`: the given rank sleeps `pause` before every blocking
     /// operation, simulating a straggler.
     pub slow: Option<(usize, Duration)>,
+    /// `(rank, n)`: the given rank **crash-stops** on its `n`-th blocking
+    /// operation — it silences its node's endpoint (the node stops sending
+    /// *and* receiving; endpoint silence is node-granular, so crash tests
+    /// run one rank per node) and unwinds without any abort broadcast.
+    /// Unlike [`RankFaults::die_at`], survivors are not told: they must
+    /// detect the silence via an armed [`netsim::DetectPlan`].
+    pub crash_at: Option<(usize, u64)>,
 }
 
 impl RankFaults {
     /// True when any fault is armed.
     pub fn enabled(&self) -> bool {
-        self.die_at.is_some() || self.slow.is_some()
+        self.die_at.is_some() || self.slow.is_some() || self.crash_at.is_some()
     }
 }
 
@@ -153,6 +190,8 @@ impl Config {
             seed: 0x5EED,
             progress_deadline: None,
             rank_faults: RankFaults::default(),
+            on_peer_death: OnPeerDeath::default(),
+            finalize_linger: Duration::from_secs(2),
             telemetry: true,
             trace_events: 0,
         }
@@ -191,6 +230,19 @@ impl Config {
     /// Arm intra-node fault injection.
     pub fn with_rank_faults(mut self, faults: RankFaults) -> Self {
         self.rank_faults = faults;
+        self
+    }
+
+    /// Select the peer-death policy (see [`OnPeerDeath`]).
+    pub fn with_on_peer_death(mut self, policy: OnPeerDeath) -> Self {
+        self.on_peer_death = policy;
+        self
+    }
+
+    /// Bound the reliable-sublayer drain at rank exit (see
+    /// [`Config::finalize_linger`]).
+    pub fn with_finalize_linger(mut self, d: Duration) -> Self {
+        self.finalize_linger = d;
         self
     }
 
@@ -247,6 +299,10 @@ pub struct LaunchReport {
     pub net_faults: (u64, u64, u64),
     /// Wall-clock time of the SPMD region.
     pub elapsed: Duration,
+    /// Ranks that crash-stopped via an injected [`RankFaults::crash_at`]
+    /// fault (empty in healthy runs). Their result slots are `None` in
+    /// [`launch_surviving`]'s output.
+    pub crashed: Vec<usize>,
     /// Runtime telemetry: per-rank counter snapshots, trace streams (when
     /// [`Config::trace_events`] > 0) and interconnect frame counters.
     pub stats: RuntimeStats,
@@ -286,6 +342,19 @@ impl RankHealth {
     }
 }
 
+/// Rendezvous state of one [`crate::PureComm::agree`] round: members check
+/// in (`arrived`), and the first member past the gate pins the failure view
+/// every participant of the round returns — so the agreed view is identical
+/// across survivors *by construction*, whatever order their detectors
+/// condemned the dead.
+pub(crate) struct AgreeCell {
+    /// Members that entered this agree round.
+    pub arrived: AtomicU64,
+    /// The pinned failure view (condemned node ids, ascending); `None`
+    /// until the first member passes the gate.
+    pub view: Mutex<Option<Vec<usize>>>,
+}
+
 /// Global state shared by all ranks of one launch.
 pub(crate) struct Shared {
     pub cfg: Config,
@@ -309,6 +378,21 @@ pub(crate) struct Shared {
     pub health: Vec<RankHealth>,
     /// First fatal failure of the launch (echoes never displace a primary).
     pub abort_cause: Mutex<Option<AbortCause>>,
+    /// Revoked communicator ids (ULFM-style [`crate::PureComm::revoke`]).
+    pub revoked: Mutex<HashSet<u64>>,
+    /// Fast-path flag: true once any communicator has been revoked, so the
+    /// per-wait probe is a single relaxed load until a revocation exists.
+    pub any_revoked: AtomicBool,
+    /// Ranks that crash-stopped (injected [`RankFaults::crash_at`]).
+    pub crashed: Mutex<Vec<usize>>,
+    /// Per-`(comm id, agree round)` rendezvous state for
+    /// [`crate::PureComm::agree`] (see [`AgreeCell`]).
+    pub agree_cells: Mutex<HashMap<(u64, u64), Arc<AgreeCell>>>,
+    /// Rank threads still running their SPMD function. Detect-armed runs
+    /// keep exited ranks' endpoints ticking until this drains, so a rank
+    /// that merely *finished early* keeps heartbeating and is never
+    /// condemned as dead by a slower peer.
+    pub live_ranks: AtomicU64,
     /// Ensures the diagnostic dump prints at most once per launch.
     pub dumped: AtomicBool,
     /// True when health bookkeeping is on (deadline, rank faults or net
@@ -359,6 +443,35 @@ impl Shared {
         for s in &self.scheds {
             s.set_abort();
         }
+    }
+
+    /// Poison communicator `id` launch-wide: pending and future operations
+    /// on it observe [`PureError::Revoked`].
+    pub fn revoke_comm(&self, id: u64) {
+        self.revoked.lock().insert(id);
+        self.any_revoked.store(true, Ordering::Release);
+    }
+
+    /// True when comm `id` has been revoked. Callers should gate on
+    /// [`Shared::any_revoked`] first (this takes the registry lock).
+    pub fn is_revoked(&self, id: u64) -> bool {
+        self.revoked.lock().contains(&id)
+    }
+
+    /// Fetch or create the rendezvous cell of agree round `round` on comm
+    /// `comm` (see [`AgreeCell`]).
+    pub fn agree_cell(&self, comm: u64, round: u64) -> Arc<AgreeCell> {
+        Arc::clone(
+            self.agree_cells
+                .lock()
+                .entry((comm, round))
+                .or_insert_with(|| {
+                    Arc::new(AgreeCell {
+                        arrived: AtomicU64::new(0),
+                        view: Mutex::new(None),
+                    })
+                }),
+        )
     }
 
     /// Print the diagnostic dump to stderr, at most once per launch.
@@ -429,6 +542,12 @@ impl Shared {
             "net: {msgs} msgs, {bytes} bytes; faults: {dropped} dropped, \
              {dup} duplicated, {retx} retransmits"
         );
+        // Per-node progress-engine state: inbox depth, jumbo-rx queue,
+        // retransmit backlog, and — when detection is armed — per-peer
+        // last-liveness age and the heartbeat/suspicion verdicts.
+        if self.cluster.len() > 1 {
+            let _ = writeln!(out, "{}", self.cluster.progress_debug());
+        }
         let _ = writeln!(out, "{}", self.runtime_stats(Vec::new()).summary());
         let _ = write!(out, "=== end dump ===");
         out
@@ -442,6 +561,8 @@ impl Shared {
         let (net_frames, net_retransmits, net_acks) = self.cluster.stats().reliable_snapshot();
         let (net_coalesced, net_coalesce_flushes, net_acks_batched, net_progress_polls) =
             self.cluster.stats().coalesce_snapshot();
+        let (net_heartbeats, net_suspicions, net_false_suspects) =
+            self.cluster.stats().health_snapshot();
         RuntimeStats {
             per_rank: self.telemetry.iter().map(|b| b.snapshot()).collect(),
             trace,
@@ -452,6 +573,9 @@ impl Shared {
             net_coalesce_flushes,
             net_acks_batched,
             net_progress_polls,
+            net_heartbeats,
+            net_suspicions,
+            net_false_suspects,
         }
     }
 }
@@ -477,11 +601,17 @@ pub(crate) struct RankLocal {
     /// Blocking operations completed (drives [`RankFaults`] injection).
     pub op_count: Cell<u64>,
     /// True when this rank cooperatively ticks the net progress engine from
-    /// its SSW waits (coalescing or frame faults armed, cooperative mode,
-    /// more than one node).
+    /// its SSW waits (coalescing, frame faults or failure detection armed,
+    /// cooperative mode, more than one node).
     pub net_active: bool,
     /// SSW poll counter gating the cooperative net ticks (every 64th poll).
     pub net_poll: Cell<u32>,
+    /// True when the crash-stop failure detector is armed on a multi-node
+    /// cluster: every SSW wait installs the peer-death probe.
+    pub detect_active: bool,
+    /// Communicator id of the operation this rank is currently inside
+    /// (`0` = none); lets the revocation probe poison the right waits.
+    pub cur_comm: Cell<u64>,
 }
 
 impl RankLocal {
@@ -533,7 +663,7 @@ impl RankLocal {
         poll: impl FnMut() -> Option<T>,
     ) -> T {
         let deadline = self.shared.cfg.progress_deadline;
-        match self.ssw_wait(op, deadline, poll) {
+        match self.ssw_wait(op, peer, deadline, poll) {
             Ok(v) => v,
             Err(WaitInterrupt::Aborted) => self.escalate(PureError::PeerAborted {
                 rank: self.rank,
@@ -546,12 +676,23 @@ impl RankLocal {
                 tag,
                 elapsed,
             }),
+            Err(WaitInterrupt::PeerDead { node, epoch }) => {
+                self.escalate(self.peer_dead_error(op, peer, node, epoch))
+            }
+            Err(WaitInterrupt::Revoked { comm }) => self.escalate(PureError::Revoked {
+                rank: self.rank,
+                op,
+                comm,
+            }),
         }
     }
 
     /// Fallible SSW wait with a caller-supplied deadline: `Timeout` is
     /// *returned* (the caller can cancel and recover); a peer abort still
-    /// escalates, because the launch is already dying.
+    /// escalates, because the launch is already dying. A peer-death verdict
+    /// escalates under [`OnPeerDeath::Abort`] and is *returned* under
+    /// [`OnPeerDeath::Revoke`] (the ULFM-style recovery path); a revoked
+    /// communicator is always returned (revocation exists to be handled).
     pub fn ssw_try_op<T>(
         &self,
         op: &'static str,
@@ -560,7 +701,7 @@ impl RankLocal {
         deadline: Duration,
         poll: impl FnMut() -> Option<T>,
     ) -> PureResult<T> {
-        match self.ssw_wait(op, Some(deadline), poll) {
+        match self.ssw_wait(op, peer, Some(deadline), poll) {
             Ok(v) => Ok(v),
             Err(WaitInterrupt::Aborted) => self.escalate(PureError::PeerAborted {
                 rank: self.rank,
@@ -573,13 +714,86 @@ impl RankLocal {
                 tag,
                 elapsed,
             }),
+            Err(WaitInterrupt::PeerDead { node, epoch }) => {
+                let err = self.peer_dead_error(op, peer, node, epoch);
+                match self.shared.cfg.on_peer_death {
+                    OnPeerDeath::Abort => self.escalate(err),
+                    OnPeerDeath::Revoke => Err(err),
+                }
+            }
+            Err(WaitInterrupt::Revoked { comm }) => Err(PureError::Revoked {
+                rank: self.rank,
+                op,
+                comm,
+            }),
         }
+    }
+
+    /// Build the [`PureError::PeerDead`] for a condemned node: name the
+    /// wait's own peer when it lives there, the node's lowest world rank
+    /// otherwise (the wait was not addressed to a specific counterpart).
+    fn peer_dead_error(
+        &self,
+        op: &'static str,
+        peer: Option<usize>,
+        node: usize,
+        epoch: u64,
+    ) -> PureError {
+        let peer = match peer {
+            Some(p) if self.shared.rank_node[p] == node => p,
+            _ => self
+                .shared
+                .rank_node
+                .iter()
+                .position(|&n| n == node)
+                .unwrap_or(usize::MAX),
+        };
+        PureError::PeerDead {
+            rank: self.rank,
+            op,
+            peer,
+            epoch,
+        }
+    }
+
+    /// The per-wait interrupt probe (checked every 64 fruitless SSW
+    /// iterations): revocation of the current communicator first, then the
+    /// failure detector's verdicts. Under [`OnPeerDeath::Abort`] *any*
+    /// condemned peer unwinds the wait (the launch is about to die anyway);
+    /// under [`OnPeerDeath::Revoke`] only a wait addressed to a rank on a
+    /// condemned node fires, so survivors keep operating among themselves.
+    pub(crate) fn wait_probe(&self, peer: Option<usize>) -> Option<WaitInterrupt> {
+        if self.shared.any_revoked.load(Ordering::Acquire) {
+            let c = self.cur_comm.get();
+            if c != 0 && self.shared.is_revoked(c) {
+                return Some(WaitInterrupt::Revoked { comm: c });
+            }
+        }
+        if self.detect_active {
+            match self.shared.cfg.on_peer_death {
+                OnPeerDeath::Abort => {
+                    if let Some((node, epoch)) = self.ep.any_dead_peer() {
+                        return Some(WaitInterrupt::PeerDead { node, epoch });
+                    }
+                }
+                OnPeerDeath::Revoke => {
+                    if let Some(p) = peer {
+                        let node = self.shared.rank_node[p];
+                        if let Some(epoch) = self.ep.peer_dead(node) {
+                            return Some(WaitInterrupt::PeerDead { node, epoch });
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Common SSW body: health bookkeeping around the interruptible loop.
     fn ssw_wait<T>(
         &self,
         op: &'static str,
+        peer: Option<usize>,
         deadline: Option<Duration>,
         mut poll: impl FnMut() -> Option<T>,
     ) -> Result<T, WaitInterrupt> {
@@ -590,21 +804,28 @@ impl RankLocal {
             h.wait_since_ns
                 .store(self.shared.now_ns(), Ordering::Relaxed);
         }
-        let res = ssw_try_until(&self.sched, &self.steal, deadline, || {
-            self.progress_sends();
-            if self.net_active {
-                // Cooperative progress engine: every blocked rank ticks the
-                // node endpoint occasionally, so aged coalesce buffers flush
-                // and reliable retransmits/ACKs fire even while every rank
-                // on the node is parked in an intra-node wait.
-                let n = self.net_poll.get().wrapping_add(1);
-                self.net_poll.set(n);
-                if n & 0x3F == 0 {
-                    self.ep.progress();
+        let res = ssw_try_until_probed(
+            &self.sched,
+            &self.steal,
+            deadline,
+            || self.wait_probe(peer),
+            || {
+                self.progress_sends();
+                if self.net_active {
+                    // Cooperative progress engine: every blocked rank ticks
+                    // the node endpoint occasionally, so aged coalesce
+                    // buffers flush, reliable retransmits/ACKs fire and the
+                    // failure detector keeps heartbeating even while every
+                    // rank on the node is parked in an intra-node wait.
+                    let n = self.net_poll.get().wrapping_add(1);
+                    self.net_poll.set(n);
+                    if n & 0x3F == 0 {
+                        self.ep.progress();
+                    }
                 }
-            }
-            poll()
-        });
+                poll()
+            },
+        );
         if robust {
             let h = &self.shared.health[self.rank];
             h.hb_ns.store(self.shared.now_ns(), Ordering::Relaxed);
@@ -649,6 +870,20 @@ impl RankLocal {
                 panic!("pure: injected fault: rank {} died at op {}", self.rank, n);
             }
         }
+        if let Some((r, at)) = rf.crash_at {
+            if r == self.rank && n == at {
+                crate::telemetry::instant("crash-stop");
+                // Crash-stop: the node goes silent *first* (no farewell
+                // frames, no more ACKs), then the rank unwinds with the
+                // marker payload `launch` treats as a disappearance rather
+                // than a failure broadcast.
+                self.ep.silence();
+                std::panic::panic_any(CrashStop {
+                    rank: self.rank,
+                    op_index: n,
+                });
+            }
+        }
     }
 
     /// Drain the internode transport before this rank exits: force-flush
@@ -659,31 +894,51 @@ impl RankLocal {
     /// retransmitted). Bounded and abort-aware.
     pub fn finalize_net(&self) {
         let net = &self.shared.cfg.net;
-        if net.faults.is_none() && net.coalesce.is_none() {
+        let reliable = net.faults.is_some();
+        if !reliable && net.coalesce.is_none() && !self.detect_active {
             return;
         }
         self.ep.flush_coalesced();
-        if net.faults.is_none() {
-            return;
-        }
+        // Deadline for the whole teardown: the configured finalize linger,
+        // lowered (never raised) by the launch progress deadline. With a
+        // dead peer holding unACKed frames the linger ends the moment the
+        // detector condemns it (`reliable_outstanding` excuses condemned
+        // links); without detection, this cap alone bounds teardown.
         let cap = self
             .shared
             .cfg
             .progress_deadline
-            .unwrap_or(Duration::from_secs(2))
-            .min(Duration::from_secs(2));
+            .map_or(self.shared.cfg.finalize_linger, |d| {
+                d.min(self.shared.cfg.finalize_linger)
+            });
         let t0 = Instant::now();
-        while self.ep.reliable_outstanding() > 0 && !self.sched.aborted() {
-            if t0.elapsed() >= cap {
-                eprintln!(
-                    "pure: rank {}: reliable links still undelivered after {:?} at exit",
-                    self.rank, cap
-                );
-                break;
+        if reliable {
+            while self.ep.reliable_outstanding() > 0 && !self.sched.aborted() {
+                if t0.elapsed() >= cap {
+                    eprintln!(
+                        "pure: rank {}: reliable links still undelivered after {:?} at exit",
+                        self.rank, cap
+                    );
+                    break;
+                }
+                self.ep.progress();
+                self.progress_sends();
+                std::thread::yield_now();
             }
-            self.ep.progress();
-            self.progress_sends();
-            std::thread::yield_now();
+        }
+        // Exit keep-alive (detection armed only): a rank that merely
+        // finished early must not stop heartbeating while peers still run,
+        // or a slow peer's detector would condemn this live node. Tick the
+        // endpoint until every rank thread has finished its SPMD function
+        // (this rank's slot was already released by `launch`), bounded by
+        // the abort flag — a genuinely hung peer is the watchdog's problem,
+        // not ours.
+        if self.detect_active {
+            while self.shared.live_ranks.load(Ordering::Acquire) > 0 && !self.sched.aborted() {
+                self.ep.progress();
+                self.progress_sends();
+                std::thread::yield_now();
+            }
         }
     }
 
@@ -852,6 +1107,28 @@ where
     F: Fn(&mut RankCtx) -> R + Sync,
     R: Send,
 {
+    let (report, results) = launch_surviving(cfg, f);
+    let results = results
+        .into_iter()
+        .map(|r| {
+            r.expect(
+                "rank produced no result despite no panic \
+                 (crash-stopped? use launch_surviving)",
+            )
+        })
+        .collect();
+    (report, results)
+}
+
+/// Like [`launch_map`], but tolerant of injected crash-stop faults: a rank
+/// killed by [`RankFaults::crash_at`] yields `None` in the results vector
+/// (and is listed in [`LaunchReport::crashed`]) instead of poisoning the
+/// launch. Any *other* failure still panics with the primary cause.
+pub fn launch_surviving<F, R>(cfg: Config, f: F) -> (LaunchReport, Vec<Option<R>>)
+where
+    F: Fn(&mut RankCtx) -> R + Sync,
+    R: Send,
+{
     assert!(cfg.ranks > 0, "pure: need at least one rank");
     if let Some(map) = &cfg.rank_map {
         assert_eq!(map.len(), cfg.ranks, "rank_map length must equal ranks");
@@ -888,8 +1165,11 @@ where
         })
         .collect();
 
-    let robust =
-        cfg.progress_deadline.is_some() || cfg.rank_faults.enabled() || cfg.net.faults.is_some();
+    let robust = cfg.progress_deadline.is_some()
+        || cfg.rank_faults.enabled()
+        || cfg.net.faults.is_some()
+        || cfg.net.detect.is_some()
+        || cfg.net.endpoint_fault.is_some();
     let shared = Arc::new(Shared {
         chan_cfg: ChannelFactoryCfg {
             small_msg_max: cfg.small_msg_max,
@@ -907,6 +1187,11 @@ where
         rank_local,
         health: (0..cfg.ranks).map(|_| RankHealth::new()).collect(),
         abort_cause: Mutex::new(None),
+        revoked: Mutex::new(HashSet::new()),
+        any_revoked: AtomicBool::new(false),
+        crashed: Mutex::new(Vec::new()),
+        agree_cells: Mutex::new(HashMap::new()),
+        live_ranks: AtomicU64::new(cfg.ranks as u64),
         dumped: AtomicBool::new(false),
         robust,
         telemetry: (0..cfg.ranks).map(|_| RankCounters::default()).collect(),
@@ -941,8 +1226,10 @@ where
                     .then(|| Tracer::new(shared.cfg.trace_events, shared.birth));
                 let tracer_guard = tracer.as_mut().map(crate::telemetry::install_tracer);
                 let node = shared.rank_node[rank];
+                let detect_active = shared.cfg.net.detect.is_some() && shared.cluster.len() > 1;
                 let net_active = (shared.cfg.net.coalesce.is_some()
-                    || shared.cfg.net.faults.is_some())
+                    || shared.cfg.net.faults.is_some()
+                    || detect_active)
                     && shared.cfg.progress_mode == ProgressMode::Cooperative
                     && shared.cluster.len() > 1;
                 let local = Rc::new(RankLocal {
@@ -964,6 +1251,8 @@ where
                     op_count: Cell::new(0),
                     net_active,
                     net_poll: Cell::new(0),
+                    detect_active,
+                    cur_comm: Cell::new(0),
                     shared: Arc::clone(&shared),
                 });
                 let world = PureComm::from_meta(world_meta, Rc::clone(&local));
@@ -972,10 +1261,22 @@ where
                     world,
                 };
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                // Release this rank's live slot before any teardown wait:
+                // the exit keep-alive in `finalize_net` spins on the count,
+                // so every exiting path must drop its slot first.
+                shared.live_ranks.fetch_sub(1, Ordering::AcqRel);
                 match outcome {
                     Ok(v) => {
                         local.finalize_net();
                         results.lock()[rank] = Some(v);
+                    }
+                    Err(e) if e.downcast_ref::<CrashStop>().is_some() => {
+                        let cs = e.downcast_ref::<CrashStop>().unwrap();
+                        debug_assert!(cs.rank == rank && cs.op_index > 0);
+                        // Injected crash-stop: the rank vanishes without an
+                        // abort broadcast — no cause recorded, no flag
+                        // raised. Survivors must *detect* the silence.
+                        shared.crashed.lock().push(rank);
                     }
                     Err(e) => {
                         let echo = e.downcast_ref::<PeerAbortEcho>().is_some();
@@ -1095,17 +1396,18 @@ where
         panic!("pure: rank {} failed: {}", cause.rank, cause.what);
     }
 
+    let crashed = {
+        let mut c = shared.crashed.lock().clone();
+        c.sort_unstable();
+        c
+    };
     let report = LaunchReport {
         per_rank: stats.into_inner(),
         net_traffic: shared.cluster.stats().snapshot(),
         net_faults: shared.cluster.stats().fault_snapshot(),
         elapsed,
+        crashed,
         stats: shared.runtime_stats(traces.into_inner()),
     };
-    let results = results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("rank produced no result despite no panic"))
-        .collect();
-    (report, results)
+    (report, results.into_inner())
 }

@@ -40,6 +40,20 @@ pub enum WaitInterrupt {
     Aborted,
     /// The wait's deadline elapsed; carries the measured wait time.
     TimedOut(Duration),
+    /// The failure detector condemned a peer node while this rank was
+    /// blocked: the wait unwinds in bounded time with the verdict instead
+    /// of spinning until the watchdog backstop.
+    PeerDead {
+        /// Condemned node (netsim node id, not a rank).
+        node: usize,
+        /// Session epoch fenced by the condemnation.
+        epoch: u64,
+    },
+    /// The communicator the wait belongs to was revoked mid-flight.
+    Revoked {
+        /// Identifier of the revoked communicator.
+        comm: u64,
+    },
 }
 
 /// Run the SSW-Loop until `poll` produces a value.
@@ -58,6 +72,9 @@ pub fn ssw_until<T>(
             panic!("pure: a peer rank failed; aborting this rank's wait")
         }
         Err(WaitInterrupt::TimedOut(_)) => unreachable!("no deadline was set"),
+        Err(WaitInterrupt::PeerDead { .. } | WaitInterrupt::Revoked { .. }) => {
+            unreachable!("no interrupt probe was installed")
+        }
     }
 }
 
@@ -72,6 +89,23 @@ pub fn ssw_try_until<T>(
     sched: &NodeScheduler,
     steal_ctx: &RefCell<StealCtx>,
     deadline: Option<Duration>,
+    poll: impl FnMut() -> Option<T>,
+) -> Result<T, WaitInterrupt> {
+    ssw_try_until_probed(sched, steal_ctx, deadline, || None, poll)
+}
+
+/// [`ssw_try_until`] with an additional *interrupt probe*: `probe` is
+/// evaluated on the same 64-iteration cadence as the deadline check, and a
+/// `Some(interrupt)` unwinds the wait with that verdict. This is how the
+/// crash-stop failure detector reaches every blocked wait: the probe asks
+/// the node's endpoint for condemned peers (or a revoked communicator), so
+/// a dead peer unwinds the wait in bounded time with a structured error —
+/// no watchdog involved.
+pub fn ssw_try_until_probed<T>(
+    sched: &NodeScheduler,
+    steal_ctx: &RefCell<StealCtx>,
+    deadline: Option<Duration>,
+    mut probe: impl FnMut() -> Option<WaitInterrupt>,
     mut poll: impl FnMut() -> Option<T>,
 ) -> Result<T, WaitInterrupt> {
     let budget = sched.spin_budget();
@@ -89,9 +123,12 @@ pub fn ssw_try_until<T>(
         if sched.aborted() {
             return Err(WaitInterrupt::Aborted);
         }
-        if let (Some(d), Some(t0)) = (deadline, started) {
-            iters = iters.wrapping_add(1);
-            if iters & 0x3F == 0 {
+        iters = iters.wrapping_add(1);
+        if iters & 0x3F == 0 {
+            if let Some(interrupt) = probe() {
+                return Err(interrupt);
+            }
+            if let (Some(d), Some(t0)) = (deadline, started) {
                 let elapsed = t0.elapsed();
                 if elapsed >= d {
                     return Err(WaitInterrupt::TimedOut(elapsed));
@@ -185,6 +222,38 @@ mod tests {
             Err(WaitInterrupt::TimedOut(e)) => assert!(e >= d, "elapsed {e:?} < deadline"),
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn probe_interrupts_a_blocked_wait() {
+        let s = sched();
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        let mut n = 0u32;
+        let r: Result<(), _> = ssw_try_until_probed(
+            &s,
+            &ctx,
+            None,
+            || {
+                n += 1;
+                (n > 3).then_some(WaitInterrupt::PeerDead { node: 2, epoch: 1 })
+            },
+            || None,
+        );
+        assert_eq!(r, Err(WaitInterrupt::PeerDead { node: 2, epoch: 1 }));
+    }
+
+    #[test]
+    fn probe_is_not_consulted_when_condition_is_ready() {
+        let s = sched();
+        let ctx = RefCell::new(StealCtx::new(0, 1));
+        let r = ssw_try_until_probed(
+            &s,
+            &ctx,
+            None,
+            || Some(WaitInterrupt::Revoked { comm: 7 }),
+            || Some(11),
+        );
+        assert_eq!(r, Ok(11), "a ready poll wins over any pending interrupt");
     }
 
     #[test]

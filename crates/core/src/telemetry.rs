@@ -493,6 +493,13 @@ pub struct RuntimeStats {
     pub net_acks_batched: u64,
     /// Progress-engine polls (cooperative SSW ticks plus helper-thread loops).
     pub net_progress_polls: u64,
+    /// Failure-detector heartbeat frames sent (idle-link liveness).
+    pub net_heartbeats: u64,
+    /// Peer condemnations issued by the failure detector.
+    pub net_suspicions: u64,
+    /// Condemned peers that later produced a frame (false suspects; counted
+    /// once per peer).
+    pub net_false_suspects: u64,
 }
 
 impl RuntimeStats {
@@ -593,6 +600,13 @@ impl RuntimeStats {
                 self.net_coalesce_flushes,
                 self.net_acks_batched,
                 self.net_progress_polls
+            );
+        }
+        if self.net_heartbeats > 0 || self.net_suspicions > 0 || self.net_false_suspects > 0 {
+            let _ = write!(
+                out,
+                "\nnet: {} heartbeats, {} suspicions, {} false suspects",
+                self.net_heartbeats, self.net_suspicions, self.net_false_suspects
             );
         }
         out

@@ -1,0 +1,225 @@
+//! Crash-stop chaos: a random rank is killed at a seeded operation index
+//! (its node's endpoint goes silent first — no farewell frames, no ACKs)
+//! and every survivor must unwind with a structured verdict from the
+//! failure detector — `PeerDead` (or `Revoked` under the ULFM-style
+//! policy), **never** the watchdog, never a hang.
+//!
+//! The default run sweeps a couple of seeds in both progress modes; set
+//! `PURE_CHAOS_CRASH=1` (the CI chaos profile) to widen the sweep to 8
+//! seeds, and `PURE_CHAOS_SEEDS=<n>` to widen it further. A failing seed
+//! reports its replay parameters in the panic message.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use netsim::{DetectPlan, FaultPlan, NetConfig};
+use pure_core::prelude::*;
+use pure_core::PureError;
+
+/// SplitMix64 finalizer: the same deterministic seed→parameter map the
+/// fault plans use, so one seed fully describes a run.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn crash_profile_armed() -> bool {
+    std::env::var("PURE_CHAOS_CRASH").is_ok_and(|v| v == "1")
+}
+
+fn seed_count() -> u64 {
+    if let Ok(n) = std::env::var("PURE_CHAOS_SEEDS") {
+        if let Ok(n) = n.parse() {
+            return n;
+        }
+    }
+    if crash_profile_armed() {
+        8
+    } else {
+        2
+    }
+}
+
+/// The panic payload re-raised by `launch`, as a formatted string.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    e.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".into())
+}
+
+/// Tentpole acceptance sweep: any single rank crash at any seeded point →
+/// every survivor unwinds with a structured `PeerDead` verdict, across the
+/// seed sweep × both progress modes. The watchdog (a `Timeout` labelled
+/// "watchdog") firing instead means bounded-unwind is broken.
+#[test]
+fn single_crash_unwinds_survivors_with_peer_dead() {
+    const RANKS: usize = 4;
+    for mode in [ProgressMode::Cooperative, ProgressMode::Helper] {
+        for seed in 0..seed_count() {
+            let victim = (mix64(seed ^ 0xDEAD_C0DE) % RANKS as u64) as usize;
+            let at = 1 + mix64(seed ^ 0x0DD_B10C) % 16;
+            let mut cfg = Config::new(RANKS)
+                .with_ranks_per_node(1)
+                .with_progress_mode(mode)
+                .with_rank_faults(RankFaults {
+                    crash_at: Some((victim, at)),
+                    ..RankFaults::default()
+                })
+                // Safety net only: the assertion below proves it never fires.
+                .with_deadline(Duration::from_secs(20));
+            cfg.spin_budget = 16;
+            cfg.net = NetConfig::default().with_detection(DetectPlan::aggressive());
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                launch(cfg, |ctx| {
+                    let w = ctx.world();
+                    let me = ctx.rank();
+                    for round in 0..4000u64 {
+                        let mut got = [0u64; 2];
+                        w.sendrecv(
+                            &[round, me as u64],
+                            (me + 1) % RANKS,
+                            &mut got,
+                            (me + RANKS - 1) % RANKS,
+                            3,
+                        );
+                        assert_eq!(got[0], round);
+                        let s = w.allreduce_one(1u64, ReduceOp::Sum);
+                        assert_eq!(s, RANKS as u64);
+                    }
+                })
+            }));
+            let msg = panic_message(res.expect_err(&format!(
+                "seed {seed} mode {mode:?}: launch completed despite rank \
+                 {victim} crashing at op {at}"
+            )));
+            assert!(
+                msg.contains("declared dead"),
+                "seed {seed} mode {mode:?} victim {victim} at op {at}: \
+                 survivors must unwind with the detector's verdict, got: {msg}"
+            );
+            assert!(
+                !msg.contains("watchdog"),
+                "seed {seed} mode {mode:?}: the watchdog fired — bounded \
+                 unwind is broken: {msg}"
+            );
+        }
+    }
+}
+
+/// ULFM-style recovery: under `OnPeerDeath::Revoke` a peer's death surfaces
+/// as `Err(PeerDead)` from fallible operations instead of tearing the launch
+/// down. Survivors revoke the world, agree on the failure view, `shrink()`
+/// to a fresh communicator and complete a collective on it.
+#[test]
+fn revoke_mode_survivors_shrink_and_continue() {
+    const RANKS: usize = 4;
+    const VICTIM: usize = 3;
+    let mut cfg = Config::new(RANKS)
+        .with_ranks_per_node(1)
+        .with_rank_faults(RankFaults {
+            crash_at: Some((VICTIM, 3)),
+            ..RankFaults::default()
+        })
+        .with_on_peer_death(OnPeerDeath::Revoke)
+        .with_deadline(Duration::from_secs(20));
+    cfg.spin_budget = 16;
+    cfg.net = NetConfig::default().with_detection(DetectPlan::aggressive());
+    let (report, results) = launch_surviving(cfg, |ctx| {
+        let w = ctx.world();
+        let me = ctx.rank();
+        for round in 0..100_000u64 {
+            // A fallible ring: the victim's silence first shows up as
+            // timeouts, then — once the detector condemns its node — as a
+            // structured verdict on the rank whose receive names it.
+            let mut got = [0u64];
+            let r = w
+                .send_timeout(&[round], (me + 1) % RANKS, 9, Duration::from_millis(20))
+                .and_then(|()| {
+                    w.recv_timeout(
+                        &mut got,
+                        (me + RANKS - 1) % RANKS,
+                        9,
+                        Duration::from_millis(20),
+                    )
+                });
+            match r {
+                Ok(()) | Err(PureError::Timeout { .. }) => continue,
+                Err(PureError::PeerDead { peer, .. }) => {
+                    assert_eq!(peer, VICTIM, "wrong rank condemned");
+                    w.revoke();
+                    break;
+                }
+                Err(PureError::Revoked { .. }) => break,
+                Err(e) => panic!("rank {me}: unexpected error: {e}"),
+            }
+        }
+        // Recovery is collective over the survivors: agree on who died,
+        // then rebuild and prove the new communicator works end-to-end.
+        let dead = loop {
+            match w.agree() {
+                Ok(d) => break d,
+                Err(PureError::PeerDead { .. }) => continue, // wider view next round
+                Err(e) => panic!("rank {me}: agree failed: {e}"),
+            }
+        };
+        assert_eq!(dead, vec![VICTIM], "rank {me}: wrong failure view");
+        let shrunk = w.shrink().unwrap_or_else(|e| {
+            panic!("rank {me}: shrink failed: {e}");
+        });
+        assert_eq!(shrunk.size(), RANKS - 1);
+        let sum = shrunk.allreduce_one(ctx.rank() as u64, ReduceOp::Sum);
+        assert_eq!(sum, 3, "collective on the shrunk comm is wrong");
+        sum
+    });
+    assert_eq!(report.crashed, vec![VICTIM]);
+    for (r, res) in results.iter().enumerate() {
+        if r == VICTIM {
+            assert!(res.is_none(), "the victim cannot produce a result");
+        } else {
+            assert_eq!(*res, Some(3), "rank {r} did not complete recovery");
+        }
+    }
+}
+
+/// Bounded-teardown regression (finalize linger): a peer that crash-stops
+/// while holding unACKed reliable frames must not pin the survivor's
+/// finalize — teardown completes within the configured linger, not at the
+/// watchdog and not never.
+#[test]
+fn finalize_with_dead_peer_is_bounded_by_linger() {
+    let mut cfg = Config::new(2)
+        .with_ranks_per_node(1)
+        .with_rank_faults(RankFaults {
+            // The victim dies at its first blocking op, before receiving
+            // anything: every frame rank 0 sent stays unACKed forever.
+            crash_at: Some((1, 1)),
+            ..RankFaults::default()
+        })
+        .with_finalize_linger(Duration::from_millis(300))
+        .with_deadline(Duration::from_secs(30));
+    cfg.spin_budget = 16;
+    // Faults armed → the reliable sublayer (and its finalize linger) is on.
+    // No detection: the cap alone must bound teardown.
+    cfg.net = NetConfig::default().with_faults(FaultPlan::chaos(7));
+    let t0 = Instant::now();
+    let (report, _) = launch_surviving(cfg, |ctx| {
+        if ctx.rank() == 0 {
+            for i in 0..5u64 {
+                ctx.world().send(&[i; 4], 1, 2);
+            }
+        } else {
+            let mut got = [0u64; 4];
+            ctx.world().recv(&mut got, 0, 2);
+        }
+    });
+    let elapsed = t0.elapsed();
+    assert_eq!(report.crashed, vec![1]);
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "teardown took {elapsed:?}: the finalize linger cap is not bounding \
+         a dead peer's unACKed frames"
+    );
+}

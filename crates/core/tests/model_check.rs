@@ -447,3 +447,107 @@ fn telemetry_counters_add_no_races_to_pbq_transfer() {
     });
     assert_clean(&report, 1_500);
 }
+
+// ---------------------------------------------------------------------------
+// Failure detector: suspicion vs late frame (the epoch fence)
+// ---------------------------------------------------------------------------
+
+/// The suspicion-vs-late-frame race, driven through the real
+/// [`netsim::PeerHealth`] state machine under the transport's locking
+/// discipline (health is a leaf lock; the cluster dead-count atomic is the
+/// lock-free fast path). One thread is the detector condemning a silent
+/// peer; the other drains a frame the peer sent before dying, stamped with
+/// its pre-death epoch. The invariant: on every schedule, the frame is
+/// either linearized *before* the condemnation or fenced by the epoch —
+/// a frame arriving after the peer was declared dead is never dispatched.
+#[test]
+fn detector_epoch_fence_never_dispatches_post_condemnation() {
+    use netsim::{DetectPlan, PeerHealth};
+
+    /// Health state shared under the model spinlock (mirrors the
+    /// transport's `health` mutex).
+    struct Guarded(std::cell::UnsafeCell<PeerHealth>);
+    // SAFETY: accessed only inside `with_lock` critical sections below.
+    unsafe impl Sync for Guarded {}
+    unsafe impl Send for Guarded {}
+
+    fn with_lock<T>(l: &AtomicBool, f: impl FnOnce() -> T) -> T {
+        while l
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            thread::yield_now();
+        }
+        let r = f();
+        l.store(false, Ordering::Release);
+        r
+    }
+
+    let report = check(opts(4_000, 1_000), || {
+        let plan = DetectPlan::default();
+        let lock = Arc::new(AtomicBool::new(false));
+        let dead_count = Arc::new(AtomicU32::new(0));
+        let seq = Arc::new(AtomicU32::new(0));
+        let health = Arc::new(Guarded(std::cell::UnsafeCell::new(PeerHealth::new(0))));
+
+        // Detector: the peer has been silent far past the threshold.
+        let (l, d, s, h) = (
+            Arc::clone(&lock),
+            Arc::clone(&dead_count),
+            Arc::clone(&seq),
+            Arc::clone(&health),
+        );
+        let detector = thread::spawn(move || {
+            with_lock(&l, || {
+                // SAFETY: under the spinlock.
+                let hs = unsafe { &mut *h.0.get() };
+                assert!(
+                    hs.condemn(1_000_000_000, &plan),
+                    "a peer silent for 1 s must be condemned"
+                );
+                let at = s.fetch_add(1, Ordering::AcqRel) + 1;
+                d.store(1, Ordering::Release);
+                at
+            })
+        });
+
+        // Drain: a frame the peer sent in epoch 0 arrives late. The fence
+        // decision and its linearization stamp happen inside the same
+        // critical section, exactly as `drain_inbox` consults the dead
+        // table before dispatching into the match store.
+        let dispatched = with_lock(&lock, || {
+            // SAFETY: under the spinlock.
+            let hs = unsafe { &*health.0.get() };
+            let fenced = dead_count.load(Ordering::Acquire) > 0 || !hs.admit(0);
+            if fenced {
+                None
+            } else {
+                Some(seq.fetch_add(1, Ordering::AcqRel) + 1)
+            }
+        });
+
+        let condemn_at = detector.join().unwrap();
+        if let Some(dispatch_at) = dispatched {
+            assert!(
+                dispatch_at < condemn_at,
+                "stale frame dispatched after the peer was declared dead \
+                 (dispatch seq {dispatch_at}, condemnation seq {condemn_at})"
+            );
+        }
+        // Post-condemnation state machine: the epoch is fenced for good,
+        // and posthumous liveness evidence signals a false suspect once.
+        // SAFETY: both threads joined; exclusive access.
+        let hs = unsafe { &mut *health.0.get() };
+        assert!(hs.dead && hs.epoch == 1, "condemnation must fence epoch 0");
+        assert!(!hs.admit(0), "old-epoch frames stay fenced forever");
+        assert!(
+            hs.saw_alive(2_000_000_000),
+            "first posthumous frame signals"
+        );
+        assert!(
+            !hs.saw_alive(2_000_000_001),
+            "the signal fires exactly once"
+        );
+    });
+    assert_clean(&report, 50);
+}

@@ -162,7 +162,7 @@ fn die_at_step_fault_kills_the_launch_with_context() {
     let res = std::panic::catch_unwind(|| {
         let c = cfg(3).with_rank_faults(RankFaults {
             die_at: Some((2, 3)),
-            slow: None,
+            ..RankFaults::default()
         });
         launch(c, |ctx| {
             for _ in 0..10 {
@@ -178,8 +178,8 @@ fn die_at_step_fault_kills_the_launch_with_context() {
 #[test]
 fn slow_rank_straggler_still_computes_correctly() {
     let c = cfg(3).with_rank_faults(RankFaults {
-        die_at: None,
         slow: Some((1, Duration::from_millis(2))),
+        ..RankFaults::default()
     });
     launch(c, |ctx| {
         let w = ctx.world();

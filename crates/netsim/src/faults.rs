@@ -100,6 +100,198 @@ impl FaultPlan {
     }
 }
 
+/// What an endpoint-level fault does to a node (crash-stop failure classes).
+///
+/// Unlike [`FaultPlan`], which models the *network* (frames lost below the
+/// reliable sublayer, always recoverable by retransmission), an endpoint
+/// fault models a *node* that stops participating: no retransmit will ever
+/// revive it. All three classes look identical to a remote observer — the
+/// peer goes silent — which is exactly the crash-stop ambiguity the failure
+/// detector has to resolve by timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EndpointFaultKind {
+    /// The node dies (stops sending *and* acknowledging) once it has put
+    /// this many frames on the wire.
+    CrashAtFrame(u64),
+    /// The node never transmits anything: a permanent hang from birth.
+    Hang,
+    /// Byzantine-silent: the node emits frames up to the threshold and then
+    /// keeps *consuming* inbound traffic without ever responding (no ACKs,
+    /// no heartbeats). Observably identical to a crash for its peers, but
+    /// its inbox keeps swallowing frames instead of bouncing them.
+    SilentAfterSend(u64),
+}
+
+/// A seeded endpoint-level fault: which node fails, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EndpointFaultPlan {
+    /// The failing node.
+    pub node: usize,
+    /// The failure class and its trip point.
+    pub kind: EndpointFaultKind,
+}
+
+impl EndpointFaultPlan {
+    /// Derive a fault deterministically from `seed`: a victim node, one of
+    /// the three failure classes, and a frame trip point below `frame_cap`.
+    /// Same seed, same fault — the replay property the crash chaos sweep
+    /// relies on.
+    pub fn seeded(seed: u64, n_nodes: usize, frame_cap: u64) -> Self {
+        let node = (mix64(seed ^ 0xDEAD) % n_nodes.max(1) as u64) as usize;
+        let at = mix64(seed ^ 0xBEEF) % frame_cap.max(1);
+        let kind = match mix64(seed ^ 0xFA11) % 3 {
+            0 => EndpointFaultKind::CrashAtFrame(at),
+            1 => EndpointFaultKind::Hang,
+            _ => EndpointFaultKind::SilentAfterSend(at),
+        };
+        Self { node, kind }
+    }
+
+    /// Whether the node is silent (transmitting nothing) once it has already
+    /// emitted `frames_sent` frames.
+    pub fn silent_at(&self, frames_sent: u64) -> bool {
+        match self.kind {
+            EndpointFaultKind::CrashAtFrame(n) => frames_sent >= n,
+            EndpointFaultKind::Hang => true,
+            EndpointFaultKind::SilentAfterSend(n) => frames_sent >= n,
+        }
+    }
+
+    /// Whether the node also stops *consuming* inbound frames (a full crash,
+    /// as opposed to byzantine silence, where the inbox stays live).
+    pub fn deaf(&self) -> bool {
+        !matches!(self.kind, EndpointFaultKind::SilentAfterSend(_))
+    }
+}
+
+/// Failure-detector tuning: heartbeat cadence and the phi-style suspicion
+/// threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectPlan {
+    /// Idle-link heartbeat interval (ns): a node that has sent nothing to a
+    /// peer for this long emits an explicit heartbeat frame, so liveness
+    /// evidence keeps flowing even on quiet links. Data frames and ACKs
+    /// already count as heartbeats (the piggyback).
+    pub hb_interval_ns: u64,
+    /// Floor of the suspicion threshold (ns): a peer is never suspected
+    /// before this much silence.
+    pub suspect_after_ns: u64,
+    /// Phi-style multiplier: the effective threshold is
+    /// `max(suspect_after_ns, phi × observed mean liveness interval)`, so a
+    /// link with naturally slow traffic earns a proportionally longer leash
+    /// and a chatty link is condemned sooner (down to the floor).
+    pub phi: u32,
+}
+
+impl Default for DetectPlan {
+    fn default() -> Self {
+        Self {
+            hb_interval_ns: 1_000_000,    // 1 ms
+            suspect_after_ns: 50_000_000, // 50 ms floor
+            phi: 8,
+        }
+    }
+}
+
+impl DetectPlan {
+    /// A tight profile for tests that want fast detection (and can tolerate
+    /// the correspondingly higher false-positive risk on a loaded host).
+    pub fn aggressive() -> Self {
+        Self {
+            hb_interval_ns: 200_000,      // 200 µs
+            suspect_after_ns: 20_000_000, // 20 ms floor
+            phi: 8,
+        }
+    }
+}
+
+/// Per-peer failure-detector state: liveness clock, phi estimator, and the
+/// session epoch that fences frames from a condemned peer.
+///
+/// This is a plain state machine (no clocks, no locks of its own) so the
+/// interleave model checker can drive the suspicion-vs-late-frame race
+/// directly: [`PeerHealth::condemn`] and [`PeerHealth::admit`] are the two
+/// sides of that race, and the invariant is that a frame is never admitted
+/// after the peer's epoch moved on.
+#[derive(Clone, Copy, Debug)]
+pub struct PeerHealth {
+    /// When we last saw any evidence of life (frame, ACK, heartbeat), ns.
+    pub last_seen_ns: u64,
+    /// When we last transmitted anything to the peer (heartbeat pacing), ns.
+    pub last_tx_ns: u64,
+    /// EWMA of the interval between liveness observations, ns (the phi
+    /// estimator's scale).
+    pub mean_interval_ns: u64,
+    /// Session epoch. Even = live session; a suspicion bumps it, and frames
+    /// from a previous epoch are dropped instead of dispatched.
+    pub epoch: u64,
+    /// Whether the peer has been declared dead (epoch fenced).
+    pub dead: bool,
+    /// Frames that arrived *after* the death declaration — evidence the
+    /// suspicion was premature (feeds the false-suspect counter).
+    pub posthumous: u64,
+}
+
+impl PeerHealth {
+    /// Fresh state; the peer is on its grace period starting at `now_ns`.
+    pub fn new(now_ns: u64) -> Self {
+        Self {
+            last_seen_ns: now_ns,
+            last_tx_ns: now_ns,
+            mean_interval_ns: 0,
+            epoch: 0,
+            dead: false,
+            posthumous: 0,
+        }
+    }
+
+    /// Record liveness evidence at `now_ns`. Returns `true` the first time
+    /// evidence arrives from an already-condemned peer (a false suspect).
+    pub fn saw_alive(&mut self, now_ns: u64) -> bool {
+        if self.dead {
+            self.posthumous += 1;
+            return self.posthumous == 1;
+        }
+        let gap = now_ns.saturating_sub(self.last_seen_ns);
+        // EWMA with alpha = 1/8: cheap, integer-only, and stable enough for
+        // a threshold multiplier.
+        self.mean_interval_ns = if self.mean_interval_ns == 0 {
+            gap
+        } else {
+            (self.mean_interval_ns * 7 + gap) / 8
+        };
+        self.last_seen_ns = now_ns;
+        false
+    }
+
+    /// The phi-style suspicion threshold currently in force.
+    pub fn threshold_ns(&self, plan: &DetectPlan) -> u64 {
+        (self.mean_interval_ns.saturating_mul(plan.phi as u64)).max(plan.suspect_after_ns)
+    }
+
+    /// Evaluate the detector at `now_ns`: if the silence has outlived the
+    /// threshold, condemn the peer (bump the epoch, fence its frames) and
+    /// return `true` exactly once.
+    pub fn condemn(&mut self, now_ns: u64, plan: &DetectPlan) -> bool {
+        if self.dead {
+            return false;
+        }
+        if now_ns.saturating_sub(self.last_seen_ns) > self.threshold_ns(plan) {
+            self.dead = true;
+            self.epoch += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Whether a frame belonging to session `epoch` may be dispatched. A
+    /// frame from a condemned peer carries the old epoch and must be
+    /// dropped — the other half of the suspicion-vs-late-frame race.
+    pub fn admit(&self, epoch: u64) -> bool {
+        !self.dead && epoch == self.epoch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +329,70 @@ mod tests {
     fn zero_rates_never_fault() {
         let p = FaultPlan::drops(3, 0);
         assert!((0..1000).all(|i| p.decide(i) == FaultDecision::default()));
+    }
+
+    #[test]
+    fn endpoint_faults_are_seeded_and_silent_monotonically() {
+        let a = EndpointFaultPlan::seeded(11, 4, 100);
+        let b = EndpointFaultPlan::seeded(11, 4, 100);
+        assert_eq!(a, b, "same seed, same fault");
+        assert!(a.node < 4);
+        // Silence is monotone in frames sent: once tripped, forever silent.
+        let mut was_silent = false;
+        for sent in 0..200 {
+            let s = a.silent_at(sent);
+            assert!(!was_silent || s, "a tripped fault must stay tripped");
+            was_silent = s;
+        }
+        assert!(
+            EndpointFaultPlan {
+                node: 0,
+                kind: EndpointFaultKind::Hang
+            }
+            .silent_at(0),
+            "a hang is silent from frame zero"
+        );
+    }
+
+    #[test]
+    fn detector_condemns_after_threshold_and_fences_late_frames() {
+        let plan = DetectPlan {
+            hb_interval_ns: 10,
+            suspect_after_ns: 100,
+            phi: 2,
+        };
+        let mut h = PeerHealth::new(0);
+        assert!(!h.saw_alive(50));
+        assert!(!h.condemn(100, &plan), "within threshold: no suspicion");
+        assert!(h.admit(0), "live peer's frames dispatch");
+        assert!(h.condemn(200, &plan), "silence outlived the threshold");
+        assert!(!h.condemn(300, &plan), "condemnation fires exactly once");
+        assert_eq!(h.epoch, 1);
+        assert!(!h.admit(0), "old-epoch frame is fenced, not dispatched");
+        assert!(
+            h.saw_alive(400),
+            "first posthumous frame flags a false suspect"
+        );
+        assert!(!h.saw_alive(500), "later posthumous frames do not re-flag");
+    }
+
+    #[test]
+    fn phi_threshold_scales_with_observed_cadence() {
+        let plan = DetectPlan {
+            hb_interval_ns: 10,
+            suspect_after_ns: 100,
+            phi: 4,
+        };
+        let mut h = PeerHealth::new(0);
+        // A slow but steady peer: liveness every 1000 ns.
+        for t in 1..=20u64 {
+            h.saw_alive(t * 1000);
+        }
+        assert!(h.threshold_ns(&plan) >= 3000, "leash grows with cadence");
+        assert!(
+            !h.condemn(20_000 + 2000, &plan),
+            "slow peer within its earned leash is not condemned"
+        );
+        assert!(h.condemn(20_000 + 10 * 1000, &plan));
     }
 }

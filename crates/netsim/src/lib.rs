@@ -26,7 +26,9 @@ pub mod tag;
 mod transport;
 
 pub use coalesce::CoalescePlan;
-pub use faults::{FaultDecision, FaultPlan};
+pub use faults::{
+    DetectPlan, EndpointFaultKind, EndpointFaultPlan, FaultDecision, FaultPlan, PeerHealth,
+};
 pub use tag::WireTag;
 pub use transport::{Cluster, NetConfig, NetStats, NodeEndpoint};
 

@@ -18,6 +18,12 @@ pub const CLASS_BOOTSTRAP: u8 = 2;
 /// engines. One such link exists per ordered node pair, so thread ids and
 /// user tag are zero; the original tags ride inside the subframe headers.
 pub const CLASS_COALESCE: u8 = 3;
+/// Failure-detector heartbeats between two nodes' progress engines. Like
+/// the coalesce link there is exactly one per ordered node pair (thread ids
+/// and user tag are zero); heartbeats are fire-and-forget liveness evidence,
+/// so they ride the raw plane — never the reliable sublayer and never a
+/// coalescing buffer (a retransmitted or parked heartbeat would be a lie).
+pub const CLASS_HEARTBEAT: u8 = 4;
 /// Top bit of the 7-bit class field: set on acknowledgement frames of the
 /// reliable sublayer. ORed onto the data class so every data plane gets its
 /// own ACK plane (a shared ACK class would let a P2P and a collective link
@@ -58,6 +64,11 @@ impl WireTag {
     /// The (single, per node pair) coalesced-jumbo link tag.
     pub fn coalesce() -> Self {
         Self::new(0, 0, 0, CLASS_COALESCE)
+    }
+
+    /// The (single, per node pair) failure-detector heartbeat tag.
+    pub fn heartbeat() -> Self {
+        Self::new(0, 0, 0, CLASS_HEARTBEAT)
     }
 
     fn new(src_local: usize, dst_local: usize, user: u32, class: u8) -> Self {
@@ -152,6 +163,15 @@ mod tests {
         assert_ne!(j.encode(), WireTag::collective(0, 0, 0).encode());
         assert_eq!(WireTag::decode(j.encode()), j);
         assert!(WireTag::ack_for(j).is_ack());
+    }
+
+    #[test]
+    fn heartbeat_link_is_its_own_plane() {
+        let h = WireTag::heartbeat();
+        assert!(!h.is_ack());
+        assert_ne!(h.encode(), WireTag::coalesce().encode());
+        assert_ne!(h.encode(), WireTag::p2p(0, 0, 0).encode());
+        assert_eq!(WireTag::decode(h.encode()), h);
     }
 
     #[test]

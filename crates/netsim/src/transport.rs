@@ -2,15 +2,15 @@
 //! latency model, plus (when a [`FaultPlan`] is configured) seeded fault
 //! injection below a sequence-numbered reliable delivery sublayer.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::coalesce::{self, CoalesceBuf, CoalescePlan};
-use crate::faults::FaultPlan;
+use crate::faults::{DetectPlan, EndpointFaultPlan, FaultPlan, PeerHealth};
 use crate::reliable::{deframe, RxState, TxState};
 use crate::tag::{WireTag, CLASS_COALESCE};
 
@@ -35,6 +35,15 @@ pub struct NetConfig {
     /// through the progress engine's per-destination jumbo buffers; `None`
     /// sends frame-per-message.
     pub coalesce: Option<CoalescePlan>,
+    /// Seeded endpoint-level (crash-stop) fault: one node goes permanently
+    /// silent at a seeded point. Orthogonal to `faults`, which models
+    /// recoverable frame loss.
+    pub endpoint_fault: Option<EndpointFaultPlan>,
+    /// Crash-stop failure detection. `Some` arms per-node heartbeats,
+    /// phi-style suspicion, and session-epoch garbage collection of a dead
+    /// peer's reliable-link state; `None` keeps the detector (and its
+    /// heartbeat traffic) compiled out of the data path entirely.
+    pub detect: Option<DetectPlan>,
 }
 
 impl NetConfig {
@@ -46,6 +55,8 @@ impl NetConfig {
             beta_ps_per_byte: 100,
             faults: None,
             coalesce: None,
+            endpoint_fault: None,
+            detect: None,
         }
     }
 
@@ -58,6 +69,18 @@ impl NetConfig {
     /// Enable outbound frame coalescing (builder style).
     pub fn with_coalescing(mut self, plan: CoalescePlan) -> Self {
         self.coalesce = Some(plan);
+        self
+    }
+
+    /// Inject a crash-stop endpoint fault (builder style).
+    pub fn with_endpoint_fault(mut self, plan: EndpointFaultPlan) -> Self {
+        self.endpoint_fault = Some(plan);
+        self
+    }
+
+    /// Arm crash-stop failure detection (builder style).
+    pub fn with_detection(mut self, plan: DetectPlan) -> Self {
+        self.detect = Some(plan);
         self
     }
 
@@ -105,6 +128,30 @@ struct NodeShared {
     /// Pending outbound coalescing buffers, destination node → buffer
     /// (coalescing mode only).
     co_tx: Mutex<HashMap<usize, CoalesceBuf>>,
+    /// Raw frames this node has put on the wire — the endpoint-fault trip
+    /// counter (crash-at-frame-N is defined over this).
+    sent_frames: AtomicU64,
+    /// Runtime crash-stop switch: once set, nothing leaves (or enters) this
+    /// node again. Flipped by [`NodeEndpoint::silence`] when the runtime
+    /// crash-injects a rank.
+    silenced: AtomicBool,
+    /// Failure-detector state per peer node (detection mode only). Leaf
+    /// lock: never held while acquiring any other transport lock.
+    health: Mutex<HashMap<usize, PeerHealth>>,
+}
+
+/// Cluster-global failure view: the set of condemned nodes and their death
+/// epochs. In a real deployment this is the failure-broadcast service layered
+/// on the detector; netsim compresses that into a shared table so every
+/// surviving node observes a condemnation as soon as any detector fires —
+/// which is what makes `agree()` upstairs launch-consistent.
+#[derive(Default)]
+struct ClusterHealth {
+    /// Condemned nodes → epoch at condemnation.
+    dead: Mutex<BTreeMap<usize, u64>>,
+    /// Fast-path mirror of `dead.len()` so the hot paths pay one relaxed
+    /// load while nobody has died.
+    dead_count: AtomicU64,
 }
 
 /// Aggregate traffic statistics for a cluster.
@@ -134,6 +181,14 @@ pub struct NetStats {
     /// Progress-engine polls (cooperative SSW ticks, helper-thread loops,
     /// and receive-miss polls).
     pub progress_polls: AtomicU64,
+    /// Explicit heartbeat frames emitted by the failure detector (idle-link
+    /// liveness only — data frames and ACKs piggyback as implicit evidence).
+    pub heartbeats: AtomicU64,
+    /// Peers condemned by the phi-style detector (one per declaration).
+    pub suspicions: AtomicU64,
+    /// Condemned peers that later showed evidence of life (one per peer):
+    /// the detector's false-positive count.
+    pub false_suspects: AtomicU64,
 }
 
 impl NetStats {
@@ -175,6 +230,16 @@ impl NetStats {
             self.progress_polls.load(Ordering::Relaxed),
         )
     }
+
+    /// Snapshot (heartbeats, suspicions, false suspects) — the failure
+    /// detector's view merged into the runtime's telemetry report.
+    pub fn health_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.heartbeats.load(Ordering::Relaxed),
+            self.suspicions.load(Ordering::Relaxed),
+            self.false_suspects.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// A simulated cluster: `n` nodes connected all-to-all.
@@ -183,6 +248,7 @@ pub struct Cluster {
     cfg: NetConfig,
     birth: Instant,
     stats: Arc<NetStats>,
+    health: Arc<ClusterHealth>,
 }
 
 impl Cluster {
@@ -197,6 +263,7 @@ impl Cluster {
             cfg,
             birth: Instant::now(),
             stats: Arc::new(NetStats::default()),
+            health: Arc::new(ClusterHealth::default()),
         }
     }
 
@@ -224,7 +291,16 @@ impl Cluster {
             cfg: self.cfg,
             birth: self.birth,
             stats: Arc::clone(&self.stats),
+            health: Arc::clone(&self.health),
         }
+    }
+
+    /// Render per-node progress-engine state (inbox depth, inbound jumbo
+    /// queue, retransmit backlog, heartbeat/suspicion table) for hang dumps.
+    /// Watchdog-safe: uses `try_lock` throughout and reports `<locked>` for
+    /// anything a wedged rank is holding.
+    pub fn progress_debug(&self) -> String {
+        self.endpoint(0).progress_debug()
     }
 }
 
@@ -237,6 +313,7 @@ pub struct NodeEndpoint {
     cfg: NetConfig,
     birth: Instant,
     stats: Arc<NetStats>,
+    health: Arc<ClusterHealth>,
 }
 
 impl NodeEndpoint {
@@ -254,6 +331,49 @@ impl NodeEndpoint {
         self.birth.elapsed().as_nanos() as u64
     }
 
+    // --- Crash-stop endpoint faults ---------------------------------------
+
+    /// Crash-stop this node at runtime: from now on nothing leaves or enters
+    /// it — no data, no ACKs, no heartbeats. The runtime's crash-injection
+    /// path flips this just before killing a rank thread, so survivors see
+    /// exactly what a remote node death looks like: silence.
+    pub fn silence(&self) {
+        self.nodes[self.me].silenced.store(true, Ordering::Release);
+    }
+
+    /// Whether `node` transmits nothing (runtime-silenced, or its endpoint
+    /// fault has tripped).
+    fn node_silent(&self, node: usize) -> bool {
+        let sh = &self.nodes[node];
+        if sh.silenced.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.cfg.endpoint_fault {
+            Some(f) if f.node == node => f.silent_at(sh.sent_frames.load(Ordering::Relaxed)),
+            _ => false,
+        }
+    }
+
+    fn self_silent(&self) -> bool {
+        self.node_silent(self.me)
+    }
+
+    /// Whether this node has also stopped *consuming* inbound frames. True
+    /// for a runtime crash and a tripped crash/hang fault; false for
+    /// byzantine silence, whose inbox keeps swallowing traffic.
+    fn self_deaf(&self) -> bool {
+        let sh = &self.nodes[self.me];
+        if sh.silenced.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.cfg.endpoint_fault {
+            Some(f) if f.node == self.me => {
+                f.deaf() && f.silent_at(sh.sent_frames.load(Ordering::Relaxed))
+            }
+            _ => false,
+        }
+    }
+
     /// Send `payload` to `dst_node`, matchable there under `(self.node, tag)`
     /// once the modeled latency has elapsed.
     ///
@@ -263,6 +383,11 @@ impl NodeEndpoint {
     /// for retransmission until acknowledged; with neither this is the
     /// familiar fire-and-forget path, byte for byte.
     pub fn send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+        // Sends toward a condemned peer go nowhere: staging them would regrow
+        // the reliable-link state the detector just garbage-collected.
+        if self.cfg.detect.is_some() && self.peer_dead(dst_node).is_some() {
+            return;
+        }
         if self.cfg.coalesce.is_some() && !tag.is_ack() && tag.class != CLASS_COALESCE {
             self.coalesce_send(dst_node, tag, payload);
         } else if self.cfg.faults.is_some() && !tag.is_ack() {
@@ -275,6 +400,15 @@ impl NodeEndpoint {
     /// Push one raw frame at the destination inbox, applying fault-injection
     /// decisions (drop / duplicate / reorder / delay) when configured.
     fn raw_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+        // Crash-stop: a silent node puts nothing on the wire — data, ACKs,
+        // retransmits, and heartbeats all die here. The check precedes the
+        // trip-counter bump, so crash-at-frame-N delivers exactly N frames.
+        if self.self_silent() {
+            return;
+        }
+        self.nodes[self.me]
+            .sent_frames
+            .fetch_add(1, Ordering::Relaxed);
         let dst = &self.nodes[dst_node];
         let mut deliver_at_ns = self.now_ns() + self.cfg.delay_ns(payload.len());
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
@@ -318,6 +452,9 @@ impl NodeEndpoint {
     /// reliable sublayer's retransmits and ACKs) as a side effect, exactly
     /// as an MPI progress engine does on every receive poll.
     pub fn try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
+        if self.self_deaf() {
+            return None; // a crashed node receives nothing
+        }
         let shared = &self.nodes[self.me];
         if self.cfg.coalesce.is_some() && !tag.is_ack() {
             // Coalescing mode: data frames arrive inside jumbos and are
@@ -362,6 +499,15 @@ impl NodeEndpoint {
     /// data pump).
     pub fn progress(&self) {
         self.stats.progress_polls.fetch_add(1, Ordering::Relaxed);
+        if self.self_silent() {
+            // A dead node's engine answers nothing. A byzantine-silent node
+            // still swallows inbound traffic (its inbox is live) but never
+            // ACKs, retransmits, or heartbeats.
+            if !self.self_deaf() {
+                self.drain_inbox();
+            }
+            return;
+        }
         self.drain_inbox();
         if self.cfg.coalesce.is_some() {
             self.flush_aged_coalesce();
@@ -372,12 +518,16 @@ impl NodeEndpoint {
         if self.cfg.coalesce.is_some() {
             self.pump_coalesced();
         }
+        if self.cfg.detect.is_some() {
+            self.detect_tick();
+        }
     }
 
     /// Drain every deliverable message from the inbox into the match store.
     fn drain_inbox(&self) {
         let shared = &self.nodes[self.me];
         let now = self.now_ns();
+        let detect = self.cfg.detect.is_some();
         let mut moved: Vec<InFlight> = Vec::new();
         {
             let mut inbox = shared.inbox.lock();
@@ -399,9 +549,35 @@ impl NodeEndpoint {
                 }
             }
         }
+        // Epoch fence: frames from a condemned peer are dropped here, never
+        // dispatched into the match store — the suspicion-vs-late-frame race
+        // resolves in favour of the suspicion. They still count as liveness
+        // evidence below (the false-suspect signal).
+        let mut seen: Vec<usize> = Vec::new();
         for m in moved {
+            let src = m.key.0;
+            if detect && !seen.contains(&src) {
+                seen.push(src);
+            }
+            if detect
+                && self.health.dead_count.load(Ordering::Relaxed) > 0
+                && self.health.dead.lock().contains_key(&src)
+            {
+                continue;
+            }
             let mut store = shared.store[shard_of(&m.key)].lock();
             store.entry(m.key).or_default().push_back(m.payload);
+        }
+        // Liveness piggyback: any arrival (data, ACK, heartbeat) is evidence
+        // the source is alive. The health map is a leaf lock.
+        if detect && !seen.is_empty() {
+            let mut health = shared.health.lock();
+            for src in seen {
+                let h = health.entry(src).or_insert_with(|| PeerHealth::new(now));
+                if h.saw_alive(now) {
+                    self.stats.false_suspects.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -568,6 +744,9 @@ impl NodeEndpoint {
     /// the previous ACK was lost), return the next in-order payload.
     fn reliable_try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
         self.reliable_tick();
+        if self.cfg.detect.is_some() {
+            self.detect_tick();
+        }
         let now = self.now_ns();
         let (out, ack) = {
             let mut rxm = self.nodes[self.me].rel_rx.lock();
@@ -653,18 +832,229 @@ impl NodeEndpoint {
         }
     }
 
-    /// Unacknowledged reliable frames outstanding across the whole cluster.
-    /// Zero means every sent frame has been confirmed delivered — the
-    /// condition the runtime's end-of-run linger waits for, so a rank never
-    /// exits while a peer still depends on its retransmits or ACKs.
+    // --- Failure detector (detection mode only) ---------------------------
+
+    /// One failure-detector tick: drain heartbeat frames, adopt the cluster
+    /// failure view, evaluate the phi-style threshold per peer, emit
+    /// heartbeats on idle links, and garbage-collect a newly condemned
+    /// peer's link state so nothing retries into the void forever.
+    fn detect_tick(&self) {
+        let Some(plan) = self.cfg.detect else { return };
+        let now = self.now_ns();
+        let hb = WireTag::heartbeat();
+        // Phase 1 — gather heartbeat evidence with no health lock held
+        // (raw_try_recv drains the inbox, which itself takes the health
+        // lock for the liveness piggyback).
+        let n = self.nodes.len();
+        let mut hb_seen = vec![false; n];
+        for (peer, seen) in hb_seen.iter_mut().enumerate() {
+            if peer == self.me {
+                continue;
+            }
+            while self.raw_try_recv(peer, hb).is_some() {
+                *seen = true;
+            }
+        }
+        // Phase 2 — under the (leaf) health lock: apply evidence, adopt the
+        // cluster-global failure view, condemn, and pace heartbeats.
+        let mut newly_dead: Vec<usize> = Vec::new();
+        let mut send_hb: Vec<usize> = Vec::new();
+        {
+            let adopted: Vec<(usize, u64)> = if self.health.dead_count.load(Ordering::Relaxed) > 0 {
+                self.health
+                    .dead
+                    .lock()
+                    .iter()
+                    .map(|(&k, &v)| (k, v))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut health = self.nodes[self.me].health.lock();
+            for (peer, &seen) in hb_seen.iter().enumerate() {
+                if peer == self.me {
+                    continue;
+                }
+                let h = health.entry(peer).or_insert_with(|| PeerHealth::new(now));
+                if seen && h.saw_alive(now) {
+                    self.stats.false_suspects.fetch_add(1, Ordering::Relaxed);
+                }
+                // Adopt a condemnation another node's detector published,
+                // without double-counting the suspicion.
+                if let Some(&(_, epoch)) = adopted.iter().find(|&&(d, _)| d == peer) {
+                    if !h.dead {
+                        h.dead = true;
+                        h.epoch = epoch;
+                        newly_dead.push(peer);
+                    }
+                }
+                if h.condemn(now, &plan) {
+                    self.stats.suspicions.fetch_add(1, Ordering::Relaxed);
+                    self.publish_dead(peer, h.epoch);
+                    newly_dead.push(peer);
+                } else if !h.dead && now.saturating_sub(h.last_tx_ns) >= plan.hb_interval_ns {
+                    h.last_tx_ns = now;
+                    send_hb.push(peer);
+                }
+            }
+        }
+        // Phase 3 — outside the health lock: wire traffic and link GC.
+        for peer in send_hb {
+            self.stats.heartbeats.fetch_add(1, Ordering::Relaxed);
+            self.raw_send(peer, hb, &[]);
+        }
+        for peer in newly_dead {
+            self.gc_dead_peer(peer);
+        }
+    }
+
+    /// Publish a condemnation to the cluster-global failure view.
+    fn publish_dead(&self, node: usize, epoch: u64) {
+        let mut dead = self.health.dead.lock();
+        dead.entry(node).or_insert(epoch);
+        self.health
+            .dead_count
+            .store(dead.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Garbage-collect this node's link state toward a condemned peer:
+    /// retransmit queues stop retrying into the void, inbound reorder state
+    /// is dropped, and any coalescing buffer destined for the corpse is
+    /// discarded. This is what lets the finalize linger drain instead of
+    /// spinning on frames a dead peer will never ACK.
+    fn gc_dead_peer(&self, peer: usize) {
+        let shared = &self.nodes[self.me];
+        shared.rel_tx.lock().retain(|&(dst, _), _| dst != peer);
+        shared.rel_rx.lock().retain(|&(src, _), _| src != peer);
+        shared.co_tx.lock().remove(&peer);
+    }
+
+    /// The death epoch of `node`, if any detector has condemned it.
+    pub fn peer_dead(&self, node: usize) -> Option<u64> {
+        if self.health.dead_count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.health.dead.lock().get(&node).copied()
+    }
+
+    /// The cluster-global failure view: condemned nodes and their epochs,
+    /// in node order.
+    pub fn dead_nodes(&self) -> Vec<(usize, u64)> {
+        if self.health.dead_count.load(Ordering::Relaxed) == 0 {
+            return Vec::new();
+        }
+        self.health
+            .dead
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// The lowest condemned node other than this one, with its epoch — the
+    /// fast check blocked waits poll to unwind in bounded time.
+    pub fn any_dead_peer(&self) -> Option<(usize, u64)> {
+        if self.health.dead_count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.health
+            .dead
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .find(|&(n, _)| n != self.me)
+    }
+
+    /// Render every node's progress-engine state for hang dumps: inbox
+    /// depth, inbound jumbo queue, retransmit backlog, and the heartbeat /
+    /// suspicion table. Watchdog-safe: `try_lock` only.
+    pub fn progress_debug(&self) -> String {
+        use std::fmt::Write as _;
+        let now = self.now_ns();
+        let jumbo = WireTag::coalesce().encode();
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let inbox = n
+                .inbox
+                .try_lock()
+                .map(|q| q.len().to_string())
+                .unwrap_or_else(|| "<locked>".into());
+            let (retx_frames, retx_links) = n
+                .rel_tx
+                .try_lock()
+                .map(|m| {
+                    let frames: usize = m.values().map(|st| st.outstanding.len()).sum();
+                    let links = m.values().filter(|st| !st.outstanding.is_empty()).count();
+                    (frames.to_string(), links.to_string())
+                })
+                .unwrap_or_else(|| ("<locked>".into(), "?".into()));
+            let jumbo_rx = n
+                .rel_rx
+                .try_lock()
+                .map(|m| {
+                    let (ready, stashed) = m
+                        .iter()
+                        .filter(|(&(_, enc), _)| enc == jumbo)
+                        .fold((0, 0), |(r, s), (_, st)| {
+                            (r + st.ready_len(), s + st.stashed())
+                        });
+                    format!("{ready} ready / {stashed} stashed")
+                })
+                .unwrap_or_else(|| "<locked>".into());
+            let silent = if self.node_silent(i) { " SILENT" } else { "" };
+            let _ = writeln!(
+                out,
+                "  net node {i}{silent}: inbox {inbox}, jumbo-rx {jumbo_rx}, \
+                 retx backlog {retx_frames} frames on {retx_links} links"
+            );
+            if let Some(health) = n.health.try_lock() {
+                let mut peers: Vec<_> = health.iter().collect();
+                peers.sort_by_key(|(&p, _)| p);
+                for (&p, h) in peers {
+                    if h.dead {
+                        let _ = writeln!(
+                            out,
+                            "    peer {p}: DEAD epoch {} (posthumous frames {})",
+                            h.epoch, h.posthumous
+                        );
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "    peer {p}: last-ack/liveness age {:.1} ms, mean interval {:.1} ms, epoch {}",
+                            now.saturating_sub(h.last_seen_ns) as f64 / 1e6,
+                            h.mean_interval_ns as f64 / 1e6,
+                            h.epoch
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Unacknowledged reliable frames outstanding across the whole cluster,
+    /// excluding links that can never drain because one side is dead: a
+    /// silent node's own staged frames, and any node's frames staged toward
+    /// a condemned peer. Zero means every frame a *live* peer still depends
+    /// on has been confirmed delivered — the condition the runtime's
+    /// end-of-run linger waits for.
     pub fn reliable_outstanding(&self) -> usize {
+        // A silent node's own staged frames can never drain (its engine
+        // processes no ACKs) and no survivor depends on them. Links *toward*
+        // a peer are excused only once a detector has actually condemned it
+        // — before that, the survivor has no way to know its frames are
+        // doomed, and the linger honestly waits (bounded by detection).
+        let condemned: Vec<usize> = self.dead_nodes().iter().map(|&(n, _)| n).collect();
         self.nodes
             .iter()
-            .map(|n| {
+            .enumerate()
+            .filter(|&(i, _)| !self.node_silent(i) && !condemned.contains(&i))
+            .map(|(_, n)| {
                 n.rel_tx
                     .lock()
-                    .values()
-                    .map(|st| st.outstanding.len())
+                    .iter()
+                    .filter(|(&(dst, _), _)| !condemned.contains(&dst))
+                    .map(|(_, st)| st.outstanding.len())
                     .sum::<usize>()
             })
             .sum()
@@ -992,6 +1382,117 @@ mod tests {
                 thread::yield_now();
             }
         }
+    }
+
+    /// A crash-stopped peer must be condemned by the phi detector, its
+    /// retransmit state garbage-collected (so the linger condition drains),
+    /// and any frame it left in flight fenced by epoch instead of
+    /// dispatched.
+    #[test]
+    fn detector_condemns_silent_peer_and_drains_links() {
+        let detect = crate::DetectPlan {
+            hb_interval_ns: 100_000,     // 100 µs
+            suspect_after_ns: 5_000_000, // 5 ms: fast for the test
+            phi: 4,
+        };
+        let c = Cluster::new(
+            2,
+            NetConfig::default()
+                .with_faults(crate::FaultPlan::drops(3, 0))
+                .with_detection(detect),
+        );
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 9);
+        // Some live traffic both ways, then node 1 crashes.
+        a.send(1, tag, b"ping");
+        b.send(0, tag, b"pong");
+        assert_eq!(b.try_recv(0, tag).as_deref(), Some(&b"ping"[..]));
+        assert_eq!(a.try_recv(1, tag).as_deref(), Some(&b"pong"[..]));
+        b.silence();
+        // A send into the void: staged, never to be ACKed.
+        a.send(1, tag, b"doomed");
+        assert!(a.reliable_outstanding() > 0 || a.peer_dead(1).is_some());
+        let t0 = Instant::now();
+        while a.peer_dead(1).is_none() {
+            a.progress();
+            assert!(
+                t0.elapsed().as_secs() < 10,
+                "detector never condemned the silent peer"
+            );
+            thread::yield_now();
+        }
+        let (_, suspicions, _) = c.stats().health_snapshot();
+        assert!(suspicions >= 1, "a condemnation counts as a suspicion");
+        assert_eq!(
+            a.reliable_outstanding(),
+            0,
+            "links toward the corpse must be garbage-collected"
+        );
+        assert_eq!(a.any_dead_peer(), Some((1, 1)));
+        // Post-condemnation sends are swallowed, not staged.
+        a.send(1, tag, b"late");
+        assert_eq!(a.reliable_outstanding(), 0);
+        let dump = c.progress_debug();
+        assert!(
+            dump.contains("DEAD epoch 1"),
+            "dump must show the verdict:\n{dump}"
+        );
+    }
+
+    /// Heartbeats keep an idle link's liveness evidence flowing, and a live
+    /// pair never gets condemned.
+    #[test]
+    fn heartbeats_prevent_suspicion_on_idle_links() {
+        let detect = crate::DetectPlan {
+            hb_interval_ns: 50_000,       // 50 µs
+            suspect_after_ns: 10_000_000, // 10 ms
+            phi: 8,
+        };
+        let c = Cluster::new(2, NetConfig::default().with_detection(detect));
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let t0 = Instant::now();
+        // Idle for 3× the suspicion floor, both engines ticking.
+        while t0.elapsed().as_millis() < 30 {
+            a.progress();
+            b.progress();
+            thread::yield_now();
+        }
+        assert_eq!(a.any_dead_peer(), None, "live peers must not be condemned");
+        assert_eq!(b.any_dead_peer(), None);
+        let (hb, suspicions, _) = c.stats().health_snapshot();
+        assert!(hb > 0, "idle links must carry heartbeats");
+        assert_eq!(suspicions, 0);
+    }
+
+    /// The seeded endpoint fault trips on its own, without runtime help:
+    /// crash-at-frame-N delivers exactly N raw frames and then goes dark.
+    #[test]
+    fn endpoint_fault_trips_at_the_seeded_frame() {
+        let plan = crate::EndpointFaultPlan {
+            node: 0,
+            kind: crate::EndpointFaultKind::CrashAtFrame(3),
+        };
+        let c = Cluster::new(2, NetConfig::default().with_endpoint_fault(plan));
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 1);
+        for i in 0..10u8 {
+            a.send(1, tag, &[i]);
+        }
+        for i in 0..3u8 {
+            assert_eq!(
+                b.try_recv(0, tag).unwrap(),
+                vec![i],
+                "pre-trip frames deliver"
+            );
+        }
+        assert_eq!(
+            b.try_recv(0, tag),
+            None,
+            "post-trip frames never leave the node"
+        );
     }
 
     /// Without faults the wire format is unchanged: no sequence headers, no
