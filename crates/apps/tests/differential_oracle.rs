@@ -205,14 +205,20 @@ fn run_program<C: Communicator>(c: &C, seed: u64) -> u64 {
     digest
 }
 
-fn pure_digests(seed: u64, ranks: usize, rpn: usize) -> Vec<u64> {
-    let mut cfg = Config::new(ranks);
+fn pure_digests_on(backend: Backend, seed: u64, ranks: usize, rpn: usize) -> Vec<u64> {
+    let mut cfg = Config::new(ranks).with_transport(backend);
     cfg.spin_budget = 16;
     if rpn > 0 {
         cfg = cfg.with_ranks_per_node(rpn);
     }
     let (_, digests) = launch_map(cfg, move |ctx| run_program(ctx.world(), seed));
     digests
+}
+
+/// The default sweeps honour `PURE_BACKEND`, so the CI backend matrix can
+/// replay the whole oracle over real TCP sockets with no code change.
+fn pure_digests(seed: u64, ranks: usize, rpn: usize) -> Vec<u64> {
+    pure_digests_on(Backend::from_env(), seed, ranks, rpn)
 }
 
 fn mpi_digests(seed: u64, ranks: usize) -> Vec<u64> {
@@ -247,6 +253,31 @@ fn random_programs_bit_identical_single_node() {
 fn random_programs_bit_identical_multi_node() {
     // Split the ranks over ~2 simulated nodes to route internode paths.
     sweep(|ranks| ranks.div_ceil(2), "multi-node", 32..64);
+}
+
+/// Cross-backend matrix: the same 64 seeded programs, every rank split over
+/// ~2 nodes so cross-node frames flow, digested three ways — MPI baseline,
+/// Pure over the simulated fabric, Pure over real TCP loopback sockets. All
+/// three must agree bit for bit; the raw frame plane must be invisible to
+/// application bytes.
+#[test]
+fn random_programs_bit_identical_netsim_vs_tcp() {
+    for seed in 0..64u64 {
+        let mut rng = seed ^ 0xA5A5_5A5A;
+        let ranks = 2 + (splitmix(&mut rng) % 4) as usize; // 2..=5
+        let rpn = ranks.div_ceil(2); // ≥2 nodes: every seed crosses the wire
+        let baseline = mpi_digests(seed, ranks);
+        let sim = pure_digests_on(Backend::Sim, seed, ranks, rpn);
+        let tcp = pure_digests_on(Backend::Tcp, seed, ranks, rpn);
+        assert_eq!(
+            sim, baseline,
+            "netsim backend diverged from baseline (seed {seed}, {ranks} ranks)"
+        );
+        assert_eq!(
+            tcp, baseline,
+            "tcp backend diverged from baseline (seed {seed}, {ranks} ranks)"
+        );
+    }
 }
 
 #[test]

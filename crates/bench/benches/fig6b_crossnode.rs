@@ -79,13 +79,19 @@ fn crossnode_stream(cfg: Config, msgs: u64) -> (RuntimeStats, f64) {
     (report.stats, ns_per_msg)
 }
 
-fn cfg(coalesce: bool, mode: ProgressMode) -> Config {
-    let mut c = Config::new(4).with_ranks_per_node(2);
+fn cfg_on(backend: Backend, coalesce: bool, mode: ProgressMode) -> Config {
+    let mut c = Config::new(4)
+        .with_ranks_per_node(2)
+        .with_transport(backend);
     c.spin_budget = 2;
     if coalesce {
         c = c.with_coalescing(CoalescePlan::default());
     }
     c.with_progress_mode(mode)
+}
+
+fn cfg(coalesce: bool, mode: ProgressMode) -> Config {
+    cfg_on(Backend::Sim, coalesce, mode)
 }
 
 fn main() {
@@ -172,10 +178,36 @@ fn main() {
         "a healthy run must not condemn peers"
     );
 
+    // Same stream over real TCP loopback sockets: coalescing is a transport
+    // optimization, so its frame reduction must survive the backend swap —
+    // the jumbos now cross actual socket writes, and the telemetry counts
+    // the same wire frames. Acceptance floor is the same 2×.
+    let (tcp_off, tcp_off_ns) =
+        crossnode_stream(cfg_on(Backend::Tcp, false, ProgressMode::Cooperative), msgs);
+    let (tcp_coop, tcp_coop_ns) =
+        crossnode_stream(cfg_on(Backend::Tcp, true, ProgressMode::Cooperative), msgs);
+    let tcp_reduction = tcp_off.net_frames as f64 / tcp_coop.net_frames.max(1) as f64;
+    println!(
+        "\nwire frame reduction over TCP (off/cooperative): {} \
+         ({} -> {} frames, {:.0} -> {:.0} ns/msg)",
+        speedup(tcp_reduction),
+        tcp_off.net_frames,
+        tcp_coop.net_frames,
+        tcp_off_ns,
+        tcp_coop_ns
+    );
+    assert!(
+        tcp_reduction >= 2.0,
+        "coalescing must at least halve wire frames over the TCP backend: {} vs {}",
+        tcp_coop.net_frames,
+        tcp_off.net_frames
+    );
+
     // The frame counts are watermark-driven (count watermark = 8 subframes
     // per jumbo for back-to-back streams), so the reduction is a stable,
     // machine-independent ratio bench_compare can police.
     fig.ratio("wire_frame_reduction_small", reduction);
+    fig.ratio("wire_frame_reduction_small_tcp", tcp_reduction);
     fig.raw("pure_crossnode_off_ns_per_msg", off_ns);
     fig.raw("pure_crossnode_coalesced_ns_per_msg", coop_ns);
     fig.raw("pure_crossnode_helper_ns_per_msg", helper_ns);

@@ -98,5 +98,7 @@ pub mod prelude {
     pub use crate::task::scheduler::{ChunkMode, StealPolicy};
     pub use crate::task::{ChunkRange, PureTask, SharedSlice};
     pub use crate::telemetry::{Counter, RuntimeStats};
-    pub use netsim::{CoalescePlan, DetectPlan, EndpointFaultKind, EndpointFaultPlan, NetConfig};
+    pub use netsim::{
+        Backend, CoalescePlan, DetectPlan, EndpointFaultKind, EndpointFaultPlan, NetConfig,
+    };
 }

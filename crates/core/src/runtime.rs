@@ -215,6 +215,18 @@ impl Config {
         self
     }
 
+    /// Select the raw transport backend carrying cross-node frames (the
+    /// simulated fabric, or real TCP sockets over a loopback mesh).
+    pub fn with_transport(mut self, backend: netsim::Backend) -> Self {
+        self.net.backend = backend;
+        self
+    }
+
+    /// The configured raw transport backend.
+    pub fn transport(&self) -> netsim::Backend {
+        self.net.backend
+    }
+
     /// Select who drives the internode progress engine.
     pub fn with_progress_mode(mut self, mode: ProgressMode) -> Self {
         self.progress_mode = mode;
@@ -580,6 +592,13 @@ impl Shared {
     }
 }
 
+/// Fastest cooperative net-tick gate: one tick per 64 SSW polls.
+pub(crate) const NET_TICK_SHIFT_MIN: u32 = 6;
+/// Slowest cooperative net-tick gate after a fruitless streak: one tick
+/// per 4096 SSW polls. Kept well under the aggressive detector's ~20 ms
+/// suspicion floor so backing off never starves heartbeats.
+pub(crate) const NET_TICK_SHIFT_MAX: u32 = 12;
+
 /// Per-rank runtime state (thread-local by construction; not `Send`).
 pub(crate) struct RankLocal {
     pub rank: usize,
@@ -604,8 +623,14 @@ pub(crate) struct RankLocal {
     /// its SSW waits (coalescing, frame faults or failure detection armed,
     /// cooperative mode, more than one node).
     pub net_active: bool,
-    /// SSW poll counter gating the cooperative net ticks (every 64th poll).
+    /// SSW poll counter gating the cooperative net ticks.
     pub net_poll: Cell<u32>,
+    /// Adaptive gate on the cooperative net ticks: a tick fires every
+    /// `1 << net_tick_shift` SSW polls. Fruitless ticks widen the gate
+    /// (up to [`NET_TICK_SHIFT_MAX`]) so an idle backend — a real socket
+    /// in particular — is not busy-polled from every blocked wait;
+    /// productive ticks snap it back to [`NET_TICK_SHIFT_MIN`].
+    pub net_tick_shift: Cell<u32>,
     /// True when the crash-stop failure detector is armed on a multi-node
     /// cluster: every SSW wait installs the peer-death probe.
     pub detect_active: bool,
@@ -817,10 +842,18 @@ impl RankLocal {
                     // buffers flush, reliable retransmits/ACKs fire and the
                     // failure detector keeps heartbeating even while every
                     // rank on the node is parked in an intra-node wait.
+                    // The gate is adaptive: fruitless ticks widen it (a
+                    // real socket must not be hammered from every blocked
+                    // wait), productive ones snap it back to the floor.
                     let n = self.net_poll.get().wrapping_add(1);
                     self.net_poll.set(n);
-                    if n & 0x3F == 0 {
-                        self.ep.progress();
+                    let shift = self.net_tick_shift.get();
+                    if n & ((1 << shift) - 1) == 0 {
+                        if self.ep.progress() {
+                            self.net_tick_shift.set(NET_TICK_SHIFT_MIN);
+                        } else {
+                            self.net_tick_shift.set((shift + 1).min(NET_TICK_SHIFT_MAX));
+                        }
                     }
                 }
                 poll()
@@ -895,7 +928,11 @@ impl RankLocal {
     pub fn finalize_net(&self) {
         let net = &self.shared.cfg.net;
         let reliable = net.faults.is_some();
-        if !reliable && net.coalesce.is_none() && !self.detect_active {
+        // A real-socket backend can hold accepted-but-unflushed bytes even
+        // with no protocol features armed; those must drain before exit or
+        // a remote receiver blocks on frames nobody will ever flush.
+        let real_fds = net.backend == netsim::Backend::Tcp;
+        if !reliable && net.coalesce.is_none() && !self.detect_active && !real_fds {
             return;
         }
         self.ep.flush_coalesced();
@@ -925,6 +962,23 @@ impl RankLocal {
                 self.progress_sends();
                 std::thread::yield_now();
             }
+        }
+        // Real-FD backends buffer outbound bytes against `EWOULDBLOCK`; keep
+        // pumping until every live socket's backlog is flushed (dead peers'
+        // backlogs were discarded when their connection died), under the
+        // same teardown deadline as the reliable linger above.
+        while self.ep.transport_unflushed() > 0 && !self.sched.aborted() {
+            if t0.elapsed() >= cap {
+                eprintln!(
+                    "pure: rank {}: {} transport bytes still unflushed after {:?} at exit",
+                    self.rank,
+                    self.ep.transport_unflushed(),
+                    cap
+                );
+                break;
+            }
+            self.ep.progress();
+            std::thread::yield_now();
         }
         // Exit keep-alive (detection armed only): a rank that merely
         // finished early must not stop heartbeating while peers still run,
@@ -1229,7 +1283,8 @@ where
                 let detect_active = shared.cfg.net.detect.is_some() && shared.cluster.len() > 1;
                 let net_active = (shared.cfg.net.coalesce.is_some()
                     || shared.cfg.net.faults.is_some()
-                    || detect_active)
+                    || detect_active
+                    || shared.cfg.net.backend == netsim::Backend::Tcp)
                     && shared.cfg.progress_mode == ProgressMode::Cooperative
                     && shared.cluster.len() > 1;
                 let local = Rc::new(RankLocal {
@@ -1251,6 +1306,7 @@ where
                     op_count: Cell::new(0),
                     net_active,
                     net_poll: Cell::new(0),
+                    net_tick_shift: Cell::new(NET_TICK_SHIFT_MIN),
                     detect_active,
                     cur_comm: Cell::new(0),
                     shared: Arc::clone(&shared),
@@ -1340,8 +1396,11 @@ where
                 let ep = shared.cluster.endpoint(node);
                 scope.spawn(move || {
                     while !stop.load(Ordering::Acquire) {
-                        ep.progress();
-                        std::thread::sleep(Duration::from_micros(20));
+                        // Back off when a tick finds nothing: an idle phase
+                        // shouldn't burn a core (or, for real sockets, a
+                        // syscall) every 20µs just to learn it's still idle.
+                        let worked = ep.progress();
+                        std::thread::sleep(Duration::from_micros(if worked { 20 } else { 200 }));
                     }
                     // One last tick so anything the final rank flushed on
                     // exit is scattered before the scope closes.

@@ -24,10 +24,24 @@ fn coalesce_armed() -> bool {
     std::env::var("PURE_CHAOS_COALESCE").is_ok_and(|v| v == "1")
 }
 
+/// Raw backend under the faulty links: `PURE_CHAOS_TCP=1` (the CI chaos
+/// matrix) pins real TCP loopback sockets, so the fault injector mangles
+/// frames that then ride actual nonblocking sockets; otherwise
+/// `PURE_BACKEND` decides, defaulting to the simulated fabric.
+fn chaos_backend() -> Backend {
+    if std::env::var("PURE_CHAOS_TCP").is_ok_and(|v| v == "1") {
+        Backend::Tcp
+    } else {
+        Backend::from_env()
+    }
+}
+
 fn chaos_cfg(ranks: usize, rpn: usize, seed: u64) -> Config {
     let mut c = Config::new(ranks).with_ranks_per_node(rpn);
     c.spin_budget = 16;
-    c.net = NetConfig::default().with_faults(FaultPlan::chaos(seed));
+    c.net = NetConfig::default()
+        .with_backend(chaos_backend())
+        .with_faults(FaultPlan::chaos(seed));
     if coalesce_armed() {
         c.net = c.net.with_coalescing(CoalescePlan::default());
     }
@@ -165,7 +179,9 @@ fn heavy_drop_rate_still_completes() {
         let seed = [3u64, 17, 29, 31, 53, 71, 89, 97][sweep_seed as usize % 8];
         let mut c = Config::new(2).with_ranks_per_node(1);
         c.spin_budget = 16;
-        c.net = NetConfig::default().with_faults(FaultPlan::drops(seed, 300)); // 30 %
+        c.net = NetConfig::default()
+            .with_backend(chaos_backend())
+            .with_faults(FaultPlan::drops(seed, 300)); // 30 %
         if coalesce_armed() {
             c.net = c.net.with_coalescing(CoalescePlan::default());
         }

@@ -29,6 +29,17 @@ fn crash_profile_armed() -> bool {
     std::env::var("PURE_CHAOS_CRASH").is_ok_and(|v| v == "1")
 }
 
+/// Raw backend under the crashing cluster: `PURE_CHAOS_TCP=1` (the CI chaos
+/// matrix) pins real TCP loopback sockets — a condemned peer's socket really
+/// goes quiet — otherwise `PURE_BACKEND` decides (default: simulated fabric).
+fn chaos_backend() -> Backend {
+    if std::env::var("PURE_CHAOS_TCP").is_ok_and(|v| v == "1") {
+        Backend::Tcp
+    } else {
+        Backend::from_env()
+    }
+}
+
 fn seed_count() -> u64 {
     if let Ok(n) = std::env::var("PURE_CHAOS_SEEDS") {
         if let Ok(n) = n.parse() {
@@ -71,7 +82,9 @@ fn single_crash_unwinds_survivors_with_peer_dead() {
                 // Safety net only: the assertion below proves it never fires.
                 .with_deadline(Duration::from_secs(20));
             cfg.spin_budget = 16;
-            cfg.net = NetConfig::default().with_detection(DetectPlan::aggressive());
+            cfg.net = NetConfig::default()
+                .with_backend(chaos_backend())
+                .with_detection(DetectPlan::aggressive());
             let res = catch_unwind(AssertUnwindSafe(|| {
                 launch(cfg, |ctx| {
                     let w = ctx.world();
@@ -126,7 +139,9 @@ fn revoke_mode_survivors_shrink_and_continue() {
         .with_on_peer_death(OnPeerDeath::Revoke)
         .with_deadline(Duration::from_secs(20));
     cfg.spin_budget = 16;
-    cfg.net = NetConfig::default().with_detection(DetectPlan::aggressive());
+    cfg.net = NetConfig::default()
+        .with_backend(chaos_backend())
+        .with_detection(DetectPlan::aggressive());
     let (report, results) = launch_surviving(cfg, |ctx| {
         let w = ctx.world();
         let me = ctx.rank();
@@ -203,7 +218,9 @@ fn finalize_with_dead_peer_is_bounded_by_linger() {
     cfg.spin_budget = 16;
     // Faults armed → the reliable sublayer (and its finalize linger) is on.
     // No detection: the cap alone must bound teardown.
-    cfg.net = NetConfig::default().with_faults(FaultPlan::chaos(7));
+    cfg.net = NetConfig::default()
+        .with_backend(chaos_backend())
+        .with_faults(FaultPlan::chaos(7));
     let t0 = Instant::now();
     let (report, _) = launch_surviving(cfg, |ctx| {
         if ctx.rank() == 0 {

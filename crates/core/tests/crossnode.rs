@@ -10,7 +10,11 @@ use pure_core::prelude::*;
 const PAIRS_MSGS: u64 = 24;
 
 fn cfg(ranks: usize, rpn: usize) -> Config {
-    let mut c = Config::new(ranks).with_ranks_per_node(rpn);
+    // `PURE_BACKEND=tcp` reruns the whole suite over real loopback sockets
+    // (the CI backend matrix); the default is the simulated fabric.
+    let mut c = Config::new(ranks)
+        .with_ranks_per_node(rpn)
+        .with_transport(Backend::from_env());
     c.spin_budget = 16;
     c
 }

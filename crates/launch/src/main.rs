@@ -1,0 +1,381 @@
+//! `pure-launch` — run a Pure TCP cluster as real OS processes.
+//!
+//! Two launch modes:
+//!
+//! ```text
+//! pure-launch --nodes 4 --prog stress --seed 7 [--timeout-secs 60]
+//! pure-launch --nodes 4 [--timeout-secs 60] -- ./my-worker --flag
+//! ```
+//!
+//! The first forks this binary itself as per-node workers running a built-in
+//! program (`stress`: chaos-faulted coalesced floods plus chunked streams,
+//! byte-verified at every receiver). The second execs an arbitrary command
+//! per node. Either way the launcher owns the bootstrap contract: it picks a
+//! fresh root-address file, exports the `PURE_TCP_*` environment to each
+//! child (`PURE_TCP_NODE`, `PURE_TCP_NODES`, `PURE_TCP_ROOT_FILE`), enforces
+//! a wall-clock deadline with kill-on-expiry, and propagates the first
+//! nonzero child exit code.
+//!
+//! Exit codes: `0` success, `1` usage/launcher error, `124` deadline killed;
+//! workers use `2` bootstrap failure, `3` teardown linger cap, `4` payload
+//! verification mismatch, `5` receive deadline.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use netsim::{CoalescePlan, FaultPlan, NetConfig, WireTag};
+
+// Built-in stress program wire tags (user field of a p2p tag).
+const TAG_SMALL: u32 = 1;
+const TAG_CHUNK: u32 = 2;
+const TAG_DONE: u32 = 3;
+
+const SMALLS_PER_PEER: usize = 512;
+const CHUNK_BYTES: usize = 4096;
+const CHUNKS_PER_PEER: usize = 24; // 96 KiB per directed pair, > 64 KiB
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pure-launch --nodes N --prog stress --seed S [--timeout-secs T]\n\
+         \x20      pure-launch --nodes N [--timeout-secs T] -- cmd [args...]"
+    );
+    std::process::exit(1);
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic payload for frame `i` of stream (`src` → `dst`, `tag`):
+/// both sides derive it independently, so verification needs no side channel.
+fn payload(seed: u64, src: usize, dst: usize, tag: u32, i: usize, len: usize) -> Vec<u8> {
+    let mut s = seed
+        ^ (src as u64).rotate_left(16)
+        ^ (dst as u64).rotate_left(32)
+        ^ (tag as u64).rotate_left(48)
+        ^ i as u64;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        out.extend_from_slice(&splitmix(&mut s).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nodes: Option<usize> = None;
+    let mut prog: Option<String> = None;
+    let mut seed: u64 = 0;
+    let mut timeout = Duration::from_secs(60);
+    let mut worker: Option<usize> = None;
+    let mut exec_cmd: Option<Vec<String>> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => nodes = it.next().and_then(|v| v.parse().ok()),
+            "--prog" => prog = it.next().cloned(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--timeout-secs" => {
+                let t = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                timeout = Duration::from_secs(t);
+            }
+            "--worker" => worker = it.next().and_then(|v| v.parse().ok()),
+            "--" => {
+                exec_cmd = Some(it.map(String::clone).collect());
+                break;
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some(rank) = worker {
+        let prog = std::env::var("PURE_LAUNCH_PROG").unwrap_or_default();
+        let seed: u64 = std::env::var("PURE_LAUNCH_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        match prog.as_str() {
+            "stress" => run_stress_worker(rank, seed),
+            other => {
+                eprintln!("pure-launch worker: unknown program {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let n = nodes.unwrap_or_else(|| usage());
+    if n == 0 {
+        usage();
+    }
+    match (&prog, &exec_cmd) {
+        (Some(p), None) if p == "stress" => {}
+        (None, Some(cmd)) if !cmd.is_empty() => {}
+        _ => usage(),
+    }
+
+    // A fresh per-launch root file: node 0 publishes its listener address
+    // here (write-to-temp + rename, so readers never see a partial write).
+    let root_file = std::env::temp_dir().join(format!(
+        "pure-launch-{}-{:x}.addr",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    ));
+    let _ = std::fs::remove_file(&root_file);
+
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut cmd = match &exec_cmd {
+            Some(argv) => {
+                let mut c = Command::new(&argv[0]);
+                c.args(&argv[1..]);
+                c
+            }
+            None => {
+                let exe = std::env::current_exe().expect("pure-launch: current_exe");
+                let mut c = Command::new(exe);
+                c.arg("--worker").arg(rank.to_string());
+                c.env("PURE_LAUNCH_PROG", "stress");
+                c.env("PURE_LAUNCH_SEED", seed.to_string());
+                c
+            }
+        };
+        cmd.env("PURE_TCP_NODE", rank.to_string())
+            .env("PURE_TCP_NODES", n.to_string())
+            .env("PURE_TCP_ROOT_FILE", &root_file)
+            .env(
+                "PURE_TCP_BOOT_TIMEOUT_SECS",
+                timeout.as_secs().max(1).to_string(),
+            )
+            .stdin(Stdio::null());
+        match cmd.spawn() {
+            Ok(child) => children.push((rank, child)),
+            Err(e) => {
+                eprintln!("pure-launch: spawning node {rank} failed: {e}");
+                for (_, c) in &mut children {
+                    let _ = c.kill();
+                }
+                let _ = std::fs::remove_file(&root_file);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Babysit: poll until every child exits or the deadline passes. The
+    // first nonzero exit is remembered and propagated; a deadline expiry
+    // kills the stragglers and exits 124 (the `timeout(1)` convention).
+    let t0 = Instant::now();
+    let mut first_bad: Option<(usize, i32)> = None;
+    let mut pending = children;
+    while !pending.is_empty() {
+        if t0.elapsed() >= timeout {
+            for (rank, c) in &mut pending {
+                eprintln!("pure-launch: deadline: killing node {rank}");
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            let _ = std::fs::remove_file(&root_file);
+            std::process::exit(124);
+        }
+        pending.retain_mut(|(rank, c)| match c.try_wait() {
+            Ok(Some(status)) => {
+                let code = status.code().unwrap_or(-1);
+                if code != 0 && first_bad.is_none() {
+                    first_bad = Some((*rank, code));
+                }
+                false
+            }
+            Ok(None) => true,
+            Err(e) => {
+                eprintln!("pure-launch: waiting on node {rank} failed: {e}");
+                if first_bad.is_none() {
+                    first_bad = Some((*rank, -1));
+                }
+                false
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = std::fs::remove_file(&root_file);
+    match first_bad {
+        None => std::process::exit(0),
+        Some((rank, code)) => {
+            eprintln!("pure-launch: node {rank} exited with code {code}");
+            std::process::exit(if code > 0 { code } else { 1 });
+        }
+    }
+}
+
+/// The built-in stress program: every node floods every peer with
+/// coalescing-eligible smalls and streams a 96 KiB chunked payload, all over
+/// chaos-faulted reliable links riding real sockets, then byte-verifies
+/// everything it receives in FIFO order.
+fn run_stress_worker(me: usize, seed: u64) -> ! {
+    // Per-process chaos plan: drops/dups/reorders/delays are injected above
+    // this process's own socket writes, so every inter-process link sees
+    // independent mangling. Coalescing keeps the jumbo path in play.
+    let cfg = NetConfig::default()
+        .with_faults(FaultPlan::chaos(seed ^ (me as u64).wrapping_mul(0x9E37)))
+        .with_coalescing(CoalescePlan::default());
+    let ep = match netsim::multiproc_endpoint(cfg) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("pure-launch stress node {me}: bootstrap failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let n: usize = std::env::var("PURE_TCP_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let peers: Vec<usize> = (0..n).filter(|&p| p != me).collect();
+
+    // Outbound: interleave smalls and chunks per peer so coalesce buffers
+    // and the solo-jumbo path both stay busy.
+    for &dst in &peers {
+        for i in 0..SMALLS_PER_PEER {
+            let p = payload(seed, me, dst, TAG_SMALL, i, 8);
+            ep.send(dst, WireTag::p2p(0, 0, TAG_SMALL), &p);
+            if i % 32 == 31 {
+                let c = i / 32;
+                let p = payload(seed, me, dst, TAG_CHUNK, c, CHUNK_BYTES);
+                ep.send(dst, WireTag::p2p(0, 0, TAG_CHUNK), &p);
+            }
+        }
+        for c in SMALLS_PER_PEER / 32..CHUNKS_PER_PEER {
+            let p = payload(seed, me, dst, TAG_CHUNK, c, CHUNK_BYTES);
+            ep.send(dst, WireTag::p2p(0, 0, TAG_CHUNK), &p);
+        }
+    }
+    ep.flush_coalesced();
+
+    // Inbound: FIFO per (src, tag) is the contract — receive strictly in
+    // order per stream and byte-compare against the independently derived
+    // expectation. `try_recv` drives the progress engine as a side effect.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut small_got = vec![0usize; n];
+    let mut chunk_got = vec![0usize; n];
+    let mut done_got = vec![false; n];
+    loop {
+        let mut all = true;
+        for &src in &peers {
+            if small_got[src] < SMALLS_PER_PEER {
+                all = false;
+                while let Some(got) = ep.try_recv(src, WireTag::p2p(0, 0, TAG_SMALL)) {
+                    let i = small_got[src];
+                    let want = payload(seed, src, me, TAG_SMALL, i, 8);
+                    if got != want {
+                        eprintln!(
+                            "pure-launch stress node {me}: small {i} from {src} \
+                             corrupt/reordered ({} bytes)",
+                            got.len()
+                        );
+                        std::process::exit(4);
+                    }
+                    small_got[src] += 1;
+                    if small_got[src] == SMALLS_PER_PEER {
+                        break;
+                    }
+                }
+            }
+            if chunk_got[src] < CHUNKS_PER_PEER {
+                all = false;
+                while let Some(got) = ep.try_recv(src, WireTag::p2p(0, 0, TAG_CHUNK)) {
+                    let c = chunk_got[src];
+                    let want = payload(seed, src, me, TAG_CHUNK, c, CHUNK_BYTES);
+                    if got != want {
+                        eprintln!(
+                            "pure-launch stress node {me}: chunk {c} from {src} \
+                             corrupt/reordered ({} bytes)",
+                            got.len()
+                        );
+                        std::process::exit(4);
+                    }
+                    chunk_got[src] += 1;
+                    if chunk_got[src] == CHUNKS_PER_PEER {
+                        break;
+                    }
+                }
+            }
+        }
+        if all {
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "pure-launch stress node {me}: receive deadline; progress: {}",
+                ep.progress_debug()
+            );
+            std::process::exit(5);
+        }
+        ep.progress();
+        std::thread::yield_now();
+    }
+
+    // DONE barrier: nobody starts tearing down until every node has
+    // verified its inbound, so late retransmits still find a live peer.
+    for &dst in &peers {
+        ep.send(dst, WireTag::p2p(0, 0, TAG_DONE), &[0xD0]);
+    }
+    ep.flush_coalesced();
+    while !peers.iter().all(|&p| done_got[p]) {
+        for &src in &peers {
+            if !done_got[src] && ep.try_recv(src, WireTag::p2p(0, 0, TAG_DONE)).is_some() {
+                done_got[src] = true;
+            }
+        }
+        if Instant::now() >= deadline {
+            eprintln!("pure-launch stress node {me}: DONE barrier deadline");
+            std::process::exit(5);
+        }
+        ep.progress();
+        std::thread::yield_now();
+    }
+    // Bounded teardown: drain this node's own reliable backlog and socket
+    // buffers, then keep serving peers' retransmit/ACK traffic until the
+    // cluster has been quiet for a grace window — a peer whose final ACK
+    // was chaos-dropped needs us alive to re-ACK its retransmit. A node
+    // that cannot drain within the cap exits 3 (the linger bound broke).
+    let cap = Instant::now() + Duration::from_secs(10);
+    let mut quiet_since = Instant::now();
+    loop {
+        let worked = ep.progress();
+        let drained = ep.reliable_outstanding() == 0 && ep.transport_unflushed() == 0;
+        if worked || !drained {
+            quiet_since = Instant::now();
+        }
+        if drained && quiet_since.elapsed() >= Duration::from_millis(500) {
+            break;
+        }
+        if Instant::now() >= cap {
+            if !drained {
+                eprintln!(
+                    "pure-launch stress node {me}: teardown linger cap hit with \
+                     {} reliable frames / {} bytes unflushed",
+                    ep.reliable_outstanding(),
+                    ep.transport_unflushed()
+                );
+                std::process::exit(3);
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    ep.finalize_transport();
+    std::process::exit(0);
+}

@@ -1,0 +1,54 @@
+//! End-to-end multi-process test: fork `pure-launch` itself and let it run
+//! the built-in stress program across 4 real OS processes connected by real
+//! TCP sockets on 127.0.0.1 — chaos-faulted coalesced floods plus ≥64 KiB
+//! chunked streams, byte-verified at every receiver, with bounded teardown.
+
+use std::process::Command;
+
+fn launch(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pure-launch"))
+        .args(args)
+        .output()
+        .expect("spawning pure-launch")
+}
+
+#[test]
+fn four_process_stress_over_real_sockets() {
+    for seed in [1u64, 42] {
+        let out = launch(&[
+            "--nodes",
+            "4",
+            "--prog",
+            "stress",
+            "--seed",
+            &seed.to_string(),
+            "--timeout-secs",
+            "120",
+        ]);
+        assert!(
+            out.status.success(),
+            "seed {seed}: pure-launch failed (code {:?})\nstderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn two_process_stress_over_real_sockets() {
+    let out = launch(&["--nodes", "2", "--prog", "stress", "--seed", "7"]);
+    assert!(
+        out.status.success(),
+        "pure-launch failed (code {:?})\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn usage_errors_exit_nonzero() {
+    let out = launch(&["--nodes", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = launch(&[]);
+    assert_eq!(out.status.code(), Some(1));
+}

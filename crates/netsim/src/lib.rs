@@ -13,16 +13,20 @@
 //!   single machine still exhibit a latency hierarchy, and
 //! * per-endpoint traffic statistics.
 //!
-//! The transport is deliberately modest: a lock-protected inbox per node plus
-//! a lock-protected match store, which is an honest model of an MPI progress
-//! engine running in `MPI_THREAD_MULTIPLE` mode (a global-ish lock serializes
-//! progress). Higher-level cross-node collective *algorithms* live in
+//! The default backend is deliberately modest: a lock-protected inbox per
+//! node plus a lock-protected match store, which is an honest model of an
+//! MPI progress engine running in `MPI_THREAD_MULTIPLE` mode (a global-ish
+//! lock serializes progress). The raw frame plane is pluggable behind the
+//! [`Transport`] trait; [`tcp`] provides a second backend over real
+//! nonblocking TCP sockets, in-process (loopback mesh) or between actual
+//! OS processes. Higher-level cross-node collective *algorithms* live in
 //! `pure-core::internode`, composed from these primitives.
 
 pub mod coalesce;
 pub mod faults;
 pub mod reliable;
 pub mod tag;
+pub mod tcp;
 mod transport;
 
 pub use coalesce::CoalescePlan;
@@ -30,7 +34,8 @@ pub use faults::{
     DetectPlan, EndpointFaultKind, EndpointFaultPlan, FaultDecision, FaultPlan, PeerHealth,
 };
 pub use tag::WireTag;
-pub use transport::{Cluster, NetConfig, NetStats, NodeEndpoint};
+pub use tcp::{multiproc_endpoint, TcpTransport};
+pub use transport::{Backend, Cluster, NetConfig, NetStats, NodeEndpoint, PumpOutcome, Transport};
 
 /// Cold panic path for invariants that are guaranteed by construction but
 /// still checked on the way down, so a violation dies loudly with context

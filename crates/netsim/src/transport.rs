@@ -1,6 +1,18 @@
-//! The node-to-node transport: per-node inbox + match store with an α–β
-//! latency model, plus (when a [`FaultPlan`] is configured) seeded fault
-//! injection below a sequence-numbered reliable delivery sublayer.
+//! The node-to-node wire stack, split into two layers:
+//!
+//! * a **raw frame plane** behind the [`Transport`] trait — tagged frames,
+//!   a per-node match store, and a `pump()` tick that ingests arrivals.
+//!   Two backends implement it: the in-process simulated fabric (α–β
+//!   latency model) and [`crate::tcp::TcpTransport`] (real nonblocking
+//!   TCP sockets); and
+//! * a **protocol layer** ([`NodeEndpoint`]) that runs unchanged above any
+//!   backend: seeded fault injection, the sequence-numbered reliable
+//!   delivery sublayer, outbound frame coalescing, and the crash-stop
+//!   failure detector.
+//!
+//! Fault injection sits *above* the raw plane (frames are dropped, held
+//! for reordering, or parked on a delay queue before `send_frame`), so the
+//! chaos suites exercise identical decision streams over every backend.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -14,13 +26,39 @@ use crate::faults::{DetectPlan, EndpointFaultPlan, FaultPlan, PeerHealth};
 use crate::reliable::{deframe, RxState, TxState};
 use crate::tag::{WireTag, CLASS_COALESCE};
 
+/// Which raw frame plane carries the wire stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The in-process simulated fabric: per-node inboxes with an α–β
+    /// latency model. Deterministic, dependency-free, the test default.
+    #[default]
+    Sim,
+    /// Real nonblocking TCP sockets speaking length-prefixed frames — a
+    /// 127.0.0.1 loopback mesh when the cluster lives in one process, or
+    /// actual OS processes via the bootstrap env (see [`crate::tcp`]).
+    Tcp,
+}
+
+impl Backend {
+    /// Resolve the backend from `PURE_BACKEND` (`tcp` selects the TCP
+    /// backend; anything else, including unset, selects netsim). This is
+    /// the CI backend-matrix hook.
+    pub fn from_env() -> Self {
+        match std::env::var("PURE_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("tcp") => Backend::Tcp,
+            _ => Backend::Sim,
+        }
+    }
+}
+
 /// Latency/bandwidth model for the simulated interconnect.
 ///
 /// A message of `n` bytes becomes *matchable* at the destination
 /// `alpha_ns + n * beta_ps_per_byte / 1000` nanoseconds after it is sent.
 /// The defaults are zero (ideal network) — tests want determinism and speed;
 /// benchmarks configure Aries-like values (α ≈ 1.3 µs, β ≈ 1 ns per 10 B,
-/// i.e. ~10 GB/s per link).
+/// i.e. ~10 GB/s per link). The latency model applies to the simulated
+/// backend only; TCP frames arrive whenever the kernel delivers them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct NetConfig {
     /// Per-message latency in nanoseconds.
@@ -44,6 +82,8 @@ pub struct NetConfig {
     /// peer's reliable-link state; `None` keeps the detector (and its
     /// heartbeat traffic) compiled out of the data path entirely.
     pub detect: Option<DetectPlan>,
+    /// Which raw frame plane carries all of the above.
+    pub backend: Backend,
 }
 
 impl NetConfig {
@@ -57,6 +97,7 @@ impl NetConfig {
             coalesce: None,
             endpoint_fault: None,
             detect: None,
+            backend: Backend::Sim,
         }
     }
 
@@ -84,13 +125,15 @@ impl NetConfig {
         self
     }
 
-    fn delay_ns(&self, bytes: usize) -> u64 {
-        self.alpha_ns + (bytes as u64 * self.beta_ps_per_byte) / 1000
+    /// Select the raw frame plane (builder style).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
 /// Match-store key: (source node, encoded wire tag).
-type MatchKey = (usize, u64);
+pub(crate) type MatchKey = (usize, u64);
 
 struct InFlight {
     key: MatchKey,
@@ -114,13 +157,241 @@ fn shard_of(key: &MatchKey) -> usize {
     (h >> 61) as usize & (STORE_SHARDS - 1)
 }
 
+/// One node's matchable frames, keyed for receiver lookup and sharded by
+/// key hash (see [`shard_of`]). Shared by every backend.
 #[derive(Default)]
-struct NodeShared {
+pub(crate) struct MatchStore {
+    shards: [Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>; STORE_SHARDS],
+}
+
+impl MatchStore {
+    pub(crate) fn push(&self, key: MatchKey, payload: Vec<u8>) {
+        let mut shard = self.shards[shard_of(&key)].lock();
+        shard.entry(key).or_default().push_back(payload);
+    }
+
+    pub(crate) fn pop(&self, key: &MatchKey) -> Option<Vec<u8>> {
+        let mut shard = self.shards[shard_of(key)].lock();
+        let q = shard.get_mut(key)?;
+        let p = q.pop_front();
+        if q.is_empty() {
+            shard.remove(key);
+        }
+        p
+    }
+}
+
+// --- The raw frame plane ---------------------------------------------------
+
+/// Outcome of one [`Transport::pump`] tick.
+#[derive(Debug, Default)]
+pub struct PumpOutcome {
+    /// True when the tick moved anything: bytes flushed or read, frames
+    /// made matchable. Cooperative-mode callers use this to back off.
+    pub did_work: bool,
+    /// Distinct source nodes that had frames arrive this tick. Fenced
+    /// (condemned-peer) frames are counted too — an arrival is liveness
+    /// evidence even when the frame itself is discarded.
+    pub arrivals: Vec<usize>,
+}
+
+/// The raw frame plane: tagged fire-and-forget frames between nodes, FIFO
+/// per `(src, tag)` channel, with a per-node match store for receivers.
+///
+/// Everything above this trait — the reliable sublayer, coalescing, the
+/// `PURERDV1` eager/rendezvous split, tag allocation, and the failure
+/// detector — is backend-agnostic protocol code in [`NodeEndpoint`].
+/// Implementations must be cheap to call concurrently from every rank
+/// thread on the node plus an optional helper thread.
+pub trait Transport: Send + Sync {
+    /// This endpoint's node id.
+    fn node(&self) -> usize;
+
+    /// Number of nodes in the cluster.
+    fn n_nodes(&self) -> usize;
+
+    /// Put one tagged frame on the wire toward `dst`. Fire-and-forget:
+    /// delivery guarantees live in the protocol layer, not here.
+    fn send_frame(&self, dst: usize, tag_enc: u64, payload: &[u8]);
+
+    /// Pop the oldest matchable frame from `src` under `tag_enc`, if one
+    /// has already been pumped into the match store. Performs no IO.
+    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<Vec<u8>>;
+
+    /// Inject a frame into the local match store as if it had arrived from
+    /// `src` — the scatter path for coalesced subframes.
+    fn push_local(&self, src: usize, tag_enc: u64, payload: Vec<u8>);
+
+    /// One IO tick: flush pending writes, ingest arrived frames into the
+    /// match store (FIFO per source channel). Frames whose source is
+    /// `fenced` are discarded before matching but still reported in
+    /// [`PumpOutcome::arrivals`].
+    fn pump(&self, fenced: &dyn Fn(usize) -> bool) -> PumpOutcome;
+
+    /// Bytes accepted by `send_frame` but not yet handed to the wire —
+    /// nonzero only for real-socket backends with partial nonblocking
+    /// writes. The finalize linger drains this before closing.
+    fn unflushed_bytes(&self) -> usize {
+        0
+    }
+
+    /// Discard buffered IO toward a condemned peer so teardown never waits
+    /// on bytes a corpse will not read. Default: nothing buffered.
+    fn drop_peer(&self, _node: usize) {}
+
+    /// Flush what can be flushed and close gracefully (FIN on socket
+    /// backends). Idempotent; the simulated fabric has nothing to close.
+    fn finalize(&self) {}
+
+    /// One-line state render for hang dumps. Watchdog-safe: try-lock only.
+    fn debug_line(&self) -> String;
+}
+
+// --- Simulated backend -----------------------------------------------------
+
+#[derive(Default)]
+struct SimNode {
     /// Freshly arrived messages, not yet sorted into the match store.
     inbox: Mutex<VecDeque<InFlight>>,
-    /// Matchable messages, keyed for receiver lookup and sharded by key
-    /// hash (see [`shard_of`]).
-    store: [Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>; STORE_SHARDS],
+    store: MatchStore,
+}
+
+/// The in-process fabric shared by every [`SimTransport`] of one cluster.
+struct SimFabric {
+    nodes: Vec<SimNode>,
+    birth: Instant,
+    alpha_ns: u64,
+    beta_ps_per_byte: u64,
+}
+
+impl SimFabric {
+    fn mesh(n: usize, cfg: &NetConfig, birth: Instant) -> Vec<Arc<dyn Transport>> {
+        let fabric = Arc::new(SimFabric {
+            nodes: (0..n).map(|_| SimNode::default()).collect(),
+            birth,
+            alpha_ns: cfg.alpha_ns,
+            beta_ps_per_byte: cfg.beta_ps_per_byte,
+        });
+        (0..n)
+            .map(|me| {
+                Arc::new(SimTransport {
+                    me,
+                    fabric: Arc::clone(&fabric),
+                }) as Arc<dyn Transport>
+            })
+            .collect()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.birth.elapsed().as_nanos() as u64
+    }
+
+    fn delay_ns(&self, bytes: usize) -> u64 {
+        self.alpha_ns + (bytes as u64 * self.beta_ps_per_byte) / 1000
+    }
+}
+
+/// One node's handle onto the simulated fabric.
+struct SimTransport {
+    me: usize,
+    fabric: Arc<SimFabric>,
+}
+
+impl Transport for SimTransport {
+    fn node(&self) -> usize {
+        self.me
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.fabric.nodes.len()
+    }
+
+    fn send_frame(&self, dst: usize, tag_enc: u64, payload: &[u8]) {
+        let deliver_at_ns = self.fabric.now_ns() + self.fabric.delay_ns(payload.len());
+        self.fabric.nodes[dst].inbox.lock().push_back(InFlight {
+            key: (self.me, tag_enc),
+            payload: payload.to_vec(),
+            deliver_at_ns,
+        });
+    }
+
+    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<Vec<u8>> {
+        self.fabric.nodes[self.me].store.pop(&(src, tag_enc))
+    }
+
+    fn push_local(&self, src: usize, tag_enc: u64, payload: Vec<u8>) {
+        self.fabric.nodes[self.me]
+            .store
+            .push((src, tag_enc), payload);
+    }
+
+    /// Drain every deliverable message from the inbox into the match store.
+    /// A not-yet-deliverable message *blocks* later same-key messages (even
+    /// small ones whose modeled latency has elapsed), preserving FIFO per
+    /// channel — the ordering guarantee MPI gives per (src, dst, tag). The
+    /// store push happens under the inbox lock so two concurrent pumps
+    /// cannot interleave one channel's frames out of order.
+    fn pump(&self, fenced: &dyn Fn(usize) -> bool) -> PumpOutcome {
+        let sh = &self.fabric.nodes[self.me];
+        let now = self.fabric.now_ns();
+        let mut out = PumpOutcome::default();
+        let mut inbox = sh.inbox.lock();
+        let mut blocked: Vec<MatchKey> = Vec::new();
+        let mut i = 0;
+        while i < inbox.len() {
+            let m = &inbox[i];
+            if m.deliver_at_ns <= now && !blocked.contains(&m.key) {
+                let m = inbox.remove(i).unwrap_or_else(|| {
+                    crate::die_invariant("inbox index out of bounds while draining")
+                });
+                out.did_work = true;
+                let src = m.key.0;
+                if !out.arrivals.contains(&src) {
+                    out.arrivals.push(src);
+                }
+                if !fenced(src) {
+                    sh.store.push(m.key, m.payload);
+                }
+            } else {
+                blocked.push(m.key);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn debug_line(&self) -> String {
+        let inbox = self.fabric.nodes[self.me]
+            .inbox
+            .try_lock()
+            .map(|q| q.len().to_string())
+            .unwrap_or_else(|| "<locked>".into());
+        format!("inbox {inbox}")
+    }
+}
+
+// --- Protocol-layer state --------------------------------------------------
+
+/// One frame the fault injector is holding back from the wire.
+struct OutFrame {
+    dst: usize,
+    tag_enc: u64,
+    payload: Vec<u8>,
+}
+
+/// Sender-side fault-injection holding areas (fault mode only).
+#[derive(Default)]
+struct Perturb {
+    /// Reorder stash: frames held until at least one later-decided frame
+    /// has been transmitted (or until the next progress tick).
+    stash: Vec<OutFrame>,
+    /// Delay queue: frames parked until `due_ns`.
+    delayed: Vec<(u64, OutFrame)>,
+}
+
+/// One node's protocol-layer state: everything above the raw frame plane.
+#[derive(Default)]
+struct NodeProto {
     /// Reliable sender links originating at this node (fault mode only).
     rel_tx: Mutex<HashMap<LinkKey, TxState>>,
     /// Reliable receiver links terminating at this node (fault mode only).
@@ -128,6 +399,8 @@ struct NodeShared {
     /// Pending outbound coalescing buffers, destination node → buffer
     /// (coalescing mode only).
     co_tx: Mutex<HashMap<usize, CoalesceBuf>>,
+    /// Frames the fault injector is holding back (fault mode only).
+    perturb: Mutex<Perturb>,
     /// Raw frames this node has put on the wire — the endpoint-fault trip
     /// counter (crash-at-frame-N is defined over this).
     sent_frames: AtomicU64,
@@ -144,7 +417,9 @@ struct NodeShared {
 /// epochs. In a real deployment this is the failure-broadcast service layered
 /// on the detector; netsim compresses that into a shared table so every
 /// surviving node observes a condemnation as soon as any detector fires —
-/// which is what makes `agree()` upstairs launch-consistent.
+/// which is what makes `agree()` upstairs launch-consistent. A multi-process
+/// TCP cluster gets one table per process: each survivor's own detector is
+/// its failure-broadcast source.
 #[derive(Default)]
 struct ClusterHealth {
     /// Condemned nodes → epoch at condemnation.
@@ -242,9 +517,11 @@ impl NetStats {
     }
 }
 
-/// A simulated cluster: `n` nodes connected all-to-all.
+/// A cluster: `n` nodes connected all-to-all, over whichever raw frame
+/// plane [`NetConfig::backend`] selects.
 pub struct Cluster {
-    nodes: Arc<[Arc<NodeShared>]>,
+    raws: Arc<[Arc<dyn Transport>]>,
+    protos: Arc<[Arc<NodeProto>]>,
     cfg: NetConfig,
     birth: Instant,
     stats: Arc<NetStats>,
@@ -255,13 +532,19 @@ impl Cluster {
     /// Create a cluster of `n_nodes` nodes.
     pub fn new(n_nodes: usize, cfg: NetConfig) -> Self {
         assert!(n_nodes > 0, "netsim: a cluster needs at least one node");
-        let nodes: Vec<Arc<NodeShared>> = (0..n_nodes)
-            .map(|_| Arc::new(NodeShared::default()))
+        let birth = Instant::now();
+        let raws: Vec<Arc<dyn Transport>> = match cfg.backend {
+            Backend::Sim => SimFabric::mesh(n_nodes, &cfg, birth),
+            Backend::Tcp => crate::tcp::loopback_mesh(n_nodes),
+        };
+        let protos: Vec<Arc<NodeProto>> = (0..n_nodes)
+            .map(|_| Arc::new(NodeProto::default()))
             .collect();
         Self {
-            nodes: nodes.into(),
+            raws: raws.into(),
+            protos: protos.into(),
             cfg,
-            birth: Instant::now(),
+            birth,
             stats: Arc::new(NetStats::default()),
             health: Arc::new(ClusterHealth::default()),
         }
@@ -269,7 +552,7 @@ impl Cluster {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.raws.len()
     }
 
     /// True when the cluster has exactly one node (no network traffic ever).
@@ -284,10 +567,12 @@ impl Cluster {
 
     /// Obtain a (cheaply cloneable) endpoint for `node`.
     pub fn endpoint(&self, node: usize) -> NodeEndpoint {
-        assert!(node < self.nodes.len(), "netsim: node {node} out of range");
+        assert!(node < self.raws.len(), "netsim: node {node} out of range");
         NodeEndpoint {
             me: node,
-            nodes: Arc::clone(&self.nodes),
+            n: self.raws.len(),
+            raws: Arc::clone(&self.raws),
+            protos: Arc::clone(&self.protos),
             cfg: self.cfg,
             birth: self.birth,
             stats: Arc::clone(&self.stats),
@@ -295,7 +580,7 @@ impl Cluster {
         }
     }
 
-    /// Render per-node progress-engine state (inbox depth, inbound jumbo
+    /// Render per-node progress-engine state (backend state, inbound jumbo
     /// queue, retransmit backlog, heartbeat/suspicion table) for hang dumps.
     /// Watchdog-safe: uses `try_lock` throughout and reports `<locked>` for
     /// anything a wedged rank is holding.
@@ -305,11 +590,19 @@ impl Cluster {
 }
 
 /// One node's handle onto the interconnect. Clone freely; all clones share
-/// the node's inbox and match store.
+/// the node's backend endpoint and protocol state.
+///
+/// In-process clusters (the simulated fabric, or a TCP loopback mesh) hold
+/// every node's backend + protocol state, which is what lets tests and the
+/// single-process runtime inspect cluster-wide invariants. A multi-process
+/// TCP endpoint (see [`crate::tcp::multiproc_endpoint`]) holds only its own
+/// node's state; cluster-wide views degrade to the local node.
 #[derive(Clone)]
 pub struct NodeEndpoint {
     me: usize,
-    nodes: Arc<[Arc<NodeShared>]>,
+    n: usize,
+    raws: Arc<[Arc<dyn Transport>]>,
+    protos: Arc<[Arc<NodeProto>]>,
     cfg: NetConfig,
     birth: Instant,
     stats: Arc<NetStats>,
@@ -317,6 +610,23 @@ pub struct NodeEndpoint {
 }
 
 impl NodeEndpoint {
+    /// Build an endpoint that owns only its own node's state — the
+    /// multi-process construction, where remote nodes live behind `raw`.
+    pub(crate) fn from_single(raw: Arc<dyn Transport>, cfg: NetConfig) -> Self {
+        let me = raw.node();
+        let n = raw.n_nodes();
+        Self {
+            me,
+            n,
+            raws: vec![raw].into(),
+            protos: vec![Arc::new(NodeProto::default())].into(),
+            cfg,
+            birth: Instant::now(),
+            stats: Arc::new(NetStats::default()),
+            health: Arc::new(ClusterHealth::default()),
+        }
+    }
+
     /// This endpoint's node id.
     pub fn node(&self) -> usize {
         self.me
@@ -324,11 +634,52 @@ impl NodeEndpoint {
 
     /// Number of nodes in the cluster.
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.n
+    }
+
+    /// Traffic statistics (per cluster in-process, per node multi-process).
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
     }
 
     fn now_ns(&self) -> u64 {
         self.birth.elapsed().as_nanos() as u64
+    }
+
+    /// Index into `raws`/`protos` for `node`, or `None` when that node's
+    /// state lives in another OS process.
+    fn slot_of(&self, node: usize) -> Option<usize> {
+        if self.protos.len() == self.n {
+            Some(node)
+        } else if node == self.me {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// This node's raw frame plane.
+    fn raw(&self) -> &dyn Transport {
+        &*self.raws[self.slot_of(self.me).unwrap_or(0)]
+    }
+
+    /// This node's protocol state.
+    fn proto(&self) -> &NodeProto {
+        &self.protos[self.slot_of(self.me).unwrap_or(0)]
+    }
+
+    fn proto_of(&self, node: usize) -> Option<&NodeProto> {
+        self.slot_of(node).map(|s| &*self.protos[s])
+    }
+
+    /// Iterate the nodes whose state lives in this process, as
+    /// `(node id, proto, raw)`.
+    fn known(&self) -> impl Iterator<Item = (usize, &NodeProto, &dyn Transport)> + '_ {
+        let local_only = self.protos.len() != self.n;
+        self.protos.iter().enumerate().map(move |(slot, p)| {
+            let node = if local_only { self.me } else { slot };
+            (node, &**p, &*self.raws[slot])
+        })
     }
 
     // --- Crash-stop endpoint faults ---------------------------------------
@@ -338,18 +689,22 @@ impl NodeEndpoint {
     /// path flips this just before killing a rank thread, so survivors see
     /// exactly what a remote node death looks like: silence.
     pub fn silence(&self) {
-        self.nodes[self.me].silenced.store(true, Ordering::Release);
+        self.proto().silenced.store(true, Ordering::Release);
     }
 
     /// Whether `node` transmits nothing (runtime-silenced, or its endpoint
-    /// fault has tripped).
+    /// fault has tripped). A remote node in another process is never
+    /// locally knowable as silent — its silence surfaces through the
+    /// failure detector instead.
     fn node_silent(&self, node: usize) -> bool {
-        let sh = &self.nodes[node];
-        if sh.silenced.load(Ordering::Acquire) {
+        let Some(proto) = self.proto_of(node) else {
+            return false;
+        };
+        if proto.silenced.load(Ordering::Acquire) {
             return true;
         }
         match &self.cfg.endpoint_fault {
-            Some(f) if f.node == node => f.silent_at(sh.sent_frames.load(Ordering::Relaxed)),
+            Some(f) if f.node == node => f.silent_at(proto.sent_frames.load(Ordering::Relaxed)),
             _ => false,
         }
     }
@@ -362,20 +717,20 @@ impl NodeEndpoint {
     /// for a runtime crash and a tripped crash/hang fault; false for
     /// byzantine silence, whose inbox keeps swallowing traffic.
     fn self_deaf(&self) -> bool {
-        let sh = &self.nodes[self.me];
-        if sh.silenced.load(Ordering::Acquire) {
+        let proto = self.proto();
+        if proto.silenced.load(Ordering::Acquire) {
             return true;
         }
         match &self.cfg.endpoint_fault {
             Some(f) if f.node == self.me => {
-                f.deaf() && f.silent_at(sh.sent_frames.load(Ordering::Relaxed))
+                f.deaf() && f.silent_at(proto.sent_frames.load(Ordering::Relaxed))
             }
             _ => false,
         }
     }
 
     /// Send `payload` to `dst_node`, matchable there under `(self.node, tag)`
-    /// once the modeled latency has elapsed.
+    /// once it arrives.
     ///
     /// With a coalescing plan configured every data frame rides the
     /// progress engine's per-destination jumbo buffers; with a fault plan
@@ -397,8 +752,11 @@ impl NodeEndpoint {
         }
     }
 
-    /// Push one raw frame at the destination inbox, applying fault-injection
-    /// decisions (drop / duplicate / reorder / delay) when configured.
+    /// Put one raw frame on the wire, applying fault-injection decisions
+    /// (drop / duplicate / reorder / delay) when configured. Injection sits
+    /// above the backend: a dropped frame never reaches `send_frame`, a
+    /// reordered one waits in the stash for a later-decided frame to pass
+    /// it, a delayed one parks until its due time.
     fn raw_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
         // Crash-stop: a silent node puts nothing on the wire — data, ACKs,
         // retransmits, and heartbeats all die here. The check precedes the
@@ -406,179 +764,211 @@ impl NodeEndpoint {
         if self.self_silent() {
             return;
         }
-        self.nodes[self.me]
-            .sent_frames
-            .fetch_add(1, Ordering::Relaxed);
-        let dst = &self.nodes[dst_node];
-        let mut deliver_at_ns = self.now_ns() + self.cfg.delay_ns(payload.len());
+        self.proto().sent_frames.fetch_add(1, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        let mut front = false;
-        let mut copies = 1u32;
         let frame = self.stats.frames.fetch_add(1, Ordering::Relaxed);
-        if let Some(plan) = &self.cfg.faults {
-            let d = plan.decide(frame);
-            if d.drop {
-                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            if d.duplicate {
-                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-                copies = 2;
-            }
-            front = d.reorder;
-            deliver_at_ns += d.extra_delay_ns;
+        let enc = tag.encode();
+        let Some(plan) = &self.cfg.faults else {
+            self.raw().send_frame(dst_node, enc, payload);
+            return;
+        };
+        let d = plan.decide(frame);
+        if d.drop {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
         }
-        let mut inbox = dst.inbox.lock();
+        let copies = if d.duplicate {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            2
+        } else {
+            1
+        };
+        let held = |payload: &[u8]| OutFrame {
+            dst: dst_node,
+            tag_enc: enc,
+            payload: payload.to_vec(),
+        };
+        if d.extra_delay_ns > 0 {
+            let due = self.now_ns() + d.extra_delay_ns;
+            let mut pt = self.proto().perturb.lock();
+            for _ in 0..copies {
+                pt.delayed.push((due, held(payload)));
+            }
+            return;
+        }
+        if d.reorder {
+            let mut pt = self.proto().perturb.lock();
+            for _ in 0..copies {
+                pt.stash.push(held(payload));
+            }
+            return;
+        }
         for _ in 0..copies {
-            let m = InFlight {
-                key: (self.me, tag.encode()),
-                payload: payload.to_vec(),
-                deliver_at_ns,
-            };
-            if front {
-                inbox.push_front(m);
-            } else {
-                inbox.push_back(m);
-            }
+            self.raw().send_frame(dst_node, enc, payload);
         }
+        self.release_reordered();
+    }
+
+    /// Put stashed (reordered) frames on the wire. Called right after a
+    /// direct transmission, so a stashed frame always travels behind at
+    /// least one frame that was decided after it.
+    fn release_reordered(&self) -> bool {
+        let stash = {
+            let mut pt = self.proto().perturb.lock();
+            if pt.stash.is_empty() {
+                return false;
+            }
+            std::mem::take(&mut pt.stash)
+        };
+        for f in stash {
+            self.raw().send_frame(f.dst, f.tag_enc, &f.payload);
+        }
+        true
+    }
+
+    /// Flush the fault injector's holding areas: overdue delayed frames,
+    /// plus any reorder stash a quiescent sender left stranded.
+    fn flush_perturbed(&self) -> bool {
+        if self.cfg.faults.is_none() || self.self_silent() {
+            return false;
+        }
+        let mut work = self.release_reordered();
+        let due: Vec<OutFrame> = {
+            let mut pt = self.proto().perturb.lock();
+            if pt.delayed.is_empty() {
+                Vec::new()
+            } else {
+                let now = self.now_ns();
+                let (due, rest) = std::mem::take(&mut pt.delayed)
+                    .into_iter()
+                    .partition(|&(at, _)| at <= now);
+                pt.delayed = rest;
+                due.into_iter().map(|(_, f)| f).collect()
+            }
+        };
+        for f in &due {
+            work = true;
+            self.raw().send_frame(f.dst, f.tag_enc, &f.payload);
+        }
+        work
     }
 
     /// Non-blocking receive: returns the oldest matchable payload sent from
-    /// `src_node` with `tag`, if one has arrived (and its modeled latency has
-    /// elapsed). Drives progress (drains the inbox, and in fault mode the
-    /// reliable sublayer's retransmits and ACKs) as a side effect, exactly
-    /// as an MPI progress engine does on every receive poll.
+    /// `src_node` with `tag`, if one has arrived. Drives progress (pumps the
+    /// backend, and in fault mode the reliable sublayer's retransmits and
+    /// ACKs) as a side effect, exactly as an MPI progress engine does on
+    /// every receive poll.
     pub fn try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
         if self.self_deaf() {
             return None; // a crashed node receives nothing
         }
-        let shared = &self.nodes[self.me];
         if self.cfg.coalesce.is_some() && !tag.is_ack() {
             // Coalescing mode: data frames arrive inside jumbos and are
             // scattered into the match store by the progress engine, so the
             // store is the only place to look — even in fault mode, where
             // the reliable sublayer wraps the jumbo link, not this tag.
-            let key = (src_node, tag.encode());
-            if let Some(p) = pop_store(shared, &key) {
+            let enc = tag.encode();
+            if let Some(p) = self.raw().recv_frame(src_node, enc) {
                 return Some(p);
             }
             self.progress();
-            return pop_store(shared, &key);
+            return self.raw().recv_frame(src_node, enc);
         }
         if self.cfg.faults.is_some() && !tag.is_ack() {
             return self.reliable_try_recv(src_node, tag);
         }
-        let key = (src_node, tag.encode());
         // Fast path: already matched.
-        if let Some(p) = pop_store(shared, &key) {
+        let enc = tag.encode();
+        if let Some(p) = self.raw().recv_frame(src_node, enc) {
             return Some(p);
         }
+        // Full progress tick, not just a backend pump: a blocked receiver is
+        // often the only thread driving this node, and it must keep the
+        // failure detector (and heartbeats) running or a dead peer would
+        // never be condemned.
         self.progress();
-        pop_store(shared, &key)
+        self.raw().recv_frame(src_node, enc)
     }
 
-    /// Raw-plane receive: match-store lookup + inbox drain, with no reliable
-    /// bookkeeping and no recursion into [`NodeEndpoint::progress`]. Used by
-    /// the reliable sublayer itself (data pump and ACK drain).
+    /// Raw-plane receive: match-store lookup + backend pump, with no
+    /// reliable bookkeeping and no recursion into
+    /// [`NodeEndpoint::progress`]. Used by the reliable sublayer itself
+    /// (data pump and ACK drain) and the detector's heartbeat drain.
     fn raw_try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
-        let key = (src_node, tag.encode());
-        let shared = &self.nodes[self.me];
-        if let Some(p) = pop_store(shared, &key) {
+        let enc = tag.encode();
+        if let Some(p) = self.raw().recv_frame(src_node, enc) {
             return Some(p);
         }
-        self.drain_inbox();
-        pop_store(shared, &key)
+        self.pump_raw();
+        self.raw().recv_frame(src_node, enc)
     }
 
-    /// One progress-engine tick: drain deliverable messages; in coalescing
-    /// mode flush aged outbound buffers and unpack arrived jumbos; in fault
-    /// mode run the reliable sublayer (ACK drain, due retransmits, eager
-    /// data pump).
-    pub fn progress(&self) {
-        self.stats.progress_polls.fetch_add(1, Ordering::Relaxed);
-        if self.self_silent() {
-            // A dead node's engine answers nothing. A byzantine-silent node
-            // still swallows inbound traffic (its inbox is live) but never
-            // ACKs, retransmits, or heartbeats.
-            if !self.self_deaf() {
-                self.drain_inbox();
-            }
-            return;
-        }
-        self.drain_inbox();
-        if self.cfg.coalesce.is_some() {
-            self.flush_aged_coalesce();
-        }
-        if self.cfg.faults.is_some() {
-            self.reliable_tick();
-        }
-        if self.cfg.coalesce.is_some() {
-            self.pump_coalesced();
-        }
-        if self.cfg.detect.is_some() {
-            self.detect_tick();
-        }
-    }
-
-    /// Drain every deliverable message from the inbox into the match store.
-    fn drain_inbox(&self) {
-        let shared = &self.nodes[self.me];
-        let now = self.now_ns();
+    /// One backend pump: ingest arrivals (fencing frames from condemned
+    /// peers) and apply the liveness piggyback — any arrival (data, ACK,
+    /// heartbeat) is evidence its source is alive. Returns whether the
+    /// backend moved anything.
+    fn pump_raw(&self) -> bool {
         let detect = self.cfg.detect.is_some();
-        let mut moved: Vec<InFlight> = Vec::new();
-        {
-            let mut inbox = shared.inbox.lock();
-            // Move deliverable messages in arrival order. A not-yet-deliverable
-            // message *blocks* later same-key messages (even small ones whose
-            // modeled latency has elapsed), preserving FIFO per channel — the
-            // ordering guarantee MPI gives per (src, dst, tag).
-            let mut blocked: Vec<MatchKey> = Vec::new();
-            let mut i = 0;
-            while i < inbox.len() {
-                let m = &inbox[i];
-                if m.deliver_at_ns <= now && !blocked.contains(&m.key) {
-                    moved.push(inbox.remove(i).unwrap_or_else(|| {
-                        crate::die_invariant("inbox index out of bounds while draining")
-                    }));
-                } else {
-                    blocked.push(m.key);
-                    i += 1;
-                }
-            }
-        }
-        // Epoch fence: frames from a condemned peer are dropped here, never
-        // dispatched into the match store — the suspicion-vs-late-frame race
-        // resolves in favour of the suspicion. They still count as liveness
-        // evidence below (the false-suspect signal).
-        let mut seen: Vec<usize> = Vec::new();
-        for m in moved {
-            let src = m.key.0;
-            if detect && !seen.contains(&src) {
-                seen.push(src);
-            }
-            if detect
-                && self.health.dead_count.load(Ordering::Relaxed) > 0
-                && self.health.dead.lock().contains_key(&src)
-            {
-                continue;
-            }
-            let mut store = shared.store[shard_of(&m.key)].lock();
-            store.entry(m.key).or_default().push_back(m.payload);
-        }
-        // Liveness piggyback: any arrival (data, ACK, heartbeat) is evidence
-        // the source is alive. The health map is a leaf lock.
-        if detect && !seen.is_empty() {
-            let mut health = shared.health.lock();
-            for src in seen {
+        let health = &self.health;
+        // Epoch fence: frames from a condemned peer are dropped before they
+        // reach the match store — the suspicion-vs-late-frame race resolves
+        // in favour of the suspicion. They still count as arrivals below.
+        let fenced = |src: usize| {
+            detect
+                && health.dead_count.load(Ordering::Relaxed) > 0
+                && health.dead.lock().contains_key(&src)
+        };
+        let out = self.raw().pump(&fenced);
+        if detect && !out.arrivals.is_empty() {
+            let now = self.now_ns();
+            let mut health = self.proto().health.lock();
+            for &src in &out.arrivals {
                 let h = health.entry(src).or_insert_with(|| PeerHealth::new(now));
                 if h.saw_alive(now) {
                     self.stats.false_suspects.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        out.did_work
+    }
+
+    /// One progress-engine tick: pump the backend; in coalescing mode flush
+    /// aged outbound buffers and unpack arrived jumbos; in fault mode run
+    /// the reliable sublayer (ACK drain, due retransmits, eager data pump);
+    /// in detection mode run the failure detector.
+    ///
+    /// Returns whether the tick did any work — frames moved, buffers
+    /// flushed, retransmits or ACKs or heartbeats sent. Cooperative-mode
+    /// callers use a `false` streak to back off instead of busy-spinning
+    /// on an idle backend.
+    pub fn progress(&self) -> bool {
+        self.stats.progress_polls.fetch_add(1, Ordering::Relaxed);
+        if self.self_silent() {
+            // A dead node's engine answers nothing. A byzantine-silent node
+            // still swallows inbound traffic (its store stays live) but
+            // never ACKs, retransmits, or heartbeats.
+            if !self.self_deaf() {
+                return self.pump_raw();
+            }
+            return false;
+        }
+        let mut work = self.pump_raw();
+        if self.cfg.coalesce.is_some() {
+            work |= self.flush_aged_coalesce();
+        }
+        if self.cfg.faults.is_some() {
+            work |= self.reliable_tick();
+        }
+        if self.cfg.coalesce.is_some() {
+            work |= self.pump_coalesced();
+        }
+        if self.cfg.detect.is_some() {
+            work |= self.detect_tick();
+        }
+        work
     }
 
     // --- Coalescing progress engine (coalescing mode only) ----------------
@@ -598,7 +988,7 @@ impl NodeEndpoint {
             crate::die_invariant("coalesce_send without a coalescing plan")
         };
         let now = self.now_ns();
-        let mut com = self.nodes[self.me].co_tx.lock();
+        let mut com = self.proto().co_tx.lock();
         let buf = com.entry(dst_node).or_default();
         if payload.len() > plan.eligible_max {
             if buf.frames > 0 {
@@ -623,8 +1013,8 @@ impl NodeEndpoint {
     ///
     /// Callers hold the node's `co_tx` lock across the `CoalesceBuf::take`
     /// that produced `jumbo` and this call, so emission order equals take
-    /// order. That is deadlock-free: the locks taken below (`rel_tx`, an
-    /// inbox, store shards) are never held while acquiring `co_tx`.
+    /// order. That is deadlock-free: the locks taken below (`rel_tx`, the
+    /// backend, store shards) are never held while acquiring `co_tx`.
     fn emit_jumbo(&self, dst_node: usize, jumbo: &[u8]) {
         self.stats.coalesce_flushes.fetch_add(1, Ordering::Relaxed);
         if self.cfg.faults.is_some() {
@@ -635,18 +1025,21 @@ impl NodeEndpoint {
     }
 
     /// Flush outbound buffers whose age watermark has tripped.
-    fn flush_aged_coalesce(&self) {
+    fn flush_aged_coalesce(&self) -> bool {
         let Some(plan) = self.cfg.coalesce else {
-            return;
+            return false;
         };
         let now = self.now_ns();
-        let mut com = self.nodes[self.me].co_tx.lock();
+        let mut work = false;
+        let mut com = self.proto().co_tx.lock();
         for (&dst, buf) in com.iter_mut() {
             if buf.due(&plan, now) {
                 let jumbo = buf.take();
                 self.emit_jumbo(dst, &jumbo);
+                work = true;
             }
         }
+        work
     }
 
     /// Force-flush every pending outbound buffer on this node, watermarks
@@ -655,7 +1048,7 @@ impl NodeEndpoint {
         if self.cfg.coalesce.is_none() {
             return;
         }
-        let mut com = self.nodes[self.me].co_tx.lock();
+        let mut com = self.proto().co_tx.lock();
         for (&dst, buf) in com.iter_mut() {
             if buf.frames > 0 {
                 let jumbo = buf.take();
@@ -667,21 +1060,23 @@ impl NodeEndpoint {
     /// Unpack every arrived jumbo frame and scatter its subframes into the
     /// match store under their original tags (through the reliable
     /// sublayer's dedup/reorder first when fault mode is on).
-    fn pump_coalesced(&self) {
+    fn pump_coalesced(&self) -> bool {
         let jumbo = WireTag::coalesce();
+        let mut work = false;
         if self.cfg.faults.is_some() {
             let now = self.now_ns();
             let mut scatter: Vec<(usize, Vec<u8>)> = Vec::new();
             let mut acks: Vec<(usize, u64)> = Vec::new();
             {
-                let mut rxm = self.nodes[self.me].rel_rx.lock();
-                for src in 0..self.nodes.len() {
+                let mut rxm = self.proto().rel_rx.lock();
+                for src in 0..self.n {
                     if src == self.me {
                         continue;
                     }
                     let st = rxm.entry((src, jumbo.encode())).or_default();
                     let mut saw_dup = false;
                     while let Some(f) = self.raw_try_recv(src, jumbo) {
+                        work = true;
                         let (seq, payload) = deframe(&f);
                         saw_dup |= !st.accept(seq, payload.to_vec());
                     }
@@ -697,31 +1092,32 @@ impl NodeEndpoint {
                 }
             }
             for (src, j) in scatter {
+                work = true;
                 self.scatter_jumbo(src, &j);
             }
             for (src, ack) in acks {
+                work = true;
                 self.stats.acks.fetch_add(1, Ordering::Relaxed);
                 self.raw_send(src, WireTag::ack_for(jumbo), &ack.to_le_bytes());
             }
         } else {
-            for src in 0..self.nodes.len() {
+            for src in 0..self.n {
                 if src == self.me {
                     continue;
                 }
                 while let Some(j) = self.raw_try_recv(src, jumbo) {
+                    work = true;
                     self.scatter_jumbo(src, &j);
                 }
             }
         }
+        work
     }
 
     /// Sort one jumbo's subframes into the match store in arrival order.
     fn scatter_jumbo(&self, src: usize, jumbo: &[u8]) {
-        let shared = &self.nodes[self.me];
         for (enc, payload) in coalesce::unpack_subframes(jumbo) {
-            let key = (src, enc);
-            let mut store = shared.store[shard_of(&key)].lock();
-            store.entry(key).or_default().push_back(payload.to_vec());
+            self.raw().push_local(src, enc, payload.to_vec());
         }
     }
 
@@ -730,7 +1126,7 @@ impl NodeEndpoint {
     /// Stage a frame on this node's tx link and transmit it (lossy).
     fn reliable_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
         let framed = {
-            let mut txm = self.nodes[self.me].rel_tx.lock();
+            let mut txm = self.proto().rel_tx.lock();
             let st = txm.entry((dst_node, tag.encode())).or_default();
             let (_, f) = st.stage(payload, self.now_ns());
             f
@@ -749,7 +1145,7 @@ impl NodeEndpoint {
         }
         let now = self.now_ns();
         let (out, ack) = {
-            let mut rxm = self.nodes[self.me].rel_rx.lock();
+            let mut rxm = self.proto().rel_rx.lock();
             let st = rxm.entry((src_node, tag.encode())).or_default();
             let mut saw_dup = false;
             while let Some(f) = self.raw_try_recv(src_node, tag) {
@@ -768,20 +1164,23 @@ impl NodeEndpoint {
         out
     }
 
-    /// One reliable-sublayer tick for this node: drain ACKs into tx links,
-    /// retransmit overdue frames, and eagerly pump + re-ACK every known rx
-    /// link (so retransmitted frames are consumed even when no rank is
-    /// currently blocked in `try_recv` on that tag).
-    fn reliable_tick(&self) {
-        let shared = &self.nodes[self.me];
+    /// One reliable-sublayer tick for this node: flush held fault-injected
+    /// frames, drain ACKs into tx links, retransmit overdue frames, and
+    /// eagerly pump + re-ACK every known rx link (so retransmitted frames
+    /// are consumed even when no rank is currently blocked in `try_recv`
+    /// on that tag).
+    fn reliable_tick(&self) -> bool {
+        let proto = self.proto();
         let now = self.now_ns();
+        let mut work = self.flush_perturbed();
         let mut retx: Vec<(usize, WireTag, Vec<u8>)> = Vec::new();
         {
-            let mut txm = shared.rel_tx.lock();
+            let mut txm = proto.rel_tx.lock();
             for (&(dst, enc), st) in txm.iter_mut() {
                 let data_tag = WireTag::decode(enc);
                 let ack_tag = WireTag::ack_for(data_tag);
                 while let Some(a) = self.raw_try_recv(dst, ack_tag) {
+                    work = true;
                     if let Ok(hdr) = <[u8; 8]>::try_from(a.as_slice()) {
                         st.on_ack(u64::from_le_bytes(hdr));
                     }
@@ -792,17 +1191,19 @@ impl NodeEndpoint {
                 }
             }
         }
+        work |= !retx.is_empty();
         for (dst, tag, f) in retx {
             self.raw_send(dst, tag, &f);
         }
         let mut acks: Vec<(usize, WireTag, u64)> = Vec::new();
         let mut scatter: Vec<(usize, Vec<u8>)> = Vec::new();
         {
-            let mut rxm = shared.rel_rx.lock();
+            let mut rxm = proto.rel_rx.lock();
             for (&(src, enc), st) in rxm.iter_mut() {
                 let tag = WireTag::decode(enc);
                 let mut saw_dup = false;
                 while let Some(f) = self.raw_try_recv(src, tag) {
+                    work = true;
                     let (seq, payload) = deframe(&f);
                     saw_dup |= !st.accept(seq, payload.to_vec());
                 }
@@ -823,6 +1224,7 @@ impl NodeEndpoint {
                 }
             }
         }
+        work |= !scatter.is_empty() || !acks.is_empty();
         for (src, j) in scatter {
             self.scatter_jumbo(src, &j);
         }
@@ -830,6 +1232,7 @@ impl NodeEndpoint {
             self.stats.acks.fetch_add(1, Ordering::Relaxed);
             self.raw_send(src, tag, &ack.to_le_bytes());
         }
+        work
     }
 
     // --- Failure detector (detection mode only) ---------------------------
@@ -838,21 +1241,24 @@ impl NodeEndpoint {
     /// failure view, evaluate the phi-style threshold per peer, emit
     /// heartbeats on idle links, and garbage-collect a newly condemned
     /// peer's link state so nothing retries into the void forever.
-    fn detect_tick(&self) {
-        let Some(plan) = self.cfg.detect else { return };
+    fn detect_tick(&self) -> bool {
+        let Some(plan) = self.cfg.detect else {
+            return false;
+        };
         let now = self.now_ns();
         let hb = WireTag::heartbeat();
+        let mut work = false;
         // Phase 1 — gather heartbeat evidence with no health lock held
-        // (raw_try_recv drains the inbox, which itself takes the health
+        // (raw_try_recv pumps the backend, which itself takes the health
         // lock for the liveness piggyback).
-        let n = self.nodes.len();
-        let mut hb_seen = vec![false; n];
+        let mut hb_seen = vec![false; self.n];
         for (peer, seen) in hb_seen.iter_mut().enumerate() {
             if peer == self.me {
                 continue;
             }
             while self.raw_try_recv(peer, hb).is_some() {
                 *seen = true;
+                work = true;
             }
         }
         // Phase 2 — under the (leaf) health lock: apply evidence, adopt the
@@ -870,7 +1276,7 @@ impl NodeEndpoint {
             } else {
                 Vec::new()
             };
-            let mut health = self.nodes[self.me].health.lock();
+            let mut health = self.proto().health.lock();
             for (peer, &seen) in hb_seen.iter().enumerate() {
                 if peer == self.me {
                     continue;
@@ -899,6 +1305,7 @@ impl NodeEndpoint {
             }
         }
         // Phase 3 — outside the health lock: wire traffic and link GC.
+        work |= !send_hb.is_empty() || !newly_dead.is_empty();
         for peer in send_hb {
             self.stats.heartbeats.fetch_add(1, Ordering::Relaxed);
             self.raw_send(peer, hb, &[]);
@@ -906,6 +1313,7 @@ impl NodeEndpoint {
         for peer in newly_dead {
             self.gc_dead_peer(peer);
         }
+        work
     }
 
     /// Publish a condemnation to the cluster-global failure view.
@@ -919,14 +1327,21 @@ impl NodeEndpoint {
 
     /// Garbage-collect this node's link state toward a condemned peer:
     /// retransmit queues stop retrying into the void, inbound reorder state
-    /// is dropped, and any coalescing buffer destined for the corpse is
-    /// discarded. This is what lets the finalize linger drain instead of
-    /// spinning on frames a dead peer will never ACK.
+    /// is dropped, any coalescing buffer destined for the corpse is
+    /// discarded, and the backend sheds buffered IO toward it. This is what
+    /// lets the finalize linger drain instead of spinning on frames a dead
+    /// peer will never ACK.
     fn gc_dead_peer(&self, peer: usize) {
-        let shared = &self.nodes[self.me];
-        shared.rel_tx.lock().retain(|&(dst, _), _| dst != peer);
-        shared.rel_rx.lock().retain(|&(src, _), _| src != peer);
-        shared.co_tx.lock().remove(&peer);
+        let proto = self.proto();
+        proto.rel_tx.lock().retain(|&(dst, _), _| dst != peer);
+        proto.rel_rx.lock().retain(|&(src, _), _| src != peer);
+        proto.co_tx.lock().remove(&peer);
+        {
+            let mut pt = proto.perturb.lock();
+            pt.stash.retain(|f| f.dst != peer);
+            pt.delayed.retain(|(_, f)| f.dst != peer);
+        }
+        self.raw().drop_peer(peer);
     }
 
     /// The death epoch of `node`, if any detector has condemned it.
@@ -965,21 +1380,31 @@ impl NodeEndpoint {
             .find(|&(n, _)| n != self.me)
     }
 
-    /// Render every node's progress-engine state for hang dumps: inbox
-    /// depth, inbound jumbo queue, retransmit backlog, and the heartbeat /
-    /// suspicion table. Watchdog-safe: `try_lock` only.
+    /// Bytes the raw transport has accepted but not yet put on the wire.
+    /// Always zero for the simulated fabric; on TCP this is the outbound
+    /// backlog the finalize linger must drain before the socket closes, or
+    /// a blocked remote receiver waits forever on frames nobody flushes.
+    pub fn transport_unflushed(&self) -> usize {
+        self.raw().unflushed_bytes()
+    }
+
+    /// Gracefully close this node's raw transport: flush what can be
+    /// flushed and (on socket backends) shut down the write halves so
+    /// peers observe EOF instead of a stall. Idempotent.
+    pub fn finalize_transport(&self) {
+        self.raw().finalize();
+    }
+
+    /// Render every locally-known node's progress-engine state for hang
+    /// dumps: backend state, inbound jumbo queue, retransmit backlog, and
+    /// the heartbeat / suspicion table. Watchdog-safe: `try_lock` only.
     pub fn progress_debug(&self) -> String {
         use std::fmt::Write as _;
         let now = self.now_ns();
         let jumbo = WireTag::coalesce().encode();
         let mut out = String::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            let inbox = n
-                .inbox
-                .try_lock()
-                .map(|q| q.len().to_string())
-                .unwrap_or_else(|| "<locked>".into());
-            let (retx_frames, retx_links) = n
+        for (i, proto, raw) in self.known() {
+            let (retx_frames, retx_links) = proto
                 .rel_tx
                 .try_lock()
                 .map(|m| {
@@ -988,7 +1413,7 @@ impl NodeEndpoint {
                     (frames.to_string(), links.to_string())
                 })
                 .unwrap_or_else(|| ("<locked>".into(), "?".into()));
-            let jumbo_rx = n
+            let jumbo_rx = proto
                 .rel_rx
                 .try_lock()
                 .map(|m| {
@@ -1004,10 +1429,11 @@ impl NodeEndpoint {
             let silent = if self.node_silent(i) { " SILENT" } else { "" };
             let _ = writeln!(
                 out,
-                "  net node {i}{silent}: inbox {inbox}, jumbo-rx {jumbo_rx}, \
-                 retx backlog {retx_frames} frames on {retx_links} links"
+                "  net node {i}{silent}: {}, jumbo-rx {jumbo_rx}, \
+                 retx backlog {retx_frames} frames on {retx_links} links",
+                raw.debug_line()
             );
-            if let Some(health) = n.health.try_lock() {
+            if let Some(health) = proto.health.try_lock() {
                 let mut peers: Vec<_> = health.iter().collect();
                 peers.sort_by_key(|(&p, _)| p);
                 for (&p, h) in peers {
@@ -1032,12 +1458,12 @@ impl NodeEndpoint {
         out
     }
 
-    /// Unacknowledged reliable frames outstanding across the whole cluster,
-    /// excluding links that can never drain because one side is dead: a
-    /// silent node's own staged frames, and any node's frames staged toward
-    /// a condemned peer. Zero means every frame a *live* peer still depends
-    /// on has been confirmed delivered — the condition the runtime's
-    /// end-of-run linger waits for.
+    /// Unacknowledged reliable frames outstanding across every node whose
+    /// state lives in this process, excluding links that can never drain
+    /// because one side is dead: a silent node's own staged frames, and any
+    /// node's frames staged toward a condemned peer. Zero means every frame
+    /// a *live* peer still depends on has been confirmed delivered — the
+    /// condition the runtime's end-of-run linger waits for.
     pub fn reliable_outstanding(&self) -> usize {
         // A silent node's own staged frames can never drain (its engine
         // processes no ACKs) and no survivor depends on them. Links *toward*
@@ -1045,12 +1471,11 @@ impl NodeEndpoint {
         // — before that, the survivor has no way to know its frames are
         // doomed, and the linger honestly waits (bounded by detection).
         let condemned: Vec<usize> = self.dead_nodes().iter().map(|&(n, _)| n).collect();
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| !self.node_silent(i) && !condemned.contains(&i))
-            .map(|(_, n)| {
-                n.rel_tx
+        self.known()
+            .filter(|&(i, _, _)| !self.node_silent(i) && !condemned.contains(&i))
+            .map(|(_, proto, _)| {
+                proto
+                    .rel_tx
                     .lock()
                     .iter()
                     .filter(|(&(dst, _), _)| !condemned.contains(&dst))
@@ -1060,14 +1485,15 @@ impl NodeEndpoint {
             .sum()
     }
 
-    /// Subframes buffered for coalescing but not yet flushed, cluster-wide.
-    /// Zero (together with [`NodeEndpoint::reliable_outstanding`]) means no
-    /// payload is still parked inside the transport.
+    /// Subframes buffered for coalescing but not yet flushed, across every
+    /// node whose state lives in this process. Zero (together with
+    /// [`NodeEndpoint::reliable_outstanding`]) means no payload is still
+    /// parked inside the transport.
     pub fn coalesce_pending(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| {
-                n.co_tx
+        self.known()
+            .map(|(_, proto, _)| {
+                proto
+                    .co_tx
                     .lock()
                     .values()
                     .map(|b| b.frames as usize)
@@ -1075,16 +1501,6 @@ impl NodeEndpoint {
             })
             .sum()
     }
-}
-
-fn pop_store(shared: &NodeShared, key: &MatchKey) -> Option<Vec<u8>> {
-    let mut store = shared.store[shard_of(key)].lock();
-    let q = store.get_mut(key)?;
-    let p = q.pop_front();
-    if q.is_empty() {
-        store.remove(key);
-    }
-    p
 }
 
 #[cfg(test)]
@@ -1184,6 +1600,21 @@ mod tests {
         a.send(1, WireTag::p2p(0, 0, 0), &[0u8; 100]);
         a.send(1, WireTag::p2p(0, 0, 1), &[0u8; 28]);
         assert_eq!(c.stats().snapshot(), (2, 128));
+    }
+
+    /// Satellite regression: `progress()` reports whether the tick actually
+    /// moved anything, so cooperative callers can back off on idle engines
+    /// instead of busy-spinning a real socket.
+    #[test]
+    fn progress_reports_whether_it_did_work() {
+        let c = Cluster::new(2, NetConfig::default());
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        assert!(!b.progress(), "an idle engine has no work");
+        a.send(1, WireTag::p2p(0, 0, 1), &[7]);
+        assert!(b.progress(), "ingesting an arrived frame is work");
+        assert!(!b.progress(), "drained engine goes idle again");
+        assert_eq!(b.try_recv(0, WireTag::p2p(0, 0, 1)).unwrap(), vec![7]);
     }
 
     /// The reliable sublayer must deliver every frame exactly once, in
