@@ -90,6 +90,36 @@ fn real_pure(bytes: usize, iters: usize) -> (f64, RuntimeStats) {
     (times[0], report.stats)
 }
 
+/// Cross-node ping-pong over the simulated fabric, with the wire path
+/// either pooled (zero-copy: one gather per message) or the copying-wire
+/// ablation (classic serialize + scatter). Returns ns/message and the
+/// run's total wire memcpy bytes.
+fn real_pure_crossnode(bytes: usize, iters: usize, copy_wire: bool) -> (f64, u64) {
+    let mut cfg = Config::new(2).with_ranks_per_node(1);
+    cfg.spin_budget = 2;
+    if copy_wire {
+        cfg.net = cfg.net.with_copying_wire();
+    }
+    let (report, times) = launch_map(cfg, move |ctx| {
+        let w = ctx.world();
+        let tx = vec![1u8; bytes];
+        let mut rx = vec![0u8; bytes];
+        w.barrier();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            if ctx.rank() == 0 {
+                w.send(&tx, 1, 0);
+                w.recv(&mut rx, 1, 1);
+            } else {
+                w.recv(&mut rx, 0, 0);
+                w.send(&tx, 0, 1);
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (2 * iters) as f64
+    });
+    (times[0], report.stats.net_memcpy_bytes)
+}
+
 /// A traced 4-rank run: a messaging ring (send/recv spans) followed by a
 /// deliberately imbalanced chunked task so idle ranks record steal spans.
 /// Writes a Chrome-trace JSON loadable in Perfetto / `chrome://tracing`.
@@ -182,6 +212,58 @@ fn main() {
         fig.telemetry(
             &format!("full_stalls_per_msg_{bytes}B"),
             per_msg(stats.total(Counter::PbqFullStall)),
+        );
+    }
+
+    header(
+        "Figure 6 (wire) — cross-node ping-pong, pooled vs copying wire",
+        "one-way ns per message and wire memcpy bytes per message",
+    );
+    println!(
+        "{}",
+        row(
+            "payload",
+            &[
+                "pooled".into(),
+                "copying".into(),
+                "memcpy B/msg (pooled/copying)".into()
+            ]
+        )
+    );
+    for &bytes in trajectory::pick(&[8usize, 8 * 1024][..], &[8usize][..]) {
+        let iters = trajectory::pick(500, 50);
+        let msgs = (2 * iters) as f64;
+        let (zc_ns, zc_bytes) = real_pure_crossnode(bytes, iters, false);
+        let (cp_ns, cp_bytes) = real_pure_crossnode(bytes, iters, true);
+        println!(
+            "{}",
+            row(
+                &fmt_bytes(bytes),
+                &[
+                    format!("{zc_ns:.0} ns"),
+                    format!("{cp_ns:.0} ns"),
+                    format!(
+                        "{:.1} / {:.1}",
+                        zc_bytes as f64 / msgs,
+                        cp_bytes as f64 / msgs
+                    ),
+                ]
+            )
+        );
+        // Byte tallies are exact, so the reduction is machine-independent;
+        // the eager wire path pays one gather copy where the ablation adds
+        // serialize + scatter passes on top.
+        let reduction = cp_bytes as f64 / zc_bytes.max(1) as f64;
+        assert!(
+            reduction >= 2.0,
+            "pooled wire path must at least halve memcpy bytes at {bytes} B: \
+             {zc_bytes} vs {cp_bytes}"
+        );
+        fig.ratio(&format!("p2p_memcpy_reduction_{bytes}B"), reduction);
+        fig.raw(&format!("pure_crossnode_pingpong_{bytes}B_ns"), zc_ns);
+        fig.raw(
+            &format!("pure_crossnode_pingpong_copywire_{bytes}B_ns"),
+            cp_ns,
         );
     }
 

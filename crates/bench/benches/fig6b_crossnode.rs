@@ -6,12 +6,19 @@
 //! (the `net_coalesce_batch` term), machine-independently.
 //!
 //! Part (b) runs the *real* runtime — 4 ranks on 2 simulated nodes — and
-//! streams small cross-node messages with coalescing off, cooperatively
-//! coalesced, and helper-thread coalesced, comparing actual wire frame
-//! counts from the transport's telemetry. The headline ratio
+//! streams small cross-node messages over every leg in [`wire_legs`]:
+//! coalescing off, cooperatively coalesced, helper-thread coalesced, and
+//! the copying-wire ablation (classic serialize + per-subframe scatter
+//! copies instead of the pooled zero-copy path). The headline ratio
 //! `wire_frame_reduction_small` is frames(off) / frames(on); the PR's
 //! acceptance floor is 2×, and the count watermark (8 subframes per jumbo)
-//! puts the steady-state figure well above that.
+//! puts the steady-state figure well above that. The ablation leg yields
+//! `wire_memcpy_reduction_small`: measured memcpy bytes per message on the
+//! copying path over the pooled path.
+//!
+//! The ≥2× frame assertion is derived from the leg list itself — every
+//! coalescing leg is enrolled automatically, so adding a new configuration
+//! can never silently skip the gate.
 
 use cluster_sim::{CostModel, MsgStack, Placement};
 use pure_bench::trajectory::{self, Figure};
@@ -94,6 +101,56 @@ fn cfg(coalesce: bool, mode: ProgressMode) -> Config {
     cfg_on(Backend::Sim, coalesce, mode)
 }
 
+/// One leg of the real-runtime sweep. The table rows, the per-leg ≥2×
+/// frame-reduction assertions and the memcpy ablation ratio are all derived
+/// from this list, so a leg added here is automatically measured *and*
+/// gated — there is no separate hardcoded mode list to forget to update.
+struct WireLeg {
+    name: &'static str,
+    coalesce: bool,
+    mode: ProgressMode,
+    /// Ablation: reinstate the classic per-frame serialize and per-subframe
+    /// scatter copies, giving the pooled zero-copy path a measured baseline.
+    copy_wire: bool,
+}
+
+fn wire_legs() -> Vec<WireLeg> {
+    vec![
+        WireLeg {
+            name: "off",
+            coalesce: false,
+            mode: ProgressMode::Cooperative,
+            copy_wire: false,
+        },
+        WireLeg {
+            name: "cooperative",
+            coalesce: true,
+            mode: ProgressMode::Cooperative,
+            copy_wire: false,
+        },
+        WireLeg {
+            name: "helper",
+            coalesce: true,
+            mode: ProgressMode::Helper,
+            copy_wire: false,
+        },
+        WireLeg {
+            name: "copy-wire",
+            coalesce: true,
+            mode: ProgressMode::Cooperative,
+            copy_wire: true,
+        },
+    ]
+}
+
+fn leg_cfg(backend: Backend, leg: &WireLeg) -> Config {
+    let mut c = cfg_on(backend, leg.coalesce, leg.mode);
+    if leg.copy_wire {
+        c.net = c.net.with_copying_wire();
+    }
+    c
+}
+
 fn main() {
     let mut fig = Figure::new("fig6b_crossnode");
     model_table(&mut fig);
@@ -111,46 +168,110 @@ fn main() {
                 "wire frames".into(),
                 "coalesced".into(),
                 "flushes".into(),
+                "memcpy B/msg".into(),
                 "ns/msg".into()
             ]
         )
     );
 
-    let (off, off_ns) = crossnode_stream(cfg(false, ProgressMode::Cooperative), msgs);
-    let (coop, coop_ns) = crossnode_stream(cfg(true, ProgressMode::Cooperative), msgs);
-    let (helper, helper_ns) = crossnode_stream(cfg(true, ProgressMode::Helper), msgs);
-    for (name, stats, ns) in [
-        ("off", &off, off_ns),
-        ("cooperative", &coop, coop_ns),
-        ("helper", &helper, helper_ns),
-    ] {
+    let legs = wire_legs();
+    let sent = (2 * msgs) as f64;
+    let runs: Vec<(RuntimeStats, f64)> = legs
+        .iter()
+        .map(|leg| crossnode_stream(leg_cfg(Backend::Sim, leg), msgs))
+        .collect();
+    for (leg, (stats, ns)) in legs.iter().zip(&runs) {
         println!(
             "{}",
             row(
-                name,
+                leg.name,
                 &[
                     format!("{}", stats.net_frames),
                     format!("{}", stats.net_coalesced),
                     format!("{}", stats.net_coalesce_flushes),
+                    format!("{:.1}", stats.net_memcpy_bytes as f64 / sent),
                     format!("{ns:.0} ns"),
                 ]
             )
         );
     }
 
-    let reduction = off.net_frames as f64 / coop.net_frames.max(1) as f64;
+    // The frame-reduction gate enrolls every coalescing leg in the list:
+    // frames(baseline) / frames(leg) must clear 2× for each of them.
+    let baseline: Vec<usize> = legs
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.coalesce && !l.copy_wire)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        baseline.len(),
+        1,
+        "exactly one plain non-coalesced baseline"
+    );
+    let (off, off_ns) = (&runs[baseline[0]].0, runs[baseline[0]].1);
+    assert_eq!(off.net_coalesced, 0, "baseline must not coalesce");
+    println!();
+    for (leg, (stats, _)) in legs.iter().zip(&runs).filter(|(l, _)| l.coalesce) {
+        let reduction = off.net_frames as f64 / stats.net_frames.max(1) as f64;
+        println!(
+            "wire frame reduction (off/{}): {}",
+            leg.name,
+            speedup(reduction)
+        );
+        assert!(
+            reduction >= 2.0,
+            "coalescing ({}) must at least halve wire frames: {} vs {}",
+            leg.name,
+            stats.net_frames,
+            off.net_frames
+        );
+        assert!(
+            stats.net_coalesced > 0,
+            "{}: coalescing armed but no frames coalesced",
+            leg.name
+        );
+    }
+
+    let by_name = |name: &str| {
+        let i = legs
+            .iter()
+            .position(|l| l.name == name)
+            .unwrap_or_else(|| panic!("no wire leg named {name:?}"));
+        (&runs[i].0, runs[i].1)
+    };
+    let (coop, coop_ns) = by_name("cooperative");
+    let (helper, helper_ns) = by_name("helper");
+    let (copying, _) = by_name("copy-wire");
+
+    // Zero-copy headline: the pooled path pays exactly one gather copy per
+    // message (user buffer → pooled jumbo); the ablation adds the classic
+    // serialize copy on send and the per-subframe scatter copy on receive.
+    // Both legs count actual bytes through the same telemetry, so the ratio
+    // is a measured, machine-independent multiple (~3× for small messages).
+    let memcpy_reduction = copying.net_memcpy_bytes as f64 / coop.net_memcpy_bytes.max(1) as f64;
     println!(
-        "\nwire frame reduction (off/cooperative): {}",
-        speedup(reduction)
+        "\nwire memcpy reduction (copy-wire/cooperative): {} \
+         ({:.1} -> {:.1} B/msg)",
+        speedup(memcpy_reduction),
+        copying.net_memcpy_bytes as f64 / sent,
+        coop.net_memcpy_bytes as f64 / sent
     );
     assert!(
-        reduction >= 2.0,
-        "coalescing must at least halve wire frames: {} vs {}",
-        coop.net_frames,
-        off.net_frames
+        memcpy_reduction >= 2.0,
+        "the pooled wire path must at least halve per-message memcpy bytes: \
+         {} B copying vs {} B pooled",
+        copying.net_memcpy_bytes,
+        coop.net_memcpy_bytes
     );
-    assert_eq!(off.net_coalesced, 0, "baseline must not coalesce");
-    assert!(coop.net_coalesced > 0 && helper.net_coalesced > 0);
+    assert!(
+        coop.net_frames_borrowed > 0,
+        "zero-copy path must hand borrowed slices to the match store"
+    );
+    assert_eq!(
+        copying.net_frames_borrowed, 0,
+        "the copying ablation must not borrow"
+    );
 
     // Failure detection armed on the same trajectory: the liveness
     // piggyback (every data frame and ACK counts as evidence) must keep
@@ -204,13 +325,26 @@ fn main() {
     );
 
     // The frame counts are watermark-driven (count watermark = 8 subframes
-    // per jumbo for back-to-back streams), so the reduction is a stable,
-    // machine-independent ratio bench_compare can police.
-    fig.ratio("wire_frame_reduction_small", reduction);
+    // per jumbo for back-to-back streams) and the memcpy counts are exact
+    // byte tallies, so the reductions are stable, machine-independent
+    // ratios bench_compare can police.
+    fig.ratio(
+        "wire_frame_reduction_small",
+        off.net_frames as f64 / coop.net_frames.max(1) as f64,
+    );
     fig.ratio("wire_frame_reduction_small_tcp", tcp_reduction);
+    fig.ratio("wire_memcpy_reduction_small", memcpy_reduction);
     fig.raw("pure_crossnode_off_ns_per_msg", off_ns);
     fig.raw("pure_crossnode_coalesced_ns_per_msg", coop_ns);
     fig.raw("pure_crossnode_helper_ns_per_msg", helper_ns);
+    fig.raw(
+        "pure_crossnode_memcpy_bytes_per_msg",
+        coop.net_memcpy_bytes as f64 / sent,
+    );
+    fig.raw(
+        "pure_crossnode_copywire_memcpy_bytes_per_msg",
+        copying.net_memcpy_bytes as f64 / sent,
+    );
     fig.telemetry(
         "frames_per_flush",
         coop.net_coalesced as f64 / coop.net_coalesce_flushes.max(1) as f64,

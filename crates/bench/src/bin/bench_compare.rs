@@ -1,11 +1,11 @@
-//! Diff a bench trajectory (`BENCH_PR4.json`) against the checked-in
+//! Diff a bench trajectory (`BENCH_PR9.json`) against the checked-in
 //! baseline and fail on regressions.
 //!
 //! ```text
 //! cargo run -p pure-bench --bin bench_compare [CURRENT [BASELINE]]
 //! ```
 //!
-//! Defaults: `BENCH_PR4.json` at the workspace root vs
+//! Defaults: `BENCH_PR9.json` at the workspace root vs
 //! `crates/bench/baseline/BENCH_BASELINE.json`. Only the `ratios` bucket
 //! is compared — those are machine-independent, higher-is-better numbers
 //! (DES/cost-model speedups, deterministic counter ratios). A ratio that
@@ -62,7 +62,7 @@ fn main() -> ExitCode {
     let current = args
         .first()
         .map(PathBuf::from)
-        .unwrap_or_else(|| workspace_root().join("BENCH_PR4.json"));
+        .unwrap_or_else(|| workspace_root().join("BENCH_PR9.json"));
     let baseline = args
         .get(1)
         .map(PathBuf::from)

@@ -12,7 +12,7 @@
 //!   table *shapes* are unchanged — only the sweep points shrink.
 //! * **Trajectory emission** (`-- --emit-json`): append this figure's
 //!   machine-independent ratios (and machine-local raw timings) to
-//!   `BENCH_PR4.json` at the workspace root. `bench_compare` (in
+//!   `BENCH_PR9.json` at the workspace root. `bench_compare` (in
 //!   `src/bin/`) diffs that file against the checked-in baseline.
 
 pub mod trajectory;

@@ -1,5 +1,5 @@
 //! Machine-readable bench trajectory: smoke-mode switches and the
-//! `BENCH_PR4.json` emitter.
+//! `BENCH_PR9.json` emitter.
 //!
 //! Every figure harness funnels its results through a [`Figure`] record
 //! with three buckets:
@@ -16,7 +16,7 @@
 //!
 //! The output file is merged, not truncated: each figure overwrites only
 //! its own entry, so running the harnesses one by one (as the CI matrix
-//! does) accumulates a single `BENCH_PR4.json`.
+//! does) accumulates a single `BENCH_PR9.json`.
 
 use pure_core::util::json::Json;
 use std::collections::BTreeMap;
@@ -59,13 +59,13 @@ pub fn arg_value(flag: &str) -> Option<String> {
 }
 
 /// Where the trajectory file lives: `$PURE_BENCH_JSON` if set, else
-/// `BENCH_PR4.json` at the workspace root (benches run with the package
+/// `BENCH_PR9.json` at the workspace root (benches run with the package
 /// root as cwd, so this is resolved from the crate's manifest dir).
 pub fn out_path() -> PathBuf {
     if let Ok(p) = std::env::var("PURE_BENCH_JSON") {
         return PathBuf::from(p);
     }
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json")
 }
 
 /// One figure's contribution to the trajectory file.

@@ -116,6 +116,15 @@ pub struct CostModel {
     pub ampi_migrate_remote_ns: f64,
     /// Load-balancer invocation period (ns of virtual time).
     pub ampi_lb_period_ns: f64,
+
+    // -- wire path --
+    /// Payload memcpy passes a cross-node message pays inside the node
+    /// (serialize/gather/scatter) on top of the NIC injection itself.
+    /// `0.0` models the pooled zero-copy wire path (a single gather copy is
+    /// already inside `pure_msg_base_ns`); `2.0` models the classic copying
+    /// path's extra serialize + scatter passes, each at
+    /// [`CostModel::copy_ps_per_byte`].
+    pub net_memcpy_passes: f64,
 }
 
 impl Default for CostModel {
@@ -150,6 +159,7 @@ impl Default for CostModel {
             ampi_migrate_local_ns: 15_000.0,
             ampi_migrate_remote_ns: 120_000.0,
             ampi_lb_period_ns: 4_000_000.0,
+            net_memcpy_passes: 0.0,
         }
     }
 }
@@ -189,12 +199,16 @@ impl CostModel {
                 self.net_alpha_ns
             };
             let net = alpha + bytes as f64 * self.net_beta_ps_per_byte / 1000.0;
+            // Intra-node memcpy passes on the wire path (serialize/scatter);
+            // zero under the pooled zero-copy path.
+            let net_memcpy_bytes =
+                bytes as f64 * self.net_memcpy_passes * self.copy_ps_per_byte / 1000.0;
             let stack_oh = match stack {
                 MsgStack::Pure => self.pure_msg_base_ns,
                 MsgStack::Mpi => self.mpi_msg_base_ns,
                 MsgStack::Ampi => self.mpi_msg_base_ns + self.ampi_msg_extra_ns,
             };
-            return net + stack_oh;
+            return net + net_memcpy_bytes + stack_oh;
         }
         let line = self.line_ns(placement);
         let copy = |n: usize| n as f64 * self.copy_ps_per_byte / 1000.0;
@@ -358,6 +372,25 @@ pub enum CollStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_memcpy_passes_charges_per_byte_on_cross_node_only() {
+        let zc = CostModel::default();
+        let copying = CostModel {
+            net_memcpy_passes: 2.0,
+            ..CostModel::default()
+        };
+        let bytes = 4096usize;
+        let extra = copying.msg_ns(MsgStack::Pure, Placement::CrossNode, bytes)
+            - zc.msg_ns(MsgStack::Pure, Placement::CrossNode, bytes);
+        let expect = bytes as f64 * 2.0 * zc.copy_ps_per_byte / 1000.0;
+        assert!((extra - expect).abs() < 1e-9, "extra {extra} != {expect}");
+        // Intra-node messages never pay the wire-path term.
+        assert_eq!(
+            copying.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes),
+            zc.msg_ns(MsgStack::Pure, Placement::SharedL3, bytes),
+        );
+    }
 
     #[test]
     fn pure_beats_mpi_for_small_intra_node_messages() {

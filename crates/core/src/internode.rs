@@ -12,7 +12,7 @@
 use std::cell::RefCell;
 use std::time::Duration;
 
-use netsim::{NodeEndpoint, WireTag};
+use netsim::{FrameSlice, NodeEndpoint, WireTag};
 
 use crate::datatype::{as_bytes, as_bytes_mut, PureDatatype, ReduceOp, Reducible};
 use crate::error::{die_invariant, PeerAbortEcho, PureError};
@@ -60,6 +60,34 @@ const FRAME_EAGER: u8 = 0x00;
 /// between arrivals — and the coalescing layer never sees a frame it must
 /// treat as oversize.
 const FRAME_RDV: u8 = 0x01;
+
+/// One logical payload off the leader-collective wire: either a borrowed
+/// view of the pooled eager frame (dropping it recycles the slab) or the
+/// owned reassembly of a rendezvous chunk stream.
+enum WirePayload {
+    Eager(FrameSlice),
+    Rdv(Vec<u8>),
+}
+
+impl std::ops::Deref for WirePayload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            WirePayload::Eager(f) => f,
+            WirePayload::Rdv(v) => v,
+        }
+    }
+}
+
+impl WirePayload {
+    /// Take ownership of the bytes (copies the borrowed eager case).
+    fn into_vec(self) -> Vec<u8> {
+        match self {
+            WirePayload::Eager(f) => f.to_vec(),
+            WirePayload::Rdv(v) => v,
+        }
+    }
+}
 
 /// Build the rendezvous header announcing `total` body bytes.
 pub(crate) fn rdv_header(total: usize) -> [u8; RDV_HEADER_BYTES] {
@@ -131,10 +159,9 @@ impl LeaderGroup<'_> {
         if bytes.len() <= self.wire_eager_max {
             // One kind byte ahead of the payload: user bytes can never be
             // mistaken for a rendezvous header, whatever their content.
-            let mut framed = Vec::with_capacity(1 + bytes.len());
-            framed.push(FRAME_EAGER);
-            framed.extend_from_slice(bytes);
-            self.ep.send(dst.node, tag, &framed);
+            // `send_parts` gathers both parts straight into a pooled wire
+            // buffer — no intermediate framed Vec.
+            self.ep.send_parts(dst.node, tag, &[FRAME_EAGER], bytes);
             return;
         }
         // Wire rendezvous: announce the size, then stream eager-sized
@@ -155,7 +182,7 @@ impl LeaderGroup<'_> {
     /// the crash-stop interrupt probe, so a leader blocked on a *dead*
     /// peer's frame mid-collective unwinds with a structured verdict in
     /// bounded time — followers are never stranded by a dead leader.
-    fn recv_frame(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
+    fn recv_frame(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> FrameSlice {
         match self.recv_frame_result(src, tag, what) {
             Ok(payload) => payload,
             Err(e) => self.fail(e),
@@ -170,7 +197,7 @@ impl LeaderGroup<'_> {
         src: LeaderInfo,
         tag: WireTag,
         what: &'static str,
-    ) -> Result<Vec<u8>, PureError> {
+    ) -> Result<FrameSlice, PureError> {
         let wait = match self.local {
             Some(l) => ssw_try_until_probed(
                 self.sched,
@@ -220,15 +247,17 @@ impl LeaderGroup<'_> {
     /// the reassembled chunk stream. Each chunk gets its own SSW wait (and
     /// its own deadline window), so large transfers keep the receiver
     /// stealing throughout.
-    fn recv_wire(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> Vec<u8> {
-        let mut first = self.recv_frame(src, tag, what);
+    ///
+    /// Eager payloads come back as a borrowed view of the pooled wire
+    /// frame — the caller's copy into the user buffer is the only
+    /// wire→user copy. Rendezvous bodies are reassembled into an owned
+    /// `Vec` (the large, already-chunked path).
+    fn recv_wire(&self, src: LeaderInfo, tag: WireTag, what: &'static str) -> WirePayload {
+        let first = self.recv_frame(src, tag, what);
         match first.first() {
-            Some(&FRAME_EAGER) => {
-                first.remove(0); // O(n) shift; eager frames are small
-                first
-            }
+            Some(&FRAME_EAGER) => WirePayload::Eager(first.slice_from(1)),
             Some(&FRAME_RDV) if first.len() == 9 => {
-                let total = u64::from_le_bytes(first[1..].try_into().unwrap()) as usize;
+                let total = u64::from_le_bytes((&first[1..]).try_into().unwrap()) as usize;
                 let mut body = Vec::with_capacity(total);
                 while body.len() < total {
                     let chunk = self.recv_frame(src, tag, what);
@@ -237,7 +266,7 @@ impl LeaderGroup<'_> {
                 if body.len() != total {
                     die_invariant("wire rendezvous chunks overran the announced length");
                 }
-                body
+                WirePayload::Rdv(body)
             }
             _ => die_invariant("leader-collective frame with an unknown kind byte"),
         }
@@ -274,7 +303,7 @@ impl LeaderGroup<'_> {
         let src = self.nodes[src_pos];
         let me = self.nodes[self.my_pos];
         let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
-        self.recv_wire(src, tag, "leader block exchange")
+        self.recv_wire(src, tag, "leader block exchange").into_vec()
     }
 
     /// Fallible single-eager-frame receive for the survivor-agreement
@@ -286,12 +315,11 @@ impl LeaderGroup<'_> {
         let src = self.nodes[src_pos];
         let me = self.nodes[self.my_pos];
         let tag = WireTag::collective(src.leader_local, me.leader_local, self.tag_base + phase);
-        let mut frame = self.recv_frame_result(src, tag, "survivor agreement")?;
+        let frame = self.recv_frame_result(src, tag, "survivor agreement")?;
         match frame.first() {
-            Some(&FRAME_EAGER) => {
-                frame.remove(0);
-                Ok(frame)
-            }
+            // Cold path (tokens are rare and tiny): own the bytes so the
+            // agreement protocol can hold them across retries.
+            Some(&FRAME_EAGER) => Ok(frame.slice_from(1).to_vec()),
             _ => die_invariant("agreement token was not an eager frame"),
         }
     }

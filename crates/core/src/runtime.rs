@@ -486,10 +486,26 @@ impl Shared {
         )
     }
 
-    /// Print the diagnostic dump to stderr, at most once per launch.
+    /// Print the diagnostic dump to stderr, at most once per launch. When
+    /// `PURE_HANG_DUMP` names a file the dump is also appended there, so CI
+    /// can upload it as an artifact after a watchdog abort (stderr of a
+    /// wedged test process is often truncated by the harness).
     pub fn dump_diagnostics_once(&self) {
         if !self.dumped.swap(true, Ordering::SeqCst) {
-            eprintln!("{}", self.dump_diagnostics());
+            let dump = self.dump_diagnostics();
+            eprintln!("{dump}");
+            if let Ok(path) = std::env::var("PURE_HANG_DUMP") {
+                if !path.is_empty() {
+                    use std::io::Write as _;
+                    if let Ok(mut f) = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                    {
+                        let _ = writeln!(f, "{dump}");
+                    }
+                }
+            }
         }
     }
 
@@ -575,6 +591,7 @@ impl Shared {
             self.cluster.stats().coalesce_snapshot();
         let (net_heartbeats, net_suspicions, net_false_suspects) =
             self.cluster.stats().health_snapshot();
+        let pool = self.cluster.pool_snapshot();
         RuntimeStats {
             per_rank: self.telemetry.iter().map(|b| b.snapshot()).collect(),
             trace,
@@ -588,6 +605,12 @@ impl Shared {
             net_heartbeats,
             net_suspicions,
             net_false_suspects,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_recycled: pool.recycled,
+            pool_freed: pool.freed,
+            net_frames_borrowed: self.cluster.stats().copy_snapshot().1,
+            net_memcpy_bytes: self.cluster.memcpy_bytes(),
         }
     }
 }
@@ -1454,6 +1477,13 @@ where
     if let Some(cause) = shared.abort_cause.lock().take() {
         panic!("pure: rank {} failed: {}", cause.rank, cause.what);
     }
+
+    // Every rank has exited: drop frames still parked in the wire stack
+    // (retransmit queues of crashed peers, coalesce remnants, stashes) so
+    // their slabs return to the pools. After this, the report's pool
+    // counters must balance — acquired == released — or a slab was leaked
+    // or double-freed somewhere on the wire path.
+    shared.cluster.purge_pooled();
 
     let crashed = {
         let mut c = shared.crashed.lock().clone();

@@ -500,6 +500,21 @@ pub struct RuntimeStats {
     /// Condemned peers that later produced a frame (false suspects; counted
     /// once per peer).
     pub net_false_suspects: u64,
+    /// Frame-pool acquisitions served from a recycled slab.
+    pub pool_hits: u64,
+    /// Frame-pool acquisitions that had to allocate a fresh slab.
+    pub pool_misses: u64,
+    /// Slabs returned to a pool free list on last-reference drop.
+    pub pool_recycled: u64,
+    /// Slabs freed outright (free list full, or pool already gone).
+    pub pool_freed: u64,
+    /// Coalesced subframes handed to the match store as zero-copy borrows
+    /// of the arrived jumbo's slab (no scatter copy).
+    pub net_frames_borrowed: u64,
+    /// Payload bytes memcpy'd on the wire path: the protocol layer's
+    /// user→wire gathers plus backend-internal serialize/parse copies
+    /// (zero on the simulated fabric, which moves refcounts).
+    pub net_memcpy_bytes: u64,
 }
 
 impl RuntimeStats {
@@ -607,6 +622,19 @@ impl RuntimeStats {
                 out,
                 "\nnet: {} heartbeats, {} suspicions, {} false suspects",
                 self.net_heartbeats, self.net_suspicions, self.net_false_suspects
+            );
+        }
+        if self.pool_hits > 0 || self.pool_misses > 0 {
+            let _ = write!(
+                out,
+                "\nnet: pool {} hits / {} misses ({} recycled, {} freed), \
+                 {} frames borrowed, {} B memcpy",
+                self.pool_hits,
+                self.pool_misses,
+                self.pool_recycled,
+                self.pool_freed,
+                self.net_frames_borrowed,
+                self.net_memcpy_bytes
             );
         }
         out

@@ -50,6 +50,26 @@ fn chaos_cfg(ranks: usize, rpn: usize, seed: u64) -> Config {
     c
 }
 
+/// Pooled-buffer oracle: after teardown (the runtime purges every queue
+/// before snapshotting) each slab acquired from a frame pool must have
+/// been released exactly once. An imbalance under fault injection means a
+/// retransmit queue, reorder stash or fault holding area leaked a slab —
+/// or double-freed one (the refcount underflow aborts earlier, but a
+/// negative outstanding count catches logic that releases twice through
+/// separate handles).
+fn assert_pool_balanced(stats: &RuntimeStats) {
+    assert_eq!(
+        stats.pool_hits + stats.pool_misses,
+        stats.pool_recycled + stats.pool_freed,
+        "slab pool unbalanced at finalize (leaked or double-freed slab): \
+         {} hits + {} misses vs {} recycled + {} freed",
+        stats.pool_hits,
+        stats.pool_misses,
+        stats.pool_recycled,
+        stats.pool_freed,
+    );
+}
+
 fn seed_count() -> u64 {
     std::env::var("PURE_CHAOS_SEEDS")
         .ok()
@@ -91,7 +111,7 @@ fn sweep_seeds(test_name: &str, body: impl Fn(u64)) {
 #[test]
 fn ping_pong_survives_frame_faults_byte_exact() {
     sweep_seeds("ping_pong_survives_frame_faults_byte_exact", |seed| {
-        launch(chaos_cfg(2, 1, seed), |ctx| {
+        let report = launch(chaos_cfg(2, 1, seed), |ctx| {
             let w = ctx.world();
             let me = ctx.rank();
             let peer = 1 - me;
@@ -109,6 +129,7 @@ fn ping_pong_survives_frame_faults_byte_exact() {
                 assert_eq!(got, payload, "seed {seed} round {round}: corrupt payload");
             }
         });
+        assert_pool_balanced(&report.stats);
     });
 }
 
@@ -117,7 +138,7 @@ fn ping_pong_survives_frame_faults_byte_exact() {
 #[test]
 fn collectives_survive_frame_faults() {
     sweep_seeds("collectives_survive_frame_faults", |seed| {
-        launch(chaos_cfg(4, 2, seed), |ctx| {
+        let report = launch(chaos_cfg(4, 2, seed), |ctx| {
             let w = ctx.world();
             for i in 0..8u64 {
                 let s = w.allreduce_one(ctx.rank() as u64 + i, ReduceOp::Sum);
@@ -134,6 +155,7 @@ fn collectives_survive_frame_faults() {
                 w.barrier();
             }
         });
+        assert_pool_balanced(&report.stats);
     });
 }
 
@@ -167,6 +189,7 @@ fn chaos_plan_injects_faults_and_recovery_engages() {
         retransmits >= dropped,
         "every dropped frame needs at least one retransmit: {report:?}"
     );
+    assert_pool_balanced(&report.stats);
 }
 
 /// Heavier drop rate than the standard chaos plan: retransmission must
@@ -186,7 +209,7 @@ fn heavy_drop_rate_still_completes() {
             c.net = c.net.with_coalescing(CoalescePlan::default());
         }
         c.progress_deadline = Some(Duration::from_secs(10));
-        launch(c, |ctx| {
+        let report = launch(c, |ctx| {
             let w = ctx.world();
             let me = ctx.rank();
             for round in 0..10u64 {
@@ -201,5 +224,6 @@ fn heavy_drop_rate_still_completes() {
                 assert_eq!(got, [round, round * 3], "seed {seed} round {round}");
             }
         });
+        assert_pool_balanced(&report.stats);
     });
 }

@@ -53,6 +53,23 @@ fn seed_count() -> u64 {
     }
 }
 
+/// Pooled-buffer oracle under crash-stop: even when a rank vanishes with
+/// frames parked in its peers' retransmit queues (and its own inboxes die
+/// unread), teardown must return every slab to the pools exactly once —
+/// `gc_dead_peer` plus the runtime's finalize purge account for all of it.
+fn assert_pool_balanced(stats: &RuntimeStats) {
+    assert_eq!(
+        stats.pool_hits + stats.pool_misses,
+        stats.pool_recycled + stats.pool_freed,
+        "slab pool unbalanced at finalize (leaked or double-freed slab): \
+         {} hits + {} misses vs {} recycled + {} freed",
+        stats.pool_hits,
+        stats.pool_misses,
+        stats.pool_recycled,
+        stats.pool_freed,
+    );
+}
+
 /// The panic payload re-raised by `launch`, as a formatted string.
 fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
     e.downcast_ref::<String>()
@@ -190,6 +207,7 @@ fn revoke_mode_survivors_shrink_and_continue() {
         sum
     });
     assert_eq!(report.crashed, vec![VICTIM]);
+    assert_pool_balanced(&report.stats);
     for (r, res) in results.iter().enumerate() {
         if r == VICTIM {
             assert!(res.is_none(), "the victim cannot produce a result");
@@ -234,6 +252,7 @@ fn finalize_with_dead_peer_is_bounded_by_linger() {
     });
     let elapsed = t0.elapsed();
     assert_eq!(report.crashed, vec![1]);
+    assert_pool_balanced(&report.stats);
     assert!(
         elapsed < Duration::from_secs(10),
         "teardown took {elapsed:?}: the finalize linger cap is not bounding \

@@ -341,8 +341,8 @@ fn scheduler_chunks_run_exactly_once_under_stealing() {
 /// torn, or reordered across flush boundaries.
 #[test]
 fn coalesce_flush_dispatch_handoff_is_exact_once_in_order() {
-    use netsim::coalesce::{unpack_subframes, CoalesceBuf};
-    use netsim::CoalescePlan;
+    use netsim::coalesce::{unpack_subframes, CoalesceBuf, JUMBO_HEADROOM};
+    use netsim::{CoalescePlan, FramePool};
 
     const SUBFRAMES: u8 = 5;
     let report = check(opts(6_000, 1_500), || {
@@ -353,15 +353,25 @@ fn coalesce_flush_dispatch_handoff_is_exact_once_in_order() {
                 max_frames: 2,
                 ..CoalescePlan::default()
             };
+            // The pool's refcounts are std atomics (outside the interleave
+            // facade), like the telemetry counters below: slab recycling is
+            // netsim-tested, what's explored here is the handoff schedule.
+            let pool = FramePool::new();
             let mut buf = CoalesceBuf::default();
             let flush = |buf: &mut CoalesceBuf| {
-                let jumbo = buf.take();
+                // Fault-free emission: freeze and strip the seq headroom,
+                // exactly as the progress engine does before send_frame.
+                let jumbo = buf
+                    .take()
+                    .expect("flush of empty buffer")
+                    .freeze()
+                    .slice_from(JUMBO_HEADROOM);
                 while !tx.try_send(&jumbo) {
                     thread::yield_now();
                 }
             };
             for i in 0..SUBFRAMES {
-                buf.push(100 + i as u64, &[i + 1; 3], 0);
+                buf.push(&pool, 100 + i as u64, &[], &[i + 1; 3], 0);
                 if buf.due(&plan, 0) {
                     flush(&mut buf);
                 }

@@ -19,12 +19,30 @@
 //! subframe into the match store under its original `(src node, tag)` key,
 //! so matching is unchanged — coalescing is invisible above the transport.
 //!
+//! Since the zero-copy rework the gather side writes subframe headers and
+//! payloads directly into a pooled [`FrameBuf`] (the single user→wire copy)
+//! and the scatter side hands out [`crate::pool::FrameSlice`] subviews of
+//! the arrived jumbo — no per-subframe allocation or copy on either end.
+//! Every buffer reserves [`JUMBO_HEADROOM`] front bytes so the reliable
+//! sublayer can patch its sequence number in place instead of re-framing
+//! the jumbo with a copy.
+//!
 //! The policy state here is plain data; the [`crate::NodeEndpoint`]
 //! integration (when buffers flush, how jumbos ride the reliable sublayer)
 //! lives in `transport.rs`.
 
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool::{FrameBuf, FramePool};
+
 /// Per-subframe header: 8-byte encoded wire tag + 4-byte payload length.
 pub const SUBFRAME_HEADER_BYTES: usize = 12;
+
+/// Front bytes every jumbo buffer reserves for the reliable sublayer's
+/// sequence header ([`crate::reliable::SEQ_HEADER_BYTES`]). Fault-free
+/// emission slices past it; fault mode patches the sequence in place.
+pub const JUMBO_HEADROOM: usize = 8;
 
 /// Coalescing policy: watermarks deciding when an outbound buffer flushes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,11 +72,12 @@ impl Default for CoalescePlan {
     }
 }
 
-/// One destination node's pending jumbo buffer.
+/// One destination node's pending jumbo buffer: a pooled frame under
+/// construction (acquired lazily on the first push after a take).
 #[derive(Default)]
 pub struct CoalesceBuf {
-    /// Concatenated subframes awaiting flush.
-    pub buf: Vec<u8>,
+    /// Subframes being gathered; `None` between flushes.
+    buf: Option<FrameBuf>,
     /// Number of subframes in `buf`.
     pub frames: u32,
     /// Arrival time (ns since cluster birth) of the oldest buffered
@@ -67,31 +86,63 @@ pub struct CoalesceBuf {
 }
 
 impl CoalesceBuf {
-    /// Append one subframe, recording `now_ns` if the buffer was empty.
-    pub fn push(&mut self, tag_enc: u64, payload: &[u8], now_ns: u64) {
+    /// Append one subframe (`head` then `payload`, one logical payload),
+    /// recording `now_ns` if the buffer was empty. Returns the payload
+    /// bytes copied (the gather memcpy, for telemetry).
+    pub fn push(
+        &mut self,
+        pool: &Arc<FramePool>,
+        tag_enc: u64,
+        head: &[u8],
+        payload: &[u8],
+        now_ns: u64,
+    ) -> usize {
         if self.frames == 0 {
             self.first_ns = now_ns;
         }
-        pack_subframe(&mut self.buf, tag_enc, payload);
+        let buf = self.buf.get_or_insert_with(|| {
+            let mut b =
+                pool.acquire(JUMBO_HEADROOM + SUBFRAME_HEADER_BYTES + head.len() + payload.len());
+            b.extend_from_slice(&[0u8; JUMBO_HEADROOM]);
+            b
+        });
+        pack_subframe_into(buf, tag_enc, head, payload);
         self.frames += 1;
+        head.len() + payload.len()
+    }
+
+    /// Buffered jumbo payload bytes (headroom excluded).
+    pub fn payload_len(&self) -> usize {
+        self.buf
+            .as_ref()
+            .map_or(0, |b| b.len().saturating_sub(JUMBO_HEADROOM))
     }
 
     /// True once any watermark says this buffer must flush.
     pub fn due(&self, plan: &CoalescePlan, now_ns: u64) -> bool {
         self.frames > 0
             && (self.frames >= plan.max_frames
-                || self.buf.len() >= plan.max_bytes
+                || self.payload_len() >= plan.max_bytes
                 || now_ns.saturating_sub(self.first_ns) >= plan.flush_ns)
     }
 
-    /// Take the pending jumbo payload, leaving the buffer empty.
-    pub fn take(&mut self) -> Vec<u8> {
+    /// Take the pending jumbo (headroom included), leaving the buffer empty.
+    pub fn take(&mut self) -> Option<FrameBuf> {
         self.frames = 0;
-        std::mem::take(&mut self.buf)
+        self.buf.take()
     }
 }
 
-/// Append one subframe (header + payload) to `out`.
+/// Append one subframe (header + `head` + `payload`) to a pooled buffer.
+pub fn pack_subframe_into(out: &mut FrameBuf, tag_enc: u64, head: &[u8], payload: &[u8]) {
+    out.extend_from_slice(&tag_enc.to_le_bytes());
+    out.extend_from_slice(&((head.len() + payload.len()) as u32).to_le_bytes());
+    out.extend_from_slice(head);
+    out.extend_from_slice(payload);
+}
+
+/// Append one subframe (header + payload) to a plain `Vec` — kept for the
+/// copying-path ablation and wire-format tests.
 pub fn pack_subframe(out: &mut Vec<u8>, tag_enc: u64, payload: &[u8]) {
     out.reserve(SUBFRAME_HEADER_BYTES + payload.len());
     out.extend_from_slice(&tag_enc.to_le_bytes());
@@ -99,8 +150,10 @@ pub fn pack_subframe(out: &mut Vec<u8>, tag_enc: u64, payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
-/// Iterate `(encoded tag, payload)` subframes of a jumbo frame in order.
-pub fn unpack_subframes(jumbo: &[u8]) -> impl Iterator<Item = (u64, &[u8])> {
+/// Iterate `(encoded tag, payload byte range)` subframes of a jumbo frame
+/// in order — the allocation-free form the zero-copy scatter path uses to
+/// cut [`crate::pool::FrameSlice`] subviews.
+pub fn unpack_subframe_ranges(jumbo: &[u8]) -> impl Iterator<Item = (u64, Range<usize>)> + '_ {
     let mut at = 0usize;
     std::iter::from_fn(move || {
         if at == jumbo.len() {
@@ -115,10 +168,15 @@ pub fn unpack_subframes(jumbo: &[u8]) -> impl Iterator<Item = (u64, &[u8])> {
         if jumbo.len() - at < len {
             crate::die_invariant("jumbo frame truncated inside a subframe payload");
         }
-        let payload = &jumbo[at..at + len];
+        let range = at..at + len;
         at += len;
-        Some((tag_enc, payload))
+        Some((tag_enc, range))
     })
+}
+
+/// Iterate `(encoded tag, payload)` subframes of a jumbo frame in order.
+pub fn unpack_subframes(jumbo: &[u8]) -> impl Iterator<Item = (u64, &[u8])> {
+    unpack_subframe_ranges(jumbo).map(|(tag, r)| (tag, &jumbo[r]))
 }
 
 #[cfg(test)]
@@ -145,7 +203,31 @@ mod tests {
     }
 
     #[test]
+    fn pooled_gather_matches_vec_packing_and_reserves_headroom() {
+        let pool = FramePool::new();
+        let mut b = CoalesceBuf::default();
+        b.push(&pool, 7, &[], b"alpha", 0);
+        b.push(&pool, 9, b"he", b"ad+body", 0);
+        let frame = b.take().unwrap().freeze();
+        assert!(frame[..JUMBO_HEADROOM].iter().all(|&x| x == 0));
+        let mut expect = Vec::new();
+        pack_subframe(&mut expect, 7, b"alpha");
+        pack_subframe(&mut expect, 9, b"head+body");
+        assert_eq!(&frame[JUMBO_HEADROOM..], &expect[..]);
+        // Scatter: ranges cut zero-copy subslices of the pooled jumbo.
+        let body = frame.slice_from(JUMBO_HEADROOM);
+        let subs: Vec<(u64, Vec<u8>)> = unpack_subframe_ranges(&body)
+            .map(|(t, r)| (t, body.slice(r).to_vec()))
+            .collect();
+        assert_eq!(
+            subs,
+            vec![(7, b"alpha".to_vec()), (9, b"head+body".to_vec())]
+        );
+    }
+
+    #[test]
     fn buffer_flushes_on_count_size_or_age() {
+        let pool = FramePool::new();
         let plan = CoalescePlan {
             max_bytes: 64,
             max_frames: 3,
@@ -154,23 +236,29 @@ mod tests {
         };
         let mut b = CoalesceBuf::default();
         assert!(!b.due(&plan, 0), "empty buffer never due");
-        b.push(1, &[0u8; 4], 100);
+        b.push(&pool, 1, &[], &[0u8; 4], 100);
         assert!(!b.due(&plan, 100));
         // Count watermark.
-        b.push(1, &[0u8; 4], 110);
-        b.push(1, &[0u8; 4], 120);
+        b.push(&pool, 1, &[], &[0u8; 4], 110);
+        b.push(&pool, 1, &[], &[0u8; 4], 120);
         assert!(b.due(&plan, 120));
-        let jumbo = b.take();
-        assert_eq!(unpack_subframes(&jumbo).count(), 3);
+        let jumbo = b.take().unwrap().freeze();
+        assert_eq!(unpack_subframes(&jumbo[JUMBO_HEADROOM..]).count(), 3);
         assert!(!b.due(&plan, 120), "take resets the buffer");
         // Size watermark.
-        b.push(2, &[0u8; 60], 200);
+        b.push(&pool, 2, &[], &[0u8; 60], 200);
         assert!(b.due(&plan, 200));
         b.take();
         // Age watermark.
-        b.push(3, &[0u8; 1], 300);
+        b.push(&pool, 3, &[], &[0u8; 1], 300);
         assert!(!b.due(&plan, 500));
         assert!(b.due(&plan, 1_300));
+        // Each take's slab returns to the pool when its last view drops;
+        // only the first jumbo (still bound above) remains outstanding.
+        drop(b.take());
+        assert_eq!(pool.snapshot().outstanding(), 1, "one frozen jumbo live");
+        drop(jumbo);
+        assert_eq!(pool.snapshot().outstanding(), 0, "all slabs recycled");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod coalesce;
 pub mod faults;
+pub mod pool;
 pub mod reliable;
 pub mod tag;
 pub mod tcp;
@@ -33,9 +34,12 @@ pub use coalesce::CoalescePlan;
 pub use faults::{
     DetectPlan, EndpointFaultKind, EndpointFaultPlan, FaultDecision, FaultPlan, PeerHealth,
 };
+pub use pool::{FrameBuf, FramePool, FrameSlice, PoolStats};
 pub use tag::WireTag;
 pub use tcp::{multiproc_endpoint, TcpTransport};
-pub use transport::{Backend, Cluster, NetConfig, NetStats, NodeEndpoint, PumpOutcome, Transport};
+pub use transport::{
+    ArrivalSet, Backend, Cluster, NetConfig, NetStats, NodeEndpoint, PumpOutcome, Transport,
+};
 
 /// Cold panic path for invariants that are guaranteed by construction but
 /// still checked on the way down, so a violation dies loudly with context

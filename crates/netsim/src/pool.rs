@@ -1,0 +1,530 @@
+//! Per-node slab pool of recycled, refcounted frame buffers — the zero-copy
+//! wire path's allocator (modeled on timely's `zero_copy` bytes allocator).
+//!
+//! Every outbound frame is built in a [`FrameBuf`] acquired from the node's
+//! [`FramePool`], then frozen into an immutable, cheaply cloneable
+//! [`FrameSlice`]. Slices are handed across the transport seam by reference
+//! count: the Sim backend moves them between nodes without serialization,
+//! the coalescing scatter path hands *subslices* of one arrived jumbo to
+//! every matching receiver, and the reliable sublayer's retransmit queue
+//! holds clones (a refcount bump) instead of copied byte vectors. When the
+//! last slice drops, the slab returns to its size-class free list — so the
+//! steady-state wire path performs **zero allocations per message**, which
+//! `tests/alloc_regression.rs` enforces in CI.
+//!
+//! The refcount is managed manually (not `Arc`) because recycling is the
+//! whole point: `Arc`'s inner allocation dies with the last handle, while a
+//! pooled slab must survive its own refcount reaching zero and go back on
+//! the free list with capacity intact. The pool itself is held weakly from
+//! each slab, so a pool teardown cannot cycle-leak through its free lists.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+/// Size classes (slab payload capacity in bytes). Requests above the largest
+/// class still pool — the slab simply keeps whatever capacity it grew to.
+const CLASS_BYTES: [usize; 6] = [64, 256, 1024, 4096, 16384, 65536];
+
+/// Free slabs kept per size class; overflow is returned to the allocator.
+const CLASS_KEEP: usize = 64;
+
+/// One pooled slab: refcount + byte storage + the way home.
+struct Inner {
+    /// Live [`FrameSlice`] handles (1 while a unique [`FrameBuf`] exists).
+    rc: AtomicUsize,
+    /// Size-class index this slab recycles into.
+    class: u8,
+    /// The pool to recycle into; `Weak` so free lists cannot keep their own
+    /// pool alive in a cycle. A slab that outlives its pool is simply freed.
+    pool: Weak<FramePool>,
+    /// Frame bytes; capacity persists across recycles.
+    data: Vec<u8>,
+}
+
+/// Counter snapshot of one pool (or a sum over several).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from a free list.
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh slab.
+    pub misses: u64,
+    /// Slabs returned to a free list on last drop.
+    pub recycled: u64,
+    /// Slabs released to the allocator (free list full, or pool gone).
+    pub freed: u64,
+}
+
+impl PoolStats {
+    /// Total slabs handed out.
+    pub fn acquired(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Total slabs whose last reference dropped.
+    pub fn released(&self) -> u64 {
+        self.recycled + self.freed
+    }
+
+    /// Slabs currently owned by live frames (acquire/release imbalance —
+    /// nonzero after teardown means a leaked or double-freed slab).
+    pub fn outstanding(&self) -> i64 {
+        self.acquired() as i64 - self.released() as i64
+    }
+
+    /// Element-wise sum, for cluster-wide aggregation over per-node pools.
+    pub fn merge(&mut self, o: &PoolStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.recycled += o.recycled;
+        self.freed += o.freed;
+    }
+}
+
+/// A per-node slab pool: fixed-size-class free lists of recycled frame
+/// buffers. Create with [`FramePool::new`]; share via `Arc`.
+pub struct FramePool {
+    // The Box is load-bearing: `FrameBuf`/`FrameSlice` hold raw pointers
+    // to `Inner`, so each slab needs a stable heap address — a freelist of
+    // inline `Inner`s would move them on Vec growth.
+    #[allow(clippy::vec_box)]
+    classes: [Mutex<Vec<Box<Inner>>>; CLASS_BYTES.len()],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl FramePool {
+    /// A fresh, empty pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            classes: Default::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        })
+    }
+
+    /// Smallest class whose slabs hold `cap` bytes (the largest class for
+    /// oversize requests — those slabs keep their grown capacity).
+    fn class_of(cap: usize) -> usize {
+        CLASS_BYTES
+            .iter()
+            .position(|&c| cap <= c)
+            .unwrap_or(CLASS_BYTES.len() - 1)
+    }
+
+    /// Acquire a unique, empty frame buffer with room for `cap` bytes.
+    /// Served from the class free list when possible (a pool *hit*, no
+    /// allocation); otherwise a fresh slab is allocated (a *miss*).
+    pub fn acquire(self: &Arc<Self>, cap: usize) -> FrameBuf {
+        let class = Self::class_of(cap);
+        let reused = self.classes[class].lock().pop();
+        let mut boxed = match reused {
+            Some(mut b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                b.data.clear();
+                b
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Box::new(Inner {
+                    rc: AtomicUsize::new(0),
+                    class: class as u8,
+                    pool: Arc::downgrade(self),
+                    data: Vec::with_capacity(CLASS_BYTES[class].max(cap)),
+                })
+            }
+        };
+        if boxed.data.capacity() < cap {
+            boxed.data.reserve(cap);
+        }
+        *boxed.rc.get_mut() = 1;
+        FrameBuf {
+            // SAFETY: Box::into_raw never returns null.
+            inner: unsafe { NonNull::new_unchecked(Box::into_raw(boxed)) },
+        }
+    }
+
+    /// Copy `bytes` into a pooled slab and freeze it — the one user→wire
+    /// copy of the plain (uncoalesced) send path.
+    pub fn pooled(self: &Arc<Self>, bytes: &[u8]) -> FrameSlice {
+        let mut b = self.acquire(bytes.len());
+        b.extend_from_slice(bytes);
+        b.freeze()
+    }
+
+    /// Take a slab back onto its class free list (or free it when the list
+    /// is full). Called on last drop, from whichever node holds the final
+    /// reference.
+    fn recycle(&self, boxed: Box<Inner>) {
+        let class = boxed.class as usize;
+        let mut list = self.classes[class].lock();
+        if list.len() < CLASS_KEEP {
+            list.push(boxed);
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(list);
+            self.freed.fetch_add(1, Ordering::Relaxed);
+            drop(boxed);
+        }
+    }
+
+    /// Counter snapshot (relaxed loads; safe mid-run).
+    pub fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            freed: self.freed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Route a slab whose refcount just hit zero back to its pool (or to the
+/// allocator when the pool is already gone).
+fn release(ptr: NonNull<Inner>) {
+    // SAFETY: rc is zero, so this thread holds the only path to the slab.
+    let boxed = unsafe { Box::from_raw(ptr.as_ptr()) };
+    match boxed.pool.upgrade() {
+        Some(pool) => pool.recycle(boxed),
+        None => drop(boxed),
+    }
+}
+
+/// A uniquely-owned, writable pooled frame under construction. Freeze into
+/// a [`FrameSlice`] to put it on the wire; dropping unfrozen recycles.
+pub struct FrameBuf {
+    inner: NonNull<Inner>,
+}
+
+// SAFETY: FrameBuf is a unique handle (rc == 1); moving it between threads
+// moves exclusive access with it.
+unsafe impl Send for FrameBuf {}
+
+impl FrameBuf {
+    fn inner_mut(&mut self) -> &mut Inner {
+        // SAFETY: unique handle by construction (rc == 1, never cloned).
+        unsafe { self.inner.as_mut() }
+    }
+
+    fn inner_ref(&self) -> &Inner {
+        // SAFETY: the slab outlives this handle.
+        unsafe { self.inner.as_ref() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner_ref().data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes (grows the slab beyond its class size if needed; the
+    /// grown capacity is kept across recycles).
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.inner_mut().data.extend_from_slice(bytes);
+    }
+
+    /// Overwrite 8 already-written bytes at `at` with `v` little-endian —
+    /// the reliable sublayer patching its sequence number into the headroom
+    /// every outbound data frame reserves.
+    pub fn write_u64_at(&mut self, at: usize, v: u64) {
+        self.inner_mut().data[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Freeze into an immutable, cloneable slice of the whole frame.
+    pub fn freeze(self) -> FrameSlice {
+        let len = self.len();
+        assert!(len <= u32::MAX as usize, "pooled frame exceeds u32 length");
+        let inner = self.inner;
+        std::mem::forget(self); // the refcount moves to the slice
+        FrameSlice {
+            inner: Some(inner),
+            off: 0,
+            len: len as u32,
+        }
+    }
+}
+
+impl std::ops::Deref for FrameBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner_ref().data
+    }
+}
+
+impl Drop for FrameBuf {
+    fn drop(&mut self) {
+        // Never frozen: the unique refcount dies here; recycle directly.
+        release(self.inner);
+    }
+}
+
+/// An immutable view of (part of) a pooled frame. `Clone` bumps the slab's
+/// refcount; the last drop recycles the slab into its pool's free list.
+/// Derefs to `[u8]`, so it drops into any API that reads payload bytes.
+pub struct FrameSlice {
+    /// `None` for the empty slice (heartbeats own no slab).
+    inner: Option<NonNull<Inner>>,
+    off: u32,
+    len: u32,
+}
+
+// SAFETY: the pointed-to slab is immutable while any slice exists (writers
+// went away at freeze) and the refcount is atomic.
+unsafe impl Send for FrameSlice {}
+unsafe impl Sync for FrameSlice {}
+
+impl FrameSlice {
+    /// The empty slice: owns no slab, never touches a pool.
+    pub fn empty() -> Self {
+        Self {
+            inner: None,
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Byte length of the view.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the view has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A subview of the same slab (refcount bump, no copy) — the scatter
+    /// path handing one jumbo's subframes to many receivers.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> FrameSlice {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "frame subslice out of bounds"
+        );
+        if let Some(inner) = self.inner {
+            // SAFETY: we hold a reference, so rc >= 1 and the slab is live.
+            unsafe { inner.as_ref() }.rc.fetch_add(1, Ordering::Relaxed);
+        }
+        FrameSlice {
+            inner: self.inner,
+            off: self.off + range.start as u32,
+            len: (range.end - range.start) as u32,
+        }
+    }
+
+    /// Shorthand for `slice(at..len)`.
+    pub fn slice_from(&self, at: usize) -> FrameSlice {
+        self.slice(at..self.len())
+    }
+
+    /// Copy out to an owned `Vec` (the explicit wire→user copy).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl std::ops::Deref for FrameSlice {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self.inner {
+            // SAFETY: slab live while rc >= 1; bounds checked at creation.
+            Some(inner) => unsafe {
+                let data = &inner.as_ref().data;
+                data.get_unchecked(self.off as usize..(self.off + self.len) as usize)
+            },
+            None => &[],
+        }
+    }
+}
+
+impl Clone for FrameSlice {
+    fn clone(&self) -> Self {
+        if let Some(inner) = self.inner {
+            // SAFETY: rc >= 1 while self exists.
+            unsafe { inner.as_ref() }.rc.fetch_add(1, Ordering::Relaxed);
+        }
+        FrameSlice {
+            inner: self.inner,
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Drop for FrameSlice {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner else { return };
+        // SAFETY: rc >= 1 for the reference being dropped.
+        if unsafe { inner.as_ref() }.rc.fetch_sub(1, Ordering::Release) == 1 {
+            // Synchronize with every other releasing thread before the slab
+            // is reused (the classic Arc drop protocol).
+            fence(Ordering::Acquire);
+            release(inner);
+        }
+    }
+}
+
+impl std::fmt::Debug for FrameSlice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrameSlice({:?})", &self[..])
+    }
+}
+
+impl PartialEq<[u8]> for FrameSlice {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for FrameSlice {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for FrameSlice {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for FrameSlice {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for FrameSlice {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self[..] == other.as_slice()
+    }
+}
+
+impl PartialEq for FrameSlice {
+    fn eq(&self, other: &FrameSlice) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for FrameSlice {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_freeze_read_roundtrip() {
+        let pool = FramePool::new();
+        let mut b = pool.acquire(16);
+        b.extend_from_slice(b"hello ");
+        b.extend_from_slice(b"world");
+        assert_eq!(b.len(), 11);
+        let s = b.freeze();
+        assert_eq!(s, b"hello world"[..]);
+        assert_eq!(s.slice(6..11), b"world"[..]);
+        assert_eq!(s.slice_from(6), b"world"[..]);
+    }
+
+    #[test]
+    fn recycle_on_last_drop_and_hit_on_reacquire() {
+        let pool = FramePool::new();
+        let s = pool.pooled(b"abc");
+        let s2 = s.clone();
+        let sub = s.slice(1..2);
+        drop(s);
+        drop(s2);
+        assert_eq!(pool.snapshot().recycled, 0, "subslice still live");
+        drop(sub);
+        let st = pool.snapshot();
+        assert_eq!((st.misses, st.recycled), (1, 1));
+        let _again = pool.pooled(b"defgh");
+        let st = pool.snapshot();
+        assert_eq!((st.hits, st.misses), (1, 1), "reacquire hits the free list");
+        assert_eq!(st.outstanding(), 1);
+    }
+
+    #[test]
+    fn unfrozen_buf_recycles_and_empty_slice_is_poolless() {
+        let pool = FramePool::new();
+        drop(pool.acquire(8));
+        assert_eq!(pool.snapshot().released(), 1);
+        let e = FrameSlice::empty();
+        let e2 = e.clone();
+        drop(e);
+        assert!(e2.is_empty());
+        assert_eq!(pool.snapshot().released(), 1, "empty slices touch no pool");
+    }
+
+    #[test]
+    fn size_classes_and_oversize_requests() {
+        assert_eq!(FramePool::class_of(0), 0);
+        assert_eq!(FramePool::class_of(64), 0);
+        assert_eq!(FramePool::class_of(65), 1);
+        assert_eq!(FramePool::class_of(65536), CLASS_BYTES.len() - 1);
+        // Oversize lands in the largest class and keeps its capacity.
+        let pool = FramePool::new();
+        let big = vec![7u8; 100_000];
+        let s = pool.pooled(&big);
+        assert_eq!(s.len(), 100_000);
+        drop(s);
+        let b = pool.acquire(100_000);
+        assert_eq!(pool.snapshot().hits, 1, "oversize slab recycled and reused");
+        drop(b);
+    }
+
+    #[test]
+    fn seq_headroom_patch() {
+        let pool = FramePool::new();
+        let mut b = pool.acquire(16);
+        b.extend_from_slice(&[0u8; 8]);
+        b.extend_from_slice(b"body");
+        b.write_u64_at(0, 0xDEAD_BEEF);
+        let s = b.freeze();
+        assert_eq!(u64::from_le_bytes(s[..8].try_into().unwrap()), 0xDEAD_BEEF);
+        assert_eq!(s.slice_from(8), b"body"[..]);
+    }
+
+    #[test]
+    fn cross_thread_release_recycles_into_origin_pool() {
+        let pool = FramePool::new();
+        let s = pool.pooled(b"travels");
+        let h = std::thread::spawn(move || {
+            assert_eq!(s, b"travels"[..]);
+            drop(s);
+        });
+        h.join().unwrap();
+        let st = pool.snapshot();
+        assert_eq!(st.outstanding(), 0);
+        assert_eq!(st.recycled, 1);
+    }
+
+    #[test]
+    fn free_list_bound_frees_overflow() {
+        let pool = FramePool::new();
+        let slabs: Vec<_> = (0..CLASS_KEEP + 5).map(|_| pool.pooled(&[1])).collect();
+        drop(slabs);
+        let st = pool.snapshot();
+        assert_eq!(st.recycled, CLASS_KEEP as u64);
+        assert_eq!(st.freed, 5);
+        assert_eq!(st.outstanding(), 0);
+    }
+
+    #[test]
+    fn pool_teardown_does_not_leak_or_dangle() {
+        let pool = FramePool::new();
+        let s = pool.pooled(b"orphan");
+        drop(pool); // free lists die; the slab holds only a Weak
+        assert_eq!(s, b"orphan"[..], "slab outlives its pool");
+        drop(s); // released to the allocator, not a dangling pool
+    }
+}

@@ -11,12 +11,20 @@
 //! sender keeps unacknowledged frames and retransmits the oldest one on an
 //! exponential backoff timer.
 //!
+//! Since the zero-copy rework every data frame is born in a pooled
+//! [`FrameBuf`] with [`SEQ_HEADER_BYTES`] of zeroed front headroom;
+//! [`TxState::stage`] patches the sequence number in place and freezes the
+//! buffer into a refcounted [`FrameSlice`], so the retransmit queue holds
+//! refcounts — never byte clones — and a retransmit is a refcount bump.
+//!
 //! The state machines here are plain data; the [`crate::NodeEndpoint`]
 //! integration (who pumps what and when) lives in `transport.rs`. ACK frames
 //! travel on a mirrored wire tag (class bit [`crate::tag::CLASS_ACK_BIT`],
 //! src/dst thread ids swapped) so they never match application receives.
 
 use std::collections::{BTreeMap, VecDeque};
+
+use crate::pool::{FrameBuf, FrameSlice};
 
 /// Bytes of sequence header prepended to every reliable data frame.
 pub const SEQ_HEADER_BYTES: usize = 8;
@@ -37,22 +45,15 @@ pub const ACK_BATCH: u64 = 8;
 /// [`BASE_BACKOFF_NS`] so batching never provokes a spurious retransmit.
 pub const ACK_DELAY_NS: u64 = 50_000;
 
-/// Prepend the sequence header to `payload`.
-pub fn frame(seq: u64, payload: &[u8]) -> Vec<u8> {
-    let mut f = Vec::with_capacity(SEQ_HEADER_BYTES + payload.len());
-    f.extend_from_slice(&seq.to_le_bytes());
-    f.extend_from_slice(payload);
-    f
-}
-
-/// Split a reliable frame into `(seq, payload)`.
-pub fn deframe(f: &[u8]) -> (u64, &[u8]) {
+/// Split a reliable frame into `(seq, payload slice)`. The payload is a
+/// zero-copy subview of the same pooled slab.
+pub fn deframe(f: &FrameSlice) -> (u64, FrameSlice) {
     if f.len() < SEQ_HEADER_BYTES {
         crate::die_invariant("reliable frame shorter than its sequence header");
     }
     let mut hdr = [0u8; SEQ_HEADER_BYTES];
     hdr.copy_from_slice(&f[..SEQ_HEADER_BYTES]);
-    (u64::from_le_bytes(hdr), &f[SEQ_HEADER_BYTES..])
+    (u64::from_le_bytes(hdr), f.slice_from(SEQ_HEADER_BYTES))
 }
 
 /// Sender half of one reliable link.
@@ -61,8 +62,9 @@ pub struct TxState {
     pub next_seq: u64,
     /// Frames `< acked` are confirmed delivered (cumulative).
     pub acked: u64,
-    /// Unacknowledged frames, oldest first, already framed.
-    pub outstanding: VecDeque<(u64, Vec<u8>)>,
+    /// Unacknowledged frames, oldest first, already framed. Each entry is a
+    /// refcount on the pooled slab, shared with whatever copy is in flight.
+    pub outstanding: VecDeque<(u64, FrameSlice)>,
     /// Absolute (ns since cluster birth) deadline of the next retransmit;
     /// 0 when nothing is outstanding.
     pub next_retx_ns: u64,
@@ -82,16 +84,20 @@ impl TxState {
         }
     }
 
-    /// Register a new frame for transmission; returns `(seq, framed bytes)`.
-    pub fn stage(&mut self, payload: &[u8], now_ns: u64) -> (u64, Vec<u8>) {
+    /// Register a new frame for transmission. `buf` must carry
+    /// [`SEQ_HEADER_BYTES`] of reserved front headroom (every pooled data
+    /// frame does); the sequence number is patched into it in place, the
+    /// buffer frozen, and a refcounted copy retained for retransmission.
+    pub fn stage(&mut self, mut buf: FrameBuf, now_ns: u64) -> FrameSlice {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let f = frame(seq, payload);
+        buf.write_u64_at(0, seq);
+        let f = buf.freeze();
         self.outstanding.push_back((seq, f.clone()));
         if self.next_retx_ns == 0 {
             self.next_retx_ns = now_ns + self.backoff_ns;
         }
-        (seq, f)
+        f
     }
 
     /// Apply a cumulative ACK (monotone; stale ACKs are harmless).
@@ -112,8 +118,8 @@ impl TxState {
     }
 
     /// If a retransmit is due at `now_ns`, return the oldest unacked frame
-    /// and advance the backoff timer.
-    pub fn due_retransmit(&mut self, now_ns: u64) -> Option<Vec<u8>> {
+    /// (a refcount bump, not a copy) and advance the backoff timer.
+    pub fn due_retransmit(&mut self, now_ns: u64) -> Option<FrameSlice> {
         let (_, f) = self.outstanding.front()?;
         if self.next_retx_ns == 0 {
             self.next_retx_ns = now_ns + self.backoff_ns;
@@ -146,15 +152,15 @@ pub struct RxState {
     /// cluster birth); 0 while `acked == expected`.
     ack_pending_ns: u64,
     /// Out-of-order arrivals parked until the gap closes.
-    stash: BTreeMap<u64, Vec<u8>>,
+    stash: BTreeMap<u64, FrameSlice>,
     /// In-order payloads not yet handed to the application.
-    ready: VecDeque<Vec<u8>>,
+    ready: VecDeque<FrameSlice>,
 }
 
 impl RxState {
     /// Ingest one arriving frame: deliver in order, stash ahead-of-order,
     /// discard duplicates. Returns `true` if the frame was new (not a dup).
-    pub fn accept(&mut self, seq: u64, payload: Vec<u8>) -> bool {
+    pub fn accept(&mut self, seq: u64, payload: FrameSlice) -> bool {
         if seq < self.expected || self.stash.contains_key(&seq) {
             return false; // replay of something already delivered/stashed
         }
@@ -172,7 +178,7 @@ impl RxState {
     }
 
     /// Next in-order payload, if any.
-    pub fn pop_ready(&mut self) -> Option<Vec<u8>> {
+    pub fn pop_ready(&mut self) -> Option<FrameSlice> {
         self.ready.pop_front()
     }
 
@@ -184,6 +190,12 @@ impl RxState {
     /// Out-of-order frames parked in the stash.
     pub fn stashed(&self) -> usize {
         self.stash.len()
+    }
+
+    /// Drop every parked payload (stash + ready), releasing their slabs.
+    pub fn purge(&mut self) {
+        self.stash.clear();
+        self.ready.clear();
     }
 
     /// Batched-ACK decision: if an ACK frame should go out now, return
@@ -215,66 +227,90 @@ impl RxState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::FramePool;
+    use std::sync::Arc;
+
+    /// Build an unstaged data frame: zeroed seq headroom + payload.
+    fn draft(pool: &Arc<FramePool>, payload: &[u8]) -> FrameBuf {
+        let mut b = pool.acquire(SEQ_HEADER_BYTES + payload.len());
+        b.extend_from_slice(&[0u8; SEQ_HEADER_BYTES]);
+        b.extend_from_slice(payload);
+        b
+    }
+
+    fn pooled(pool: &Arc<FramePool>, payload: &[u8]) -> FrameSlice {
+        pool.pooled(payload)
+    }
 
     #[test]
-    fn frame_roundtrip() {
-        let f = frame(7, b"payload");
-        let (seq, p) = deframe(&f);
-        assert_eq!(seq, 7);
-        assert_eq!(p, b"payload");
+    fn stage_patches_seq_and_deframe_recovers_payload() {
+        let pool = FramePool::new();
+        let mut tx = TxState::new();
+        for expect in 0..3u64 {
+            let f = tx.stage(draft(&pool, b"payload"), 0);
+            let (seq, p) = deframe(&f);
+            assert_eq!(seq, expect);
+            assert_eq!(p, b"payload"[..]);
+        }
     }
 
     #[test]
     fn rx_delivers_in_order_despite_reorder_and_dups() {
+        let pool = FramePool::new();
         let mut rx = RxState::default();
-        assert!(rx.accept(1, vec![1])); // ahead: stashed
-        assert_eq!(rx.pop_ready(), None);
-        assert!(rx.accept(0, vec![0])); // gap closes: both deliver
-        assert_eq!(rx.pop_ready(), Some(vec![0]));
-        assert_eq!(rx.pop_ready(), Some(vec![1]));
-        assert!(!rx.accept(0, vec![0]), "replay is a dup");
-        assert!(!rx.accept(1, vec![1]), "replay is a dup");
+        assert!(rx.accept(1, pooled(&pool, &[1]))); // ahead: stashed
+        assert!(rx.pop_ready().is_none());
+        assert!(rx.accept(0, pooled(&pool, &[0]))); // gap closes: both deliver
+        assert_eq!(rx.pop_ready().unwrap(), [0][..]);
+        assert_eq!(rx.pop_ready().unwrap(), [1][..]);
+        assert!(!rx.accept(0, pooled(&pool, &[0])), "replay is a dup");
+        assert!(!rx.accept(1, pooled(&pool, &[1])), "replay is a dup");
         assert_eq!(rx.expected, 2);
     }
 
     #[test]
-    fn cumulative_ack_retires_all_older_frames() {
+    fn cumulative_ack_retires_all_older_frames_and_their_slabs() {
+        let pool = FramePool::new();
         let mut tx = TxState::new();
         for i in 0..5u8 {
-            tx.stage(&[i], 0);
+            drop(tx.stage(draft(&pool, &[i]), 0));
         }
         assert_eq!(tx.outstanding.len(), 5);
+        assert_eq!(pool.snapshot().outstanding(), 5, "retx queue pins slabs");
         tx.on_ack(3);
         assert_eq!(tx.outstanding.len(), 2);
         assert_eq!(tx.outstanding.front().unwrap().0, 3);
+        assert_eq!(pool.snapshot().outstanding(), 2, "acked slabs recycled");
         tx.on_ack(2); // stale: ignored
         assert_eq!(tx.acked, 3);
         tx.on_ack(5);
         assert!(tx.outstanding.is_empty());
         assert_eq!(tx.next_retx_ns, 0);
+        assert_eq!(pool.snapshot().outstanding(), 0);
     }
 
     #[test]
     fn acks_batch_until_count_age_or_dup() {
+        let pool = FramePool::new();
         let mut rx = RxState::default();
         // Below both watermarks: no ACK yet.
         for i in 0..ACK_BATCH - 1 {
-            assert!(rx.accept(i, vec![]));
+            assert!(rx.accept(i, pooled(&pool, &[])));
         }
         assert_eq!(rx.ack_due(1_000, false), None);
         // Count watermark trips; all pending frames covered by one ACK.
-        assert!(rx.accept(ACK_BATCH - 1, vec![]));
+        assert!(rx.accept(ACK_BATCH - 1, pooled(&pool, &[])));
         assert_eq!(rx.ack_due(1_100, false), Some((ACK_BATCH, ACK_BATCH)));
         assert_eq!(rx.ack_due(1_200, false), None, "nothing newly pending");
         // Age watermark: one lone frame flushes once it is old enough.
-        assert!(rx.accept(ACK_BATCH, vec![]));
+        assert!(rx.accept(ACK_BATCH, pooled(&pool, &[])));
         assert_eq!(rx.ack_due(2_000, false), None);
         assert_eq!(
             rx.ack_due(2_000 + ACK_DELAY_NS, false),
             Some((ACK_BATCH + 1, 1))
         );
         // A duplicate forces an immediate re-ACK even with nothing new.
-        assert!(!rx.accept(0, vec![]), "replay is a dup");
+        assert!(!rx.accept(0, pooled(&pool, &[])), "replay is a dup");
         assert_eq!(
             rx.ack_due(2_100 + ACK_DELAY_NS, true),
             Some((ACK_BATCH + 1, 0))
@@ -282,13 +318,20 @@ mod tests {
     }
 
     #[test]
-    fn retransmit_backs_off_exponentially() {
+    fn retransmit_backs_off_exponentially_without_copying() {
+        let pool = FramePool::new();
         let mut tx = TxState::new();
-        tx.stage(b"x", 1_000);
+        drop(tx.stage(draft(&pool, b"x"), 1_000));
         assert!(tx.due_retransmit(1_000).is_none(), "not due yet");
         let due_at = 1_000 + BASE_BACKOFF_NS;
-        assert!(tx.due_retransmit(due_at).is_some());
+        let retx = tx.due_retransmit(due_at).unwrap();
         assert_eq!(tx.backoff_ns, 2 * BASE_BACKOFF_NS);
+        assert_eq!(
+            pool.snapshot().outstanding(),
+            1,
+            "retransmit shares the queued slab instead of cloning bytes"
+        );
+        drop(retx);
         assert!(
             tx.due_retransmit(due_at + BASE_BACKOFF_NS).is_none(),
             "backoff doubled: next retry is further out"

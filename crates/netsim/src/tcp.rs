@@ -6,6 +6,15 @@
 //! progress engine (cooperative SSW ticks or the helper thread). The wire
 //! format per frame is `[len: u32 LE][tag: u64 LE][payload]`.
 //!
+//! Unlike the simulated fabric — which hands refcounted pooled frames
+//! across by pointer — a socket genuinely serializes: `send_frame` copies
+//! the frame's bytes into the connection's outbound buffer, and the
+//! reassembly path copies each parsed payload into a freshly pooled
+//! [`FrameSlice`] so everything downstream (scatter, match store, user
+//! recv) still runs zero-copy. Both copies are intrinsic to the backend
+//! and are counted in [`Transport::memcpy_bytes`], separately from the
+//! protocol layer's own copy telemetry.
+//!
 //! Two constructions exist:
 //!
 //! * [`loopback_mesh`] — every node in one process, meshed over 127.0.0.1
@@ -21,11 +30,13 @@
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::pool::{FramePool, FrameSlice};
 use crate::transport::{MatchStore, NetConfig, NodeEndpoint, PumpOutcome, Transport};
 
 /// Frame header: `[len: u32][tag: u64]`.
@@ -127,8 +138,10 @@ impl Conn {
         moved
     }
 
-    /// Pop the next complete frame off the reassembly buffer.
-    fn next_frame(&mut self) -> Option<(u64, Vec<u8>)> {
+    /// Pop the next complete frame off the reassembly buffer. The payload
+    /// is copied into a pooled slab (the backend's one parse copy) so the
+    /// rest of the stack handles it as a refcounted [`FrameSlice`].
+    fn next_frame(&mut self, pool: &Arc<FramePool>) -> Option<(u64, FrameSlice)> {
         if self.inbuf.len() < HDR {
             return None;
         }
@@ -142,7 +155,7 @@ impl Conn {
             return None;
         }
         let tag = u64::from_le_bytes(self.inbuf[4..12].try_into().ok()?);
-        let payload = self.inbuf[HDR..HDR + len].to_vec();
+        let payload = pool.pooled(&self.inbuf[HDR..HDR + len]);
         self.inbuf.drain(..HDR + len);
         Some((tag, payload))
     }
@@ -155,10 +168,20 @@ pub struct TcpTransport {
     me: usize,
     conns: Vec<Option<Mutex<Conn>>>,
     store: MatchStore,
+    /// Slab pool reassembled payloads are parsed into. Shared with the
+    /// node's protocol layer so recycled slabs serve both directions.
+    pool: Arc<FramePool>,
+    /// Payload bytes serialized into `out` buffers plus bytes parsed out
+    /// of `inbuf` — the copies a real socket cannot avoid.
+    memcpy: AtomicU64,
 }
 
 impl TcpTransport {
-    fn from_streams(me: usize, streams: Vec<Option<TcpStream>>) -> io::Result<Self> {
+    fn from_streams(
+        me: usize,
+        streams: Vec<Option<TcpStream>>,
+        pool: Arc<FramePool>,
+    ) -> io::Result<Self> {
         let mut conns = Vec::with_capacity(streams.len());
         for (peer, s) in streams.into_iter().enumerate() {
             match s {
@@ -177,6 +200,8 @@ impl TcpTransport {
             me,
             conns,
             store: MatchStore::default(),
+            pool,
+            memcpy: AtomicU64::new(0),
         })
     }
 }
@@ -190,28 +215,30 @@ impl Transport for TcpTransport {
         self.conns.len()
     }
 
-    fn send_frame(&self, dst: usize, tag_enc: u64, payload: &[u8]) {
+    fn send_frame(&self, dst: usize, tag_enc: u64, frame: FrameSlice) {
         let Some(slot) = &self.conns[dst] else {
-            // Self-send: no wire, straight to the match store.
-            self.store.push((self.me, tag_enc), payload.to_vec());
+            // Self-send: no wire, the refcounted frame goes straight to the
+            // match store without touching a byte.
+            self.store.push((self.me, tag_enc), frame);
             return;
         };
         let mut conn = slot.lock();
         if conn.dead {
             return;
         }
+        self.memcpy.fetch_add(frame.len() as u64, Ordering::Relaxed);
         conn.out
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
         conn.out.extend_from_slice(&tag_enc.to_le_bytes());
-        conn.out.extend_from_slice(payload);
+        conn.out.extend_from_slice(&frame);
         conn.flush();
     }
 
-    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<Vec<u8>> {
+    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<FrameSlice> {
         self.store.pop(&(src, tag_enc))
     }
 
-    fn push_local(&self, src: usize, tag_enc: u64, payload: Vec<u8>) {
+    fn push_local(&self, src: usize, tag_enc: u64, payload: FrameSlice) {
         self.store.push((src, tag_enc), payload);
     }
 
@@ -231,15 +258,17 @@ impl Transport for TcpTransport {
             out.did_work |= conn.flush();
             out.did_work |= conn.ingest();
             let mut arrived = false;
-            while let Some((tag, payload)) = conn.next_frame() {
+            while let Some((tag, payload)) = conn.next_frame(&self.pool) {
                 out.did_work = true;
                 arrived = true;
+                self.memcpy
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
                 if !fenced(peer) {
                     self.store.push((peer, tag), payload);
                 }
             }
             if arrived {
-                out.arrivals.push(peer);
+                out.arrivals.insert(peer);
             }
         }
         out
@@ -289,6 +318,20 @@ impl Transport for TcpTransport {
         }
     }
 
+    fn purge(&self) {
+        self.store.purge();
+        for slot in self.conns.iter().flatten() {
+            let mut conn = slot.lock();
+            conn.inbuf.clear();
+            conn.out.clear();
+            conn.sent = 0;
+        }
+    }
+
+    fn memcpy_bytes(&self) -> u64 {
+        self.memcpy.load(Ordering::Relaxed)
+    }
+
     fn debug_line(&self) -> String {
         let (mut live, mut dead, mut out_b, mut in_b) = (0usize, 0usize, 0usize, 0usize);
         let mut locked = false;
@@ -317,9 +360,12 @@ impl Transport for TcpTransport {
 
 /// Mesh `n` in-process nodes over 127.0.0.1 ephemeral ports: node `j`
 /// connects to every `i < j` and identifies itself with an 8-byte LE node
-/// id. Panics on socket failure — this is the test/`Cluster` construction,
-/// where loopback sockets are an environment invariant.
-pub(crate) fn loopback_mesh(n: usize) -> Vec<Arc<dyn Transport>> {
+/// id. Each node's transport parses inbound payloads into that node's slab
+/// pool (`pools[me]`). Panics on socket failure — this is the
+/// test/`Cluster` construction, where loopback sockets are an environment
+/// invariant.
+pub(crate) fn loopback_mesh(n: usize, pools: &[Arc<FramePool>]) -> Vec<Arc<dyn Transport>> {
+    assert_eq!(pools.len(), n, "one slab pool per node");
     let die = |what: &str, e: io::Error| -> ! {
         panic!("netsim tcp loopback: {what}: {e}");
     };
@@ -354,8 +400,10 @@ pub(crate) fn loopback_mesh(n: usize) -> Vec<Arc<dyn Transport>> {
         .into_iter()
         .enumerate()
         .map(|(me, s)| {
-            Arc::new(TcpTransport::from_streams(me, s).unwrap_or_else(|e| die("socket opts", e)))
-                as Arc<dyn Transport>
+            Arc::new(
+                TcpTransport::from_streams(me, s, pools[me].clone())
+                    .unwrap_or_else(|e| die("socket opts", e)),
+            ) as Arc<dyn Transport>
         })
         .collect()
 }
@@ -543,7 +591,9 @@ fn root_rendezvous(
 ///
 /// The returned endpoint owns only this node's protocol state; remote
 /// nodes are reachable purely through their sockets, and remote failures
-/// surface through the failure detector rather than shared memory.
+/// surface through the failure detector rather than shared memory. The
+/// node's slab pool is created here and shared between the transport's
+/// parse path and the protocol layer's gather path.
 pub fn multiproc_endpoint(cfg: NetConfig) -> io::Result<NodeEndpoint> {
     let me = env_usize("PURE_TCP_NODE")?;
     let n = env_usize("PURE_TCP_NODES")?;
@@ -616,6 +666,7 @@ pub fn multiproc_endpoint(cfg: NetConfig) -> io::Result<NodeEndpoint> {
             ));
         }
     }
-    let raw = Arc::new(TcpTransport::from_streams(me, links)?);
-    Ok(NodeEndpoint::from_single(raw, cfg))
+    let pool = FramePool::new();
+    let raw = Arc::new(TcpTransport::from_streams(me, links, pool.clone())?);
+    Ok(NodeEndpoint::from_single(raw, cfg, pool))
 }

@@ -21,10 +21,15 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use crate::coalesce::{self, CoalesceBuf, CoalescePlan};
+use crate::coalesce::{self, CoalesceBuf, CoalescePlan, JUMBO_HEADROOM, SUBFRAME_HEADER_BYTES};
 use crate::faults::{DetectPlan, EndpointFaultPlan, FaultPlan, PeerHealth};
-use crate::reliable::{deframe, RxState, TxState};
+use crate::pool::{FrameBuf, FramePool, FrameSlice, PoolStats};
+use crate::reliable::{deframe, RxState, TxState, SEQ_HEADER_BYTES};
 use crate::tag::{WireTag, CLASS_COALESCE};
+
+// The coalescing layer reserves exactly the headroom the reliable sublayer
+// patches its sequence number into; emit_jumbo relies on the two agreeing.
+const _: () = assert!(JUMBO_HEADROOM == SEQ_HEADER_BYTES);
 
 /// Which raw frame plane carries the wire stack.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -84,6 +89,12 @@ pub struct NetConfig {
     pub detect: Option<DetectPlan>,
     /// Which raw frame plane carries all of the above.
     pub backend: Backend,
+    /// Copying-path ablation: reintroduce the pre-pool deep copies (a
+    /// serialize copy per wire frame on send, a fresh buffer per subframe
+    /// on scatter) so benchmarks can measure what zero-copy saves. All the
+    /// extra traffic is charged to [`NetStats::memcpy_bytes`]. Never set
+    /// outside benches.
+    pub copy_wire: bool,
 }
 
 impl NetConfig {
@@ -98,6 +109,7 @@ impl NetConfig {
             endpoint_fault: None,
             detect: None,
             backend: Backend::Sim,
+            copy_wire: false,
         }
     }
 
@@ -130,6 +142,12 @@ impl NetConfig {
         self.backend = backend;
         self
     }
+
+    /// Enable the copying-path ablation (builder style; benches only).
+    pub fn with_copying_wire(mut self) -> Self {
+        self.copy_wire = true;
+        self
+    }
 }
 
 /// Match-store key: (source node, encoded wire tag).
@@ -137,7 +155,7 @@ pub(crate) type MatchKey = (usize, u64);
 
 struct InFlight {
     key: MatchKey,
-    payload: Vec<u8>,
+    payload: FrameSlice,
     /// Nanoseconds-since-cluster-birth at which this message may be matched.
     deliver_at_ns: u64,
 }
@@ -161,27 +179,72 @@ fn shard_of(key: &MatchKey) -> usize {
 /// key hash (see [`shard_of`]). Shared by every backend.
 #[derive(Default)]
 pub(crate) struct MatchStore {
-    shards: [Mutex<HashMap<MatchKey, VecDeque<Vec<u8>>>>; STORE_SHARDS],
+    shards: [Mutex<HashMap<MatchKey, VecDeque<FrameSlice>>>; STORE_SHARDS],
 }
 
 impl MatchStore {
-    pub(crate) fn push(&self, key: MatchKey, payload: Vec<u8>) {
+    pub(crate) fn push(&self, key: MatchKey, payload: FrameSlice) {
         let mut shard = self.shards[shard_of(&key)].lock();
         shard.entry(key).or_default().push_back(payload);
     }
 
-    pub(crate) fn pop(&self, key: &MatchKey) -> Option<Vec<u8>> {
+    /// Pop the oldest payload under `key`. A drained queue stays in the map
+    /// *warm*: removing it would re-allocate the entry on the next push,
+    /// breaking the steady-state zero-allocations-per-message budget.
+    pub(crate) fn pop(&self, key: &MatchKey) -> Option<FrameSlice> {
         let mut shard = self.shards[shard_of(key)].lock();
-        let q = shard.get_mut(key)?;
-        let p = q.pop_front();
-        if q.is_empty() {
-            shard.remove(key);
+        shard.get_mut(key)?.pop_front()
+    }
+
+    /// Drop every matchable payload, releasing their slabs (teardown only).
+    pub(crate) fn purge(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
         }
-        p
     }
 }
 
 // --- The raw frame plane ---------------------------------------------------
+
+/// Set of source nodes that had frames arrive during one pump tick. A u64
+/// bitmask covers the common case allocation-free (the steady-state pump
+/// must not allocate — see `tests/alloc_regression.rs`); clusters beyond 64
+/// nodes spill into a `Vec`.
+#[derive(Debug, Default)]
+pub struct ArrivalSet {
+    mask: u64,
+    spill: Vec<usize>,
+}
+
+impl ArrivalSet {
+    /// Record an arrival from `src`.
+    pub fn insert(&mut self, src: usize) {
+        if src < 64 {
+            self.mask |= 1u64 << src;
+        } else if !self.spill.contains(&src) {
+            self.spill.push(src);
+        }
+    }
+
+    /// True when no arrivals were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0 && self.spill.is_empty()
+    }
+
+    /// Iterate the recorded source nodes (ascending for the first 64).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut m = self.mask;
+        std::iter::from_fn(move || {
+            if m == 0 {
+                return None;
+            }
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(b)
+        })
+        .chain(self.spill.iter().copied())
+    }
+}
 
 /// Outcome of one [`Transport::pump`] tick.
 #[derive(Debug, Default)]
@@ -192,7 +255,7 @@ pub struct PumpOutcome {
     /// Distinct source nodes that had frames arrive this tick. Fenced
     /// (condemned-peer) frames are counted too — an arrival is liveness
     /// evidence even when the frame itself is discarded.
-    pub arrivals: Vec<usize>,
+    pub arrivals: ArrivalSet,
 }
 
 /// The raw frame plane: tagged fire-and-forget frames between nodes, FIFO
@@ -211,16 +274,21 @@ pub trait Transport: Send + Sync {
     fn n_nodes(&self) -> usize;
 
     /// Put one tagged frame on the wire toward `dst`. Fire-and-forget:
-    /// delivery guarantees live in the protocol layer, not here.
-    fn send_frame(&self, dst: usize, tag_enc: u64, payload: &[u8]);
+    /// delivery guarantees live in the protocol layer, not here. The frame
+    /// is a refcounted view of a pooled slab: the simulated fabric hands it
+    /// across without serialization, socket backends serialize it into
+    /// their outbound buffer (and count the copy in `memcpy_bytes`).
+    fn send_frame(&self, dst: usize, tag_enc: u64, frame: FrameSlice);
 
     /// Pop the oldest matchable frame from `src` under `tag_enc`, if one
-    /// has already been pumped into the match store. Performs no IO.
-    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<Vec<u8>>;
+    /// has already been pumped into the match store. Performs no IO. The
+    /// returned slice borrows the pooled slab; dropping it recycles.
+    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<FrameSlice>;
 
     /// Inject a frame into the local match store as if it had arrived from
-    /// `src` — the scatter path for coalesced subframes.
-    fn push_local(&self, src: usize, tag_enc: u64, payload: Vec<u8>);
+    /// `src` — the scatter path for coalesced subframes (typically a
+    /// zero-copy subslice of the arrived jumbo's slab).
+    fn push_local(&self, src: usize, tag_enc: u64, payload: FrameSlice);
 
     /// One IO tick: flush pending writes, ingest arrived frames into the
     /// match store (FIFO per source channel). Frames whose source is
@@ -242,6 +310,17 @@ pub trait Transport: Send + Sync {
     /// Flush what can be flushed and close gracefully (FIN on socket
     /// backends). Idempotent; the simulated fabric has nothing to close.
     fn finalize(&self) {}
+
+    /// Drop every frame parked in this node's match store and inbound
+    /// queues, releasing their pooled slabs. Teardown only — the pool
+    /// balance assertion runs after this.
+    fn purge(&self) {}
+
+    /// Payload bytes this backend memcpy'd internally (serialize on send,
+    /// parse on receive). Zero for backends that move refcounts instead.
+    fn memcpy_bytes(&self) -> u64 {
+        0
+    }
 
     /// One-line state render for hang dumps. Watchdog-safe: try-lock only.
     fn debug_line(&self) -> String;
@@ -306,20 +385,20 @@ impl Transport for SimTransport {
         self.fabric.nodes.len()
     }
 
-    fn send_frame(&self, dst: usize, tag_enc: u64, payload: &[u8]) {
-        let deliver_at_ns = self.fabric.now_ns() + self.fabric.delay_ns(payload.len());
+    fn send_frame(&self, dst: usize, tag_enc: u64, frame: FrameSlice) {
+        let deliver_at_ns = self.fabric.now_ns() + self.fabric.delay_ns(frame.len());
         self.fabric.nodes[dst].inbox.lock().push_back(InFlight {
             key: (self.me, tag_enc),
-            payload: payload.to_vec(),
+            payload: frame,
             deliver_at_ns,
         });
     }
 
-    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<Vec<u8>> {
+    fn recv_frame(&self, src: usize, tag_enc: u64) -> Option<FrameSlice> {
         self.fabric.nodes[self.me].store.pop(&(src, tag_enc))
     }
 
-    fn push_local(&self, src: usize, tag_enc: u64, payload: Vec<u8>) {
+    fn push_local(&self, src: usize, tag_enc: u64, payload: FrameSlice) {
         self.fabric.nodes[self.me]
             .store
             .push((src, tag_enc), payload);
@@ -346,9 +425,7 @@ impl Transport for SimTransport {
                 });
                 out.did_work = true;
                 let src = m.key.0;
-                if !out.arrivals.contains(&src) {
-                    out.arrivals.push(src);
-                }
+                out.arrivals.insert(src);
                 if !fenced(src) {
                     sh.store.push(m.key, m.payload);
                 }
@@ -358,6 +435,12 @@ impl Transport for SimTransport {
             }
         }
         out
+    }
+
+    fn purge(&self) {
+        let sh = &self.fabric.nodes[self.me];
+        sh.inbox.lock().clear();
+        sh.store.purge();
     }
 
     fn debug_line(&self) -> String {
@@ -372,11 +455,12 @@ impl Transport for SimTransport {
 
 // --- Protocol-layer state --------------------------------------------------
 
-/// One frame the fault injector is holding back from the wire.
+/// One frame the fault injector is holding back from the wire. Holds a
+/// refcount on the pooled slab, not a byte copy.
 struct OutFrame {
     dst: usize,
     tag_enc: u64,
-    payload: Vec<u8>,
+    payload: FrameSlice,
 }
 
 /// Sender-side fault-injection holding areas (fault mode only).
@@ -390,8 +474,11 @@ struct Perturb {
 }
 
 /// One node's protocol-layer state: everything above the raw frame plane.
-#[derive(Default)]
 struct NodeProto {
+    /// The node's slab pool: every outbound frame is built in (and every
+    /// inbound socket frame parsed into) a buffer acquired here. Shared
+    /// with the node's raw transport on backends that parse.
+    pool: Arc<FramePool>,
     /// Reliable sender links originating at this node (fault mode only).
     rel_tx: Mutex<HashMap<LinkKey, TxState>>,
     /// Reliable receiver links terminating at this node (fault mode only).
@@ -411,6 +498,21 @@ struct NodeProto {
     /// Failure-detector state per peer node (detection mode only). Leaf
     /// lock: never held while acquiring any other transport lock.
     health: Mutex<HashMap<usize, PeerHealth>>,
+}
+
+impl NodeProto {
+    fn new(pool: Arc<FramePool>) -> Self {
+        Self {
+            pool,
+            rel_tx: Mutex::default(),
+            rel_rx: Mutex::default(),
+            co_tx: Mutex::default(),
+            perturb: Mutex::default(),
+            sent_frames: AtomicU64::new(0),
+            silenced: AtomicBool::new(false),
+            health: Mutex::default(),
+        }
+    }
 }
 
 /// Cluster-global failure view: the set of condemned nodes and their death
@@ -464,6 +566,15 @@ pub struct NetStats {
     /// Condemned peers that later showed evidence of life (one per peer):
     /// the detector's false-positive count.
     pub false_suspects: AtomicU64,
+    /// Protocol-layer payload memcpy bytes: the user→wire gather copy, plus
+    /// every ablation copy when [`NetConfig::copy_wire`] is on. Backend
+    /// serialize/parse copies are counted by the backend itself (see
+    /// [`Transport::memcpy_bytes`]); control traffic (ACKs, heartbeats) is
+    /// not charged.
+    pub memcpy_bytes: AtomicU64,
+    /// Payload slices handed to the match store as zero-copy borrows of an
+    /// arrived pooled jumbo (the scatter path's saved copies).
+    pub frames_borrowed: AtomicU64,
 }
 
 impl NetStats {
@@ -506,6 +617,16 @@ impl NetStats {
         )
     }
 
+    /// Snapshot (protocol-layer memcpy bytes, frames borrowed) — the
+    /// zero-copy view merged into the runtime's telemetry report. Backend
+    /// memcpy is *not* included; see [`NodeEndpoint::memcpy_bytes`].
+    pub fn copy_snapshot(&self) -> (u64, u64) {
+        (
+            self.memcpy_bytes.load(Ordering::Relaxed),
+            self.frames_borrowed.load(Ordering::Relaxed),
+        )
+    }
+
     /// Snapshot (heartbeats, suspicions, false suspects) — the failure
     /// detector's view merged into the runtime's telemetry report.
     pub fn health_snapshot(&self) -> (u64, u64, u64) {
@@ -533,12 +654,14 @@ impl Cluster {
     pub fn new(n_nodes: usize, cfg: NetConfig) -> Self {
         assert!(n_nodes > 0, "netsim: a cluster needs at least one node");
         let birth = Instant::now();
+        let pools: Vec<Arc<FramePool>> = (0..n_nodes).map(|_| FramePool::new()).collect();
         let raws: Vec<Arc<dyn Transport>> = match cfg.backend {
             Backend::Sim => SimFabric::mesh(n_nodes, &cfg, birth),
-            Backend::Tcp => crate::tcp::loopback_mesh(n_nodes),
+            Backend::Tcp => crate::tcp::loopback_mesh(n_nodes, &pools),
         };
-        let protos: Vec<Arc<NodeProto>> = (0..n_nodes)
-            .map(|_| Arc::new(NodeProto::default()))
+        let protos: Vec<Arc<NodeProto>> = pools
+            .into_iter()
+            .map(|p| Arc::new(NodeProto::new(p)))
             .collect();
         Self {
             raws: raws.into(),
@@ -587,6 +710,27 @@ impl Cluster {
     pub fn progress_debug(&self) -> String {
         self.endpoint(0).progress_debug()
     }
+
+    /// Merged frame-pool counters across every node's pool. After
+    /// [`Cluster::purge_pooled`], `outstanding()` must be zero — the
+    /// no-leak / no-double-free invariant the chaos suites assert.
+    pub fn pool_snapshot(&self) -> PoolStats {
+        self.endpoint(0).pool_snapshot()
+    }
+
+    /// Total payload bytes memcpy'd on the wire path (protocol gather +
+    /// ablation copies + backend serialize/parse), across the cluster.
+    pub fn memcpy_bytes(&self) -> u64 {
+        self.endpoint(0).memcpy_bytes()
+    }
+
+    /// Drop every frame still parked anywhere in the wire stack (match
+    /// stores, inboxes, retransmit queues, reorder stashes, coalescing and
+    /// fault-injection buffers), returning their slabs to the pools.
+    /// Teardown only, after every rank has exited.
+    pub fn purge_pooled(&self) {
+        self.endpoint(0).purge_pooled()
+    }
 }
 
 /// One node's handle onto the interconnect. Clone freely; all clones share
@@ -612,14 +756,20 @@ pub struct NodeEndpoint {
 impl NodeEndpoint {
     /// Build an endpoint that owns only its own node's state — the
     /// multi-process construction, where remote nodes live behind `raw`.
-    pub(crate) fn from_single(raw: Arc<dyn Transport>, cfg: NetConfig) -> Self {
+    /// `pool` is the node's frame pool, shared with `raw` so inbound parse
+    /// buffers and outbound frames recycle through the same free lists.
+    pub(crate) fn from_single(
+        raw: Arc<dyn Transport>,
+        cfg: NetConfig,
+        pool: Arc<FramePool>,
+    ) -> Self {
         let me = raw.node();
         let n = raw.n_nodes();
         Self {
             me,
             n,
             raws: vec![raw].into(),
-            protos: vec![Arc::new(NodeProto::default())].into(),
+            protos: vec![Arc::new(NodeProto::new(pool))].into(),
             cfg,
             birth: Instant::now(),
             stats: Arc::new(NetStats::default()),
@@ -738,18 +888,44 @@ impl NodeEndpoint {
     /// for retransmission until acknowledged; with neither this is the
     /// familiar fire-and-forget path, byte for byte.
     pub fn send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+        self.send_parts(dst_node, tag, &[], payload);
+    }
+
+    /// [`NodeEndpoint::send`] with the payload in two pieces: a protocol
+    /// header and a body, written back to back into one pooled frame. This
+    /// is how `pure-core`'s eager path prepends its frame-kind byte without
+    /// an intermediate concatenation `Vec`.
+    pub fn send_parts(&self, dst_node: usize, tag: WireTag, head: &[u8], payload: &[u8]) {
         // Sends toward a condemned peer go nowhere: staging them would regrow
         // the reliable-link state the detector just garbage-collected.
         if self.cfg.detect.is_some() && self.peer_dead(dst_node).is_some() {
             return;
         }
         if self.cfg.coalesce.is_some() && !tag.is_ack() && tag.class != CLASS_COALESCE {
-            self.coalesce_send(dst_node, tag, payload);
+            self.coalesce_send(dst_node, tag, head, payload);
         } else if self.cfg.faults.is_some() && !tag.is_ack() {
-            self.reliable_send(dst_node, tag, payload);
+            self.reliable_send(dst_node, tag, head, payload);
         } else {
-            self.raw_send(dst_node, tag, payload);
+            let frame = self.pooled_parts(0, head, payload);
+            self.raw_send(dst_node, tag, frame.freeze());
         }
+    }
+
+    /// Gather `head` + `body` into a pooled frame with `headroom` zeroed
+    /// front bytes, charging the one user→wire copy to `memcpy_bytes`.
+    fn pooled_parts(&self, headroom: usize, head: &[u8], body: &[u8]) -> FrameBuf {
+        debug_assert!(headroom <= SEQ_HEADER_BYTES);
+        let mut b = self
+            .proto()
+            .pool
+            .acquire(headroom + head.len() + body.len());
+        b.extend_from_slice(&[0u8; SEQ_HEADER_BYTES][..headroom]);
+        b.extend_from_slice(head);
+        b.extend_from_slice(body);
+        self.stats
+            .memcpy_bytes
+            .fetch_add((head.len() + body.len()) as u64, Ordering::Relaxed);
+        b
     }
 
     /// Put one raw frame on the wire, applying fault-injection decisions
@@ -757,7 +933,7 @@ impl NodeEndpoint {
     /// above the backend: a dropped frame never reaches `send_frame`, a
     /// reordered one waits in the stash for a later-decided frame to pass
     /// it, a delayed one parks until its due time.
-    fn raw_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+    fn raw_send(&self, dst_node: usize, tag: WireTag, payload: FrameSlice) {
         // Crash-stop: a silent node puts nothing on the wire — data, ACKs,
         // retransmits, and heartbeats all die here. The check precedes the
         // trip-counter bump, so crash-at-frame-N delivers exactly N frames.
@@ -771,6 +947,15 @@ impl NodeEndpoint {
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         let frame = self.stats.frames.fetch_add(1, Ordering::Relaxed);
         let enc = tag.encode();
+        // Copying-path ablation: emulate a per-frame serialize copy.
+        let payload = if self.cfg.copy_wire {
+            self.stats
+                .memcpy_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            self.proto().pool.pooled(&payload)
+        } else {
+            payload
+        };
         let Some(plan) = &self.cfg.faults else {
             self.raw().send_frame(dst_node, enc, payload);
             return;
@@ -786,28 +971,29 @@ impl NodeEndpoint {
         } else {
             1
         };
-        let held = |payload: &[u8]| OutFrame {
+        // Holding a frame back is a refcount bump, never a byte copy.
+        let held = |payload: &FrameSlice| OutFrame {
             dst: dst_node,
             tag_enc: enc,
-            payload: payload.to_vec(),
+            payload: payload.clone(),
         };
         if d.extra_delay_ns > 0 {
             let due = self.now_ns() + d.extra_delay_ns;
             let mut pt = self.proto().perturb.lock();
             for _ in 0..copies {
-                pt.delayed.push((due, held(payload)));
+                pt.delayed.push((due, held(&payload)));
             }
             return;
         }
         if d.reorder {
             let mut pt = self.proto().perturb.lock();
             for _ in 0..copies {
-                pt.stash.push(held(payload));
+                pt.stash.push(held(&payload));
             }
             return;
         }
         for _ in 0..copies {
-            self.raw().send_frame(dst_node, enc, payload);
+            self.raw().send_frame(dst_node, enc, payload.clone());
         }
         self.release_reordered();
     }
@@ -824,7 +1010,7 @@ impl NodeEndpoint {
             std::mem::take(&mut pt.stash)
         };
         for f in stash {
-            self.raw().send_frame(f.dst, f.tag_enc, &f.payload);
+            self.raw().send_frame(f.dst, f.tag_enc, f.payload);
         }
         true
     }
@@ -849,9 +1035,9 @@ impl NodeEndpoint {
                 due.into_iter().map(|(_, f)| f).collect()
             }
         };
-        for f in &due {
+        for f in due {
             work = true;
-            self.raw().send_frame(f.dst, f.tag_enc, &f.payload);
+            self.raw().send_frame(f.dst, f.tag_enc, f.payload);
         }
         work
     }
@@ -861,7 +1047,12 @@ impl NodeEndpoint {
     /// backend, and in fault mode the reliable sublayer's retransmits and
     /// ACKs) as a side effect, exactly as an MPI progress engine does on
     /// every receive poll.
-    pub fn try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
+    ///
+    /// The returned [`FrameSlice`] is a zero-copy view of the pooled wire
+    /// frame (for coalesced traffic, a subslice of the arrived jumbo);
+    /// dropping it recycles the slab. Copying into a user buffer is the
+    /// receiver's single wire→user copy.
+    pub fn try_recv(&self, src_node: usize, tag: WireTag) -> Option<FrameSlice> {
         if self.self_deaf() {
             return None; // a crashed node receives nothing
         }
@@ -897,7 +1088,7 @@ impl NodeEndpoint {
     /// reliable bookkeeping and no recursion into
     /// [`NodeEndpoint::progress`]. Used by the reliable sublayer itself
     /// (data pump and ACK drain) and the detector's heartbeat drain.
-    fn raw_try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
+    fn raw_try_recv(&self, src_node: usize, tag: WireTag) -> Option<FrameSlice> {
         let enc = tag.encode();
         if let Some(p) = self.raw().recv_frame(src_node, enc) {
             return Some(p);
@@ -925,7 +1116,7 @@ impl NodeEndpoint {
         if detect && !out.arrivals.is_empty() {
             let now = self.now_ns();
             let mut health = self.proto().health.lock();
-            for &src in &out.arrivals {
+            for src in out.arrivals.iter() {
                 let h = health.entry(src).or_insert_with(|| PeerHealth::new(now));
                 if h.saw_alive(now) {
                     self.stats.false_suspects.fetch_add(1, Ordering::Relaxed);
@@ -983,27 +1174,42 @@ impl NodeEndpoint {
     /// sequence number) in take order, or a racing sender on the same node
     /// could emit a later jumbo first and scatter one tag's subframes out
     /// of FIFO order at the receiver.
-    fn coalesce_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+    fn coalesce_send(&self, dst_node: usize, tag: WireTag, head: &[u8], payload: &[u8]) {
         let Some(plan) = self.cfg.coalesce else {
             crate::die_invariant("coalesce_send without a coalescing plan")
         };
         let now = self.now_ns();
-        let mut com = self.proto().co_tx.lock();
+        let proto = self.proto();
+        let mut com = proto.co_tx.lock();
         let buf = com.entry(dst_node).or_default();
-        if payload.len() > plan.eligible_max {
+        let total = head.len() + payload.len();
+        if total > plan.eligible_max {
             if buf.frames > 0 {
-                let pending = buf.take();
-                self.emit_jumbo(dst_node, &pending);
+                if let Some(pending) = buf.take() {
+                    self.emit_jumbo(dst_node, pending);
+                }
             }
-            let mut solo = Vec::new();
-            coalesce::pack_subframe(&mut solo, tag.encode(), payload);
-            self.emit_jumbo(dst_node, &solo);
+            // Oversize: a single-subframe jumbo, gathered straight into a
+            // pooled buffer (with seq headroom, like any jumbo).
+            let mut solo = proto
+                .pool
+                .acquire(JUMBO_HEADROOM + SUBFRAME_HEADER_BYTES + total);
+            solo.extend_from_slice(&[0u8; JUMBO_HEADROOM]);
+            coalesce::pack_subframe_into(&mut solo, tag.encode(), head, payload);
+            self.stats
+                .memcpy_bytes
+                .fetch_add(total as u64, Ordering::Relaxed);
+            self.emit_jumbo(dst_node, solo);
         } else {
-            buf.push(tag.encode(), payload, now);
+            let copied = buf.push(&proto.pool, tag.encode(), head, payload, now);
+            self.stats
+                .memcpy_bytes
+                .fetch_add(copied as u64, Ordering::Relaxed);
             self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
             if buf.due(&plan, now) {
-                let jumbo = buf.take();
-                self.emit_jumbo(dst_node, &jumbo);
+                if let Some(jumbo) = buf.take() {
+                    self.emit_jumbo(dst_node, jumbo);
+                }
             }
         }
     }
@@ -1015,12 +1221,18 @@ impl NodeEndpoint {
     /// that produced `jumbo` and this call, so emission order equals take
     /// order. That is deadlock-free: the locks taken below (`rel_tx`, the
     /// backend, store shards) are never held while acquiring `co_tx`.
-    fn emit_jumbo(&self, dst_node: usize, jumbo: &[u8]) {
+    ///
+    /// `jumbo` arrives as an unfrozen buffer carrying [`JUMBO_HEADROOM`]
+    /// zeroed front bytes: fault mode patches the reliable sequence number
+    /// into them in place (no re-framing copy); fault-free mode freezes and
+    /// slices past them, so the wire bytes are headerless either way.
+    fn emit_jumbo(&self, dst_node: usize, jumbo: FrameBuf) {
         self.stats.coalesce_flushes.fetch_add(1, Ordering::Relaxed);
         if self.cfg.faults.is_some() {
-            self.reliable_send(dst_node, WireTag::coalesce(), jumbo);
+            self.reliable_send_buf(dst_node, WireTag::coalesce(), jumbo);
         } else {
-            self.raw_send(dst_node, WireTag::coalesce(), jumbo);
+            let frame = jumbo.freeze().slice_from(JUMBO_HEADROOM);
+            self.raw_send(dst_node, WireTag::coalesce(), frame);
         }
     }
 
@@ -1034,9 +1246,10 @@ impl NodeEndpoint {
         let mut com = self.proto().co_tx.lock();
         for (&dst, buf) in com.iter_mut() {
             if buf.due(&plan, now) {
-                let jumbo = buf.take();
-                self.emit_jumbo(dst, &jumbo);
-                work = true;
+                if let Some(jumbo) = buf.take() {
+                    self.emit_jumbo(dst, jumbo);
+                    work = true;
+                }
             }
         }
         work
@@ -1051,8 +1264,9 @@ impl NodeEndpoint {
         let mut com = self.proto().co_tx.lock();
         for (&dst, buf) in com.iter_mut() {
             if buf.frames > 0 {
-                let jumbo = buf.take();
-                self.emit_jumbo(dst, &jumbo);
+                if let Some(jumbo) = buf.take() {
+                    self.emit_jumbo(dst, jumbo);
+                }
             }
         }
     }
@@ -1065,7 +1279,7 @@ impl NodeEndpoint {
         let mut work = false;
         if self.cfg.faults.is_some() {
             let now = self.now_ns();
-            let mut scatter: Vec<(usize, Vec<u8>)> = Vec::new();
+            let mut scatter: Vec<(usize, FrameSlice)> = Vec::new();
             let mut acks: Vec<(usize, u64)> = Vec::new();
             {
                 let mut rxm = self.proto().rel_rx.lock();
@@ -1078,7 +1292,7 @@ impl NodeEndpoint {
                     while let Some(f) = self.raw_try_recv(src, jumbo) {
                         work = true;
                         let (seq, payload) = deframe(&f);
-                        saw_dup |= !st.accept(seq, payload.to_vec());
+                        saw_dup |= !st.accept(seq, payload);
                     }
                     while let Some(j) = st.pop_ready() {
                         scatter.push((src, j));
@@ -1098,7 +1312,8 @@ impl NodeEndpoint {
             for (src, ack) in acks {
                 work = true;
                 self.stats.acks.fetch_add(1, Ordering::Relaxed);
-                self.raw_send(src, WireTag::ack_for(jumbo), &ack.to_le_bytes());
+                let f = self.proto().pool.pooled(&ack.to_le_bytes());
+                self.raw_send(src, WireTag::ack_for(jumbo), f);
             }
         } else {
             for src in 0..self.n {
@@ -1115,30 +1330,52 @@ impl NodeEndpoint {
     }
 
     /// Sort one jumbo's subframes into the match store in arrival order.
-    fn scatter_jumbo(&self, src: usize, jumbo: &[u8]) {
-        for (enc, payload) in coalesce::unpack_subframes(jumbo) {
-            self.raw().push_local(src, enc, payload.to_vec());
+    /// Each subframe is handed over as a zero-copy subslice of the jumbo's
+    /// pooled slab; the slab recycles once every receiver has consumed its
+    /// slice. The `copy_wire` ablation reinstates the per-subframe copy.
+    fn scatter_jumbo(&self, src: usize, jumbo: &FrameSlice) {
+        if self.cfg.copy_wire {
+            for (enc, range) in coalesce::unpack_subframe_ranges(jumbo) {
+                self.stats
+                    .memcpy_bytes
+                    .fetch_add(range.len() as u64, Ordering::Relaxed);
+                let copy = self.proto().pool.pooled(&jumbo[range]);
+                self.raw().push_local(src, enc, copy);
+            }
+        } else {
+            for (enc, range) in coalesce::unpack_subframe_ranges(jumbo) {
+                self.stats.frames_borrowed.fetch_add(1, Ordering::Relaxed);
+                self.raw().push_local(src, enc, jumbo.slice(range));
+            }
         }
     }
 
     // --- Reliable sublayer (fault mode only) -----------------------------
 
-    /// Stage a frame on this node's tx link and transmit it (lossy).
-    fn reliable_send(&self, dst_node: usize, tag: WireTag, payload: &[u8]) {
+    /// Gather `head` + `payload` into a pooled frame (with sequence
+    /// headroom), stage it on this node's tx link and transmit it (lossy).
+    fn reliable_send(&self, dst_node: usize, tag: WireTag, head: &[u8], payload: &[u8]) {
+        let buf = self.pooled_parts(SEQ_HEADER_BYTES, head, payload);
+        self.reliable_send_buf(dst_node, tag, buf);
+    }
+
+    /// Stage an already-gathered frame (its [`SEQ_HEADER_BYTES`] of front
+    /// headroom get the sequence number patched in place) and transmit it.
+    /// The retransmit queue keeps a refcount on the same slab.
+    fn reliable_send_buf(&self, dst_node: usize, tag: WireTag, buf: FrameBuf) {
         let framed = {
             let mut txm = self.proto().rel_tx.lock();
             let st = txm.entry((dst_node, tag.encode())).or_default();
-            let (_, f) = st.stage(payload, self.now_ns());
-            f
+            st.stage(buf, self.now_ns())
         };
-        self.raw_send(dst_node, tag, &framed);
+        self.raw_send(dst_node, tag, framed);
     }
 
     /// Reliable-plane receive: tick the sublayer, pump this link's raw
     /// frames through dedup/reorder, ACK cumulatively (batched: on a count
     /// or age watermark, or immediately after a dup — a dup usually means
     /// the previous ACK was lost), return the next in-order payload.
-    fn reliable_try_recv(&self, src_node: usize, tag: WireTag) -> Option<Vec<u8>> {
+    fn reliable_try_recv(&self, src_node: usize, tag: WireTag) -> Option<FrameSlice> {
         self.reliable_tick();
         if self.cfg.detect.is_some() {
             self.detect_tick();
@@ -1150,7 +1387,7 @@ impl NodeEndpoint {
             let mut saw_dup = false;
             while let Some(f) = self.raw_try_recv(src_node, tag) {
                 let (seq, payload) = deframe(&f);
-                saw_dup |= !st.accept(seq, payload.to_vec());
+                saw_dup |= !st.accept(seq, payload);
             }
             (st.pop_ready(), st.ack_due(now, saw_dup))
         };
@@ -1159,7 +1396,8 @@ impl NodeEndpoint {
                 .acks_batched
                 .fetch_add(newly.saturating_sub(1), Ordering::Relaxed);
             self.stats.acks.fetch_add(1, Ordering::Relaxed);
-            self.raw_send(src_node, WireTag::ack_for(tag), &ack.to_le_bytes());
+            let f = self.proto().pool.pooled(&ack.to_le_bytes());
+            self.raw_send(src_node, WireTag::ack_for(tag), f);
         }
         out
     }
@@ -1173,7 +1411,7 @@ impl NodeEndpoint {
         let proto = self.proto();
         let now = self.now_ns();
         let mut work = self.flush_perturbed();
-        let mut retx: Vec<(usize, WireTag, Vec<u8>)> = Vec::new();
+        let mut retx: Vec<(usize, WireTag, FrameSlice)> = Vec::new();
         {
             let mut txm = proto.rel_tx.lock();
             for (&(dst, enc), st) in txm.iter_mut() {
@@ -1181,7 +1419,7 @@ impl NodeEndpoint {
                 let ack_tag = WireTag::ack_for(data_tag);
                 while let Some(a) = self.raw_try_recv(dst, ack_tag) {
                     work = true;
-                    if let Ok(hdr) = <[u8; 8]>::try_from(a.as_slice()) {
+                    if let Ok(hdr) = <[u8; 8]>::try_from(&a[..]) {
                         st.on_ack(u64::from_le_bytes(hdr));
                     }
                 }
@@ -1193,10 +1431,10 @@ impl NodeEndpoint {
         }
         work |= !retx.is_empty();
         for (dst, tag, f) in retx {
-            self.raw_send(dst, tag, &f);
+            self.raw_send(dst, tag, f);
         }
         let mut acks: Vec<(usize, WireTag, u64)> = Vec::new();
-        let mut scatter: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut scatter: Vec<(usize, FrameSlice)> = Vec::new();
         {
             let mut rxm = proto.rel_rx.lock();
             for (&(src, enc), st) in rxm.iter_mut() {
@@ -1205,7 +1443,7 @@ impl NodeEndpoint {
                 while let Some(f) = self.raw_try_recv(src, tag) {
                     work = true;
                     let (seq, payload) = deframe(&f);
-                    saw_dup |= !st.accept(seq, payload.to_vec());
+                    saw_dup |= !st.accept(seq, payload);
                 }
                 // Jumbo links have no blocked receiver to pop them: hand
                 // their in-order payloads straight to the scatter path.
@@ -1230,7 +1468,8 @@ impl NodeEndpoint {
         }
         for (src, tag, ack) in acks {
             self.stats.acks.fetch_add(1, Ordering::Relaxed);
-            self.raw_send(src, tag, &ack.to_le_bytes());
+            let f = self.proto().pool.pooled(&ack.to_le_bytes());
+            self.raw_send(src, tag, f);
         }
         work
     }
@@ -1308,7 +1547,8 @@ impl NodeEndpoint {
         work |= !send_hb.is_empty() || !newly_dead.is_empty();
         for peer in send_hb {
             self.stats.heartbeats.fetch_add(1, Ordering::Relaxed);
-            self.raw_send(peer, hb, &[]);
+            // Heartbeats are empty: the poolless empty slice costs nothing.
+            self.raw_send(peer, hb, FrameSlice::empty());
         }
         for peer in newly_dead {
             self.gc_dead_peer(peer);
@@ -1500,6 +1740,47 @@ impl NodeEndpoint {
                     .sum::<usize>()
             })
             .sum()
+    }
+
+    /// Merged frame-pool counters across every node whose state lives in
+    /// this process.
+    pub fn pool_snapshot(&self) -> PoolStats {
+        let mut merged = PoolStats::default();
+        for (_, proto, _) in self.known() {
+            merged.merge(&proto.pool.snapshot());
+        }
+        merged
+    }
+
+    /// Total payload bytes memcpy'd on the wire path: the protocol layer's
+    /// gather (and ablation) copies plus each backend's serialize/parse
+    /// copies, across every node whose state lives in this process.
+    pub fn memcpy_bytes(&self) -> u64 {
+        self.stats.memcpy_bytes.load(Ordering::Relaxed)
+            + self
+                .known()
+                .map(|(_, _, raw)| raw.memcpy_bytes())
+                .sum::<u64>()
+    }
+
+    /// Drop every frame still parked in the wire stack — retransmit queues,
+    /// reorder stashes, coalescing buffers, fault-injection holding areas,
+    /// match stores and inbound queues — returning their slabs to the
+    /// pools. Teardown only (after every rank has exited): afterwards the
+    /// pool snapshot must balance, `acquired() == released()`, or a slab
+    /// was leaked or double-freed.
+    pub fn purge_pooled(&self) {
+        for (_, proto, raw) in self.known() {
+            proto.rel_tx.lock().clear();
+            proto.rel_rx.lock().clear();
+            proto.co_tx.lock().clear();
+            {
+                let mut pt = proto.perturb.lock();
+                pt.stash.clear();
+                pt.delayed.clear();
+            }
+            raw.purge();
+        }
     }
 }
 
@@ -1755,7 +2036,7 @@ mod tests {
                     .try_recv(0, tag)
                     .unwrap_or_else(|| panic!("tag {t}: subframe {i} missing"));
                 assert_eq!(
-                    u32::from_le_bytes(p.try_into().unwrap()),
+                    u32::from_le_bytes((&p[..]).try_into().unwrap()),
                     i,
                     "tag {t}: subframes reordered"
                 );
@@ -1923,6 +2204,82 @@ mod tests {
             b.try_recv(0, tag),
             None,
             "post-trip frames never leave the node"
+        );
+    }
+
+    /// The pooled wire path balances: after draining traffic and purging,
+    /// every acquired slab has been released, and the steady state is
+    /// served from the free lists (hits dominate misses).
+    #[test]
+    fn pooled_wire_path_recycles_slabs() {
+        let c = Cluster::new(
+            2,
+            NetConfig::default().with_coalescing(CoalescePlan::default()),
+        );
+        let a = c.endpoint(0);
+        let b = c.endpoint(1);
+        let tag = WireTag::p2p(0, 0, 4);
+        for round in 0..50u8 {
+            a.send(1, tag, &[round, 1, 2, 3]);
+            a.flush_coalesced();
+            assert_eq!(b.try_recv(0, tag).unwrap(), [round, 1, 2, 3]);
+        }
+        let st = c.pool_snapshot();
+        assert!(st.hits > st.misses, "steady state must reuse slabs: {st:?}");
+        c.purge_pooled();
+        assert_eq!(
+            c.pool_snapshot().outstanding(),
+            0,
+            "every slab must return to its pool"
+        );
+    }
+
+    /// `send_parts` concatenates header + body into one pooled frame; the
+    /// receiver sees exactly the concatenation, on both the plain and the
+    /// coalesced path.
+    #[test]
+    fn send_parts_matches_concatenated_send() {
+        for cfg in [
+            NetConfig::default(),
+            NetConfig::default().with_coalescing(CoalescePlan::default()),
+        ] {
+            let c = Cluster::new(2, cfg);
+            let a = c.endpoint(0);
+            let b = c.endpoint(1);
+            let tag = WireTag::p2p(0, 0, 2);
+            a.send_parts(1, tag, &[0xAB], b"payload");
+            a.flush_coalesced();
+            assert_eq!(b.try_recv(0, tag).unwrap(), b"\xabpayload"[..]);
+        }
+    }
+
+    /// The copying-path ablation pays the pre-pool copies (serialize on
+    /// send, per-subframe scatter) and the zero-copy path does not — the
+    /// measured gap fig6b reports.
+    #[test]
+    fn copying_wire_ablation_counts_extra_memcpys() {
+        let run = |cfg: NetConfig| {
+            let c = Cluster::new(2, cfg.with_coalescing(CoalescePlan::default()));
+            let a = c.endpoint(0);
+            let b = c.endpoint(1);
+            let tag = WireTag::p2p(0, 0, 6);
+            for i in 0..32u8 {
+                a.send(1, tag, &[i; 16]);
+            }
+            a.flush_coalesced();
+            for i in 0..32u8 {
+                assert_eq!(b.try_recv(0, tag).unwrap(), [i; 16]);
+            }
+            (c.memcpy_bytes(), c.stats().copy_snapshot().1)
+        };
+        let (zc_bytes, zc_borrowed) = run(NetConfig::default());
+        let (cp_bytes, cp_borrowed) = run(NetConfig::default().with_copying_wire());
+        assert_eq!(zc_borrowed, 32, "every subframe scatters as a borrow");
+        assert_eq!(cp_borrowed, 0, "the ablation copies instead of borrowing");
+        assert!(
+            cp_bytes >= 2 * zc_bytes,
+            "copying path must pay at least the serialize + scatter copies \
+             on top of the gather: zero-copy {zc_bytes} B, copying {cp_bytes} B"
         );
     }
 

@@ -218,7 +218,7 @@ fn four_node_stress_streams_and_floods() {
                             break;
                         };
                         assert_eq!(
-                            u32::from_le_bytes(p.try_into().unwrap()),
+                            u32::from_le_bytes((&p[..]).try_into().unwrap()),
                             flood_got[peer],
                             "node {me}: flood from {peer} reordered"
                         );

@@ -116,6 +116,69 @@ fn pbq_recv_with_in_place_path_is_allocation_free() {
     assert_eq!(delta, 0, "{delta} allocations in 10k in-place receives");
 }
 
+/// Cross-node: the pooled wire path end to end. After warm-up (pool slabs
+/// allocated, match-store entries warm, transport buffers grown to steady
+/// capacity), a send → flush → receive round over the internode transport
+/// must allocate nothing per message — every wire frame lives in a recycled
+/// pool slab and the receiver gets a zero-copy view of it. Asserted on both
+/// the simulated fabric and real TCP loopback sockets, with coalescing off
+/// (singleton frames) and on (gathered jumbos, scattered subslices).
+///
+/// Drives a raw 2-node `netsim::Cluster` from one thread so the measured
+/// window is deterministic; faults and detection stay off (their control
+/// planes are allowed to allocate).
+#[test]
+fn crossnode_pooled_wire_path_is_allocation_free() {
+    use netsim::{Backend, Cluster, CoalescePlan, NetConfig, WireTag};
+    let _guard = SERIAL.lock().unwrap();
+    const BATCH: usize = 8; // == the coalescer's count watermark
+    for backend in [Backend::Sim, Backend::Tcp] {
+        for coalesce in [false, true] {
+            let mut net = NetConfig::default().with_backend(backend);
+            if coalesce {
+                net = net.with_coalescing(CoalescePlan::default());
+            }
+            let c = Cluster::new(2, net);
+            let a = c.endpoint(0);
+            let b = c.endpoint(1);
+            let tag = WireTag::p2p(0, 0, 3);
+            let payload = [0xE7u8; 56];
+            let round = || {
+                for _ in 0..BATCH {
+                    a.send(1, tag, &payload);
+                }
+                a.flush_coalesced();
+                let mut got = 0;
+                while got < BATCH {
+                    // TCP frames cross a real socket; spin until the kernel
+                    // delivers (the poll itself is allocation-free).
+                    if let Some(p) = b.try_recv(0, tag) {
+                        assert_eq!(p[..], payload[..]);
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            };
+            for _ in 0..64 {
+                round();
+            }
+            let before = alloc_count();
+            for _ in 0..500 {
+                round();
+            }
+            let delta = alloc_count() - before;
+            assert_eq!(
+                delta,
+                0,
+                "{backend:?} coalesce={coalesce}: {delta} allocations in \
+                 {} steady-state cross-node messages",
+                500 * BATCH
+            );
+        }
+    }
+}
+
 /// End-to-end: the blocking send/recv fast path through the runtime's
 /// channel layer (rank 0 to itself — producer and consumer on one thread,
 /// so the window is deterministic) allocates nothing per message once the
