@@ -205,14 +205,24 @@ fn run_program<C: Communicator>(c: &C, seed: u64) -> u64 {
     digest
 }
 
-fn pure_digests_on(backend: Backend, seed: u64, ranks: usize, rpn: usize) -> Vec<u64> {
-    let mut cfg = Config::new(ranks).with_transport(backend);
+fn pure_digests_cfg(
+    backend: Backend,
+    seed: u64,
+    ranks: usize,
+    rpn: usize,
+    configure: fn(Config) -> Config,
+) -> Vec<u64> {
+    let mut cfg = configure(Config::new(ranks).with_transport(backend));
     cfg.spin_budget = 16;
     if rpn > 0 {
         cfg = cfg.with_ranks_per_node(rpn);
     }
     let (_, digests) = launch_map(cfg, move |ctx| run_program(ctx.world(), seed));
     digests
+}
+
+fn pure_digests_on(backend: Backend, seed: u64, ranks: usize, rpn: usize) -> Vec<u64> {
+    pure_digests_cfg(backend, seed, ranks, rpn, |c| c)
 }
 
 /// The default sweeps honour `PURE_BACKEND`, so the CI backend matrix can
@@ -277,6 +287,42 @@ fn random_programs_bit_identical_netsim_vs_tcp() {
             tcp, baseline,
             "tcp backend diverged from baseline (seed {seed}, {ranks} ranks)"
         );
+    }
+}
+
+/// Hierarchical-collective leg: the same seeded programs with the
+/// inter-node leader phase forced through every tree shape — k-ary fan-ins,
+/// the ring, and the auto-tuner — over multi-node layouts deep enough for
+/// the trees to matter (1–2 ranks per node, so up to 6 leaders). Tree and
+/// ring schedules *reorder* the inter-node reduction, which is exactly why
+/// the oracle's bit-identity discipline (wrapping integers for
+/// order-sensitive ops, floats only for data movement and Min/Max
+/// selection) must hold: every shape must stay bit-identical to the MPI
+/// baseline on both the simulated fabric and real TCP sockets.
+#[test]
+fn random_programs_bit_identical_with_hierarchical_collectives() {
+    type Configure = fn(Config) -> Config;
+    let shapes: [(&str, Configure); 4] = [
+        ("kary2", |c| c.with_collective_fanin(2)),
+        ("kary3", |c| c.with_collective_fanin(3)),
+        ("ring", |c| c.with_collective_ring()),
+        ("auto", |c| c.with_collective_autotune()),
+    ];
+    for seed in 0..16u64 {
+        let mut rng = seed ^ 0x5EED_CAFE;
+        let ranks = 4 + (splitmix(&mut rng) % 3) as usize; // 4..=6
+        let rpn = 1 + (seed % 2) as usize; // 4-6 or 2-3 leaders in the tree
+        let baseline = mpi_digests(seed, ranks);
+        for (label, configure) in shapes {
+            for backend in [Backend::Sim, Backend::Tcp] {
+                let pure = pure_digests_cfg(backend, seed, ranks, rpn, configure);
+                assert_eq!(
+                    pure, baseline,
+                    "hierarchical oracle mismatch ({label}, {backend:?}, seed {seed}, \
+                     {ranks} ranks, {rpn}/node)"
+                );
+            }
+        }
     }
 }
 

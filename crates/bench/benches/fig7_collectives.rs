@@ -1,16 +1,25 @@
 //! **Figure 7** — collective end-to-end performance:
-//! * 7a: 8-byte all-reduce, 2 → 16,384 ranks, MPI vs MPI-DMAPP vs OpenMP
-//!   (single node only) vs Pure;
+//! * 7a: 8-byte all-reduce, 2 → 65,536 ranks, MPI vs MPI-DMAPP vs OpenMP
+//!   (single node only) vs Pure flat vs Pure hierarchical (tuned leaders);
 //! * 7b: barrier, 2 → 64 ranks (single node), incl. OpenMP;
 //! * 7c: barrier, 2 → 65,536 ranks.
 //!
 //! Paper: Pure 8 B all-reduce beats MPI and DMAPP up to 16k cores (11% to
 //! >3.5×); Pure barrier 2.4×–5× over MPI and up to 8× over OpenMP.
+//!
+//! The hierarchical leg is gate-asserted: at ≥ 4,096 ranks the tuned
+//! k-ary leader tree must be strictly faster than the flat leader
+//! exchange (the paper-scale crossover), and the auto-tuner's pick must
+//! land within 10% of the best static configuration at every asserted
+//! point. These checks run even under `PURE_BENCH_SMOKE=1` — they are the
+//! collective-sweep CI gate.
 
-use cluster_sim::workloads::micro::collective_ns_per_op;
-use cluster_sim::{CollKind, CollStack, CostModel, SimRuntime};
+use cluster_sim::workloads::micro::{collective_ns_per_op, collective_ns_per_op_with};
+use cluster_sim::{CollKind, CollStack, CostModel, NetCollAlgo, SimRuntime};
 use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
+use pure_core::tuner;
+use pure_core::InternodeAlgo;
 
 const CORES_PER_NODE: usize = 64;
 const ITERS: usize = 40;
@@ -25,10 +34,105 @@ fn omp_single_node(kind: CollKind, t: usize, bytes: usize) -> f64 {
     CostModel::default().coll_ns(kind, CollStack::Omp, t, 1, bytes)
 }
 
+/// The runtime's algorithm choice mapped onto the DES cost model's knob.
+fn net_algo(a: InternodeAlgo) -> NetCollAlgo {
+    match a {
+        InternodeAlgo::Flat => NetCollAlgo::Flat,
+        InternodeAlgo::Kary(k) => NetCollAlgo::Kary(k),
+        InternodeAlgo::Ring => NetCollAlgo::Ring,
+    }
+}
+
+fn hier_cost(algo: NetCollAlgo) -> CostModel {
+    CostModel {
+        net_coll: algo,
+        ..CostModel::default()
+    }
+}
+
+/// Pure's per-op time under an explicit inter-node algorithm.
+fn pure_with(algo: NetCollAlgo, ranks: usize, iters: usize, bytes: u32, kind: CollKind) -> f64 {
+    collective_ns_per_op_with(
+        hier_cost(algo),
+        SimRuntime::Pure { tasks: false },
+        ranks,
+        CORES_PER_NODE,
+        iters,
+        bytes,
+        kind,
+    )
+}
+
+/// Every static inter-node configuration the tuner chooses between.
+fn static_candidates() -> Vec<NetCollAlgo> {
+    let mut v = vec![NetCollAlgo::Flat, NetCollAlgo::Ring];
+    v.extend(
+        tuner::FANIN_CANDIDATES
+            .iter()
+            .map(|&k| NetCollAlgo::Kary(k)),
+    );
+    v
+}
+
+fn nodes_of(ranks: usize) -> usize {
+    ranks.div_ceil(CORES_PER_NODE)
+}
+
+/// The collective-sweep gate: at paper scale the tuned hierarchical
+/// leader phase must strictly beat the flat exchange, and the tuner's
+/// pick must be within 10% of the best static configuration. Runs at
+/// fixed rank counts regardless of smoke mode.
+fn assert_crossover(fig: &mut Figure) {
+    header(
+        "Hierarchical-vs-flat crossover gate (8 B all-reduce)",
+        "tuned leader tree vs flat exchange; asserted, not just reported",
+    );
+    println!(
+        "{}",
+        row(
+            "ranks",
+            &[
+                "flat".into(),
+                "hier (tuned)".into(),
+                "best static".into(),
+                "hier vs flat".into(),
+            ]
+        )
+    );
+    let gate_iters = 3;
+    for ranks in [4_096usize, 16_384, 65_536] {
+        let flat = pure_with(NetCollAlgo::Flat, ranks, gate_iters, 8, CollKind::Allreduce);
+        let chosen = tuner::choose_algo(nodes_of(ranks), 8);
+        let hier = pure_with(net_algo(chosen), ranks, gate_iters, 8, CollKind::Allreduce);
+        let best = static_candidates()
+            .into_iter()
+            .map(|a| pure_with(a, ranks, gate_iters, 8, CollKind::Allreduce))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{}",
+            row(
+                &ranks.to_string(),
+                &[cell(flat), cell(hier), cell(best), speedup(flat / hier)]
+            )
+        );
+        assert!(
+            hier < flat,
+            "crossover gate: hierarchical ({hier:.1} ns) must be strictly faster than \
+             flat ({flat:.1} ns) at {ranks} ranks ({chosen:?})"
+        );
+        assert!(
+            hier <= best * 1.10,
+            "tuner gate: chosen {chosen:?} ({hier:.1} ns) is more than 10% off the \
+             best static config ({best:.1} ns) at {ranks} ranks"
+        );
+        fig.ratio(&format!("hier_vs_flat_allreduce8B_{ranks}"), flat / hier);
+    }
+}
+
 fn main() {
     let mut fig = Figure::new("fig7_collectives");
     header(
-        "Figure 7a — 8 B all-reduce, 2 → 16,384 ranks (64/node)",
+        "Figure 7a — 8 B all-reduce, 2 → 65,536 ranks (64/node)",
         "virtual ns per op; OpenMP column only exists within one node",
     );
     println!(
@@ -40,18 +144,20 @@ fn main() {
                 "MPI DMAPP".into(),
                 "OpenMP".into(),
                 "Pure".into(),
+                "Pure hier".into(),
                 "Pure vs MPI".into()
             ]
         )
     );
     let mut n = 2usize;
-    let cap_a = trajectory::pick(16_384usize, 64);
+    let cap_a = trajectory::pick(65_536usize, 64);
     while n <= cap_a {
+        let it = if n > 8192 { 10 } else { iters() };
         let mpi = collective_ns_per_op(
             SimRuntime::Mpi,
             n,
             CORES_PER_NODE,
-            iters(),
+            it,
             8,
             CollKind::Allreduce,
         );
@@ -59,7 +165,7 @@ fn main() {
             SimRuntime::MpiDmapp,
             n,
             CORES_PER_NODE,
-            iters(),
+            it,
             8,
             CollKind::Allreduce,
         );
@@ -67,10 +173,12 @@ fn main() {
             SimRuntime::Pure { tasks: false },
             n,
             CORES_PER_NODE,
-            iters(),
+            it,
             8,
             CollKind::Allreduce,
         );
+        let chosen = tuner::choose_algo(nodes_of(n), 8);
+        let hier = pure_with(net_algo(chosen), n, it, 8, CollKind::Allreduce);
         let omp = if n <= CORES_PER_NODE {
             cell(omp_single_node(CollKind::Allreduce, n, 8))
         } else {
@@ -80,7 +188,14 @@ fn main() {
             "{}",
             row(
                 &n.to_string(),
-                &[cell(mpi), cell(dmapp), omp, cell(pure), speedup(mpi / pure)]
+                &[
+                    cell(mpi),
+                    cell(dmapp),
+                    omp,
+                    cell(pure),
+                    cell(hier),
+                    speedup(mpi / pure)
+                ]
             )
         );
         if matches!(n, 8 | 64) {
@@ -88,6 +203,8 @@ fn main() {
         }
         n *= 2;
     }
+
+    assert_crossover(&mut fig);
 
     header(
         "Figure 7b — barrier, 2 → 64 ranks (single node)",

@@ -3,10 +3,12 @@
 //! Pure's collectives win "for all collectives and sizes", unlike DMAPP
 //! which only accelerates 8 B payloads).
 
-use cluster_sim::workloads::micro::collective_ns_per_op;
-use cluster_sim::{CollKind, SimRuntime};
+use cluster_sim::workloads::micro::{collective_ns_per_op, collective_ns_per_op_with};
+use cluster_sim::{CollKind, CostModel, NetCollAlgo, SimRuntime};
 use pure_bench::trajectory::{self, Figure};
 use pure_bench::{cell, header, row, speedup};
+use pure_core::tuner;
+use pure_core::InternodeAlgo;
 
 const CORES_PER_NODE: usize = 64;
 const ITERS: usize = 30;
@@ -26,9 +28,10 @@ fn table(kind: CollKind, title: &str, fig: &mut Figure) {
             ]
         )
     );
-    let sweep = trajectory::pick(&[8usize, 64, 512, 4096][..], &[8usize, 64][..]);
+    let sweep = trajectory::pick(&[8usize, 64, 512, 4096, 65_536][..], &[8usize, 64][..]);
     let iters = trajectory::pick(ITERS, 5);
     for &ranks in sweep {
+        let iters = if ranks > 8192 { 5 } else { iters };
         let cols: Vec<String> = [8u32, 512, 4096, 65_536, 1 << 20]
             .into_iter()
             .map(|bytes| {
@@ -58,6 +61,62 @@ fn table(kind: CollKind, title: &str, fig: &mut Figure) {
     }
 }
 
+/// The runtime's algorithm choice mapped onto the DES cost model's knob.
+fn net_algo(a: InternodeAlgo) -> NetCollAlgo {
+    match a {
+        InternodeAlgo::Flat => NetCollAlgo::Flat,
+        InternodeAlgo::Kary(k) => NetCollAlgo::Kary(k),
+        InternodeAlgo::Ring => NetCollAlgo::Ring,
+    }
+}
+
+/// Hierarchical leaders vs the flat exchange across payloads and scale;
+/// gate-asserts the crossover (hierarchical strictly faster at ≥ 4,096
+/// ranks for 8 B payloads) even under smoke mode.
+fn hier_table(fig: &mut Figure) {
+    header(
+        "Appendix A — hierarchical leaders (all-reduce, tuned vs flat)",
+        "virtual ns per op; tuned speedup over the flat leader exchange",
+    );
+    println!("{}", row("ranks / payload", &["8 B".into(), "1 MB".into()]));
+    for ranks in [512usize, 4_096, 65_536] {
+        let iters = if ranks > 8192 { 5 } else { 10 };
+        let cols: Vec<String> = [8u32, 1 << 20]
+            .into_iter()
+            .map(|bytes| {
+                let nodes = ranks.div_ceil(CORES_PER_NODE);
+                let chosen = tuner::choose_algo(nodes, bytes as usize);
+                let run = |algo: NetCollAlgo| {
+                    collective_ns_per_op_with(
+                        CostModel {
+                            net_coll: algo,
+                            ..CostModel::default()
+                        },
+                        SimRuntime::Pure { tasks: false },
+                        ranks,
+                        CORES_PER_NODE,
+                        iters,
+                        bytes,
+                        CollKind::Allreduce,
+                    )
+                };
+                let flat = run(NetCollAlgo::Flat);
+                let hier = run(net_algo(chosen));
+                if ranks >= 4_096 && bytes == 8 {
+                    assert!(
+                        hier < flat,
+                        "crossover gate: hierarchical ({hier:.1} ns) must beat flat \
+                         ({flat:.1} ns) at {ranks} ranks / {bytes} B ({chosen:?})"
+                    );
+                    fig.ratio(&format!("hier_vs_flat_allreduce8B_{ranks}"), flat / hier);
+                }
+                format!("{} ({})", cell(hier), speedup(flat / hier))
+            })
+            .collect();
+        println!("{}", row(&ranks.to_string(), &cols));
+    }
+}
+
 fn main() {
     let mut fig = Figure::new("figA_collectives");
     table(CollKind::Bcast, "Appendix A — broadcast", &mut fig);
@@ -71,6 +130,7 @@ fn main() {
         "Appendix A — all-reduce (payload sweep)",
         &mut fig,
     );
+    hier_table(&mut fig);
     if trajectory::emit_requested() {
         fig.write();
     }

@@ -25,6 +25,37 @@ pub enum Placement {
     CrossNode,
 }
 
+/// Inter-node algorithm modeled for `CollStack::Pure` collectives (the
+/// DES twin of `pure-core`'s `InternodeAlgo`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NetCollAlgo {
+    /// Recursive doubling / binomial over node leaders: `log2(n)` rounds,
+    /// each a full payload exchange with NUMA-oblivious leader staging.
+    #[default]
+    Flat,
+    /// k-ary combine/distribute tree with NUMA-aware leader placement:
+    /// [`net_tree_depth`] levels per wave, `k-1` extra sibling payloads
+    /// serializing through the parent's NIC per level.
+    Kary(usize),
+    /// Ring reduce-scatter + allgather for all-reduce (chunked,
+    /// bandwidth-optimal); other kinds fall back to the binary tree.
+    Ring,
+}
+
+/// Levels of an `nodes`-node BFS-ordered tree with fan-in `fanin`: the
+/// rounds a payload needs from the deepest leaf to the root (0 when
+/// `nodes <= 1`). Mirrors `pure_core::internode::tree_depth`.
+pub fn net_tree_depth(nodes: usize, fanin: usize) -> usize {
+    debug_assert!(fanin >= 2);
+    let mut d = 0;
+    let mut r = nodes.saturating_sub(1);
+    while r > 0 {
+        r = (r - 1) / fanin;
+        d += 1;
+    }
+    d
+}
+
 /// The tunable machine/runtime constants (all times in nanoseconds, rates
 /// in picoseconds per byte: 1000 ps/B = 1 GB/s⁻¹... i.e. 1 ns per byte).
 #[derive(Clone, Debug)]
@@ -97,6 +128,15 @@ pub struct CostModel {
     /// Leader's per-member SPTD sequence scan (arrivals are parallel
     /// stores; the leader polls cached lines).
     pub sptd_scan_ns_per_member: f64,
+    /// Inter-node collective algorithm modeled for `CollStack::Pure`.
+    pub net_coll: NetCollAlgo,
+    /// Per-round NUMA staging penalty of the *flat* leader exchange:
+    /// every recursive-doubling/binomial round lands the partner's
+    /// payload on whatever NUMA domain the NIC DMA'd it to, costing a
+    /// cross-NUMA line pull before the next round's combine. The
+    /// hierarchical algorithms place the leader next to its staging
+    /// buffer instead and pay only `line_l3_ns` per level.
+    pub numa_leader_penalty_ns: f64,
 
     // -- tasks --
     /// Publishing a task in `active_tasks` (a release store + fence).
@@ -152,6 +192,8 @@ impl Default for CostModel {
             omp_level_ns: 200.0,
             omp_fork_join_ns: 1500.0,
             sptd_scan_ns_per_member: 8.0,
+            net_coll: NetCollAlgo::Flat,
+            numa_leader_penalty_ns: 110.0, // = line_numa_ns
             task_publish_ns: 60.0,
             steal_overhead_ns: 120.0,
             ampi_ctx_switch_ns: 350.0,
@@ -266,6 +308,40 @@ impl CostModel {
         }
     }
 
+    /// Inter-node leg of a Pure collective over `n` node leaders under
+    /// [`CostModel::net_coll`]. `hop` is the per-message wire latency
+    /// already resolved for `bytes` (DMAPP-offloaded when eligible).
+    fn internode_ns(&self, kind: CollKind, n: usize, bytes: usize, hop: f64) -> f64 {
+        let log2 = |x: usize| (x.max(1) as f64).log2().ceil();
+        let nic = |b: f64| b * self.nic_ps_per_byte / 1000.0;
+        // All-reduce and barrier traverse the tree twice (combine up,
+        // distribute/release down); rooted bcast/reduce once.
+        let waves = match kind {
+            CollKind::Allreduce | CollKind::Barrier => 2.0,
+            CollKind::Bcast | CollKind::Reduce => 1.0,
+        };
+        match self.net_coll {
+            NetCollAlgo::Flat => log2(n) * (hop + self.numa_leader_penalty_ns),
+            NetCollAlgo::Kary(k) => {
+                let level = hop + (k - 1) as f64 * nic(bytes as f64) + self.line_l3_ns;
+                waves * net_tree_depth(n, k) as f64 * level
+            }
+            NetCollAlgo::Ring => {
+                if kind == CollKind::Allreduce {
+                    // Reduce-scatter + allgather: 2·(n-1) steps, each
+                    // moving a 1/n chunk — bandwidth optimal, latency
+                    // heavy (the tuner only picks it for large payloads).
+                    let chunk = (bytes as f64 / n as f64).ceil();
+                    let step = self.net_alpha_ns + chunk * self.net_beta_ps_per_byte / 1000.0;
+                    2.0 * (n - 1) as f64 * (step + self.line_l3_ns)
+                } else {
+                    let level = hop + nic(bytes as f64) + self.line_l3_ns;
+                    waves * net_tree_depth(n, 2) as f64 * level
+                }
+            }
+        }
+    }
+
     /// Collective completion cost charged after the last member arrives.
     /// `t` = ranks per node, `n` = nodes, `bytes` = payload.
     pub fn coll_ns(
@@ -311,7 +387,11 @@ impl CostModel {
                 } else {
                     net_msg
                 };
-                let internode = if n > 1 { log2(n) * hop } else { 0.0 };
+                let internode = if n > 1 {
+                    self.internode_ns(kind, n, bytes, hop)
+                } else {
+                    0.0
+                };
                 arrive + compute + internode + release
             }
             CollStack::Mpi => {
@@ -535,6 +615,81 @@ mod tests {
             degenerate.msg_ns(MsgStack::Pure, Placement::CrossNode, 64),
             base.msg_ns(MsgStack::Pure, Placement::CrossNode, 64)
         );
+    }
+
+    #[test]
+    fn net_tree_depth_shapes() {
+        assert_eq!(net_tree_depth(1, 2), 0);
+        assert_eq!(net_tree_depth(2, 8), 1);
+        assert_eq!(net_tree_depth(9, 8), 1);
+        assert_eq!(net_tree_depth(10, 8), 2);
+        assert_eq!(net_tree_depth(64, 8), 2);
+        assert_eq!(net_tree_depth(1024, 8), 4);
+        assert_eq!(net_tree_depth(64, 2), 6);
+    }
+
+    #[test]
+    fn hierarchical_collectives_are_intra_node_neutral() {
+        // With one node there is no internode leg: the algorithm knob
+        // must not move single-node numbers (the trajectory baseline's
+        // recorded ratios are all intra-node).
+        let flat = CostModel::default();
+        let hier = CostModel {
+            net_coll: NetCollAlgo::Kary(8),
+            ..CostModel::default()
+        };
+        for kind in [CollKind::Barrier, CollKind::Allreduce, CollKind::Bcast] {
+            assert_eq!(
+                flat.coll_ns(kind, CollStack::Pure, 64, 1, 8),
+                hier.coll_ns(kind, CollStack::Pure, 64, 1, 8),
+            );
+        }
+    }
+
+    #[test]
+    fn kary_tree_beats_flat_at_scale_for_small_payloads() {
+        // The paper-scale crossover: at 64+ nodes (4096 ranks at 64
+        // ranks/node) the k-ary tree's fewer α levels and NUMA-aware
+        // staging beat recursive doubling; at 2 nodes flat still wins.
+        let flat = CostModel::default();
+        let kary = CostModel {
+            net_coll: NetCollAlgo::Kary(8),
+            ..CostModel::default()
+        };
+        for kind in [CollKind::Allreduce, CollKind::Barrier, CollKind::Bcast] {
+            for n in [64usize, 256, 1024] {
+                let f = flat.coll_ns(kind, CollStack::Pure, 64, n, 8);
+                let h = kary.coll_ns(kind, CollStack::Pure, 64, n, 8);
+                assert!(h < f, "{kind:?} n={n}: kary {h} !< flat {f}");
+            }
+        }
+        // At 2 nodes the two-wave kinds pay the tree twice and flat wins
+        // (single-wave bcast degenerates to one hop either way).
+        for kind in [CollKind::Allreduce, CollKind::Barrier] {
+            let f2 = flat.coll_ns(kind, CollStack::Pure, 64, 2, 8);
+            let h2 = kary.coll_ns(kind, CollStack::Pure, 64, 2, 8);
+            assert!(f2 < h2, "{kind:?} n=2: flat {f2} !< kary {h2}");
+        }
+    }
+
+    #[test]
+    fn ring_beats_flat_for_large_payloads_at_scale() {
+        // Recursive doubling ships the full vector log2(n) times; the
+        // ring moves 2·(n-1)/n of it. At 1 MiB over 64 nodes the
+        // bandwidth term dominates and the ring wins; at 8 B its 2·(n-1)
+        // α latencies lose badly.
+        let flat = CostModel::default();
+        let ring = CostModel {
+            net_coll: NetCollAlgo::Ring,
+            ..CostModel::default()
+        };
+        let big = 1 << 20;
+        let f = flat.coll_ns(CollKind::Allreduce, CollStack::Pure, 64, 64, big);
+        let r = ring.coll_ns(CollKind::Allreduce, CollStack::Pure, 64, 64, big);
+        assert!(r < f, "1 MiB, 64 nodes: ring {r} !< flat {f}");
+        let f8 = flat.coll_ns(CollKind::Allreduce, CollStack::Pure, 64, 64, 8);
+        let r8 = ring.coll_ns(CollKind::Allreduce, CollStack::Pure, 64, 64, 8);
+        assert!(f8 < r8, "8 B, 64 nodes: flat {f8} !< ring {r8}");
     }
 
     #[test]

@@ -38,7 +38,32 @@ pub fn collective_ns_per_op(
     bytes: u32,
     kind: CollKind,
 ) -> f64 {
-    let cfg = SimConfig::new(ranks, cores_per_node, runtime);
+    collective_ns_per_op_with(
+        crate::cost::CostModel::default(),
+        runtime,
+        ranks,
+        cores_per_node,
+        iters,
+        bytes,
+        kind,
+    )
+}
+
+/// As [`collective_ns_per_op`] under an explicit cost model — the entry
+/// point of the hierarchical-vs-flat sweeps, which vary
+/// [`crate::cost::CostModel::net_coll`] while holding everything else.
+#[allow(clippy::too_many_arguments)]
+pub fn collective_ns_per_op_with(
+    cost: crate::cost::CostModel,
+    runtime: SimRuntime,
+    ranks: usize,
+    cores_per_node: usize,
+    iters: usize,
+    bytes: u32,
+    kind: CollKind,
+) -> f64 {
+    let mut cfg = SimConfig::new(ranks, cores_per_node, runtime);
+    cfg.cost = cost;
     let res = Sim::new(cfg, collective_loop(ranks, iters, bytes, kind)).run();
     res.makespan_ns as f64 / iters as f64
 }

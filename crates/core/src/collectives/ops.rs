@@ -143,7 +143,7 @@ impl PureComm {
         if self.is_leader() {
             self.wait_all_arrivals(r);
             if self.multi_node() {
-                self.leader_group().barrier();
+                self.leader_group_coll(0).barrier();
             }
             self.area.publish_leader(r);
         } else {
@@ -326,9 +326,10 @@ impl PureComm {
         if !self.multi_node() {
             return;
         }
+        let g = self.leader_group_coll(std::mem::size_of_val(acc));
         match reduce_root_node {
-            None => self.leader_group().allreduce(acc, op),
-            Some(root_node) => self.leader_group().reduce(root_node, acc, op),
+            None => g.allreduce(acc, op),
+            Some(root_node) => g.reduce(root_node, acc, op),
         }
     }
 
@@ -366,7 +367,7 @@ impl PureComm {
                 // SAFETY: bcast_seq >= r observed.
                 data.copy_from_slice(unsafe { self.area.bcast_buf.as_slice::<T>(data.len()) });
             }
-            self.leader_group().bcast(root_node, data);
+            self.leader_group_coll(bytes).bcast(root_node, data);
             if !on_root_node {
                 // Writer on a non-root node.
                 self.wait_all_arrivals(r);

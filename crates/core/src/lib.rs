@@ -67,6 +67,7 @@ pub mod msg;
 pub mod runtime;
 pub mod task;
 pub mod telemetry;
+pub mod tuner;
 pub mod util;
 pub mod writing_pure_programs;
 
@@ -75,10 +76,11 @@ pub use collectives::ArrivalMode;
 pub use comm::PureComm;
 pub use datatype::{PureDatatype, ReduceOp, Reducible};
 pub use error::{PureError, PureResult};
+pub use internode::InternodeAlgo;
 pub use msg::{wait_all, Request};
 pub use runtime::{
-    launch, launch_map, launch_surviving, Config, LaunchReport, OnPeerDeath, ProgressMode, RankCtx,
-    RankFaults, RankStats, Tag,
+    launch, launch_map, launch_surviving, CollectiveAlgo, Config, LaunchReport, OnPeerDeath,
+    ProgressMode, RankCtx, RankFaults, RankStats, Tag,
 };
 pub use task::scheduler::{ChunkMode, StealPolicy};
 pub use task::{ChunkRange, PureTask, SharedSlice};
@@ -91,9 +93,10 @@ pub mod prelude {
     pub use crate::comm::PureComm;
     pub use crate::datatype::{PureDatatype, ReduceOp, Reducible};
     pub use crate::error::{PureError, PureResult};
+    pub use crate::internode::InternodeAlgo;
     pub use crate::runtime::{
-        launch, launch_map, launch_surviving, Config, LaunchReport, OnPeerDeath, ProgressMode,
-        RankCtx, RankFaults, Tag,
+        launch, launch_map, launch_surviving, CollectiveAlgo, Config, LaunchReport, OnPeerDeath,
+        ProgressMode, RankCtx, RankFaults, Tag,
     };
     pub use crate::task::scheduler::{ChunkMode, StealPolicy};
     pub use crate::task::{ChunkRange, PureTask, SharedSlice};

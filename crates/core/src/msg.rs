@@ -96,6 +96,8 @@ impl PureComm {
         self.local
             .bytes_sent
             .set(self.local.bytes_sent.get() + bytes as u64);
+        // Message-size histogram: feeds the auto-tuner's threshold picks.
+        telemetry::count(telemetry::msg_size_bucket(bytes));
     }
 
     /// [`PureComm::send`] with a deadline: `Err(PureError::Timeout)` when
@@ -283,10 +285,7 @@ impl PureComm {
             // while this rank blocks elsewhere.
             self.local.note_pending_send(&ch);
         }
-        self.local.msgs_sent.set(self.local.msgs_sent.get() + 1);
-        self.local
-            .bytes_sent
-            .set(self.local.bytes_sent.get() + bytes as u64);
+        self.count_sent(bytes);
         Request {
             ch,
             local: Rc::clone(&self.local),

@@ -139,6 +139,86 @@ fn single_crash_unwinds_survivors_with_peer_dead() {
     }
 }
 
+/// Collective-path crash sweep: a rank dies *mid-collective* (the victim's
+/// crash op lands inside a loop of allreduce/bcast/barrier, covering the
+/// flat-combining small path, the partitioned-reducer large path, and the
+/// broadcast tree) on a **non-power-of-two** node count — so the
+/// recursive-doubling fold-in pre/post phases run, and a crash can land
+/// mid-fold with the surviving fold partner blocked on the victim's frame.
+/// Swept over both progress modes and all three inter-node algorithm
+/// families (flat, k-ary tree, ring): every leader wait in every family
+/// routes through the probed SSW path, so survivors must unwind with the
+/// detector's structured verdict — never ride to the watchdog.
+#[test]
+fn crash_mid_collective_unwinds_on_both_progress_modes() {
+    const RANKS: usize = 5; // 5 nodes: non-pow2 fold-in phases engaged
+    type Configure = fn(Config) -> Config;
+    let algos: [(&str, Configure); 3] = [
+        ("flat", |c| c),
+        ("kary2", |c| c.with_collective_fanin(2)),
+        ("ring", |c| c.with_collective_ring()),
+    ];
+    for mode in [ProgressMode::Cooperative, ProgressMode::Helper] {
+        for (algo, configure) in algos {
+            for seed in 0..seed_count().min(4) {
+                let key = mix64(seed ^ mix64(algo.len() as u64) ^ 0x0C01_1EC7);
+                let victim = (key % RANKS as u64) as usize;
+                // Odd op index: lands inside the collective loop below
+                // (each iteration is 4 blocking collectives).
+                let at = 2 + mix64(key) % 14;
+                let mut cfg = configure(Config::new(RANKS))
+                    .with_ranks_per_node(1)
+                    .with_progress_mode(mode)
+                    .with_rank_faults(RankFaults {
+                        crash_at: Some((victim, at)),
+                        ..RankFaults::default()
+                    })
+                    // Safety net only: the assertion below proves it never
+                    // fires.
+                    .with_deadline(Duration::from_secs(20));
+                cfg.spin_budget = 16;
+                cfg.net = NetConfig::default()
+                    .with_backend(chaos_backend())
+                    .with_detection(DetectPlan::aggressive());
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    launch(cfg, |ctx| {
+                        let w = ctx.world();
+                        let me = ctx.rank();
+                        let mut big = vec![me as u64; 1024]; // > small_coll_max
+                        for round in 0..2000u64 {
+                            let s = w.allreduce_one(1u64, ReduceOp::Sum);
+                            assert_eq!(s, RANKS as u64);
+                            let mut out = vec![0u64; big.len()];
+                            w.allreduce(&big, &mut out, ReduceOp::Max);
+                            assert_eq!(out[1], RANKS as u64 - 1);
+                            let mut payload = [round, 7];
+                            w.bcast(&mut payload, (round % RANKS as u64) as usize);
+                            assert_eq!(payload[1], 7);
+                            w.barrier();
+                            big[0] = round;
+                        }
+                    })
+                }));
+                let msg = panic_message(res.expect_err(&format!(
+                    "seed {seed} mode {mode:?} algo {algo}: launch completed \
+                     despite rank {victim} crashing at op {at}"
+                )));
+                assert!(
+                    msg.contains("declared dead"),
+                    "seed {seed} mode {mode:?} algo {algo} victim {victim} at \
+                     op {at}: survivors must unwind with the detector's \
+                     verdict, got: {msg}"
+                );
+                assert!(
+                    !msg.contains("watchdog"),
+                    "seed {seed} mode {mode:?} algo {algo}: the watchdog fired \
+                     — a collective wait bypassed the probed path: {msg}"
+                );
+            }
+        }
+    }
+}
+
 /// ULFM-style recovery: under `OnPeerDeath::Revoke` a peer's death surfaces
 /// as `Err(PeerDead)` from fallible operations instead of tearing the launch
 /// down. Survivors revoke the world, agree on the failure view, `shrink()`

@@ -177,6 +177,78 @@ fn sptd_rounds_publish_uncorrupted_payloads() {
 }
 
 // ---------------------------------------------------------------------------
+// Shrink-then-bcast handoff: stale parent rounds must not leak into the child
+// ---------------------------------------------------------------------------
+
+/// The ULFM shrink-to-bcast handoff on the real [`CollArea`]: the parent
+/// communicator died mid-round-7 — the leader re-broadcast publish
+/// (`bcast_seq.store(7)`) may land arbitrarily late, even after the
+/// survivors have shrunk and started round 1 on the child comm. Because
+/// `wait_bcast_seq` is a monotone `>=` wait, a stale seq-7 store *would*
+/// satisfy the child's round-1 wait before the new leader wrote the payload
+/// — if the two rounds shared an area. The runtime's fence is structural:
+/// `shrink()` derives a fresh comm id, which keys a fresh `CollArea` (with
+/// `bcast_seq = 0`) in the per-node registry. This case interleaves the
+/// laggard publish with the child's whole round and asserts that on every
+/// schedule the round-1 observer reads the child leader's payload, never
+/// the parent's stale bytes.
+#[test]
+fn shrink_bcast_handoff_never_observes_stale_parent_round() {
+    use pure_core::collectives::CollArea;
+
+    let report = check(opts(6_000, 1_500), || {
+        let parent = Arc::new(CollArea::new(2, 64));
+        let child = Arc::new(CollArea::new(2, 64));
+
+        // Laggard: the parent's round-7 re-broadcast, delayed past the
+        // shrink (the dying round's leader got preempted mid-publish).
+        let p = Arc::clone(&parent);
+        let laggard = thread::spawn(move || {
+            // SAFETY: sole writer of the parent buffer in this model.
+            unsafe {
+                p.bcast_buf.ensure(8);
+                p.bcast_buf.as_mut_slice::<u8>(8).fill(0xAA);
+            }
+            p.bcast_seq.store(7, Ordering::Release);
+        });
+
+        // Child leader: round 1 on the shrunk comm's fresh area.
+        let c = Arc::clone(&child);
+        let leader = thread::spawn(move || {
+            // SAFETY: sole writer of the child buffer; the member reads
+            // only after acquiring bcast_seq >= 1.
+            unsafe {
+                c.bcast_buf.ensure(8);
+                c.bcast_buf.as_mut_slice::<u8>(8).fill(0x55);
+            }
+            c.bcast_seq.store(1, Ordering::Release);
+        });
+
+        // Member: its round-7 wait unwound with `PeerDead`, it shrank, and
+        // now waits for the child's round 1 exactly as `wait_bcast_seq(1)`
+        // does (monotone acquire on the *child's* sequence).
+        while child.bcast_seq.load(Ordering::Acquire) < 1 {
+            thread::yield_now();
+        }
+        // SAFETY: observed child bcast_seq >= 1.
+        let bytes = unsafe { child.bcast_buf.as_slice::<u8>(8) };
+        assert!(
+            bytes.iter().all(|&b| b == 0x55),
+            "round-1 observer on the shrunk comm read the parent's stale \
+             round-7 payload: {bytes:?}"
+        );
+        laggard.join().unwrap();
+        leader.join().unwrap();
+        // The stale publish landed on the parent area only — the child's
+        // sequence never jumps past its own round, so a *later* child round
+        // r+1 cannot be satisfied early by parent traffic either.
+        assert_eq!(parent.bcast_seq.load(Ordering::Acquire), 7);
+        assert_eq!(child.bcast_seq.load(Ordering::Acquire), 1);
+    });
+    assert_clean(&report, 1_500);
+}
+
+// ---------------------------------------------------------------------------
 // Envelope queue: single-copy rendezvous, and the cancel/fill CAS race
 // ---------------------------------------------------------------------------
 

@@ -163,16 +163,31 @@ fn crossnode_pooled_wire_path_is_allocation_free() {
             for _ in 0..64 {
                 round();
             }
-            let before = alloc_count();
-            for _ in 0..500 {
-                round();
+            // The counting allocator is process-global, so the window can
+            // pick up ambient allocations from the one other live thread:
+            // libtest's runner, parked in a channel `recv`, allocates
+            // waker/context state when the `yield_now` spins above hand it
+            // the core (observed: a 48 B mpmc `Context`, 96 B waker-list
+            // growth). Those wake-ups are scheduler luck, not wire-path
+            // behavior, so take the minimum delta over a few windows — a
+            // genuine per-message leak allocates in *every* window, while
+            // runner noise cannot survive them all.
+            let mut delta = u64::MAX;
+            for _ in 0..5 {
+                let before = alloc_count();
+                for _ in 0..500 {
+                    round();
+                }
+                delta = delta.min(alloc_count() - before);
+                if delta == 0 {
+                    break;
+                }
             }
-            let delta = alloc_count() - before;
             assert_eq!(
                 delta,
                 0,
                 "{backend:?} coalesce={coalesce}: {delta} allocations in \
-                 {} steady-state cross-node messages",
+                 every window of {} steady-state cross-node messages",
                 500 * BATCH
             );
         }
